@@ -1,0 +1,28 @@
+//! # rt-baseline
+//!
+//! A unified-cost data-and-constraint repair baseline in the spirit of
+//! Chiang & Miller, *"A unified model for data and constraint repair"*
+//! (ICDE 2011) — the comparator the paper evaluates against in Figure 8.
+//!
+//! The defining characteristics reproduced here (they are exactly the ones
+//! the paper's experiments exercise):
+//!
+//! 1. a **single unified cost model**: one number combines the cost of cell
+//!    changes and the cost of FD modifications, so the trade-off between
+//!    trusting data and trusting constraints is fixed up-front by the cost
+//!    weights rather than explored;
+//! 2. a **restricted FD-repair space**: only single attributes may be
+//!    appended to an FD's left-hand side (the paper points this out as a
+//!    limitation of [5]);
+//! 3. a **greedy, one-shot search**: the algorithm keeps applying the
+//!    locally cheapest action (append one attribute to one FD, or fall back
+//!    to repairing the remaining violations by cell changes) until the data
+//!    satisfies the constraints, and returns that single repair.
+//!
+//! The actual cell modifications are delegated to the near-optimal data
+//! repair of `rt-core` (Algorithm 4), so the two systems differ only in how
+//! they decide *what* to repair, which is the comparison Figure 8 makes.
+
+pub mod unified;
+
+pub use unified::{unified_cost_repair, UnifiedCostConfig, UnifiedRepair};

@@ -1,0 +1,43 @@
+//! Criterion companion of Figure 10: FD-repair search time vs. number of
+//! attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_core::{search::run_search, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind};
+
+fn bench_search_vs_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_attributes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &attributes in &[8usize, 12, 16] {
+        let workload = Workload::build(&WorkloadSpec {
+            tuples: 500,
+            attributes,
+            fd_count: 2,
+            lhs_size: 4,
+            data_error_rate: 0.002,
+            fd_error_rate: 0.5,
+            seed: 37,
+        });
+        let problem = RepairProblem::with_weight(
+            workload.dirty_instance(),
+            workload.dirty_fds(),
+            WeightKind::DistinctCount,
+        );
+        let tau = problem.absolute_tau(0.01);
+        let config = SearchConfig { max_expansions: 800, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("astar", attributes), &attributes, |b, _| {
+            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("best_first", attributes),
+            &attributes,
+            |b, _| b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::BestFirst)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_vs_attributes);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion companion of Figure 11: FD-repair search time vs. number of FDs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_core::{search::run_search, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind};
+
+fn bench_search_vs_fds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure11_fds");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &fd_count in &[1usize, 2, 3] {
+        let workload = Workload::build(&WorkloadSpec {
+            tuples: 400,
+            attributes: 14,
+            fd_count,
+            lhs_size: 3,
+            data_error_rate: 0.002,
+            fd_error_rate: 0.4,
+            seed: 41,
+        });
+        let problem = RepairProblem::with_weight(
+            workload.dirty_instance(),
+            workload.dirty_fds(),
+            WeightKind::DistinctCount,
+        );
+        let tau = problem.absolute_tau(0.01);
+        let config = SearchConfig { max_expansions: 800, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("astar", fd_count), &fd_count, |b, _| {
+            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar))
+        });
+        group.bench_with_input(BenchmarkId::new("best_first", fd_count), &fd_count, |b, _| {
+            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::BestFirst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_vs_fds);
+criterion_main!(benches);

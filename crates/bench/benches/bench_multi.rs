@@ -1,0 +1,46 @@
+//! Criterion companion of Figure 13: Range-Repair (Algorithm 6) against
+//! Sampling-Repair for a growing τ_r range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_core::{find_repairs_range, find_repairs_sampling, RepairProblem, SearchConfig, WeightKind};
+
+fn bench_multi_repairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure13_multi_repairs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 500,
+        attributes: 12,
+        fd_count: 1,
+        lhs_size: 6,
+        data_error_rate: 0.005,
+        fd_error_rate: 0.5,
+        seed: 47,
+    });
+    let problem = RepairProblem::with_weight(
+        workload.dirty_instance(),
+        workload.dirty_fds(),
+        WeightKind::DistinctCount,
+    );
+    let reference = problem.delta_p_original();
+    let config = SearchConfig { max_expansions: 800, ..Default::default() };
+    for &max_tau_r in &[0.1f64, 0.2, 0.3] {
+        let tau_high = ((reference as f64) * max_tau_r).ceil() as usize;
+        let step = (((reference as f64) * 0.017).ceil() as usize).max(1);
+        let label = format!("{}%", (max_tau_r * 100.0) as usize);
+        group.bench_with_input(BenchmarkId::new("range_repair", &label), &tau_high, |b, &hi| {
+            b.iter(|| find_repairs_range(&problem, 0, hi, &config))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sampling_repair", &label),
+            &tau_high,
+            |b, &hi| b.iter(|| find_repairs_sampling(&problem, 0, hi, step, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_repairs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end repair pipeline benchmark (Figures 7/8 workload): Algorithm 1
+//! (A* FD search + data repair) at several relative-trust levels, against the
+//! unified-cost baseline producing its single repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_baseline::{unified_cost_repair, UnifiedCostConfig};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_constraints::DistinctCountWeight;
+use rt_core::{
+    repair::repair_data_fds_with, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind,
+};
+
+fn bench_end_to_end_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_8_end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 500,
+        attributes: 12,
+        fd_count: 1,
+        lhs_size: 6,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.5,
+        seed: 17,
+    });
+    let dirty = workload.dirty_instance();
+    let dirty_fds = workload.dirty_fds();
+    let problem = RepairProblem::with_weight(dirty, dirty_fds, WeightKind::DistinctCount);
+    let config = SearchConfig { max_expansions: 800, ..Default::default() };
+
+    for &tau_r in &[0.0f64, 0.3, 1.0] {
+        let tau = problem.absolute_tau(tau_r);
+        let label = format!("tau_r={}%", (tau_r * 100.0) as usize);
+        group.bench_with_input(BenchmarkId::new("relative_trust", &label), &tau, |b, &tau| {
+            b.iter(|| {
+                repair_data_fds_with(&problem, tau, &config, SearchAlgorithm::AStar, 17)
+            })
+        });
+    }
+
+    let weight = DistinctCountWeight::new(dirty);
+    group.bench_function("unified_cost_baseline", |b| {
+        b.iter(|| {
+            unified_cost_repair(dirty, dirty_fds, &weight, &UnifiedCostConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end_repair);
+criterion_main!(benches);

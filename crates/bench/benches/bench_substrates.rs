@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the substrates the repair algorithms are built on:
+//! conflict-graph construction, vertex cover, difference-set filtering,
+//! data repair (Algorithm 4) and FD discovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_constraints::{discover_fds, ConflictGraph, DiscoveryConfig};
+use rt_core::data_repair::repair_data;
+use rt_graph::{approx_vertex_cover, greedy_degree_vertex_cover, matching_vertex_cover};
+
+fn bench_conflict_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_conflict_graph");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 1000] {
+        let workload = Workload::build(&WorkloadSpec {
+            tuples,
+            attributes: 12,
+            fd_count: 1,
+            lhs_size: 6,
+            data_error_rate: 0.01,
+            fd_error_rate: 0.5,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::new("build", tuples), &tuples, |b, _| {
+            b.iter(|| ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds()))
+        });
+        let cg = ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds());
+        group.bench_with_input(
+            BenchmarkId::new("subgraph_filter", tuples),
+            &tuples,
+            |b, _| b.iter(|| cg.subgraph_for(workload.dirty_fds())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_vertex_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_vertex_cover");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 2000,
+        attributes: 12,
+        fd_count: 1,
+        lhs_size: 6,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.5,
+        seed: 3,
+    });
+    let graph =
+        ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds()).to_graph();
+    group.bench_function("matching", |b| b.iter(|| matching_vertex_cover(&graph)));
+    group.bench_function("greedy_degree", |b| b.iter(|| greedy_degree_vertex_cover(&graph)));
+    group.bench_function("hybrid", |b| b.iter(|| approx_vertex_cover(&graph)));
+    group.finish();
+}
+
+fn bench_data_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_data_repair");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 1000] {
+        let workload = Workload::build(&WorkloadSpec {
+            tuples,
+            attributes: 12,
+            fd_count: 1,
+            lhs_size: 6,
+            data_error_rate: 0.01,
+            fd_error_rate: 0.0,
+            seed: 5,
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm4", tuples), &tuples, |b, _| {
+            b.iter(|| repair_data(workload.dirty_instance(), workload.dirty_fds(), 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fd_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_fd_discovery");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 500,
+        attributes: 8,
+        fd_count: 1,
+        lhs_size: 3,
+        data_error_rate: 0.0,
+        fd_error_rate: 0.0,
+        seed: 7,
+    });
+    let config = DiscoveryConfig { max_lhs_size: 3, ..Default::default() };
+    group.bench_function("levelwise_lhs3", |b| {
+        b.iter(|| discover_fds(&workload.truth.clean, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conflict_graph,
+    bench_vertex_cover,
+    bench_data_repair,
+    bench_fd_discovery
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion companion of Figure 12: FD-repair search time vs. the relative
+//! trust τ_r.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_core::{search::run_search, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind};
+
+fn bench_search_vs_tau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure12_tau");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 500,
+        attributes: 12,
+        fd_count: 1,
+        lhs_size: 6,
+        data_error_rate: 0.005,
+        fd_error_rate: 0.5,
+        seed: 43,
+    });
+    let problem = RepairProblem::with_weight(
+        workload.dirty_instance(),
+        workload.dirty_fds(),
+        WeightKind::DistinctCount,
+    );
+    let config = SearchConfig { max_expansions: 800, ..Default::default() };
+    for &tau_r in &[0.1f64, 0.4, 0.7, 0.99] {
+        let tau = problem.absolute_tau(tau_r);
+        let label = format!("{}%", (tau_r * 100.0) as usize);
+        group.bench_with_input(BenchmarkId::new("astar", &label), &tau, |b, &tau| {
+            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar))
+        });
+        group.bench_with_input(BenchmarkId::new("best_first", &label), &tau, |b, &tau| {
+            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::BestFirst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_vs_tau);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 12: search runtime and visited states as the relative trust τ_r
+//! varies (1 FD).
+
+use rt_bench::experiments::effect_of_tau;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_effect_tau] scale = {scale:?}");
+    let rows = effect_of_tau(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.tau_r * 100.0),
+                r.algorithm.clone(),
+                format!("{:.3}", r.seconds),
+                r.states_visited.to_string(),
+                if r.truncated { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["tau_r", "algorithm", "seconds", "visited states", "truncated"], &table)
+    );
+    if let Some(path) = write_json_report("figure12_effect_of_tau", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

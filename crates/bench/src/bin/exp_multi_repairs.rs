@@ -1,0 +1,34 @@
+//! Figure 13: generating all repairs for a range of relative-trust values —
+//! Range-Repair (Algorithm 6) vs Sampling-Repair.
+
+use rt_bench::experiments::multi_repair_comparison;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_multi_repairs] scale = {scale:?}");
+    let rows = multi_repair_comparison(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.max_tau_r * 100.0),
+                r.algorithm.clone(),
+                format!("{:.3}", r.seconds),
+                r.repairs_found.to_string(),
+                r.states_visited.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["max tau_r", "algorithm", "seconds", "repairs found", "visited states"],
+            &table
+        )
+    );
+    if let Some(path) = write_json_report("figure13_multi_repairs", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 7: repair quality (combined F-score) as a function of the relative
+//! trust `τ_r`, for four data/FD error mixes.
+
+use rt_bench::experiments::quality_vs_trust;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_quality_vs_trust] scale = {scale:?}");
+    let rows = quality_vs_trust(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.fd_error_rate * 100.0),
+                format!("{:.0}%", r.data_error_rate * 100.0),
+                format!("{:.0}%", r.tau_r * 100.0),
+                format!("{:.3}", r.data_f),
+                format!("{:.3}", r.fd_f),
+                format!("{:.3}", r.combined_f),
+                r.cells_modified.to_string(),
+                r.attrs_appended.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["FD err", "Data err", "tau_r", "Data F", "FD F", "Combined F", "cells", "attrs"],
+            &table
+        )
+    );
+    if let Some(path) = write_json_report("figure7_quality_vs_trust", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

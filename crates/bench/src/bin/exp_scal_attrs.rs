@@ -1,0 +1,34 @@
+//! Figure 10: search runtime as the number of schema attributes grows
+//! (A*-Repair vs Best-First-Repair, 2 FDs, τ_r = 1%).
+
+use rt_bench::experiments::scalability_attributes;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_scal_attrs] scale = {scale:?}");
+    let rows = scalability_attributes(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.attributes.to_string(),
+                r.algorithm.clone(),
+                format!("{:.3}", r.seconds),
+                r.states_visited.to_string(),
+                if r.truncated { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["attributes", "algorithm", "seconds", "visited states", "truncated"],
+            &table
+        )
+    );
+    if let Some(path) = write_json_report("figure10_scalability_attributes", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

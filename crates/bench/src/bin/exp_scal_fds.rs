@@ -1,0 +1,31 @@
+//! Figure 11: search runtime as the number of FDs grows
+//! (A*-Repair vs Best-First-Repair, τ_r = 1%).
+
+use rt_bench::experiments::scalability_fds;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_scal_fds] scale = {scale:?}");
+    let rows = scalability_fds(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.fds.to_string(),
+                r.algorithm.clone(),
+                format!("{:.3}", r.seconds),
+                r.states_visited.to_string(),
+                if r.truncated { "yes (cap hit)".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["FDs", "algorithm", "seconds", "visited states", "truncated"], &table)
+    );
+    if let Some(path) = write_json_report("figure11_scalability_fds", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

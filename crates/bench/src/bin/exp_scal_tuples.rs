@@ -1,0 +1,31 @@
+//! Figure 9: search runtime and visited states as the number of tuples grows
+//! (A*-Repair vs Best-First-Repair, 2 FDs, τ_r = 1%).
+
+use rt_bench::experiments::scalability_tuples;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_scal_tuples] scale = {scale:?}");
+    let rows = scalability_tuples(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tuples.to_string(),
+                r.algorithm.clone(),
+                format!("{:.3}", r.seconds),
+                r.states_visited.to_string(),
+                if r.truncated { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["tuples", "algorithm", "seconds", "visited states", "truncated"], &table)
+    );
+    if let Some(path) = write_json_report("figure9_scalability_tuples", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 8: the best quality achievable by the relative-trust approach
+//! versus the unified-cost baseline, per error mix.
+
+use rt_bench::experiments::versus_unified_cost;
+use rt_bench::{render_table, write_json_report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("[exp_vs_unified_cost] scale = {scale:?}");
+    let rows = versus_unified_cost(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                format!("{:.0}%", r.fd_error_rate * 100.0),
+                format!("{:.0}%", r.data_error_rate * 100.0),
+                format!("{:.2}", r.fd_precision),
+                format!("{:.2}", r.fd_recall),
+                format!("{:.2}", r.data_precision),
+                format!("{:.2}", r.data_recall),
+                format!("{:.3}", r.combined_f),
+                r.best_tau_r.map(|t| format!("{:.0}%", t * 100.0)).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Algorithm", "FD err", "Data err", "FD prec", "FD rec", "Data prec", "Data rec",
+                "Combined F", "best tau_r"
+            ],
+            &table
+        )
+    );
+    if let Some(path) = write_json_report("figure8_vs_unified_cost", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,33 @@
+//! # rt-constraints
+//!
+//! Functional dependencies and everything the repair algorithms need to know
+//! about them:
+//!
+//! * [`AttrSet`] — compact bitset of attributes (≤ 64), the currency of the
+//!   FD-modification search space;
+//! * [`Fd`] / [`FdSet`] — functional dependencies `X → A` and sets thereof,
+//!   including the LHS-extension mechanism used to *relax* FDs (the only FD
+//!   modification the paper allows) and implication-based reasoning;
+//! * [`partition`] — stripped partitions (equivalence classes of tuples under
+//!   a set of attributes), the workhorse of both violation detection and FD
+//!   discovery;
+//! * [`violations`] — conflict-graph construction (Definition 6) and the
+//!   per-edge *difference sets* that power the A* heuristic of Section 5.2;
+//! * [`weights`] — the monotone weighting functions `w(Y)` that price LHS
+//!   extensions (attribute count, distinct-value count, entropy);
+//! * [`discovery`] — level-wise exact FD discovery used to set up the
+//!   experiments (the paper mines FDs with small LHSs from the clean data).
+
+pub mod attrset;
+pub mod discovery;
+pub mod fd;
+pub mod partition;
+pub mod violations;
+pub mod weights;
+
+pub use attrset::AttrSet;
+pub use discovery::{discover_fds, DiscoveryConfig};
+pub use fd::{Fd, FdSet};
+pub use partition::StrippedPartition;
+pub use violations::{ConflictGraph, DifferenceSet, DifferenceSetIndex};
+pub use weights::{AttrCountWeight, DistinctCountWeight, EntropyWeight, Weight};

@@ -1,0 +1,224 @@
+//! Stripped partitions (equivalence classes of tuples).
+//!
+//! Partitioning the tuples of an instance by their projection on an attribute
+//! set is the basic building block of both violation detection ("partition by
+//! LHS, sub-partition by RHS, emit pairs crossing sub-partitions" — Section 6
+//! of the paper describes exactly this construction for the conflict graph)
+//! and of level-wise FD discovery (TANE-style).
+//!
+//! A *stripped* partition drops singleton classes, since a tuple alone in its
+//! class can neither violate an FD nor refine another partition.
+
+use crate::attrset::AttrSet;
+use rt_relation::{Instance, Value};
+use std::collections::HashMap;
+
+/// A (stripped) partition of tuple indices by their projection on some
+/// attribute set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    /// Equivalence classes with at least two members; each class is a sorted
+    /// vector of row indices.
+    classes: Vec<Vec<usize>>,
+    /// Number of rows the partition was computed over.
+    row_count: usize,
+}
+
+impl StrippedPartition {
+    /// Computes the stripped partition of `instance` under `attrs`.
+    ///
+    /// Rows whose projection contains a V-instance variable form singleton
+    /// classes by construction (a variable equals nothing but itself), so
+    /// they are compared by exact value: two rows sharing the *same* variable
+    /// in a cell do land in the same class, matching [`Value::matches`].
+    pub fn compute(instance: &Instance, attrs: AttrSet) -> Self {
+        let attr_vec = attrs.to_vec();
+        let mut groups: HashMap<Vec<&Value>, Vec<usize>> =
+            HashMap::with_capacity(instance.len());
+        for (row, tuple) in instance.tuples() {
+            let key: Vec<&Value> = attr_vec.iter().map(|a| tuple.get(*a)).collect();
+            groups.entry(key).or_default().push(row);
+        }
+        let mut classes: Vec<Vec<usize>> =
+            groups.into_values().filter(|c| c.len() > 1).collect();
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort_unstable();
+        StrippedPartition { classes, row_count: instance.len() }
+    }
+
+    /// The partition of the empty attribute set: one class holding all rows
+    /// (if there are at least two).
+    pub fn universal(row_count: usize) -> Self {
+        let classes = if row_count > 1 { vec![(0..row_count).collect()] } else { vec![] };
+        StrippedPartition { classes, row_count }
+    }
+
+    /// Number of non-singleton classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterates over the non-singleton classes.
+    pub fn classes(&self) -> impl Iterator<Item = &[usize]> {
+        self.classes.iter().map(Vec::as_slice)
+    }
+
+    /// Total number of rows in non-singleton classes.
+    pub fn covered_rows(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// The TANE error measure `e(X) = (covered_rows - class_count) / n`:
+    /// the minimum fraction of rows to delete so that `X` becomes a key.
+    pub fn error(&self) -> f64 {
+        if self.row_count == 0 {
+            return 0.0;
+        }
+        (self.covered_rows() - self.class_count()) as f64 / self.row_count as f64
+    }
+
+    /// Number of rows the partition was computed over.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Refines this partition by an additional attribute set, i.e. computes
+    /// the partition of `X ∪ Y` given this partition of `X`. Only rows inside
+    /// existing classes need to be re-grouped.
+    pub fn refine(&self, instance: &Instance, extra: AttrSet) -> StrippedPartition {
+        let attr_vec = extra.to_vec();
+        let mut classes = Vec::new();
+        for class in &self.classes {
+            let mut groups: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+            for &row in class {
+                let tuple = instance.tuple_unchecked(row);
+                let key: Vec<&Value> = attr_vec.iter().map(|a| tuple.get(*a)).collect();
+                groups.entry(key).or_default().push(row);
+            }
+            classes.extend(groups.into_values().filter(|c| c.len() > 1));
+        }
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort_unstable();
+        StrippedPartition { classes, row_count: self.row_count }
+    }
+
+    /// `true` when the FD `X → A` holds, where this partition is the
+    /// partition of `X` and `refined` is the partition of `X ∪ {A}`.
+    ///
+    /// The FD holds iff refining by `A` does not split any class, which is
+    /// equivalent to both partitions having the same TANE "size" measure
+    /// `covered_rows - class_count`.
+    pub fn refines_without_split(&self, refined: &StrippedPartition) -> bool {
+        (self.covered_rows() - self.class_count())
+            == (refined.covered_rows() - refined.class_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_relation::{AttrId, Schema};
+
+    fn instance() -> Instance {
+        // Columns: A B C D (Figure 2 of the paper).
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        Instance::from_int_rows(
+            schema,
+            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        )
+        .unwrap()
+    }
+
+    fn attrs(ids: &[u16]) -> AttrSet {
+        AttrSet::from_attrs(ids.iter().map(|&i| AttrId(i)))
+    }
+
+    #[test]
+    fn partition_on_single_attribute() {
+        let inst = instance();
+        let p = StrippedPartition::compute(&inst, attrs(&[0]));
+        // A groups: {t0,t1} (A=1), {t2,t3} (A=2).
+        assert_eq!(p.class_count(), 2);
+        assert_eq!(p.covered_rows(), 4);
+        let classes: Vec<&[usize]> = p.classes().collect();
+        assert_eq!(classes, vec![&[0usize, 1][..], &[2, 3][..]]);
+    }
+
+    #[test]
+    fn partition_on_multiple_attributes_strips_singletons() {
+        let inst = instance();
+        let p = StrippedPartition::compute(&inst, attrs(&[0, 1]));
+        // (A,B) pairs: (1,1), (1,2), (2,2), (2,3) — all distinct, so the
+        // stripped partition is empty.
+        assert_eq!(p.class_count(), 0);
+        assert_eq!(p.covered_rows(), 0);
+        assert_eq!(p.error(), 0.0);
+    }
+
+    #[test]
+    fn universal_partition() {
+        let p = StrippedPartition::universal(4);
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.covered_rows(), 4);
+        let p1 = StrippedPartition::universal(1);
+        assert_eq!(p1.class_count(), 0);
+    }
+
+    #[test]
+    fn refine_matches_direct_computation() {
+        let inst = instance();
+        let pa = StrippedPartition::compute(&inst, attrs(&[2]));
+        let refined = pa.refine(&inst, attrs(&[0]));
+        let direct = StrippedPartition::compute(&inst, attrs(&[0, 2]));
+        assert_eq!(refined, direct);
+    }
+
+    #[test]
+    fn fd_check_via_partitions() {
+        let inst = instance();
+        // A -> B? partition(A) has size measure (4-2)=2; partition(AB) has 0.
+        let pa = StrippedPartition::compute(&inst, attrs(&[0]));
+        let pab = StrippedPartition::compute(&inst, attrs(&[0, 1]));
+        assert!(!pa.refines_without_split(&pab));
+        // C,A -> D? classes of CA: {t0,t1} (1,1), {t2,t3}? C: t2=1,t3=4 no.
+        // CA pairs: (1,1),(1,1),(1,2),(4,2) → class {t0,t1}. CAD: t0 D=1, t1 D=3 → split.
+        let pca = StrippedPartition::compute(&inst, attrs(&[0, 2]));
+        let pcad = StrippedPartition::compute(&inst, attrs(&[0, 2, 3]));
+        assert!(!pca.refines_without_split(&pcad));
+        // B,C,D -> A holds? BCD projections all distinct → trivially holds.
+        let pbcd = StrippedPartition::compute(&inst, attrs(&[1, 2, 3]));
+        let pall = StrippedPartition::compute(&inst, attrs(&[0, 1, 2, 3]));
+        assert!(pbcd.refines_without_split(&pall));
+    }
+
+    #[test]
+    fn error_measure() {
+        let schema = Schema::with_arity(2).unwrap();
+        let inst = Instance::from_int_rows(
+            schema,
+            &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 4]],
+        )
+        .unwrap();
+        let p = StrippedPartition::compute(&inst, attrs(&[0]));
+        // One class of 3 rows: removing 2 rows makes A a key → e = 2/4.
+        assert!((p.error() - 0.5).abs() < 1e-12);
+        assert_eq!(p.row_count(), 4);
+    }
+
+    #[test]
+    fn variables_group_only_with_themselves() {
+        let schema = Schema::with_arity(2).unwrap();
+        let mut inst =
+            Instance::from_int_rows(schema, &[vec![1, 1], vec![1, 2], vec![1, 3]]).unwrap();
+        let v = inst.fresh_var(AttrId(0));
+        inst.set_cell(rt_relation::CellRef::new(2, AttrId(0)), v).unwrap();
+        let p = StrippedPartition::compute(&inst, attrs(&[0]));
+        // Rows 0 and 1 still share A=1; row 2 now has a variable → singleton.
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.covered_rows(), 2);
+    }
+}

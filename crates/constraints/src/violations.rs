@@ -1,0 +1,406 @@
+//! Conflict graphs and difference sets.
+//!
+//! The *conflict graph* of an instance `I` and FD set `Σ` (Definition 6) has
+//! one vertex per tuple and an edge between every pair of tuples that jointly
+//! violate at least one FD. The paper's algorithms use it in two ways:
+//!
+//! 1. its 2-approximate minimum vertex cover `C2opt(Σ', I)` determines how
+//!    many tuples Algorithm 4 has to touch and thereby
+//!    `δ_P(Σ', I) = |C2opt| · min(|R|-1, |Σ|)`;
+//! 2. each edge's *difference set* — the attributes on which the two tuples
+//!    disagree — determines which relaxed FD sets the edge still violates
+//!    (a relaxed FD `XY → A` is violated by the edge iff `XY` is disjoint
+//!    from the difference set and `A` belongs to it). Grouping edges by
+//!    difference set is what makes the A* heuristic of Section 5.2 cheap.
+//!
+//! Because every `Σ' ∈ S(Σ)` is a relaxation of `Σ`, every pair violating
+//! `Σ'` also violates `Σ`. We therefore build the conflict graph **once** for
+//! the original `Σ` and answer questions about any relaxation by filtering
+//! its edges through bitset operations on the stored difference sets,
+//! avoiding a full re-partitioning per search state.
+
+use crate::attrset::AttrSet;
+use crate::fd::FdSet;
+use rt_graph::UndirectedGraph;
+use rt_relation::Instance;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One conflict-graph edge: a pair of tuples violating at least one FD.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictEdge {
+    /// Row indices of the two conflicting tuples (`rows.0 < rows.1`).
+    pub rows: (usize, usize),
+    /// Indices (into the original FD set) of the FDs violated by this pair.
+    pub violated_fds: Vec<usize>,
+    /// Attributes on which the two tuples differ.
+    pub difference_set: AttrSet,
+}
+
+impl ConflictEdge {
+    /// Does this edge violate the FD `lhs → rhs`?
+    ///
+    /// True iff the tuples agree on the (possibly extended) LHS and differ on
+    /// the RHS, which in difference-set terms is `lhs ∩ diff = ∅ ∧ rhs ∈ diff`.
+    pub fn violates(&self, lhs: AttrSet, rhs: rt_relation::AttrId) -> bool {
+        lhs.is_disjoint_from(self.difference_set) && self.difference_set.contains(rhs)
+    }
+
+    /// Does this edge violate at least one FD of `fds`?
+    pub fn violates_any(&self, fds: &FdSet) -> bool {
+        fds.iter().any(|(_, fd)| self.violates(fd.lhs, fd.rhs))
+    }
+}
+
+/// A difference set together with the number of conflict edges carrying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DifferenceSet {
+    /// Attributes on which the tuples of these edges differ.
+    pub attrs: AttrSet,
+    /// Number of conflict edges with exactly this difference set.
+    pub edge_count: usize,
+}
+
+impl DifferenceSet {
+    /// Does an edge with this difference set violate the FD `lhs → rhs`?
+    pub fn violates(&self, lhs: AttrSet, rhs: rt_relation::AttrId) -> bool {
+        lhs.is_disjoint_from(self.attrs) && self.attrs.contains(rhs)
+    }
+
+    /// Does it violate at least one FD of `fds`?
+    pub fn violates_any(&self, fds: &FdSet) -> bool {
+        fds.iter().any(|(_, fd)| self.violates(fd.lhs, fd.rhs))
+    }
+}
+
+/// All distinct difference sets of a conflict graph, sorted by decreasing
+/// edge count (the A* heuristic prefers "heavy" difference sets first).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DifferenceSetIndex {
+    sets: Vec<DifferenceSet>,
+}
+
+impl DifferenceSetIndex {
+    /// Number of distinct difference sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when there are no difference sets (no conflicts).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Iterate over the difference sets (decreasing edge count).
+    pub fn iter(&self) -> impl Iterator<Item = &DifferenceSet> {
+        self.sets.iter()
+    }
+
+    /// The difference sets as a slice.
+    pub fn as_slice(&self) -> &[DifferenceSet] {
+        &self.sets
+    }
+
+    /// Difference sets still violated by the given (relaxed) FD set.
+    pub fn violated_by(&self, fds: &FdSet) -> Vec<DifferenceSet> {
+        self.sets.iter().filter(|d| d.violates_any(fds)).copied().collect()
+    }
+}
+
+/// The conflict graph of an instance with respect to an FD set, enriched with
+/// difference sets so questions about *relaxations* of that FD set can be
+/// answered without touching the data again.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictGraph {
+    row_count: usize,
+    edges: Vec<ConflictEdge>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `instance` w.r.t. `fds`.
+    ///
+    /// Construction follows Section 6 of the paper: for every FD, partition
+    /// tuples by their LHS projection (hashing), sub-partition each class by
+    /// the RHS, and emit one edge for every pair of tuples in the same class
+    /// but different sub-classes. Edges found for several FDs are merged and
+    /// labelled with every violated FD.
+    pub fn build(instance: &Instance, fds: &FdSet) -> Self {
+        use rt_relation::Value;
+        let mut edge_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+
+        for (fd_idx, fd) in fds.iter() {
+            let lhs_attrs = fd.lhs.to_vec();
+            // Partition rows by LHS projection.
+            let mut by_lhs: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+            for (row, tuple) in instance.tuples() {
+                let key: Vec<&Value> = lhs_attrs.iter().map(|a| tuple.get(*a)).collect();
+                by_lhs.entry(key).or_default().push(row);
+            }
+            for class in by_lhs.into_values() {
+                if class.len() < 2 {
+                    continue;
+                }
+                // Sub-partition by RHS value.
+                let mut by_rhs: HashMap<&Value, Vec<usize>> = HashMap::new();
+                for &row in &class {
+                    by_rhs.entry(instance.tuple_unchecked(row).get(fd.rhs)).or_default().push(row);
+                }
+                if by_rhs.len() < 2 {
+                    continue;
+                }
+                let sub_classes: Vec<Vec<usize>> = by_rhs.into_values().collect();
+                // Every pair of rows in different sub-classes violates the FD.
+                for i in 0..sub_classes.len() {
+                    for j in (i + 1)..sub_classes.len() {
+                        for &u in &sub_classes[i] {
+                            for &v in &sub_classes[j] {
+                                let key = (u.min(v), u.max(v));
+                                edge_map.entry(key).or_default().push(fd_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut edges: Vec<ConflictEdge> = edge_map
+            .into_iter()
+            .map(|((u, v), mut violated)| {
+                violated.sort_unstable();
+                violated.dedup();
+                let diff = AttrSet::from_attrs(
+                    instance
+                        .tuple_unchecked(u)
+                        .differing_attrs(instance.tuple_unchecked(v)),
+                );
+                ConflictEdge { rows: (u, v), violated_fds: violated, difference_set: diff }
+            })
+            .collect();
+        edges.sort_by_key(|e| e.rows);
+        ConflictGraph { row_count: instance.len(), edges }
+    }
+
+    /// Number of tuples of the underlying instance.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the instance satisfies the FD set (no conflicts).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[ConflictEdge] {
+        &self.edges
+    }
+
+    /// Converts the full conflict graph into a plain undirected graph.
+    pub fn to_graph(&self) -> UndirectedGraph {
+        let mut g = UndirectedGraph::with_vertices(self.row_count);
+        for e in &self.edges {
+            g.add_edge(e.rows.0, e.rows.1);
+        }
+        g
+    }
+
+    /// The subgraph of edges that still violate a *relaxation* `Σ'` of the
+    /// original FD set, computed purely from the stored difference sets.
+    ///
+    /// This is sound and complete for relaxations: every pair violating `Σ'`
+    /// also violates `Σ` and is therefore among the stored edges.
+    pub fn subgraph_for(&self, relaxed: &FdSet) -> UndirectedGraph {
+        let mut g = UndirectedGraph::with_vertices(self.row_count);
+        for e in &self.edges {
+            if e.violates_any(relaxed) {
+                g.add_edge(e.rows.0, e.rows.1);
+            }
+        }
+        g
+    }
+
+    /// Number of edges that still violate a relaxation `Σ'`.
+    pub fn violation_count_for(&self, relaxed: &FdSet) -> usize {
+        self.edges.iter().filter(|e| e.violates_any(relaxed)).count()
+    }
+
+    /// Groups edges by difference set, sorted by decreasing edge count.
+    pub fn difference_sets(&self) -> DifferenceSetIndex {
+        let mut counts: HashMap<AttrSet, usize> = HashMap::new();
+        for e in &self.edges {
+            *counts.entry(e.difference_set).or_insert(0) += 1;
+        }
+        let mut sets: Vec<DifferenceSet> = counts
+            .into_iter()
+            .map(|(attrs, edge_count)| DifferenceSet { attrs, edge_count })
+            .collect();
+        sets.sort_by(|a, b| b.edge_count.cmp(&a.edge_count).then(a.attrs.cmp(&b.attrs)));
+        DifferenceSetIndex { sets }
+    }
+
+    /// Rows that participate in at least one conflict.
+    pub fn conflicting_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> =
+            self.edges.iter().flat_map(|e| [e.rows.0, e.rows.1]).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use rt_relation::{AttrId, Schema};
+
+    fn figure2() -> (Instance, FdSet) {
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        let inst = Instance::from_int_rows(
+            schema.clone(),
+            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        )
+        .unwrap();
+        let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+        (inst, fds)
+    }
+
+    #[test]
+    fn figure2_conflict_graph_edges() {
+        let (inst, fds) = figure2();
+        let cg = ConflictGraph::build(&inst, &fds);
+        // The paper reports edges (t1,t2), (t2,t3), (t3,t4) — rows 0-1, 1-2, 2-3.
+        let rows: Vec<(usize, usize)> = cg.edges().iter().map(|e| e.rows).collect();
+        assert_eq!(rows, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(cg.edge_count(), 3);
+        assert!(!cg.is_empty());
+        assert_eq!(cg.conflicting_rows(), vec![0, 1, 2, 3]);
+        // Edge labels: (t1,t2) violates both FDs; (t2,t3) only C->D; (t3,t4) only A->B.
+        assert_eq!(cg.edges()[0].violated_fds, vec![0, 1]);
+        assert_eq!(cg.edges()[1].violated_fds, vec![1]);
+        assert_eq!(cg.edges()[2].violated_fds, vec![0]);
+    }
+
+    #[test]
+    fn figure2_difference_sets() {
+        let (inst, fds) = figure2();
+        let cg = ConflictGraph::build(&inst, &fds);
+        // Difference sets (paper, Section 5.2): BD, AD, BCD.
+        let b = AttrId(1);
+        let a = AttrId(0);
+        let c = AttrId(2);
+        let d = AttrId(3);
+        assert_eq!(cg.edges()[0].difference_set, AttrSet::from_attrs([b, d]));
+        assert_eq!(cg.edges()[1].difference_set, AttrSet::from_attrs([a, d]));
+        assert_eq!(cg.edges()[2].difference_set, AttrSet::from_attrs([b, c, d]));
+        let index = cg.difference_sets();
+        assert_eq!(index.len(), 3);
+        assert!(index.iter().all(|ds| ds.edge_count == 1));
+    }
+
+    #[test]
+    fn figure3_relaxations_match_paper_table() {
+        // Figure 3 tabulates, for several Σ', the remaining conflict edges.
+        let (inst, fds) = figure2();
+        let cg = ConflictGraph::build(&inst, &fds);
+        let schema = inst.schema().clone();
+
+        let case = |specs: &[&str], expected_edges: &[(usize, usize)]| {
+            let relaxed = FdSet::parse(specs, &schema).unwrap();
+            let g = cg.subgraph_for(&relaxed);
+            let got: Vec<(usize, usize)> = g.edges().collect();
+            assert_eq!(got, expected_edges.to_vec(), "Σ' = {specs:?}");
+        };
+
+        // Original: all three edges.
+        case(&["A->B", "C->D"], &[(0, 1), (1, 2), (2, 3)]);
+        // CA->B, C->D: edges (t1,t2), (t2,t3).
+        case(&["C,A->B", "C->D"], &[(0, 1), (1, 2)]);
+        // DA->B, C->D: edges (t1,t2), (t2,t3).
+        case(&["D,A->B", "C->D"], &[(0, 1), (1, 2)]);
+        // A->B, AC->D: edges (t1,t2), (t3,t4).
+        case(&["A->B", "A,C->D"], &[(0, 1), (2, 3)]);
+        // A->B, BC->D: all three edges.
+        case(&["A->B", "B,C->D"], &[(0, 1), (1, 2), (2, 3)]);
+        // CA->B, AC->D: only (t1,t2).
+        case(&["C,A->B", "A,C->D"], &[(0, 1)]);
+    }
+
+    #[test]
+    fn subgraph_counts_and_satisfaction() {
+        let (inst, fds) = figure2();
+        let cg = ConflictGraph::build(&inst, &fds);
+        let schema = inst.schema().clone();
+        // Fully relaxed FDs: append every legal attribute to both LHSs.
+        let relaxed = FdSet::parse(&["A,C,D->B", "A,B,C->D"], &schema).unwrap();
+        assert_eq!(cg.violation_count_for(&relaxed), 0);
+        assert!(cg.subgraph_for(&relaxed).is_empty());
+        // Sanity: relaxed set really holds on the data.
+        assert!(relaxed.holds_on(&inst));
+        // And the full subgraph equals to_graph for the original FDs.
+        assert_eq!(cg.subgraph_for(&fds).edge_count(), cg.to_graph().edge_count());
+    }
+
+    #[test]
+    fn empty_when_data_is_clean() {
+        let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+        let inst =
+            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 1], vec![3, 2]])
+                .unwrap();
+        let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+        let cg = ConflictGraph::build(&inst, &fds);
+        assert!(cg.is_empty());
+        assert!(cg.difference_sets().is_empty());
+        assert_eq!(cg.conflicting_rows(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn difference_set_violation_logic() {
+        let d = DifferenceSet {
+            attrs: AttrSet::from_attrs([AttrId(1), AttrId(3)]),
+            edge_count: 5,
+        };
+        // FD A0 -> A1: lhs disjoint from diff, rhs in diff → violated.
+        assert!(d.violates(AttrSet::singleton(AttrId(0)), AttrId(1)));
+        // FD A1 -> A3: lhs inside diff → tuples do not even agree on lhs.
+        assert!(!d.violates(AttrSet::singleton(AttrId(1)), AttrId(3)));
+        // FD A0 -> A2: rhs not in diff → tuples agree on rhs.
+        assert!(!d.violates(AttrSet::singleton(AttrId(0)), AttrId(2)));
+        let schema = Schema::with_arity(4).unwrap();
+        let fds = FdSet::parse(&["A0->A1"], &schema).unwrap();
+        assert!(d.violates_any(&fds));
+    }
+
+    #[test]
+    fn duplicate_rhs_classes_emit_cross_product_edges() {
+        // Three tuples share the LHS value; RHS values are x, x, y → the two
+        // x-tuples each conflict with the y-tuple but not with each other.
+        let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+        let inst = Instance::from_int_rows(
+            schema.clone(),
+            &[vec![1, 10], vec![1, 10], vec![1, 20]],
+        )
+        .unwrap();
+        let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+        let cg = ConflictGraph::build(&inst, &fds);
+        let rows: Vec<(usize, usize)> = cg.edges().iter().map(|e| e.rows).collect();
+        assert_eq!(rows, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn edge_violates_uses_extended_lhs() {
+        let (inst, fds) = figure2();
+        let cg = ConflictGraph::build(&inst, &fds);
+        let edge = &cg.edges()[2]; // (t3,t4), diff = BCD
+        let fd = fds.get(0); // A -> B
+        assert!(edge.violates(fd.lhs, fd.rhs));
+        // Extending the LHS with C (inside the difference set) resolves it.
+        let extended = Fd::new(fd.lhs.with(AttrId(2)), fd.rhs);
+        assert!(!edge.violates(extended.lhs, extended.rhs));
+    }
+}

@@ -1,0 +1,341 @@
+//! Near-optimal data repair for a fixed FD set (Algorithms 4 and 5).
+//!
+//! Given the (possibly relaxed) FD set `Σ'` chosen by the search, the data
+//! must now actually be modified so that `I' |= Σ'`. The paper repairs the
+//! data *tuple by tuple*:
+//!
+//! 1. compute a 2-approximate minimum vertex cover `C2opt` of the conflict
+//!    graph of `(I, Σ')` — the tuples outside the cover already satisfy `Σ'`
+//!    pairwise and are never touched;
+//! 2. for each covered tuple, walk its attributes in random order, keeping a
+//!    candidate assignment ([`find_assignment`], Algorithm 5) that agrees
+//!    with the already-fixed attributes and is consistent with every clean
+//!    tuple; whenever fixing the next attribute would make consistency
+//!    impossible, overwrite that attribute with the candidate's value
+//!    (a constant copied from a clean tuple or a fresh V-instance variable);
+//! 3. once processed, the tuple joins the clean set.
+//!
+//! Theorem 3: the result satisfies `Σ'`, changes at most
+//! `|C2opt| · min(|R|-1, |Σ'|)` cells, and is within a factor
+//! `2·min(|R|-1, |Σ'|)` of the minimum possible number of cell changes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rt_constraints::{ConflictGraph, FdSet};
+use rt_graph::approx_vertex_cover;
+use rt_relation::{AttrId, CellRef, Instance, Tuple, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Outcome of a data repair.
+#[derive(Debug, Clone)]
+pub struct DataRepairOutcome {
+    /// The repaired V-instance `I' |= Σ'`.
+    pub repaired: Instance,
+    /// Cells whose value differs between `I` and `I'`.
+    pub changed_cells: Vec<CellRef>,
+    /// Size of the 2-approximate vertex cover that was repaired.
+    pub cover_size: usize,
+}
+
+impl DataRepairOutcome {
+    /// `dist_d(I, I')`: number of changed cells.
+    pub fn distance(&self) -> usize {
+        self.changed_cells.len()
+    }
+}
+
+/// Per-FD hash index of the *clean* tuples: LHS projection → RHS value.
+///
+/// Because the clean set satisfies `Σ'`, each LHS key maps to exactly one RHS
+/// value, so [`find_assignment`] can detect violations in `O(|Σ'|)` lookups
+/// instead of scanning all clean tuples (this matches the complexity analysis
+/// in Section 6 of the paper).
+struct CleanIndex {
+    per_fd: Vec<HashMap<Vec<Value>, Value>>,
+}
+
+impl CleanIndex {
+    fn new(fds: &FdSet) -> Self {
+        CleanIndex { per_fd: vec![HashMap::new(); fds.len()] }
+    }
+
+    fn insert_tuple(&mut self, fds: &FdSet, tuple: &Tuple) {
+        for (idx, fd) in fds.iter() {
+            let key: Vec<Value> = fd.lhs.iter().map(|a| tuple.get(a).clone()).collect();
+            self.per_fd[idx].insert(key, tuple.get(fd.rhs).clone());
+        }
+    }
+
+    /// The RHS value the clean tuples force for the given candidate tuple and
+    /// FD, if any clean tuple shares its LHS projection.
+    fn forced_rhs(&self, fds: &FdSet, fd_idx: usize, candidate: &Tuple) -> Option<&Value> {
+        let fd = fds.get(fd_idx);
+        // A fresh variable in the LHS can never match a stored key.
+        let key: Vec<Value> = fd.lhs.iter().map(|a| candidate.get(a).clone()).collect();
+        self.per_fd[fd_idx].get(&key)
+    }
+}
+
+/// Algorithm 5 (`Find_Assignment`): tries to complete `tuple` into an
+/// assignment that keeps the attributes in `fixed` unchanged and does not
+/// violate any FD against the clean tuples indexed in `index`.
+///
+/// Returns `None` when no such assignment exists (some fixed attribute is
+/// forced to a conflicting value), otherwise the completed tuple, in which
+/// attributes outside `fixed` hold either values copied from clean tuples or
+/// fresh V-instance variables.
+fn find_assignment(
+    tuple: &Tuple,
+    fixed: &BTreeSet<AttrId>,
+    fds: &FdSet,
+    index: &CleanIndex,
+    instance: &mut Instance,
+) -> Option<Tuple> {
+    let arity = tuple.arity();
+    let mut fixed = fixed.clone();
+    let mut candidate = Tuple::nulls(arity);
+    for i in 0..arity {
+        let attr = AttrId(i as u16);
+        if fixed.contains(&attr) {
+            candidate.set(attr, tuple.get(attr).clone());
+        } else {
+            candidate.set(attr, instance.fresh_var(attr));
+        }
+    }
+    // Iterate to a fixpoint; each round either returns, or fixes one more
+    // attribute, so at most |Σ'| + 1 rounds run.
+    loop {
+        let mut changed = false;
+        for (fd_idx, fd) in fds.iter() {
+            if let Some(forced) = index.forced_rhs(fds, fd_idx, &candidate) {
+                if !candidate.get(fd.rhs).matches(forced) {
+                    if fixed.contains(&fd.rhs) {
+                        return None;
+                    }
+                    candidate.set(fd.rhs, forced.clone());
+                    fixed.insert(fd.rhs);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Some(candidate);
+        }
+    }
+}
+
+/// Algorithm 4 (`Repair_Data`): repairs `instance` so it satisfies `fds`,
+/// changing at most `|C2opt| · min(|R|-1, |Σ'|)` cells.
+///
+/// `seed` drives the random attribute/tuple orderings; fixing it makes runs
+/// reproducible.
+pub fn repair_data(instance: &Instance, fds: &FdSet, seed: u64) -> DataRepairOutcome {
+    let conflict = ConflictGraph::build(instance, fds);
+    let cover = approx_vertex_cover(&conflict.to_graph());
+    let cover_rows: Vec<usize> = cover.iter().collect();
+    repair_data_with_cover(instance, fds, &cover_rows, seed)
+}
+
+/// Same as [`repair_data`] but reuses a previously computed vertex cover of
+/// the conflict graph of `(instance, fds)` (for example the one produced by
+/// the FD-modification search).
+pub fn repair_data_with_cover(
+    instance: &Instance,
+    fds: &FdSet,
+    cover_rows: &[usize],
+    seed: u64,
+) -> DataRepairOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut repaired = instance.clone();
+    let all_attrs: Vec<AttrId> = instance.schema().attr_ids().collect();
+
+    // Index of the clean tuples (everything outside the cover).
+    let cover_set: BTreeSet<usize> = cover_rows.iter().copied().collect();
+    let mut index = CleanIndex::new(fds);
+    for (row, tuple) in instance.tuples() {
+        if !cover_set.contains(&row) {
+            index.insert_tuple(fds, tuple);
+        }
+    }
+
+    // Process covered tuples in random order.
+    let mut order: Vec<usize> = cover_rows.to_vec();
+    order.shuffle(&mut rng);
+
+    for &row in &order {
+        let original = repaired.tuple_unchecked(row).clone();
+        let mut working = original.clone();
+
+        // Random attribute order; the first attribute is only "anchored"
+        // (it can never be changed — Theorem 3's |R|-1 bound).
+        let mut attr_order = all_attrs.clone();
+        attr_order.shuffle(&mut rng);
+        let mut fixed: BTreeSet<AttrId> = BTreeSet::new();
+        fixed.insert(attr_order[0]);
+
+        let mut last_valid = find_assignment(&working, &fixed, fds, &index, &mut repaired)
+            .expect("an assignment always exists when a single attribute is fixed");
+
+        for &attr in &attr_order[1..] {
+            fixed.insert(attr);
+            match find_assignment(&working, &fixed, fds, &index, &mut repaired) {
+                Some(assignment) => {
+                    last_valid = assignment;
+                }
+                None => {
+                    // Keeping `attr` as-is is impossible: overwrite it with
+                    // the value the previous valid assignment gave it.
+                    working.set(attr, last_valid.get(attr).clone());
+                    // `working[attr]` now equals `last_valid[attr]`, so
+                    // `last_valid` remains a valid assignment for the grown
+                    // fixed set.
+                }
+            }
+        }
+
+        // All attributes fixed: `working` equals the last valid assignment
+        // and is consistent with every clean tuple.
+        for &attr in &all_attrs {
+            let v = working.get(attr).clone();
+            repaired.set_cell(CellRef::new(row, attr), v).expect("row exists");
+        }
+        // The tuple joins the clean set.
+        index.insert_tuple(fds, repaired.tuple_unchecked(row));
+    }
+
+    let changed_cells = instance
+        .diff(&repaired)
+        .expect("repair preserves schema and tuple count")
+        .changed_cells;
+    DataRepairOutcome { repaired, changed_cells, cover_size: cover_rows.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_relation::Schema;
+
+    fn figure2() -> (Instance, FdSet) {
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        let inst = Instance::from_int_rows(
+            schema.clone(),
+            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        )
+        .unwrap();
+        let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+        (inst, fds)
+    }
+
+    #[test]
+    fn repaired_instance_satisfies_fds() {
+        let (inst, fds) = figure2();
+        for seed in 0..10 {
+            let out = repair_data(&inst, &fds, seed);
+            assert!(
+                fds.holds_on(&out.repaired),
+                "seed {seed}: repaired instance still violates {fds}"
+            );
+            assert_eq!(out.repaired.len(), inst.len());
+        }
+    }
+
+    #[test]
+    fn change_bound_of_theorem3_holds() {
+        let (inst, fds) = figure2();
+        let alpha = (inst.schema().arity() - 1).min(fds.len());
+        for seed in 0..10 {
+            let out = repair_data(&inst, &fds, seed);
+            assert!(
+                out.distance() <= out.cover_size * alpha,
+                "seed {seed}: changed {} cells, bound is {}",
+                out.distance(),
+                out.cover_size * alpha
+            );
+            // Only covered rows are ever modified.
+            let changed_rows: BTreeSet<usize> =
+                out.changed_cells.iter().map(|c| c.row).collect();
+            assert!(changed_rows.len() <= out.cover_size);
+        }
+    }
+
+    #[test]
+    fn figure6_single_fd_repair_example() {
+        // Figure 6 repairs Σ' = {CA→B, C→D} with cover {t2}; only tuple t2
+        // (row 1) may change, by at most min(|R|-1, |Σ'|) = 2 cells.
+        let (inst, _fds) = figure2();
+        let schema = inst.schema().clone();
+        let relaxed = FdSet::parse(&["C,A->B", "C->D"], &schema).unwrap();
+        // The conflict graph of the relaxed FDs has edges (t1,t2), (t2,t3);
+        // {t2} (row 1) is a valid optimal cover. Use it explicitly.
+        let out = repair_data_with_cover(&inst, &relaxed, &[1], 7);
+        assert!(relaxed.holds_on(&out.repaired));
+        let changed_rows: BTreeSet<usize> = out.changed_cells.iter().map(|c| c.row).collect();
+        assert!(changed_rows.is_subset(&BTreeSet::from([1usize])));
+        assert!(out.distance() <= 2 * relaxed.len().min(schema.arity() - 1));
+        // Rows outside the cover are untouched.
+        for row in [0usize, 2, 3] {
+            assert_eq!(inst.tuple(row).unwrap(), out.repaired.tuple(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn clean_instance_is_returned_unchanged() {
+        let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+        let inst =
+            Instance::from_int_rows(schema.clone(), &[vec![1, 5], vec![2, 5], vec![3, 9]])
+                .unwrap();
+        let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+        let out = repair_data(&inst, &fds, 3);
+        assert_eq!(out.distance(), 0);
+        assert_eq!(out.cover_size, 0);
+        assert_eq!(out.repaired, inst);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let (inst, fds) = figure2();
+        let a = repair_data(&inst, &fds, 42);
+        let b = repair_data(&inst, &fds, 42);
+        assert_eq!(a.repaired, b.repaired);
+        assert_eq!(a.changed_cells, b.changed_cells);
+    }
+
+    #[test]
+    fn repair_with_larger_synthetic_conflicts() {
+        // 30 tuples, A -> B planted, then corrupted in several places.
+        let schema = Schema::new("R", vec!["A", "B", "C"]).unwrap();
+        let mut rows: Vec<Vec<i64>> = (0..30).map(|i| vec![i % 6, (i % 6) * 10, i]).collect();
+        rows[3][1] = 999;
+        rows[11][1] = 888;
+        rows[20][0] = 5; // creates an A-group clash: B differs from group 5's value
+        let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
+        let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+        assert!(!fds.holds_on(&inst));
+        let out = repair_data(&inst, &fds, 1);
+        assert!(fds.holds_on(&out.repaired));
+        let alpha = (schema.arity() - 1).min(fds.len());
+        assert!(out.distance() <= out.cover_size * alpha);
+    }
+
+    #[test]
+    fn multiple_fds_with_overlapping_attributes() {
+        let schema = Schema::new("R", vec!["A", "B", "C", "D", "E"]).unwrap();
+        let rows: Vec<Vec<i64>> = vec![
+            vec![1, 1, 1, 1, 1],
+            vec![1, 2, 1, 1, 2],
+            vec![2, 2, 2, 3, 3],
+            vec![2, 2, 2, 4, 3],
+            vec![3, 3, 3, 5, 4],
+        ];
+        let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
+        let fds = FdSet::parse(&["A->B", "C->D", "A,B->E"], &schema).unwrap();
+        assert!(!fds.holds_on(&inst));
+        for seed in 0..5 {
+            let out = repair_data(&inst, &fds, seed);
+            assert!(fds.holds_on(&out.repaired), "seed {seed}");
+            let alpha = (schema.arity() - 1).min(fds.len());
+            assert!(out.distance() <= out.cover_size * alpha, "seed {seed}");
+        }
+    }
+}

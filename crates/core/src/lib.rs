@@ -1,0 +1,67 @@
+//! # rt-core
+//!
+//! Relative-trust-aware joint repair of data and functional dependencies —
+//! the primary contribution of Beskales, Ilyas, Golab and Galiullin,
+//! *"On the Relative Trust between Inconsistent Data and Inaccurate
+//! Constraints"* (ICDE 2013).
+//!
+//! Given an instance `I` and an FD set `Σ` that `I` violates, the library
+//! produces repairs `(Σ', I')` where `Σ'` relaxes FDs of `Σ` by appending
+//! attributes to their left-hand sides and `I'` modifies at most `τ` cells of
+//! `I`, such that `I' |= Σ'`. The *relative trust* parameter `τ` spans the
+//! spectrum from "trust the constraints, fix the data" (`τ` large) to "trust
+//! the data, fix the constraints" (`τ = 0`).
+//!
+//! ## Entry points
+//!
+//! * [`RepairProblem`] — bundles the instance, the FDs, the conflict graph
+//!   and the weighting function; everything else operates on it.
+//! * [`repair::repair_data_fds`] — Algorithm 1: one `τ`-constrained repair.
+//! * [`search::modify_fds_astar`] / [`search::modify_fds_best_first`] —
+//!   Algorithm 2 and the best-first baseline: minimal FD relaxation for a
+//!   given `τ`.
+//! * [`data_repair::repair_data`] — Algorithms 4 & 5: near-optimal data
+//!   repair for a fixed (possibly relaxed) FD set, returning a V-instance.
+//! * [`multi::find_repairs_range`] / [`multi::find_repairs_sampling`] —
+//!   Algorithm 6 (Range-Repair) and the Sampling-Repair comparator: a set of
+//!   repairs covering a whole range of relative-trust values.
+//!
+//! ```
+//! use rt_relation::{Instance, Schema};
+//! use rt_constraints::FdSet;
+//! use rt_core::{RepairProblem, repair::repair_data_fds};
+//!
+//! // Figure 2 of the paper.
+//! let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+//! let instance = Instance::from_int_rows(
+//!     schema.clone(),
+//!     &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+//! )
+//! .unwrap();
+//! let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+//!
+//! let problem = RepairProblem::new(&instance, &fds);
+//! // Allow at most 2 cell changes: the paper says the best FD repairs are
+//! // then CA->B / DA->B combined with C->D.
+//! let repair = repair_data_fds(&problem, 2).expect("a repair exists");
+//! assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+//! assert!(repair.data_changes() <= 2);
+//! ```
+
+pub mod data_repair;
+pub mod heuristic;
+pub mod multi;
+pub mod problem;
+pub mod repair;
+pub mod search;
+pub mod state;
+
+pub use data_repair::{repair_data, DataRepairOutcome};
+pub use multi::{find_repairs_range, find_repairs_sampling, MultiRepairOutcome};
+pub use problem::{RepairProblem, WeightKind};
+pub use repair::{repair_data_fds, repair_data_fds_relative, Repair};
+pub use search::{
+    modify_fds_astar, modify_fds_best_first, FdRepairOutcome, SearchAlgorithm, SearchConfig,
+    SearchStats,
+};
+pub use state::RepairState;

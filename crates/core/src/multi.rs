@@ -1,0 +1,337 @@
+//! Generating repairs for a whole range of relative-trust values
+//! (Algorithm 6, `Find_Repairs_FDs` / "Range-Repair") and the naive
+//! "Sampling-Repair" comparator evaluated in Figure 13.
+//!
+//! Running Algorithm 1 once per candidate `τ` wastes work twice over:
+//! distinct `τ` values often map to the *same* repair, and every invocation
+//! re-expands the same prefix of the search tree. Range-Repair instead runs a
+//! single A* traversal, starting at the upper end `τ_u` of the range; every
+//! time a goal state is found its `δ_P` value closes off the upper part of
+//! the range, `τ` is tightened to `δ_P − 1`, heuristic values are refreshed,
+//! and the traversal simply continues until the range is exhausted.
+
+use crate::data_repair::repair_data_with_cover;
+use crate::heuristic::goal_cost_estimate;
+use crate::problem::RepairProblem;
+use crate::repair::Repair;
+use crate::search::{modify_fds_astar, FdRepair, SearchConfig, SearchStats};
+use crate::state::RepairState;
+use std::time::Instant;
+
+/// An FD repair annotated with the relative-trust interval it covers: every
+/// `τ` in `tau_range` (inclusive bounds) yields exactly this repair.
+#[derive(Debug, Clone)]
+pub struct RangedFdRepair {
+    /// The FD repair.
+    pub repair: FdRepair,
+    /// Inclusive `τ` interval for which this is the τ-constrained FD repair.
+    pub tau_range: (usize, usize),
+}
+
+/// Outcome of a multi-repair run (either Range-Repair or Sampling-Repair).
+#[derive(Debug, Clone)]
+pub struct MultiRepairOutcome {
+    /// The distinct FD repairs, ordered from largest to smallest `τ`.
+    pub repairs: Vec<RangedFdRepair>,
+    /// Aggregate search statistics.
+    pub stats: SearchStats,
+}
+
+impl MultiRepairOutcome {
+    /// Materializes the corresponding data repairs (one per FD repair) using
+    /// Algorithm 4.
+    pub fn materialize(&self, problem: &RepairProblem, seed: u64) -> Vec<Repair> {
+        self.repairs
+            .iter()
+            .map(|ranged| {
+                let fd_repair = &ranged.repair;
+                let data = repair_data_with_cover(
+                    problem.instance(),
+                    &fd_repair.fd_set,
+                    &fd_repair.cover_rows,
+                    seed,
+                );
+                Repair {
+                    tau: ranged.tau_range.1,
+                    state: fd_repair.state.clone(),
+                    modified_fds: fd_repair.fd_set.clone(),
+                    dist_c: fd_repair.dist_c,
+                    delta_p: fd_repair.delta_p,
+                    repaired_instance: data.repaired,
+                    changed_cells: data.changed_cells,
+                    search_stats: self.stats,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Open-list entry for the range search; priorities are recomputed whenever
+/// `τ` tightens, so we keep plain vectors and rescan (the open list is small
+/// compared to the cost of the heuristic itself).
+struct RangeEntry {
+    state: RepairState,
+    priority: f64,
+    cost: f64,
+}
+
+/// Algorithm 6 (`Find_Repairs_FDs`): all distinct FD repairs whose `δ_P`
+/// falls inside `[tau_low, tau_high]`, in a single search pass.
+pub fn find_repairs_range(
+    problem: &RepairProblem,
+    tau_low: usize,
+    tau_high: usize,
+    config: &SearchConfig,
+) -> MultiRepairOutcome {
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let mut repairs: Vec<RangedFdRepair> = Vec::new();
+
+    let mut tau: i64 = tau_high as i64;
+    let tau_low_i = tau_low as i64;
+    let mut current_upper = tau_high;
+
+    let mut open: Vec<RangeEntry> = vec![RangeEntry {
+        state: RepairState::root(problem.fd_count()),
+        priority: 0.0,
+        cost: 0.0,
+    }];
+    stats.states_generated += 1;
+
+    while !open.is_empty() && tau >= tau_low_i {
+        if stats.states_expanded >= config.max_expansions {
+            stats.truncated = true;
+            break;
+        }
+        // Pop the entry with the smallest priority (ties: smaller cost).
+        let best_idx = open
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.priority.total_cmp(&b.priority).then(a.cost.total_cmp(&b.cost))
+            })
+            .map(|(i, _)| i)
+            .expect("open list is non-empty");
+        let entry = open.swap_remove(best_idx);
+        stats.states_expanded += 1;
+        let state = entry.state;
+
+        let cover = problem.cover_for(&state);
+        let delta_p = cover.len() * problem.alpha();
+        if (delta_p as i64) <= tau {
+            // Goal for the current τ: record it and tighten the budget.
+            let fd_set = problem.relaxed_fds(&state);
+            let dist_c = problem.dist_c(&state);
+            repairs.push(RangedFdRepair {
+                repair: FdRepair {
+                    state: state.clone(),
+                    fd_set,
+                    dist_c,
+                    delta_p,
+                    cover_rows: cover.iter().collect(),
+                },
+                tau_range: (delta_p, current_upper),
+            });
+            tau = delta_p as i64 - 1;
+            if tau >= tau_low_i {
+                current_upper = tau as usize;
+            }
+            // Refresh heuristic values for the tightened budget; states with
+            // no goal descendant any more are dropped.
+            if tau >= 0 {
+                let new_tau = tau as usize;
+                open.retain_mut(|e| {
+                    let h = goal_cost_estimate(problem, &e.state, new_tau, &config.heuristic);
+                    stats.heuristic_nodes += h.nodes;
+                    match h.lower_bound {
+                        Some(lb) => {
+                            e.priority = lb;
+                            true
+                        }
+                        None => false,
+                    }
+                });
+            } else {
+                open.clear();
+            }
+        }
+
+        if tau < tau_low_i {
+            break;
+        }
+
+        // Expand children (both for goal and non-goal states; a goal's
+        // children are where strictly cheaper-data / costlier-FD repairs
+        // live).
+        let new_tau = tau.max(0) as usize;
+        for child in state.children(problem.sigma(), problem.arity()) {
+            let cost = problem.dist_c(&child);
+            let h = goal_cost_estimate(problem, &child, new_tau, &config.heuristic);
+            stats.heuristic_nodes += h.nodes;
+            if let Some(lb) = h.lower_bound {
+                stats.states_generated += 1;
+                open.push(RangeEntry { state: child, priority: lb, cost });
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    MultiRepairOutcome { repairs, stats }
+}
+
+/// The naive comparator ("Sampling-Repair"): run the single-τ A* search at
+/// every `τ` in `{tau_low, tau_low + step, ...} ∪ {tau_high}` and keep the
+/// distinct results.
+pub fn find_repairs_sampling(
+    problem: &RepairProblem,
+    tau_low: usize,
+    tau_high: usize,
+    step: usize,
+    config: &SearchConfig,
+) -> MultiRepairOutcome {
+    let start = Instant::now();
+    let step = step.max(1);
+    let mut stats = SearchStats::default();
+    let mut repairs: Vec<RangedFdRepair> = Vec::new();
+
+    let mut taus: Vec<usize> = (tau_low..=tau_high).step_by(step).collect();
+    if taus.last() != Some(&tau_high) {
+        taus.push(tau_high);
+    }
+    // Descending: mirrors Range-Repair's order (largest budget first).
+    taus.reverse();
+
+    for tau in taus {
+        let outcome = modify_fds_astar(problem, tau, config);
+        stats.states_expanded += outcome.stats.states_expanded;
+        stats.states_generated += outcome.stats.states_generated;
+        stats.heuristic_nodes += outcome.stats.heuristic_nodes;
+        stats.truncated |= outcome.stats.truncated;
+        if let Some(repair) = outcome.repair {
+            let duplicate = repairs.iter().any(|r| r.repair.state == repair.state);
+            if !duplicate {
+                repairs.push(RangedFdRepair { tau_range: (repair.delta_p, tau), repair });
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    MultiRepairOutcome { repairs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::WeightKind;
+    use rt_constraints::FdSet;
+    use rt_relation::{Instance, Schema};
+
+    fn figure2_problem() -> RepairProblem {
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        let inst = Instance::from_int_rows(
+            schema.clone(),
+            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        )
+        .unwrap();
+        let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+        RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount)
+    }
+
+    #[test]
+    fn range_repair_finds_the_full_spectrum_on_figure2() {
+        let problem = figure2_problem();
+        let out =
+            find_repairs_range(&problem, 0, problem.delta_p_original(), &SearchConfig::default());
+        // δP values along the spectrum: 4 (no FD change), 2 (one attribute),
+        // 0 (FD-only repair) → three distinct repairs.
+        assert_eq!(out.repairs.len(), 3);
+        let delta_ps: Vec<usize> = out.repairs.iter().map(|r| r.repair.delta_p).collect();
+        assert_eq!(delta_ps, vec![4, 2, 0]);
+        let dist_cs: Vec<f64> = out.repairs.iter().map(|r| r.repair.dist_c).collect();
+        assert_eq!(dist_cs, vec![0.0, 1.0, 3.0]);
+        // Ranges tile the interval [0, 4]: [4,4], [2,3], [0,1].
+        assert_eq!(out.repairs[0].tau_range, (4, 4));
+        assert_eq!(out.repairs[1].tau_range, (2, 3));
+        assert_eq!(out.repairs[2].tau_range, (0, 1));
+    }
+
+    #[test]
+    fn range_matches_per_tau_search() {
+        // For every τ in the range, the repair Algorithm 2 finds must be the
+        // one whose interval contains τ.
+        let problem = figure2_problem();
+        let config = SearchConfig::default();
+        let out = find_repairs_range(&problem, 0, problem.delta_p_original(), &config);
+        for tau in 0..=problem.delta_p_original() {
+            let single = modify_fds_astar(&problem, tau, &config).repair.unwrap();
+            let containing = out
+                .repairs
+                .iter()
+                .find(|r| r.tau_range.0 <= tau && tau <= r.tau_range.1)
+                .unwrap_or_else(|| panic!("no interval contains τ={tau}"));
+            assert!(
+                (single.dist_c - containing.repair.dist_c).abs() < 1e-9,
+                "τ={tau}: single-shot cost {} vs range cost {}",
+                single.dist_c,
+                containing.repair.dist_c
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_repair_agrees_with_range_repair() {
+        let problem = figure2_problem();
+        let config = SearchConfig::default();
+        let hi = problem.delta_p_original();
+        let range = find_repairs_range(&problem, 0, hi, &config);
+        let sampling = find_repairs_sampling(&problem, 0, hi, 1, &config);
+        assert_eq!(range.repairs.len(), sampling.repairs.len());
+        for (a, b) in range.repairs.iter().zip(sampling.repairs.iter()) {
+            assert_eq!(a.repair.delta_p, b.repair.delta_p);
+            assert!((a.repair.dist_c - b.repair.dist_c).abs() < 1e-9);
+        }
+        // Sampling with a sparse step may miss intermediate repairs but never
+        // invents new ones.
+        let sparse = find_repairs_sampling(&problem, 0, hi, hi.max(1), &config);
+        assert!(sparse.repairs.len() <= range.repairs.len());
+    }
+
+    #[test]
+    fn materialized_repairs_satisfy_their_fds() {
+        let problem = figure2_problem();
+        let out =
+            find_repairs_range(&problem, 0, problem.delta_p_original(), &SearchConfig::default());
+        let repairs = out.materialize(&problem, 11);
+        assert_eq!(repairs.len(), out.repairs.len());
+        for r in &repairs {
+            assert!(r.modified_fds.holds_on(&r.repaired_instance));
+            assert!(r.data_changes() <= r.delta_p);
+        }
+        // The extremes of the spectrum: first is a pure data repair, last a
+        // pure FD repair.
+        assert!(repairs.first().unwrap().is_pure_data_repair());
+        assert!(repairs.last().unwrap().is_pure_fd_repair());
+    }
+
+    #[test]
+    fn partial_range_only_returns_matching_repairs() {
+        let problem = figure2_problem();
+        let out = find_repairs_range(&problem, 2, 3, &SearchConfig::default());
+        assert_eq!(out.repairs.len(), 1);
+        assert_eq!(out.repairs[0].repair.delta_p, 2);
+        assert_eq!(out.repairs[0].tau_range, (2, 3));
+    }
+
+    #[test]
+    fn empty_range_on_clean_data() {
+        let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+        let inst =
+            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 3]]).unwrap();
+        let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+        let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
+        let out = find_repairs_range(&problem, 0, 0, &SearchConfig::default());
+        // Clean data: the root is the unique repair with δP = 0.
+        assert_eq!(out.repairs.len(), 1);
+        assert!(out.repairs[0].repair.state.is_root());
+    }
+}

@@ -1,0 +1,212 @@
+//! Algorithm 1: one τ-constrained repair of both the data and the FDs.
+//!
+//! `repair_data_fds` glues the two halves together: first the FD-modification
+//! search (Section 5) finds the cheapest relaxation `Σ'` whose
+//! `δ_P(Σ', I) ≤ τ`, then the data-repair algorithm (Section 6) materializes
+//! an instance `I' |= Σ'` by changing at most `δ_P(Σ', I)` cells. The result
+//! is a *P-approximate τ-constrained repair* with
+//! `P = 2 · min(|R|-1, |Σ|)` (Definition 5).
+
+use crate::data_repair::{repair_data_with_cover, DataRepairOutcome};
+use crate::problem::RepairProblem;
+use crate::search::{run_search, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats};
+use crate::state::RepairState;
+use rt_constraints::FdSet;
+use rt_relation::{CellRef, Instance};
+
+/// A joint repair `(Σ', I')` produced for a specific cell budget `τ`.
+#[derive(Debug, Clone)]
+pub struct Repair {
+    /// The cell budget the repair was computed for.
+    pub tau: usize,
+    /// The search state describing the FD relaxation (`Δ_c`).
+    pub state: RepairState,
+    /// The relaxed FD set `Σ'`.
+    pub modified_fds: FdSet,
+    /// `dist_c(Σ, Σ')`.
+    pub dist_c: f64,
+    /// `δ_P(Σ', I)` — the a-priori bound on required cell changes.
+    pub delta_p: usize,
+    /// The repaired V-instance `I'`.
+    pub repaired_instance: Instance,
+    /// The cells that were actually changed.
+    pub changed_cells: Vec<CellRef>,
+    /// Statistics of the FD-modification search.
+    pub search_stats: SearchStats,
+}
+
+impl Repair {
+    /// `dist_d(I, I')`: number of changed cells.
+    pub fn data_changes(&self) -> usize {
+        self.changed_cells.len()
+    }
+
+    /// `true` when the repair keeps the FDs untouched (pure data repair).
+    pub fn is_pure_data_repair(&self) -> bool {
+        self.state.is_root()
+    }
+
+    /// `true` when the repair keeps the data untouched (pure FD repair).
+    pub fn is_pure_fd_repair(&self) -> bool {
+        self.changed_cells.is_empty()
+    }
+}
+
+/// Algorithm 1 (`Repair_Data_FDs`) with the A* FD search and a fixed
+/// random seed for the data-repair step.
+///
+/// Returns `None` when no repair within the budget exists (which can only
+/// happen when the search is truncated by its expansion cap — with an
+/// unbounded search a repair always exists because fully relaxed FDs need no
+/// data changes).
+pub fn repair_data_fds(problem: &RepairProblem, tau: usize) -> Option<Repair> {
+    repair_data_fds_with(problem, tau, &SearchConfig::default(), SearchAlgorithm::AStar, 0)
+}
+
+/// Algorithm 1 with the budget expressed as *relative* trust
+/// `τ_r ∈ [0, 1]`, the form used throughout the paper's experiments
+/// (`τ = ⌈τ_r · δ_P(Σ, I)⌉`).
+pub fn repair_data_fds_relative(problem: &RepairProblem, tau_r: f64) -> Option<Repair> {
+    repair_data_fds(problem, problem.absolute_tau(tau_r))
+}
+
+/// Fully parameterized variant of Algorithm 1.
+pub fn repair_data_fds_with(
+    problem: &RepairProblem,
+    tau: usize,
+    config: &SearchConfig,
+    algorithm: SearchAlgorithm,
+    seed: u64,
+) -> Option<Repair> {
+    let FdRepairOutcome { repair, stats } = run_search(problem, tau, config, algorithm);
+    let fd_repair = repair?;
+    let data: DataRepairOutcome = repair_data_with_cover(
+        problem.instance(),
+        &fd_repair.fd_set,
+        &fd_repair.cover_rows,
+        seed,
+    );
+    debug_assert!(fd_repair.fd_set.holds_on(&data.repaired));
+    Some(Repair {
+        tau,
+        state: fd_repair.state,
+        modified_fds: fd_repair.fd_set,
+        dist_c: fd_repair.dist_c,
+        delta_p: fd_repair.delta_p,
+        repaired_instance: data.repaired,
+        changed_cells: data.changed_cells,
+        search_stats: stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::WeightKind;
+    use rt_relation::Schema;
+
+    fn figure2_problem() -> RepairProblem {
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        let inst = Instance::from_int_rows(
+            schema.clone(),
+            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        )
+        .unwrap();
+        let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+        RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount)
+    }
+
+    #[test]
+    fn repairs_satisfy_their_fds_and_respect_tau() {
+        let problem = figure2_problem();
+        for tau in 0..=4 {
+            let repair = repair_data_fds(&problem, tau)
+                .unwrap_or_else(|| panic!("no repair for τ={tau}"));
+            assert!(repair.modified_fds.holds_on(&repair.repaired_instance), "τ={tau}");
+            assert!(
+                repair.data_changes() <= tau.max(repair.delta_p),
+                "τ={tau}: changed {} cells, δP={}",
+                repair.data_changes(),
+                repair.delta_p
+            );
+            assert!(repair.delta_p <= tau, "τ={tau}");
+            assert!(problem.sigma().is_relaxation(&repair.modified_fds));
+        }
+    }
+
+    #[test]
+    fn tau_zero_is_a_pure_fd_repair() {
+        let problem = figure2_problem();
+        let repair = repair_data_fds(&problem, 0).unwrap();
+        assert!(repair.is_pure_fd_repair());
+        assert!(!repair.is_pure_data_repair());
+        assert_eq!(repair.data_changes(), 0);
+        assert!(repair.modified_fds.holds_on(problem.instance()));
+    }
+
+    #[test]
+    fn large_tau_is_a_pure_data_repair() {
+        let problem = figure2_problem();
+        let tau = problem.delta_p_original();
+        let repair = repair_data_fds(&problem, tau).unwrap();
+        assert!(repair.is_pure_data_repair());
+        assert_eq!(repair.dist_c, 0.0);
+        assert_eq!(*problem.sigma(), repair.modified_fds);
+        assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+    }
+
+    #[test]
+    fn relative_trust_budgets_interpolate() {
+        let problem = figure2_problem();
+        let r0 = repair_data_fds_relative(&problem, 0.0).unwrap();
+        let r1 = repair_data_fds_relative(&problem, 1.0).unwrap();
+        assert!(r0.is_pure_fd_repair());
+        assert!(r1.is_pure_data_repair());
+        // Intermediate budget: a mixed repair whose dist_c lies between.
+        let rm = repair_data_fds_relative(&problem, 0.5).unwrap();
+        assert!(rm.dist_c <= r0.dist_c);
+        assert!(rm.dist_c >= r1.dist_c);
+    }
+
+    #[test]
+    fn dist_c_is_monotone_non_increasing_in_tau() {
+        // The defining property of τ-constrained repairs: a larger cell
+        // budget can only make the FD modification cheaper (or equal).
+        let problem = figure2_problem();
+        let mut previous = f64::INFINITY;
+        for tau in 0..=4 {
+            let repair = repair_data_fds(&problem, tau).unwrap();
+            assert!(
+                repair.dist_c <= previous + 1e-9,
+                "dist_c increased from {previous} to {} at τ={tau}",
+                repair.dist_c
+            );
+            previous = repair.dist_c;
+        }
+    }
+
+    #[test]
+    fn best_first_variant_produces_equivalent_repairs() {
+        let problem = figure2_problem();
+        for tau in 0..=4 {
+            let a = repair_data_fds_with(
+                &problem,
+                tau,
+                &SearchConfig::default(),
+                SearchAlgorithm::AStar,
+                0,
+            )
+            .unwrap();
+            let b = repair_data_fds_with(
+                &problem,
+                tau,
+                &SearchConfig::default(),
+                SearchAlgorithm::BestFirst,
+                0,
+            )
+            .unwrap();
+            assert!((a.dist_c - b.dist_c).abs() < 1e-9, "τ={tau}");
+            assert!(b.modified_fds.holds_on(&b.repaired_instance));
+        }
+    }
+}

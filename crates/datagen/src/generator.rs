@@ -1,0 +1,424 @@
+//! Census-like synthetic data with planted functional dependencies.
+//!
+//! The generator produces a relation whose attributes fall into three
+//! groups:
+//!
+//! * **FD left-hand sides** — categorical attributes with configurable
+//!   cardinality and a Zipf-ish skew (census attributes such as
+//!   `education`, `occupation`, `state` are heavily skewed);
+//! * **FD right-hand sides** — values computed as a deterministic function
+//!   of the corresponding LHS projection, so each planted FD holds *exactly*
+//!   on the clean instance (mirroring the paper's use of FDs mined from the
+//!   clean data);
+//! * **free attributes** — independent categorical noise, so the relation
+//!   has plenty of attributes the repair algorithms could (wrongly or
+//!   rightly) append to FD LHSs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt_constraints::{AttrSet, Fd, FdSet};
+use rt_relation::{AttrId, Instance, Schema, Tuple, Value};
+
+/// One FD to plant in the generated data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedFd {
+    /// Attribute indices of the left-hand side.
+    pub lhs: Vec<usize>,
+    /// Attribute index of the right-hand side.
+    pub rhs: usize,
+    /// Number of distinct values the RHS attribute takes.
+    pub rhs_cardinality: usize,
+}
+
+/// Configuration of the census-like generator.
+///
+/// Tuples are generated around latent *entities* (think: the same person or
+/// household appearing several times across survey waves). All non-RHS
+/// attributes are deterministic functions of the entity, so tuples of the
+/// same entity duplicate each other — exactly the kind of redundancy the
+/// paper's error-injection procedure needs (it looks for pairs of tuples
+/// agreeing on `X ∪ {A}` or on `X \ {B}`). RHS attributes are deterministic
+/// functions of their LHS *values*, so every planted FD holds exactly.
+#[derive(Debug, Clone)]
+pub struct CensusLikeConfig {
+    /// Number of tuples to generate.
+    pub tuples: usize,
+    /// Number of attributes in the schema (at most 64).
+    pub attributes: usize,
+    /// FDs to plant.
+    pub planted_fds: Vec<PlantedFd>,
+    /// Average number of tuples sharing one latent entity (≥ 1).
+    pub duplication_factor: f64,
+    /// Zipf-style skew exponent for entity popularity (0 = uniform).
+    pub skew: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for CensusLikeConfig {
+    fn default() -> Self {
+        CensusLikeConfig {
+            tuples: 1000,
+            attributes: 12,
+            planted_fds: vec![PlantedFd { lhs: vec![0, 1, 2], rhs: 3, rhs_cardinality: 50 }],
+            duplication_factor: 3.0,
+            skew: 0.4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl CensusLikeConfig {
+    /// Convenience: one planted FD with `lhs_size` LHS attributes (the
+    /// Figure 7 setup uses a single FD with 6 LHS attributes).
+    pub fn single_fd(tuples: usize, attributes: usize, lhs_size: usize) -> Self {
+        let lhs_size = lhs_size.min(attributes.saturating_sub(1)).max(1);
+        CensusLikeConfig {
+            tuples,
+            attributes,
+            planted_fds: vec![PlantedFd {
+                lhs: (0..lhs_size).collect(),
+                rhs: lhs_size,
+                rhs_cardinality: 40,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: `fd_count` planted FDs, each with `lhs_size` LHS
+    /// attributes, laid out over disjoint attribute ranges when possible.
+    pub fn multi_fd(tuples: usize, attributes: usize, fd_count: usize, lhs_size: usize) -> Self {
+        let mut planted = Vec::new();
+        let span = lhs_size + 1;
+        for k in 0..fd_count {
+            let base = (k * span) % attributes.saturating_sub(span).max(1);
+            let lhs: Vec<usize> = (0..lhs_size).map(|i| (base + i) % attributes).collect();
+            let mut rhs = (base + lhs_size) % attributes;
+            if lhs.contains(&rhs) {
+                rhs = (rhs + 1) % attributes;
+            }
+            planted.push(PlantedFd { lhs, rhs, rhs_cardinality: 40 });
+        }
+        CensusLikeConfig { tuples, attributes, planted_fds: planted, ..Default::default() }
+    }
+}
+
+/// Census-flavoured attribute names; indices beyond the list fall back to
+/// `attrN`.
+const ATTR_NAMES: &[&str] = &[
+    "age_group",
+    "workclass",
+    "education",
+    "marital_status",
+    "occupation",
+    "relationship",
+    "race",
+    "sex",
+    "native_country",
+    "income_band",
+    "hours_band",
+    "industry",
+    "union_member",
+    "veteran",
+    "citizenship",
+    "state",
+    "household_type",
+    "migration_code",
+    "employer_size",
+    "tax_status",
+];
+
+fn attr_name(i: usize) -> String {
+    ATTR_NAMES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("attr{i}"))
+}
+
+/// Draws a category in `[0, cardinality)` with a mild power-law skew.
+fn skewed_category(rng: &mut StdRng, cardinality: usize, skew: f64) -> i64 {
+    if cardinality <= 1 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // Inverse-CDF of a truncated power law; skew = 0 degenerates to uniform.
+    let x = if skew <= f64::EPSILON { u } else { u.powf(1.0 + skew) };
+    ((x * cardinality as f64) as usize).min(cardinality - 1) as i64
+}
+
+/// Deterministic mixing of LHS values into an RHS category, so planted FDs
+/// hold exactly.
+fn mix_to_category(values: &[i64], salt: u64, cardinality: usize) -> i64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ salt;
+    for &v in values {
+        h ^= v as u64;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    (h % cardinality.max(1) as u64) as i64
+}
+
+/// Generates a clean census-like instance and the FD set it satisfies.
+///
+/// The returned FD set contains exactly the planted FDs (it is the ground
+/// truth `Σ_c` of the experiments). Every planted FD is guaranteed to hold on
+/// the returned instance; free attributes may accidentally satisfy more FDs,
+/// which is harmless for the experiments (they only perturb the planted
+/// ones).
+pub fn generate_census_like(config: &CensusLikeConfig) -> (Instance, FdSet) {
+    assert!(config.attributes <= 64, "at most 64 attributes are supported");
+    for fd in &config.planted_fds {
+        assert!(fd.rhs < config.attributes, "planted FD rhs out of range");
+        assert!(!fd.lhs.contains(&fd.rhs), "planted FD must not be trivial");
+        assert!(fd.lhs.iter().all(|&a| a < config.attributes), "planted FD lhs out of range");
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::new(
+        "census_like",
+        (0..config.attributes).map(attr_name).collect::<Vec<_>>(),
+    )
+    .expect("valid schema");
+
+    // Which attributes are RHS of some planted FD?
+    let mut rhs_of: Vec<Option<usize>> = vec![None; config.attributes];
+    for (k, fd) in config.planted_fds.iter().enumerate() {
+        rhs_of[fd.rhs] = Some(k);
+    }
+
+    // Census-style categorical cardinalities. Attributes that participate in
+    // a planted FD's LHS are narrow (sex/race/marital-status-like columns:
+    // real FDs tend to hold among low-cardinality demographic attributes),
+    // while unrelated columns are wider. Under the distinct-count weighting
+    // this makes re-appending a genuinely removed LHS attribute cheaper than
+    // "explaining away" violations with an unrelated wide column — the same
+    // asymmetry the paper relies on with the real Census attributes.
+    let in_some_lhs: Vec<bool> = {
+        let mut used = vec![false; config.attributes];
+        for fd in &config.planted_fds {
+            for &a in &fd.lhs {
+                used[a] = true;
+            }
+        }
+        used
+    };
+    let cardinalities: Vec<usize> = (0..config.attributes)
+        .map(|i| {
+            if in_some_lhs[i] {
+                [8usize, 5, 3, 2][i % 4]
+            } else {
+                [45usize, 25, 15, 9][i % 4]
+            }
+        })
+        .collect();
+
+    // Latent entities: the same entity re-appears `duplication_factor` times
+    // on average, with a popularity skew.
+    let entity_count =
+        (((config.tuples as f64) / config.duplication_factor.max(1.0)).ceil() as usize).max(1);
+
+    // Record-level attributes: the last two attributes not referenced by any
+    // planted FD take per-row (near-unique) values, like the `Phone` column
+    // of the paper's Figure 1. They guarantee that even records of the same
+    // entity are distinguishable, so a pure FD repair (τ = 0) always exists —
+    // at the price of appending a near-key attribute, exactly the expensive
+    // relaxation the paper's weighting is designed to discourage.
+    let used_by_fds: Vec<bool> = {
+        let mut used = vec![false; config.attributes];
+        for fd in &config.planted_fds {
+            used[fd.rhs] = true;
+            for &a in &fd.lhs {
+                used[a] = true;
+            }
+        }
+        used
+    };
+    let record_attrs: Vec<usize> = (0..config.attributes)
+        .rev()
+        .filter(|&a| !used_by_fds[a])
+        .take(2)
+        .collect();
+
+    // Free attributes (not referenced by any planted FD, not record-level)
+    // are *correlated* with the planted LHS: each is a deterministic function
+    // of a small subset of the first planted FD's LHS. Real census columns
+    // are heavily correlated (education ↔ occupation ↔ income band), and this
+    // correlation is what makes the paper's FD repairs meaningful: a column
+    // unrelated to the dependency usually does NOT separate two tuples that
+    // clash on a weakened LHS, so relaxing the FD with an arbitrary cheap
+    // column does not restore consistency — only the genuinely removed
+    // attributes (or a near-key record column) do.
+    let correlation_sources: Vec<usize> =
+        config.planted_fds.first().map(|fd| fd.lhs.clone()).unwrap_or_default();
+    let free_sources = |attr: usize| -> Vec<usize> {
+        if correlation_sources.is_empty() {
+            return Vec::new();
+        }
+        // Two deterministic picks from the LHS, varying per attribute.
+        let n = correlation_sources.len();
+        let first = correlation_sources[attr % n];
+        let second = correlation_sources[(attr / 2 + 1) % n];
+        vec![first, second]
+    };
+
+    let mut instance = Instance::new(schema.clone());
+    for row in 0..config.tuples {
+        let entity = skewed_category(&mut rng, entity_count, config.skew) as u64;
+        let mut cells = vec![Value::Null; config.attributes];
+        // First pass: LHS attributes are deterministic functions of the
+        // entity (so entity-mates duplicate each other); record-level
+        // attributes vary per row; other free attributes are filled in the
+        // second pass from their correlation sources.
+        for a in 0..config.attributes {
+            if rhs_of[a].is_none() {
+                if record_attrs.contains(&a) {
+                    cells[a] = Value::Int(mix_to_category(
+                        &[row as i64],
+                        (a as u64).wrapping_mul(0x51_7C_C1) ^ config.seed,
+                        config.tuples.max(2) * 4,
+                    ));
+                } else if used_by_fds[a] || correlation_sources.is_empty() {
+                    cells[a] = Value::Int(mix_to_category(
+                        &[entity as i64],
+                        (a as u64) ^ config.seed.rotate_left(17),
+                        cardinalities[a],
+                    ));
+                }
+            }
+        }
+        // Free correlated attributes: functions of their LHS sources.
+        for a in 0..config.attributes {
+            if rhs_of[a].is_none()
+                && !record_attrs.contains(&a)
+                && !used_by_fds[a]
+                && !correlation_sources.is_empty()
+            {
+                let sources: Vec<i64> = free_sources(a)
+                    .iter()
+                    .map(|&s| match &cells[s] {
+                        Value::Int(v) => *v,
+                        _ => 0,
+                    })
+                    .collect();
+                cells[a] = Value::Int(mix_to_category(
+                    &sources,
+                    (a as u64).wrapping_mul(0x9E1_F) ^ config.seed,
+                    cardinalities[a],
+                ));
+            }
+        }
+        // Second pass: RHS attributes as functions of their LHS projections.
+        // Planted FDs whose LHS contains another planted RHS are resolved in
+        // declaration order (generator callers keep LHSs free-attribute-only
+        // in practice).
+        for (k, fd) in config.planted_fds.iter().enumerate() {
+            let lhs_values: Vec<i64> = fd
+                .lhs
+                .iter()
+                .map(|&a| match &cells[a] {
+                    Value::Int(v) => *v,
+                    _ => 0,
+                })
+                .collect();
+            cells[fd.rhs] =
+                Value::Int(mix_to_category(&lhs_values, k as u64, fd.rhs_cardinality));
+        }
+        instance.push(Tuple::new(cells)).expect("arity matches");
+    }
+
+    let fds = FdSet::from_fds(
+        config
+            .planted_fds
+            .iter()
+            .map(|fd| {
+                Fd::new(
+                    AttrSet::from_attrs(fd.lhs.iter().map(|&a| AttrId(a as u16))),
+                    AttrId(fd.rhs as u16),
+                )
+            })
+            .collect(),
+    );
+    (instance, fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_fds_hold_exactly() {
+        let config = CensusLikeConfig::single_fd(500, 10, 4);
+        let (instance, fds) = generate_census_like(&config);
+        assert_eq!(instance.len(), 500);
+        assert_eq!(instance.schema().arity(), 10);
+        assert_eq!(fds.len(), 1);
+        assert!(fds.holds_on(&instance), "planted FD must hold on the clean instance");
+    }
+
+    #[test]
+    fn multi_fd_configuration_plants_every_fd() {
+        let config = CensusLikeConfig::multi_fd(400, 14, 3, 2);
+        let (instance, fds) = generate_census_like(&config);
+        assert_eq!(fds.len(), 3);
+        for (_, fd) in fds.iter() {
+            assert!(fd.holds_on(&instance), "planted FD {fd} must hold");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = CensusLikeConfig { seed: 7, ..CensusLikeConfig::single_fd(200, 8, 3) };
+        let (a, _) = generate_census_like(&config);
+        let (b, _) = generate_census_like(&config);
+        assert_eq!(a, b);
+        let other = CensusLikeConfig { seed: 8, ..config };
+        let (c, _) = generate_census_like(&other);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attribute_cardinalities_are_plausible() {
+        let config = CensusLikeConfig::single_fd(1000, 12, 4);
+        let (instance, _) = generate_census_like(&config);
+        // No column should be constant and none should be fully unique
+        // (census columns are categorical).
+        for attr in instance.schema().attr_ids() {
+            let distinct = instance.distinct_count(attr);
+            assert!(distinct >= 2, "column {attr} is constant");
+            assert!(distinct <= instance.len(), "column {attr} too wide");
+        }
+    }
+
+    #[test]
+    fn lhs_projection_has_reasonable_cardinality() {
+        // The conflict graphs built by the experiments stay small only if the
+        // planted LHS has many distinct projections; guard against generator
+        // regressions that would blow up the benchmarks.
+        let config = CensusLikeConfig::single_fd(2000, 10, 6);
+        let (instance, fds) = generate_census_like(&config);
+        let lhs: Vec<AttrId> = fds.get(0).lhs.iter().collect();
+        let distinct = instance.distinct_projection_count(&lhs);
+        assert!(
+            distinct * 4 >= instance.len(),
+            "LHS projection too coarse: {distinct} groups for {} tuples",
+            instance.len()
+        );
+    }
+
+    #[test]
+    fn names_are_census_flavoured_and_unique() {
+        let config = CensusLikeConfig::single_fd(50, 25, 3);
+        let (instance, _) = generate_census_like(&config);
+        let names: Vec<&str> = instance.schema().attributes().map(|(_, n)| n).collect();
+        assert_eq!(names[0], "age_group");
+        assert_eq!(names.len(), 25);
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial")]
+    fn trivial_planted_fd_is_rejected() {
+        let config = CensusLikeConfig {
+            planted_fds: vec![PlantedFd { lhs: vec![0, 1], rhs: 1, rhs_cardinality: 5 }],
+            ..CensusLikeConfig::default()
+        };
+        let _ = generate_census_like(&config);
+    }
+}

@@ -1,0 +1,30 @@
+//! # rt-datagen
+//!
+//! Workload generation and evaluation metrics for the paper's experiments.
+//!
+//! The paper evaluates on the UCI Census-Income data set (300k tuples, 34
+//! attributes), from which it mines FDs, perturbs data and FDs in a
+//! controlled way, and measures how well the repairs recover the ground
+//! truth. The data set itself is not redistributable here, so this crate
+//! provides a *census-like synthetic generator* with the properties the
+//! experiments actually rely on:
+//!
+//! * a clean instance `I_c` that exactly satisfies a set of planted FDs
+//!   `Σ_c` with configurable LHS sizes and attribute cardinalities;
+//! * the error-injection procedure of Section 8.1 (right-hand-side and
+//!   left-hand-side violations) parameterized by a *data error rate*;
+//! * FD perturbation (dropping LHS attributes) parameterized by an
+//!   *FD error rate*;
+//! * the quality metrics of Section 8.1: data/FD precision and recall,
+//!   F-scores and the combined F-score.
+//!
+//! Everything is deterministic given a seed, so experiments and tests are
+//! reproducible.
+
+pub mod generator;
+pub mod metrics;
+pub mod perturb;
+
+pub use generator::{generate_census_like, CensusLikeConfig, PlantedFd};
+pub use metrics::{evaluate_repair, RepairQuality};
+pub use perturb::{perturb, GroundTruth, PerturbConfig};

@@ -1,0 +1,265 @@
+//! Repair-quality metrics (Section 8.1 of the paper).
+//!
+//! Given the ground truth produced by [`crate::perturb`] and a repair
+//! `(Σ_r, I_r)`, the metrics score how well the repair undid the
+//! perturbation:
+//!
+//! * **data precision** — of the cells the repair modified, how many were
+//!   actually erroneous *and* were restored to the clean value (or set to a
+//!   V-instance variable, which the paper counts as correct because the
+//!   variable stands for "some fresh value", i.e. the algorithm correctly
+//!   identified the cell as wrong);
+//! * **data recall** — how many of the erroneous cells were correctly
+//!   modified;
+//! * **FD precision / recall** — same idea over the attributes appended to
+//!   FD left-hand sides, measured against the attributes that the
+//!   perturbation removed;
+//! * **F-scores** — harmonic means, plus the *combined F-score* (the average
+//!   of the data F-score and the FD F-score) reported in Figures 7 and 8.
+
+use crate::perturb::GroundTruth;
+use rt_constraints::FdSet;
+use rt_relation::{CellRef, Instance};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Precision/recall/F-scores of one repair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairQuality {
+    /// Fraction of modified cells that were correct modifications.
+    pub data_precision: f64,
+    /// Fraction of erroneous cells that were correctly modified.
+    pub data_recall: f64,
+    /// Harmonic mean of data precision and recall.
+    pub data_f: f64,
+    /// Fraction of appended LHS attributes that were correct.
+    pub fd_precision: f64,
+    /// Fraction of removed LHS attributes that were re-appended.
+    pub fd_recall: f64,
+    /// Harmonic mean of FD precision and recall.
+    pub fd_f: f64,
+    /// Average of `data_f` and `fd_f` (the paper's combined F-score).
+    pub combined_f: f64,
+    /// Number of cells modified by the repair.
+    pub cells_modified: usize,
+    /// Number of LHS attributes appended by the repair.
+    pub attrs_appended: usize,
+}
+
+fn ratio(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        1.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+fn f_score(precision: f64, recall: f64) -> f64 {
+    if precision + recall <= f64::EPSILON {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Scores a repair `(Σ_r, I_r)` against the ground truth.
+///
+/// `sigma_repaired` must be positionally aligned with the dirty FD set (it is
+/// the output of the repair algorithms, which only extend LHSs), otherwise
+/// the FD metrics fall back to zero credit for unmatched FDs.
+pub fn evaluate_repair(
+    truth: &GroundTruth,
+    sigma_repaired: &FdSet,
+    repaired: &Instance,
+) -> RepairQuality {
+    // ---------------- data metrics ----------------
+    let erroneous: HashSet<CellRef> = truth.perturbed_cells.iter().copied().collect();
+    let modified: Vec<CellRef> = truth
+        .dirty
+        .diff(repaired)
+        .map(|d| d.changed_cells)
+        .unwrap_or_default();
+    let mut correct_modifications = 0usize;
+    for cell in &modified {
+        if !erroneous.contains(cell) {
+            continue;
+        }
+        let repaired_value = repaired.cell(*cell).expect("cell exists");
+        let clean_value = truth.clean.cell(*cell).expect("cell exists");
+        if repaired_value.is_var() || repaired_value == clean_value {
+            correct_modifications += 1;
+        }
+    }
+    let data_precision = ratio(correct_modifications, modified.len());
+    let data_recall = ratio(correct_modifications, erroneous.len());
+    let data_f = f_score(data_precision, data_recall);
+
+    // ---------------- FD metrics ----------------
+    let mut appended_total = 0usize;
+    let mut appended_correct = 0usize;
+    let removed_total: usize = truth.removed_lhs_attrs.iter().map(|s| s.len()).sum();
+    if let Some(deltas) = truth.sigma_dirty.extension_delta(sigma_repaired) {
+        for (idx, appended) in deltas.iter().enumerate() {
+            appended_total += appended.len();
+            let removed = truth
+                .removed_lhs_attrs
+                .get(idx)
+                .copied()
+                .unwrap_or_default();
+            appended_correct += appended.intersection(removed).len();
+        }
+    } else {
+        // Not a positional relaxation (e.g. a foreign FD set): count every
+        // appended attribute as incorrect.
+        for (idx, fd) in sigma_repaired.iter() {
+            if let Some(original) = truth.sigma_dirty.as_slice().get(idx) {
+                appended_total += fd.lhs.difference(original.lhs).len();
+            } else {
+                appended_total += fd.lhs.len();
+            }
+        }
+    }
+    let fd_precision = ratio(appended_correct, appended_total);
+    let fd_recall = ratio(appended_correct, removed_total);
+    let fd_f = f_score(fd_precision, fd_recall);
+
+    RepairQuality {
+        data_precision,
+        data_recall,
+        data_f,
+        fd_precision,
+        fd_recall,
+        fd_f,
+        combined_f: (data_f + fd_f) / 2.0,
+        cells_modified: modified.len(),
+        attrs_appended: appended_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_census_like, CensusLikeConfig};
+    use crate::perturb::{perturb, PerturbConfig};
+    use rt_constraints::AttrSet;
+
+    fn truth_with(data_err: f64, fd_err: f64) -> GroundTruth {
+        let (clean, fds) = generate_census_like(&CensusLikeConfig::single_fd(400, 10, 4));
+        perturb(
+            &clean,
+            &fds,
+            &PerturbConfig {
+                data_error_rate: data_err,
+                fd_error_rate: fd_err,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn perfect_data_repair_scores_one() {
+        let truth = truth_with(0.01, 0.0);
+        // "Repair" = hand back the clean instance and the (unchanged) FDs.
+        let q = evaluate_repair(&truth, &truth.sigma_dirty, &truth.clean);
+        assert_eq!(q.data_precision, 1.0);
+        assert_eq!(q.data_recall, 1.0);
+        assert_eq!(q.data_f, 1.0);
+        // No FD perturbation, no appended attributes → both FD metrics are 1.
+        assert_eq!(q.fd_precision, 1.0);
+        assert_eq!(q.fd_recall, 1.0);
+        assert_eq!(q.combined_f, 1.0);
+    }
+
+    #[test]
+    fn doing_nothing_scores_zero_recall() {
+        let truth = truth_with(0.01, 0.0);
+        let q = evaluate_repair(&truth, &truth.sigma_dirty, &truth.dirty);
+        assert_eq!(q.cells_modified, 0);
+        assert_eq!(q.data_precision, 1.0); // vacuous precision
+        assert_eq!(q.data_recall, 0.0);
+        assert_eq!(q.data_f, 0.0);
+    }
+
+    #[test]
+    fn perfect_fd_repair_scores_one() {
+        let truth = truth_with(0.0, 0.5);
+        // Re-append exactly the removed attributes.
+        let repaired_fds = truth.sigma_dirty.extend_lhs(&truth.removed_lhs_attrs);
+        let q = evaluate_repair(&truth, &repaired_fds, &truth.dirty);
+        assert_eq!(q.fd_precision, 1.0);
+        assert_eq!(q.fd_recall, 1.0);
+        assert_eq!(q.fd_f, 1.0);
+        // Data untouched and no errors existed → data precision/recall 1.
+        assert_eq!(q.data_precision, 1.0);
+        assert_eq!(q.data_recall, 1.0);
+        assert_eq!(q.combined_f, 1.0);
+    }
+
+    #[test]
+    fn wrong_fd_extension_hurts_precision_not_recall_base() {
+        let truth = truth_with(0.0, 0.5);
+        let removed = truth.removed_lhs_attrs[0];
+        // Append one attribute that was NOT removed (and is a legal extension).
+        let dirty_fd = truth.sigma_dirty.get(0);
+        let wrong: Vec<rt_relation::AttrId> = (0..truth.clean.schema().arity() as u16)
+            .map(rt_relation::AttrId)
+            .filter(|a| {
+                !dirty_fd.lhs.contains(*a) && *a != dirty_fd.rhs && !removed.contains(*a)
+            })
+            .take(1)
+            .collect();
+        assert_eq!(wrong.len(), 1);
+        let ext = vec![AttrSet::from_attrs(wrong)];
+        let repaired_fds = truth.sigma_dirty.extend_lhs(&ext);
+        let q = evaluate_repair(&truth, &repaired_fds, &truth.dirty);
+        assert_eq!(q.fd_precision, 0.0);
+        assert_eq!(q.fd_recall, 0.0);
+        assert_eq!(q.attrs_appended, 1);
+    }
+
+    #[test]
+    fn variable_cells_count_as_correct_modifications() {
+        let truth = truth_with(0.01, 0.0);
+        assert!(truth.error_count() > 0);
+        // Build a repair that sets every erroneous cell to a fresh variable.
+        let mut repaired = truth.dirty.clone();
+        for cell in &truth.perturbed_cells {
+            let v = repaired.fresh_var(cell.attr);
+            repaired.set_cell(*cell, v).unwrap();
+        }
+        let q = evaluate_repair(&truth, &truth.sigma_dirty, &repaired);
+        assert_eq!(q.data_precision, 1.0);
+        assert_eq!(q.data_recall, 1.0);
+    }
+
+    #[test]
+    fn modifying_clean_cells_hurts_precision() {
+        let truth = truth_with(0.01, 0.0);
+        let mut repaired = truth.clean.clone(); // fixes all errors...
+        // ...but also corrupts one previously clean cell.
+        let clean_cell = (0..truth.clean.len())
+            .flat_map(|row| {
+                truth
+                    .clean
+                    .schema()
+                    .attr_ids()
+                    .map(move |attr| rt_relation::CellRef::new(row, attr))
+            })
+            .find(|c| !truth.perturbed_cells.contains(c))
+            .unwrap();
+        repaired.set_cell(clean_cell, rt_relation::Value::Int(123456789)).unwrap();
+        let q = evaluate_repair(&truth, &truth.sigma_dirty, &repaired);
+        assert!(q.data_precision < 1.0);
+        assert_eq!(q.data_recall, 1.0);
+        assert!(q.data_f < 1.0);
+    }
+
+    #[test]
+    fn f_score_edge_cases() {
+        assert_eq!(f_score(0.0, 0.0), 0.0);
+        assert_eq!(f_score(1.0, 1.0), 1.0);
+        assert!((f_score(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(3, 4), 0.75);
+    }
+}

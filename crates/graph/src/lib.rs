@@ -1,0 +1,29 @@
+//! # rt-graph
+//!
+//! Undirected graphs and minimum vertex cover approximation.
+//!
+//! The paper's repair algorithms repeatedly build *conflict graphs* (vertices
+//! are tuples, edges connect tuples that jointly violate an FD) and compute a
+//! 2-approximate minimum vertex cover `C2opt` of them. `|C2opt|` both bounds
+//! the number of tuples that must be modified (Algorithm 4) and drives the
+//! definition of `δ_P(Σ', I) = |C2opt| · min(|R|-1, |Σ|)` used by the search
+//! for FD repairs (Section 5).
+//!
+//! This crate provides:
+//!
+//! * [`UndirectedGraph`] — an adjacency-list graph over `usize` vertices;
+//! * [`vertex_cover::matching_vertex_cover`] — the classical maximal-matching
+//!   2-approximation (Garey & Johnson, the paper's reference [7]);
+//! * [`vertex_cover::greedy_degree_vertex_cover`] — a max-degree greedy
+//!   heuristic (no worst-case factor, often smaller covers in practice);
+//! * [`vertex_cover::exact_vertex_cover`] — exponential branch-and-bound used
+//!   by the test suite to validate the 2-approximation factor on small graphs.
+
+pub mod graph;
+pub mod vertex_cover;
+
+pub use graph::UndirectedGraph;
+pub use vertex_cover::{
+    approx_vertex_cover, exact_vertex_cover, greedy_degree_vertex_cover, matching_vertex_cover,
+    VertexCover,
+};

@@ -1,0 +1,304 @@
+//! Minimum vertex cover: 2-approximation, greedy heuristic, exact solver.
+//!
+//! The paper uses the textbook maximal-matching 2-approximation (`C2opt`);
+//! its size is at most twice the optimum, which is exactly what makes
+//! `δ_P(Σ', I) = |C2opt| · min(|R|-1, |Σ|)` a `2·min(|R|-1,|Σ|)`-approximate
+//! upper bound on the minimum number of cell changes (Theorem 3).
+
+use crate::graph::UndirectedGraph;
+use std::collections::BTreeSet;
+
+/// A vertex cover together with the algorithm that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexCover {
+    /// Vertices forming the cover.
+    pub vertices: BTreeSet<usize>,
+}
+
+impl VertexCover {
+    /// Number of vertices in the cover.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the cover is empty (graph had no edges).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: usize) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Iterates over cover vertices, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// Consumes the cover and returns its vertex set.
+    pub fn into_set(self) -> BTreeSet<usize> {
+        self.vertices
+    }
+}
+
+/// Maximal-matching based 2-approximate minimum vertex cover.
+///
+/// Greedily picks an uncovered edge `{u, v}`, adds both endpoints to the
+/// cover, and removes every edge incident to `u` or `v`. Any maximal matching
+/// has size at least half of the optimum cover, so the returned cover has at
+/// most `2 · |OPT|` vertices.
+///
+/// Determinism: edges are scanned in ascending `(u, v)` order so results are
+/// reproducible across runs (important for the experiments and tests).
+pub fn matching_vertex_cover(graph: &UndirectedGraph) -> VertexCover {
+    let mut cover = BTreeSet::new();
+    for (u, v) in graph.edges() {
+        if !cover.contains(&u) && !cover.contains(&v) {
+            cover.insert(u);
+            cover.insert(v);
+        }
+    }
+    debug_assert!(graph.is_vertex_cover(&cover));
+    VertexCover { vertices: cover }
+}
+
+/// Greedy max-degree vertex cover heuristic.
+///
+/// Repeatedly adds the highest-degree vertex among the remaining (uncovered)
+/// edges. Offers no constant-factor guarantee (Θ(log n) in the worst case)
+/// but in practice often returns smaller covers than the matching-based
+/// 2-approximation; we use it only for ablation experiments.
+pub fn greedy_degree_vertex_cover(graph: &UndirectedGraph) -> VertexCover {
+    let n = graph.vertex_bound();
+    let mut remaining_degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    // Track which edges remain by storing adjacency as mutable sets.
+    let mut adj: Vec<BTreeSet<usize>> = (0..n).map(|v| graph.neighbors(v).collect()).collect();
+    let mut cover = BTreeSet::new();
+    loop {
+        // Find max-degree vertex among remaining edges (ties: smallest id).
+        let best = remaining_degree
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(v, d)| (d, std::cmp::Reverse(v)))
+            .map(|(v, d)| (v, d));
+        match best {
+            Some((_, 0)) | None => break,
+            Some((v, _)) => {
+                cover.insert(v);
+                let neighbors: Vec<usize> = adj[v].iter().copied().collect();
+                for u in neighbors {
+                    adj[u].remove(&v);
+                    remaining_degree[u] = remaining_degree[u].saturating_sub(1);
+                }
+                adj[v].clear();
+                remaining_degree[v] = 0;
+            }
+        }
+    }
+    debug_assert!(graph.is_vertex_cover(&cover));
+    VertexCover { vertices: cover }
+}
+
+/// The default cover used by the repair algorithms: the smaller of the
+/// matching-based cover and the greedy-by-degree cover.
+///
+/// Taking the minimum preserves the 2-approximation guarantee (the matching
+/// cover provides it) while usually returning the tighter covers the greedy
+/// heuristic finds in practice — e.g. on the paper's Figure 2 conflict graph
+/// (a path on four tuples) it returns `{t2, t3}` exactly as the paper does,
+/// where the pure matching cover would take all four endpoints.
+pub fn approx_vertex_cover(graph: &UndirectedGraph) -> VertexCover {
+    let matching = matching_vertex_cover(graph);
+    let greedy = greedy_degree_vertex_cover(graph);
+    if greedy.len() <= matching.len() {
+        greedy
+    } else {
+        matching
+    }
+}
+
+/// Exact minimum vertex cover via bounded branch and bound.
+///
+/// Exponential in the worst case; intended for graphs with at most a few
+/// dozen edges. Used by tests to validate the approximation factor of
+/// [`matching_vertex_cover`] and by the example programs on toy instances.
+///
+/// Returns `None` if the search would exceed `node_budget` recursive calls.
+pub fn exact_vertex_cover(graph: &UndirectedGraph, node_budget: usize) -> Option<VertexCover> {
+    let edges: Vec<(usize, usize)> = graph.edges().collect();
+    if edges.is_empty() {
+        return Some(VertexCover { vertices: BTreeSet::new() });
+    }
+    // Upper bound from the 2-approximation.
+    let upper = matching_vertex_cover(graph).into_set();
+    let mut best: BTreeSet<usize> = upper;
+    let mut budget = node_budget;
+
+    fn solve(
+        edges: &[(usize, usize)],
+        current: &mut BTreeSet<usize>,
+        best: &mut BTreeSet<usize>,
+        budget: &mut usize,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        // Find first uncovered edge.
+        let uncovered = edges
+            .iter()
+            .find(|(u, v)| !current.contains(u) && !current.contains(v))
+            .copied();
+        match uncovered {
+            None => {
+                if current.len() < best.len() {
+                    *best = current.clone();
+                }
+                true
+            }
+            Some((u, v)) => {
+                if current.len() + 1 >= best.len() {
+                    // Cannot improve on best by adding at least one more vertex.
+                    return true;
+                }
+                // Branch on covering the edge with u, then with v.
+                let mut ok = true;
+                for pick in [u, v] {
+                    let inserted = current.insert(pick);
+                    ok &= solve(edges, current, best, budget);
+                    if inserted {
+                        current.remove(&pick);
+                    }
+                    if !ok {
+                        return false;
+                    }
+                }
+                ok
+            }
+        }
+    }
+
+    let mut current = BTreeSet::new();
+    let complete = solve(&edges, &mut current, &mut best, &mut budget);
+    if !complete {
+        return None;
+    }
+    debug_assert!(graph.is_vertex_cover(&best));
+    Some(VertexCover { vertices: best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> UndirectedGraph {
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        UndirectedGraph::from_edges(&edges)
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = UndirectedGraph::default();
+        assert!(matching_vertex_cover(&g).is_empty());
+        assert!(greedy_degree_vertex_cover(&g).is_empty());
+        assert_eq!(exact_vertex_cover(&g, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = UndirectedGraph::from_edges(&[(0, 1)]);
+        let c = matching_vertex_cover(&g);
+        assert_eq!(c.len(), 2); // matching cover always takes both endpoints
+        assert_eq!(exact_vertex_cover(&g, 100).unwrap().len(), 1);
+        assert_eq!(greedy_degree_vertex_cover(&g).len(), 1);
+    }
+
+    #[test]
+    fn star_graph() {
+        // Star K_{1,5}: optimum cover is the centre (size 1).
+        let g = UndirectedGraph::from_edges(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let exact = exact_vertex_cover(&g, 10_000).unwrap();
+        assert_eq!(exact.len(), 1);
+        assert!(exact.contains(0));
+        let greedy = greedy_degree_vertex_cover(&g);
+        assert_eq!(greedy.len(), 1);
+        let matching = matching_vertex_cover(&g);
+        assert!(matching.len() <= 2 * exact.len());
+        assert!(g.is_vertex_cover(&matching.into_set()));
+    }
+
+    #[test]
+    fn paper_figure2_conflict_graph() {
+        // Figure 2: edges (t1,t2), (t2,t3), (t3,t4) — a path of 4 vertices.
+        // The paper reports C2opt = {t2, t3}, i.e. size 2, which is optimal.
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (2, 3)]);
+        let exact = exact_vertex_cover(&g, 10_000).unwrap();
+        assert_eq!(exact.len(), 2);
+        let matching = matching_vertex_cover(&g);
+        assert!(matching.len() <= 2 * exact.len());
+        assert!(g.is_vertex_cover(&matching.into_set()));
+    }
+
+    #[test]
+    fn matching_cover_is_within_factor_two_on_paths() {
+        for n in 2..20 {
+            let g = path(n);
+            let exact = exact_vertex_cover(&g, 1_000_000).unwrap();
+            let approx = matching_vertex_cover(&g);
+            assert!(
+                approx.len() <= 2 * exact.len().max(1),
+                "path of {n}: approx {} vs exact {}",
+                approx.len(),
+                exact.len()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_respects_budget() {
+        // A graph big enough that a budget of 1 cannot finish.
+        let edges: Vec<(usize, usize)> =
+            (0..20).flat_map(|i| (i + 1..20).map(move |j| (i, j))).collect();
+        let g = UndirectedGraph::from_edges(&edges);
+        assert!(exact_vertex_cover(&g, 1).is_none());
+    }
+
+    #[test]
+    fn covers_are_valid_on_random_like_graph() {
+        // Deterministic pseudo-random graph built from a simple LCG.
+        let mut seed: u64 = 0x2545F4914F6CDD1D;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut g = UndirectedGraph::with_vertices(30);
+        for _ in 0..60 {
+            let u = (next() % 30) as usize;
+            let v = (next() % 30) as usize;
+            g.add_edge(u, v);
+        }
+        let m = matching_vertex_cover(&g);
+        let gr = greedy_degree_vertex_cover(&g);
+        assert!(g.is_vertex_cover(&m.clone().into_set()));
+        assert!(g.is_vertex_cover(&gr.clone().into_set()));
+        if let Some(exact) = exact_vertex_cover(&g, 5_000_000) {
+            assert!(exact.len() <= m.len());
+            assert!(m.len() <= 2 * exact.len().max(1));
+        }
+    }
+
+    #[test]
+    fn cover_accessors() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (2, 3)]);
+        let c = matching_vertex_cover(&g);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(c.contains(0) && c.contains(3));
+        let as_vec: Vec<usize> = c.iter().collect();
+        assert_eq!(as_vec, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Database instances (and V-instances).
+//!
+//! An [`Instance`] couples a [`Schema`] with a vector of [`Tuple`]s. The
+//! repair algorithms never delete or insert tuples (Section 3.1 of the paper:
+//! all repairs in `S(I)` have the same number of tuples as `I`), so rows keep
+//! stable indices and cells are addressed with [`CellRef`] = `(row, attr)`.
+//!
+//! The instance also owns the V-instance variable counters: fresh variables
+//! are handed out through [`Instance::fresh_var`], which guarantees the
+//! "distinct variables are never equal" semantics simply by never reusing an
+//! id.
+
+use crate::error::RelationError;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, VarId};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Address of a single cell `t[A]` inside an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellRef {
+    /// Row (tuple) index.
+    pub row: usize,
+    /// Attribute.
+    pub attr: AttrId,
+}
+
+impl CellRef {
+    /// Creates a cell reference.
+    pub fn new(row: usize, attr: AttrId) -> Self {
+        CellRef { row, attr }
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}[{}]", self.row, self.attr)
+    }
+}
+
+/// The cell-wise difference `Δ_d(I, I')` between two instances, plus the
+/// derived distance `dist_d(I, I') = |Δ_d(I, I')|`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceDiff {
+    /// Cells whose value differs between the two instances.
+    pub changed_cells: Vec<CellRef>,
+}
+
+impl InstanceDiff {
+    /// `dist_d(I, I')`: the number of changed cells.
+    pub fn distance(&self) -> usize {
+        self.changed_cells.len()
+    }
+
+    /// `true` when no cell changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed_cells.is_empty()
+    }
+
+    /// Rows touched by at least one cell change.
+    pub fn changed_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self.changed_cells.iter().map(|c| c.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+/// A (V-)instance of a relation schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    /// Next fresh-variable counter, one per attribute.
+    var_counters: Vec<u32>,
+}
+
+impl Instance {
+    /// Creates an empty instance of the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        Instance { schema, tuples: Vec::new(), var_counters: vec![0; arity] }
+    }
+
+    /// Creates an instance from pre-built tuples.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any tuple's arity does not match the schema.
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        let mut inst = Instance::new(schema);
+        for t in tuples {
+            inst.push(t)?;
+        }
+        Ok(inst)
+    }
+
+    /// Convenience constructor from rows of integers (common in tests and
+    /// synthetic workloads).
+    pub fn from_int_rows(schema: Schema, rows: &[Vec<i64>]) -> Result<Self> {
+        let tuples = rows
+            .iter()
+            .map(|r| Tuple::new(r.iter().map(|v| Value::Int(*v)).collect()))
+            .collect();
+        Instance::from_tuples(schema, tuples)
+    }
+
+    /// Appends a tuple.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tuple's arity does not match the schema.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                tuple: tuple.arity(),
+                schema: self.schema.arity(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `n = |I|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Borrows a tuple by row index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the row is out of range.
+    pub fn tuple(&self, row: usize) -> Result<&Tuple> {
+        self.tuples
+            .get(row)
+            .ok_or(RelationError::RowOutOfRange { row, rows: self.tuples.len() })
+    }
+
+    /// Borrows a tuple without bounds-check error handling (panics on OOB).
+    pub fn tuple_unchecked(&self, row: usize) -> &Tuple {
+        &self.tuples[row]
+    }
+
+    /// Iterates over `(row, &Tuple)`.
+    pub fn tuples(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.tuples.iter().enumerate()
+    }
+
+    /// Reads a cell.
+    pub fn cell(&self, cell: CellRef) -> Result<&Value> {
+        Ok(self.tuple(cell.row)?.get(cell.attr))
+    }
+
+    /// Overwrites a cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the row is out of range.
+    pub fn set_cell(&mut self, cell: CellRef, value: Value) -> Result<()> {
+        let rows = self.tuples.len();
+        let t = self
+            .tuples
+            .get_mut(cell.row)
+            .ok_or(RelationError::RowOutOfRange { row: cell.row, rows })?;
+        t.set(cell.attr, value);
+        Ok(())
+    }
+
+    /// Hands out a fresh V-instance variable for attribute `attr`.
+    ///
+    /// Fresh variables are never reused, which is exactly what guarantees the
+    /// V-instance semantics ("no two distinct variables can have equal
+    /// values" and "a variable never equals an existing constant").
+    pub fn fresh_var(&mut self, attr: AttrId) -> Value {
+        let c = &mut self.var_counters[attr.index()];
+        let id = *c;
+        *c += 1;
+        Value::Var(VarId::new(attr.0, id))
+    }
+
+    /// Number of distinct values (constants and variables) in a column.
+    pub fn distinct_count(&self, attr: AttrId) -> usize {
+        let mut seen: HashSet<&Value> = HashSet::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            seen.insert(t.get(attr));
+        }
+        seen.len()
+    }
+
+    /// Number of distinct projections over a set of attributes.
+    ///
+    /// This is the paper's experimental weighting function
+    /// `w(Y) = |Π_Y(I)|` (Section 8.1).
+    pub fn distinct_projection_count(&self, attrs: &[AttrId]) -> usize {
+        if attrs.is_empty() {
+            return usize::from(!self.tuples.is_empty());
+        }
+        let mut seen: HashSet<Vec<&Value>> = HashSet::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            seen.insert(attrs.iter().map(|a| t.get(*a)).collect());
+        }
+        seen.len()
+    }
+
+    /// Shannon entropy (in bits) of the value distribution of a column.
+    /// Used by the entropy-based weighting function.
+    pub fn column_entropy(&self, attr: AttrId) -> f64 {
+        use std::collections::HashMap;
+        if self.tuples.is_empty() {
+            return 0.0;
+        }
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        for t in &self.tuples {
+            *counts.entry(t.get(attr)).or_insert(0) += 1;
+        }
+        let n = self.tuples.len() as f64;
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Cell-wise difference `Δ_d(self, other)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the schemas differ or the instances have different numbers
+    /// of tuples (repairs never add or remove tuples).
+    pub fn diff(&self, other: &Instance) -> Result<InstanceDiff> {
+        if self.schema != other.schema {
+            return Err(RelationError::IncompatibleInstances("schemas differ".into()));
+        }
+        if self.tuples.len() != other.tuples.len() {
+            return Err(RelationError::IncompatibleInstances(format!(
+                "tuple counts differ ({} vs {})",
+                self.tuples.len(),
+                other.tuples.len()
+            )));
+        }
+        let mut changed = Vec::new();
+        for (row, (a, b)) in self.tuples.iter().zip(other.tuples.iter()).enumerate() {
+            for attr in self.schema.attr_ids() {
+                if a.get(attr) != b.get(attr) {
+                    changed.push(CellRef::new(row, attr));
+                }
+            }
+        }
+        Ok(InstanceDiff { changed_cells: changed })
+    }
+
+    /// Projects the instance onto the first `k` attributes, dropping the rest
+    /// (Figure 10's attribute-scalability workload).
+    pub fn project_prefix(&self, k: usize) -> Result<Instance> {
+        let schema = self.schema.project_prefix(k)?;
+        let arity = schema.arity();
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| Tuple::new(t.as_slice()[..arity].to_vec()))
+            .collect();
+        Instance::from_tuples(schema, tuples)
+    }
+
+    /// Keeps only the first `n` tuples (used when sampling smaller workloads
+    /// from a generated data set).
+    pub fn truncate(&self, n: usize) -> Instance {
+        let mut copy = self.clone();
+        copy.tuples.truncate(n);
+        copy
+    }
+
+    /// Total number of cells `n · |R|`.
+    pub fn cell_count(&self) -> usize {
+        self.tuples.len() * self.schema.arity()
+    }
+
+    /// Number of cells currently holding V-instance variables.
+    pub fn var_cell_count(&self) -> usize {
+        self.tuples.iter().map(Tuple::var_count).sum()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.schema.attributes().map(|(_, n)| n).collect();
+        writeln!(f, "{}", names.join(" | "))?;
+        for (_, t) in self.tuples() {
+            let row: Vec<String> =
+                self.schema.attr_ids().map(|a| t.get(a).to_string()).collect();
+            writeln!(f, "{}", row.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> Instance {
+        // Figure 2 of the paper: R = {A, B, C, D}, four tuples.
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        Instance::from_int_rows(
+            schema,
+            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let inst = small_instance();
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.cell_count(), 16);
+        assert_eq!(*inst.cell(CellRef::new(1, AttrId(3))).unwrap(), Value::Int(3));
+        assert!(inst.cell(CellRef::new(9, AttrId(0))).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let schema = Schema::with_arity(3).unwrap();
+        let mut inst = Instance::new(schema);
+        let r = inst.push(Tuple::nulls(2));
+        assert!(matches!(r, Err(RelationError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn set_cell_and_diff() {
+        let inst = small_instance();
+        let mut repaired = inst.clone();
+        repaired.set_cell(CellRef::new(1, AttrId(1)), Value::int(1)).unwrap();
+        repaired.set_cell(CellRef::new(1, AttrId(3)), Value::int(1)).unwrap();
+        let diff = inst.diff(&repaired).unwrap();
+        assert_eq!(diff.distance(), 2);
+        assert_eq!(diff.changed_rows(), vec![1]);
+        assert!(inst.diff(&inst).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_requires_compatible_instances() {
+        let inst = small_instance();
+        let truncated = inst.truncate(2);
+        assert!(inst.diff(&truncated).is_err());
+        let other_schema = Instance::new(Schema::with_arity(4).unwrap());
+        assert!(inst.diff(&other_schema).is_err());
+    }
+
+    #[test]
+    fn fresh_vars_are_unique() {
+        let mut inst = small_instance();
+        let v1 = inst.fresh_var(AttrId(0));
+        let v2 = inst.fresh_var(AttrId(0));
+        let v3 = inst.fresh_var(AttrId(1));
+        assert!(!v1.matches(&v2));
+        assert!(!v1.matches(&v3));
+        assert!(v1.matches(&v1));
+    }
+
+    #[test]
+    fn distinct_counts_and_projections() {
+        let inst = small_instance();
+        assert_eq!(inst.distinct_count(AttrId(0)), 2); // {1, 2}
+        assert_eq!(inst.distinct_count(AttrId(1)), 3); // {1, 2, 3}
+        assert_eq!(inst.distinct_projection_count(&[AttrId(0), AttrId(1)]), 4);
+        assert_eq!(inst.distinct_projection_count(&[]), 1);
+        let empty = Instance::new(Schema::with_arity(2).unwrap());
+        assert_eq!(empty.distinct_projection_count(&[]), 0);
+    }
+
+    #[test]
+    fn entropy_is_zero_for_constant_column_and_positive_otherwise() {
+        let schema = Schema::with_arity(2).unwrap();
+        let inst =
+            Instance::from_int_rows(schema, &[vec![1, 1], vec![1, 2], vec![1, 3], vec![1, 4]])
+                .unwrap();
+        assert_eq!(inst.column_entropy(AttrId(0)), 0.0);
+        assert!((inst.column_entropy(AttrId(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_prefix_and_truncate() {
+        let inst = small_instance();
+        let p = inst.project_prefix(2).unwrap();
+        assert_eq!(p.schema().arity(), 2);
+        assert_eq!(p.len(), 4);
+        let t = inst.truncate(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().arity(), 4);
+    }
+
+    #[test]
+    fn var_cell_count_counts_variables() {
+        let mut inst = small_instance();
+        assert_eq!(inst.var_cell_count(), 0);
+        let v = inst.fresh_var(AttrId(2));
+        inst.set_cell(CellRef::new(0, AttrId(2)), v).unwrap();
+        assert_eq!(inst.var_cell_count(), 1);
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let inst = small_instance();
+        let s = inst.to_string();
+        assert!(s.starts_with("A | B | C | D"));
+        assert_eq!(s.lines().count(), 5);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rt-relation
+//!
+//! Relational substrate for the relative-trust repair system.
+//!
+//! This crate provides the data model used by every other crate in the
+//! workspace:
+//!
+//! * [`Value`] — cell values, including the *variables* used by V-instances
+//!   (Definition 1 of the paper): a variable `v_i^A` stands for "any fresh
+//!   constant of attribute `A` that does not collide with existing constants
+//!   or other variables".
+//! * [`Schema`] / [`AttrId`] — relation schemas with up to 64 attributes
+//!   (the paper's Census-Income experiments use 34).
+//! * [`Tuple`] and [`Instance`] — a simple row store with cell addressing,
+//!   instance diffing (`Δ_d(I, I')`, the set of changed cells) and
+//!   V-instance-aware equality.
+//! * [`csv`] — minimal CSV reading/writing used by the examples.
+//!
+//! The crate is deliberately free of any constraint logic; functional
+//! dependencies, violation detection and conflict graphs live in
+//! `rt-constraints`.
+
+pub mod csv;
+pub mod error;
+pub mod instance;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::RelationError;
+pub use instance::{CellRef, Instance, InstanceDiff};
+pub use schema::{AttrId, Schema};
+pub use tuple::Tuple;
+pub use value::{Value, VarId};
+
+/// Convenience result alias used throughout the relational substrate.
+pub type Result<T> = std::result::Result<T, RelationError>;

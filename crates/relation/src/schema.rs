@@ -1,0 +1,218 @@
+//! Relation schemas and attribute identifiers.
+
+use crate::error::RelationError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum number of attributes supported by the bitset-based attribute sets
+/// used throughout the workspace (`rt_constraints::AttrSet` packs attribute
+/// membership into a `u64`).
+pub const MAX_ATTRIBUTES: usize = 64;
+
+/// Identifier of an attribute within a [`Schema`].
+///
+/// An `AttrId` is just a small index; it is only meaningful relative to the
+/// schema it was created from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl From<usize> for AttrId {
+    fn from(v: usize) -> Self {
+        AttrId(v as u16)
+    }
+}
+
+/// A relation schema `R = {A_1, ..., A_m}`.
+///
+/// The schema stores attribute names in declaration order and offers
+/// name-based lookup. Attribute domains are not modelled explicitly: the
+/// paper assumes unbounded domains, and every algorithm in the workspace only
+/// relies on value equality plus the ability to invent fresh values
+/// (V-instance variables).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema from a relation name and an ordered list of attribute
+    /// names.
+    ///
+    /// # Errors
+    ///
+    /// Fails when more than [`MAX_ATTRIBUTES`] attributes are supplied or when
+    /// two attributes share a name.
+    pub fn new<S: Into<String>>(name: impl Into<String>, attributes: Vec<S>) -> Result<Self> {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        if attributes.len() > MAX_ATTRIBUTES {
+            return Err(RelationError::TooManyAttributes {
+                requested: attributes.len(),
+                max: MAX_ATTRIBUTES,
+            });
+        }
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name.insert(a.clone(), AttrId(i as u16)).is_some() {
+                return Err(RelationError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema { name: name.into(), attributes, by_name })
+    }
+
+    /// Builds an anonymous schema with attributes named `A0..A{n-1}`.
+    ///
+    /// Handy for synthetic workloads and tests.
+    pub fn with_arity(arity: usize) -> Result<Self> {
+        let attrs: Vec<String> = (0..arity).map(|i| format!("A{i}")).collect();
+        Schema::new("R", attrs)
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes `|R|`.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Iterates over `(AttrId, name)` pairs in declaration order.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.attributes.iter().enumerate().map(|(i, n)| (AttrId(i as u16), n.as_str()))
+    }
+
+    /// All attribute ids in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(|i| AttrId(i as u16))
+    }
+
+    /// Name of an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the id is out of range.
+    pub fn attr_name(&self, attr: AttrId) -> Result<&str> {
+        self.attributes.get(attr.index()).map(String::as_str).ok_or(
+            RelationError::AttributeOutOfRange { index: attr.index(), arity: self.arity() },
+        )
+    }
+
+    /// Looks an attribute up by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no attribute has that name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        // `by_name` is skipped by serde; fall back to a scan if it is empty
+        // but attributes exist (i.e. the schema was deserialized).
+        if let Some(id) = self.by_name.get(name) {
+            return Ok(*id);
+        }
+        self.attributes
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId(i as u16))
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Checks whether an attribute id is valid for this schema.
+    pub fn contains(&self, attr: AttrId) -> bool {
+        attr.index() < self.arity()
+    }
+
+    /// Restricts the schema to the first `k` attributes (used by the
+    /// attribute-scalability experiment, Figure 10, which drops trailing
+    /// attributes from the input relation).
+    pub fn project_prefix(&self, k: usize) -> Result<Schema> {
+        let k = k.min(self.arity());
+        Schema::new(self.name.clone(), self.attributes[..k].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new(
+            "Persons",
+            vec!["GivenName", "Surname", "BirthDate", "Gender", "Phone", "Income"],
+        )
+        .unwrap();
+        assert_eq!(s.arity(), 6);
+        assert_eq!(s.name(), "Persons");
+        assert_eq!(s.attr_id("Income").unwrap(), AttrId(5));
+        assert_eq!(s.attr_name(AttrId(0)).unwrap(), "GivenName");
+        assert!(s.contains(AttrId(5)));
+        assert!(!s.contains(AttrId(6)));
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let s = Schema::with_arity(3).unwrap();
+        assert!(matches!(s.attr_id("Z"), Err(RelationError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.attr_name(AttrId(9)),
+            Err(RelationError::AttributeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = Schema::new("R", vec!["A", "B", "A"]);
+        assert!(matches!(r, Err(RelationError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn too_many_attributes_rejected() {
+        let attrs: Vec<String> = (0..65).map(|i| format!("A{i}")).collect();
+        let r = Schema::new("R", attrs);
+        assert!(matches!(r, Err(RelationError::TooManyAttributes { .. })));
+        // Exactly 64 is fine.
+        assert!(Schema::with_arity(64).is_ok());
+    }
+
+    #[test]
+    fn with_arity_names_attributes() {
+        let s = Schema::with_arity(4).unwrap();
+        let names: Vec<&str> = s.attributes().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["A0", "A1", "A2", "A3"]);
+    }
+
+    #[test]
+    fn project_prefix_truncates() {
+        let s = Schema::with_arity(10).unwrap();
+        let p = s.project_prefix(4).unwrap();
+        assert_eq!(p.arity(), 4);
+        // Requesting more than the arity clamps.
+        let p = s.project_prefix(100).unwrap();
+        assert_eq!(p.arity(), 10);
+    }
+
+    #[test]
+    fn attr_ids_iterates_in_order() {
+        let s = Schema::with_arity(3).unwrap();
+        let ids: Vec<AttrId> = s.attr_ids().collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+    }
+}

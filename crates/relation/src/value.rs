@@ -1,0 +1,214 @@
+//! Cell values, including V-instance variables.
+//!
+//! The paper (Definition 1) represents repairs as *V-instances*: instances in
+//! which a cell may hold either a constant from the attribute domain or a
+//! variable `v_i^A`. A variable can be instantiated to any constant that does
+//! not already occur in attribute `A` and distinct variables never take equal
+//! values. Operationally this means:
+//!
+//! * `Var(x) == Var(x)` (a variable equals itself),
+//! * `Var(x) != Var(y)` for `x != y`,
+//! * `Var(_) != constant` for every constant.
+//!
+//! [`Value::matches`] implements exactly this semantics and is what the
+//! violation-detection code uses when comparing cells.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a V-instance variable.
+///
+/// Variables are scoped per attribute (`attr`) and numbered (`id`); the pair
+/// uniquely identifies the variable within an instance. Two `VarId`s are the
+/// same variable iff both components are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId {
+    /// Attribute the variable ranges over (index into the schema).
+    pub attr: u16,
+    /// Per-attribute counter distinguishing variables of the same attribute.
+    pub id: u32,
+}
+
+impl VarId {
+    /// Creates a new variable identifier.
+    pub fn new(attr: u16, id: u32) -> Self {
+        VarId { attr, id }
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}^A{}", self.id, self.attr)
+    }
+}
+
+/// A single cell value.
+///
+/// `Value` is intentionally small: the paper's algorithms only ever compare
+/// values for equality (FD semantics are equality based), so we provide a
+/// handful of constant kinds plus the V-instance variable case.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL-style missing value. Two nulls compare equal here, which matches
+    /// the behaviour of the paper's experiments (nulls are just another
+    /// domain constant).
+    Null,
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// V-instance variable (Definition 1).
+    Var(VarId),
+}
+
+impl Value {
+    /// Returns `true` when the value is a V-instance variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Value::Var(_))
+    }
+
+    /// Returns `true` when the value is a constant (including `Null`).
+    pub fn is_constant(&self) -> bool {
+        !self.is_var()
+    }
+
+    /// Returns `true` when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Equality under V-instance semantics.
+    ///
+    /// * constant vs constant: ordinary equality;
+    /// * variable vs variable: equal iff they are the *same* variable;
+    /// * variable vs constant: never equal (a fresh variable is guaranteed to
+    ///   be instantiated to a value not occurring elsewhere in the column).
+    pub fn matches(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Var(a), Value::Var(b)) => a == b,
+            (Value::Var(_), _) | (_, Value::Var(_)) => false,
+            (a, b) => a == b,
+        }
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Parses a raw CSV field into a value: empty string becomes `Null`,
+    /// an integer literal becomes `Int`, anything else `Str`.
+    pub fn parse(field: &str) -> Self {
+        let trimmed = field.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        Value::Str(trimmed.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_compare_by_value() {
+        assert!(Value::int(5).matches(&Value::int(5)));
+        assert!(!Value::int(5).matches(&Value::int(6)));
+        assert!(Value::str("a").matches(&Value::str("a")));
+        assert!(!Value::str("a").matches(&Value::str("b")));
+        assert!(Value::Null.matches(&Value::Null));
+        assert!(!Value::Null.matches(&Value::int(0)));
+    }
+
+    #[test]
+    fn variables_follow_v_instance_semantics() {
+        let v1 = Value::Var(VarId::new(0, 1));
+        let v1_again = Value::Var(VarId::new(0, 1));
+        let v2 = Value::Var(VarId::new(0, 2));
+        let other_attr = Value::Var(VarId::new(1, 1));
+
+        // A variable equals itself.
+        assert!(v1.matches(&v1_again));
+        // Distinct variables are never equal.
+        assert!(!v1.matches(&v2));
+        assert!(!v1.matches(&other_attr));
+        // A variable never equals a constant.
+        assert!(!v1.matches(&Value::int(42)));
+        assert!(!Value::str("x").matches(&v1));
+    }
+
+    #[test]
+    fn parse_classifies_fields() {
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("  "), Value::Null);
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("42k"), Value::Str("42k".into()));
+        assert_eq!(Value::parse(" hello "), Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn display_round_trips_simple_constants() {
+        assert_eq!(Value::int(9).to_string(), "9");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Var(VarId::new(2, 3)).to_string(), "v3^A2");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 3i64.into();
+        assert_eq!(v, Value::Int(3));
+        let v: Value = "x".into();
+        assert_eq!(v, Value::Str("x".into()));
+        let v: Value = String::from("y").into();
+        assert_eq!(v, Value::Str("y".into()));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Value::Var(VarId::new(0, 0)).is_var());
+        assert!(!Value::Var(VarId::new(0, 0)).is_constant());
+        assert!(Value::Null.is_null());
+        assert!(Value::Null.is_constant());
+        assert!(Value::int(1).is_constant());
+    }
+}

@@ -1,0 +1,96 @@
+//! Census cleaning: an end-to-end run on a census-like workload.
+//!
+//! This example mirrors the paper's experimental pipeline (Section 8.1):
+//!
+//! 1. generate a clean census-like instance with a planted FD;
+//! 2. perturb both the data (injected violations) and the FD (dropped LHS
+//!    attributes);
+//! 3. repair the dirty input at several relative-trust levels;
+//! 4. score each repair against the ground truth (precision / recall /
+//!    combined F-score), reproducing the shape of Figure 7 at small scale.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example census_cleaning
+//! ```
+
+use relative_trust::prelude::*;
+
+fn main() {
+    // 1. Clean data with one planted FD over 6 LHS attributes.
+    let config = CensusLikeConfig::single_fd(2000, 12, 6);
+    let (clean, sigma_clean) = generate_census_like(&config);
+    println!(
+        "generated {} tuples x {} attributes; planted FD: {}",
+        clean.len(),
+        clean.schema().arity(),
+        sigma_clean.display_with(clean.schema())
+    );
+
+    // 2. Perturb: 30% of the FD's LHS attributes dropped, 0.2% of cells
+    //    corrupted.
+    let truth = perturb(
+        &clean,
+        &sigma_clean,
+        &PerturbConfig {
+            data_error_rate: 0.002,
+            fd_error_rate: 0.3,
+            rhs_violation_fraction: 0.5,
+            seed: 99,
+        },
+    );
+    println!(
+        "perturbation: {} erroneous cells, {} LHS attributes removed",
+        truth.error_count(),
+        truth.removed_attr_count()
+    );
+    println!(
+        "dirty FD handed to the cleaner: {}",
+        truth.sigma_dirty.display_with(clean.schema())
+    );
+
+    // 3. Repair at several relative-trust levels.
+    let problem = RepairProblem::new(&truth.dirty, &truth.sigma_dirty);
+    println!(
+        "conflict graph: {} edges, δP(Σd, Id) = {}\n",
+        problem.conflict_graph().edge_count(),
+        problem.delta_p_original()
+    );
+
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>10}  {:>7}  {:>6}",
+        "tau_r", "data F", "FD F", "combined F", "cells", "attrs"
+    );
+    let mut best: Option<(f64, f64)> = None;
+    for tau_r in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let Some(repair) = repair_data_fds_relative(&problem, tau_r) else {
+            println!("{:>6}  no repair found", format!("{:.0}%", tau_r * 100.0));
+            continue;
+        };
+        // 4. Score against the ground truth.
+        let quality = evaluate_repair(&truth, &repair.modified_fds, &repair.repaired_instance);
+        println!(
+            "{:>6}  {:>8.3}  {:>8.3}  {:>10.3}  {:>7}  {:>6}",
+            format!("{:.0}%", tau_r * 100.0),
+            quality.data_f,
+            quality.fd_f,
+            quality.combined_f,
+            quality.cells_modified,
+            quality.attrs_appended
+        );
+        if best.map(|(_, f)| quality.combined_f > f).unwrap_or(true) {
+            best = Some((tau_r, quality.combined_f));
+        }
+    }
+    if let Some((tau_r, f)) = best {
+        println!(
+            "\nbest combined F-score {:.3} achieved at relative trust {:.0}%.",
+            f,
+            tau_r * 100.0
+        );
+        println!(
+            "The right trust level depends on how the errors were introduced — \
+             which is exactly why the paper argues for exposing the whole spectrum."
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! `rtclean` — command-line front end for relative-trust repair.
+//!
+//! Reads a CSV file and a set of functional dependencies, and either
+//!
+//! * produces one repair for a chosen trust level (`--tau` / `--tau-r`), or
+//! * enumerates the whole spectrum of non-dominated repairs (`--spectrum`).
+//!
+//! Examples:
+//!
+//! ```text
+//! rtclean employees.csv --fd "Surname,GivenName->Income" --spectrum
+//! rtclean employees.csv --fd "Surname,GivenName->Income" --tau-r 0.5 \
+//!         --output repaired.csv
+//! ```
+
+use relative_trust::prelude::*;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    input: String,
+    fd_specs: Vec<String>,
+    mode: Mode,
+    weight: WeightKind,
+    output: Option<String>,
+    seed: u64,
+    max_expansions: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Single repair with an absolute cell budget.
+    Tau(usize),
+    /// Single repair with a relative trust level in `[0, 1]`.
+    TauRelative(f64),
+    /// Enumerate the full spectrum of repairs.
+    Spectrum,
+}
+
+const USAGE: &str = "\
+usage: rtclean <input.csv> --fd \"X1,X2->A\" [--fd ...] [options]
+
+options:
+  --fd <spec>          functional dependency, e.g. \"Surname,GivenName->Income\"
+                       (repeat the flag for several FDs; at least one required)
+  --tau <N>            allow at most N cell changes (single repair)
+  --tau-r <F>          relative trust in [0,1]; 0 = trust the data (default: --spectrum)
+  --spectrum           enumerate all non-dominated repairs
+  --weight <kind>      distinct | count | entropy   (default: distinct)
+  --output <file>      write the repaired instance as CSV (single-repair modes)
+  --seed <N>           seed for the data-repair step (default: 0)
+  --max-expansions <N> search budget (default: 500000)
+  --help               print this help
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut input: Option<String> = None;
+    let mut fd_specs = Vec::new();
+    let mut mode: Option<Mode> = None;
+    let mut weight = WeightKind::DistinctCount;
+    let mut output = None;
+    let mut seed = 0u64;
+    let mut max_expansions = 500_000usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value after `{arg}`"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--fd" => fd_specs.push(take_value(&mut i)?),
+            "--tau" => {
+                let v = take_value(&mut i)?;
+                let n = v.parse::<usize>().map_err(|_| format!("invalid --tau value `{v}`"))?;
+                mode = Some(Mode::Tau(n));
+            }
+            "--tau-r" => {
+                let v = take_value(&mut i)?;
+                let f = v.parse::<f64>().map_err(|_| format!("invalid --tau-r value `{v}`"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("--tau-r must be in [0,1], got {f}"));
+                }
+                mode = Some(Mode::TauRelative(f));
+            }
+            "--spectrum" => mode = Some(Mode::Spectrum),
+            "--weight" => {
+                let v = take_value(&mut i)?;
+                weight = match v.as_str() {
+                    "distinct" => WeightKind::DistinctCount,
+                    "count" => WeightKind::AttrCount,
+                    "entropy" => WeightKind::Entropy,
+                    other => return Err(format!("unknown --weight `{other}`")),
+                };
+            }
+            "--output" => output = Some(take_value(&mut i)?),
+            "--seed" => {
+                let v = take_value(&mut i)?;
+                seed = v.parse().map_err(|_| format!("invalid --seed value `{v}`"))?;
+            }
+            "--max-expansions" => {
+                let v = take_value(&mut i)?;
+                max_expansions =
+                    v.parse().map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => {
+                if input.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                input = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let input = input.ok_or_else(|| USAGE.to_string())?;
+    if fd_specs.is_empty() {
+        return Err("at least one --fd is required".to_string());
+    }
+    Ok(Options {
+        input,
+        fd_specs,
+        mode: mode.unwrap_or(Mode::Spectrum),
+        weight,
+        output,
+        seed,
+        max_expansions,
+    })
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let instance =
+        relative_trust::relation::csv::read_instance_from_path("input", &options.input)
+            .map_err(|e| format!("cannot read `{}`: {e}", options.input))?;
+    let schema = instance.schema().clone();
+    let specs: Vec<&str> = options.fd_specs.iter().map(String::as_str).collect();
+    let fds = FdSet::parse(&specs, &schema)?;
+
+    println!(
+        "loaded {} tuples × {} attributes from {}",
+        instance.len(),
+        schema.arity(),
+        options.input
+    );
+    println!("FDs: {}", fds.display_with(&schema));
+    if fds.holds_on(&instance) {
+        println!("the data already satisfies the FDs — nothing to repair");
+        return Ok(());
+    }
+
+    let problem = RepairProblem::with_weight(&instance, &fds, options.weight);
+    let budget = problem.delta_p_original();
+    println!(
+        "{} conflicting tuple pairs; repairing everything by cell changes would \
+         touch at most {budget} cells\n",
+        problem.conflict_graph().edge_count()
+    );
+    let search = SearchConfig { max_expansions: options.max_expansions, ..Default::default() };
+
+    match options.mode {
+        Mode::Spectrum => {
+            let spectrum = find_repairs_range(&problem, 0, budget, &search);
+            let repairs = spectrum.materialize(&problem, options.seed);
+            println!("{} non-dominated repairs:", repairs.len());
+            for (ranged, repair) in spectrum.repairs.iter().zip(repairs.iter()) {
+                println!(
+                    "  τ ∈ [{:>4}, {:>4}]  FD cost {:>10.1}  cell changes {:>5}   {}",
+                    ranged.tau_range.0,
+                    ranged.tau_range.1,
+                    repair.dist_c,
+                    repair.data_changes(),
+                    repair.modified_fds.display_with(&schema)
+                );
+            }
+            println!(
+                "\nre-run with --tau <N> (or --tau-r <F>) and --output <file> to materialize one."
+            );
+        }
+        Mode::Tau(_) | Mode::TauRelative(_) => {
+            let tau = match options.mode {
+                Mode::Tau(t) => t.min(budget),
+                Mode::TauRelative(f) => problem.absolute_tau(f),
+                Mode::Spectrum => unreachable!(),
+            };
+            let repair = rt_core::repair::repair_data_fds_with(
+                &problem,
+                tau,
+                &search,
+                SearchAlgorithm::AStar,
+                options.seed,
+            )
+            .ok_or_else(|| {
+                format!("no repair exists within τ = {tau} (try a larger budget)")
+            })?;
+            println!("repair for τ = {tau}:");
+            println!("  modified FDs : {}", repair.modified_fds.display_with(&schema));
+            println!("  FD distance  : {:.1}", repair.dist_c);
+            println!("  cell changes : {}", repair.data_changes());
+            for cell in repair.changed_cells.iter().take(25) {
+                println!(
+                    "    row {} [{}]: {} -> {}",
+                    cell.row,
+                    schema.attr_name(cell.attr).unwrap_or("?"),
+                    instance.cell(*cell).map(|v| v.to_string()).unwrap_or_default(),
+                    repair
+                        .repaired_instance
+                        .cell(*cell)
+                        .map(|v| v.to_string())
+                        .unwrap_or_default()
+                );
+            }
+            if repair.changed_cells.len() > 25 {
+                println!("    ... and {} more", repair.changed_cells.len() - 25);
+            }
+            if let Some(path) = &options.output {
+                relative_trust::relation::csv::write_instance_to_path(
+                    &repair.repaired_instance,
+                    path,
+                )
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("repaired instance written to {path}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(options) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_spectrum_invocation() {
+        let o = parse_args(&args(&["data.csv", "--fd", "A->B"])).unwrap();
+        assert_eq!(o.input, "data.csv");
+        assert_eq!(o.fd_specs, vec!["A->B".to_string()]);
+        assert_eq!(o.mode, Mode::Spectrum);
+        assert_eq!(o.weight, WeightKind::DistinctCount);
+        assert_eq!(o.seed, 0);
+    }
+
+    #[test]
+    fn parses_full_single_repair_invocation() {
+        let o = parse_args(&args(&[
+            "d.csv", "--fd", "A->B", "--fd", "C,D->E", "--tau-r", "0.25", "--weight", "entropy",
+            "--output", "out.csv", "--seed", "9", "--max-expansions", "1234",
+        ]))
+        .unwrap();
+        assert_eq!(o.fd_specs.len(), 2);
+        assert_eq!(o.mode, Mode::TauRelative(0.25));
+        assert_eq!(o.weight, WeightKind::Entropy);
+        assert_eq!(o.output.as_deref(), Some("out.csv"));
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.max_expansions, 1234);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["--fd", "A->B"])).is_err()); // no input file
+        assert!(parse_args(&args(&["d.csv"])).is_err()); // no FDs
+        assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--tau", "x"])).is_err());
+        assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--tau-r", "1.5"])).is_err());
+        assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--weight", "bogus"])).is_err());
+        assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["d.csv", "extra.csv", "--fd", "A->B"])).is_err());
+        assert!(parse_args(&args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn tau_mode_parses_absolute_budget() {
+        let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--tau", "7"])).unwrap();
+        assert_eq!(o.mode, Mode::Tau(7));
+    }
+
+    #[test]
+    fn end_to_end_on_a_temporary_csv() {
+        // Write a tiny violating instance, run the single-repair path.
+        let dir = std::env::temp_dir().join("rtclean_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let output = dir.join("out.csv");
+        std::fs::write(&input, "A,B\n1,1\n1,2\n2,5\n").unwrap();
+        let options = Options {
+            input: input.to_string_lossy().to_string(),
+            fd_specs: vec!["A->B".to_string()],
+            mode: Mode::Tau(2),
+            weight: WeightKind::AttrCount,
+            output: Some(output.to_string_lossy().to_string()),
+            seed: 1,
+            max_expansions: 10_000,
+        };
+        run(&options).unwrap();
+        let repaired =
+            relative_trust::relation::csv::read_instance_from_path("out", &output).unwrap();
+        assert_eq!(repaired.len(), 3);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+}

@@ -1,0 +1,84 @@
+//! # relative-trust
+//!
+//! Joint repair of inconsistent data and inaccurate functional dependencies
+//! under *relative trust* — a Rust implementation of Beskales, Ilyas, Golab
+//! and Galiullin, *"On the Relative Trust between Inconsistent Data and
+//! Inaccurate Constraints"* (ICDE 2013).
+//!
+//! This crate is a thin facade that re-exports the workspace crates:
+//!
+//! * [`relation`] — schemas, tuples, instances and V-instances;
+//! * [`constraints`] — functional dependencies, violation detection,
+//!   conflict graphs, difference sets, weights and FD discovery;
+//! * [`graph`] — undirected graphs and approximate vertex cover;
+//! * [`core`] — the repair algorithms themselves (τ-constrained repairs, A*
+//!   FD modification, near-optimal data repair, Range-Repair);
+//! * [`baseline`] — the unified-cost comparator;
+//! * [`datagen`] — census-like workload generation, error injection and
+//!   repair-quality metrics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use relative_trust::prelude::*;
+//!
+//! // The employee relation of the paper's Figure 2.
+//! let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+//! let instance = Instance::from_int_rows(
+//!     schema.clone(),
+//!     &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+//! )
+//! .unwrap();
+//! let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+//!
+//! // Build the repair problem once, then ask for repairs at any trust level.
+//! let problem = RepairProblem::new(&instance, &fds);
+//! let spectrum = find_repairs_range(&problem, 0, problem.delta_p_original(),
+//!                                   &SearchConfig::default());
+//! assert!(!spectrum.repairs.is_empty());
+//! for repair in spectrum.materialize(&problem, 0) {
+//!     assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+//! }
+//! ```
+
+pub use rt_baseline as baseline;
+pub use rt_constraints as constraints;
+pub use rt_core as core;
+pub use rt_datagen as datagen;
+pub use rt_graph as graph;
+pub use rt_relation as relation;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use rt_baseline::{unified_cost_repair, UnifiedCostConfig, UnifiedRepair};
+    pub use rt_constraints::{
+        discover_fds, AttrSet, ConflictGraph, DiscoveryConfig, Fd, FdSet, Weight,
+    };
+    pub use rt_core::{
+        find_repairs_range, find_repairs_sampling, modify_fds_astar, modify_fds_best_first,
+        repair_data, repair_data_fds, repair_data_fds_relative, Repair, RepairProblem,
+        RepairState, SearchAlgorithm, SearchConfig, WeightKind,
+    };
+    pub use rt_datagen::{
+        evaluate_repair, generate_census_like, perturb, CensusLikeConfig, PerturbConfig,
+        RepairQuality,
+    };
+    pub use rt_graph::{approx_vertex_cover, UndirectedGraph};
+    pub use rt_relation::{AttrId, CellRef, Instance, Schema, Tuple, Value};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_full_pipeline() {
+        let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+        let instance =
+            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
+        let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+        let problem = RepairProblem::new(&instance, &fds);
+        let repair = repair_data_fds(&problem, problem.delta_p_original()).unwrap();
+        assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+    }
+}
