@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate for the relative-trust workspace.
+#
+# Mirrors the tier-1 verify command (build + test) and adds the
+# documentation and lint gates the repo holds itself to:
+#
+#   ./ci.sh          # run everything
+#   ./ci.sh --quick  # build + tests only (skip doc + clippy)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo doc --no-deps -q (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+fi
+
+echo "==> CI OK"

@@ -13,7 +13,7 @@
 //!    weights rather than explored;
 //! 2. a **restricted FD-repair space**: only single attributes may be
 //!    appended to an FD's left-hand side (the paper points this out as a
-//!    limitation of [5]);
+//!    limitation of \[5\]);
 //! 3. a **greedy, one-shot search**: the algorithm keeps applying the
 //!    locally cheapest action (append one attribute to one FD, or fall back
 //!    to repairing the remaining violations by cell changes) until the data

@@ -6,7 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_bench::workloads::{Workload, WorkloadSpec};
 use rt_constraints::{discover_fds, ConflictGraph, DiscoveryConfig};
 use rt_core::data_repair::repair_data;
-use rt_graph::{approx_vertex_cover, greedy_degree_vertex_cover, matching_vertex_cover};
+use rt_graph::{
+    approx_vertex_cover, approx_vertex_cover_with, greedy_degree_vertex_cover,
+    matching_vertex_cover,
+};
+use rt_par::Parallelism;
 
 fn bench_conflict_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_conflict_graph");
@@ -25,6 +29,15 @@ fn bench_conflict_graph(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("build", tuples), &tuples, |b, _| {
             b.iter(|| ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds()))
+        });
+        group.bench_with_input(BenchmarkId::new("build_parallel", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                ConflictGraph::build_with(
+                    workload.dirty_instance(),
+                    workload.dirty_fds(),
+                    Parallelism::Auto,
+                )
+            })
         });
         let cg = ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds());
         group.bench_with_input(
@@ -55,6 +68,9 @@ fn bench_vertex_cover(c: &mut Criterion) {
     group.bench_function("matching", |b| b.iter(|| matching_vertex_cover(&graph)));
     group.bench_function("greedy_degree", |b| b.iter(|| greedy_degree_vertex_cover(&graph)));
     group.bench_function("hybrid", |b| b.iter(|| approx_vertex_cover(&graph)));
+    group.bench_function("hybrid_parallel", |b| {
+        b.iter(|| approx_vertex_cover_with(&graph, Parallelism::Auto))
+    });
     group.finish();
 }
 

@@ -1,0 +1,127 @@
+//! Wall-clock speedup of the parallel execution layer over the serial path,
+//! stage by stage, on a single generated workload.
+//!
+//! Every stage is run with `Parallelism::Serial` and with the requested
+//! thread count (default: all cores) and its outputs are asserted
+//! bit-identical — the layer's hard invariant — before the timings are
+//! reported. Usage:
+//!
+//! ```text
+//! exp_par_speedup [--scale smoke|default|paper] [--threads auto|serial|N]
+//! ```
+
+use rt_bench::workloads::{Scale, Workload, WorkloadSpec};
+use rt_bench::{impl_to_json, render_table, write_json_report};
+use rt_constraints::ConflictGraph;
+use rt_core::data_repair::repair_data_with_cover_par;
+use rt_core::{find_repairs_sampling, Parallelism, RepairProblem, SearchConfig, WeightKind};
+use rt_graph::approx_vertex_cover_with;
+use std::time::Instant;
+
+/// One stage's serial-vs-parallel measurement.
+struct SpeedupRow {
+    stage: String,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+impl_to_json!(SpeedupRow { stage, serial_seconds, parallel_seconds, speedup, identical });
+
+/// Times `f` under both settings and checks the outputs match.
+fn measure<T: PartialEq>(stage: &str, par: Parallelism, f: impl Fn(Parallelism) -> T) -> SpeedupRow {
+    // Untimed warm-up so allocator and page-cache effects don't skew the
+    // serial (first) measurement.
+    let _ = f(Parallelism::Serial);
+    let start = Instant::now();
+    let serial_out = f(Parallelism::Serial);
+    let serial_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel_out = f(par);
+    let parallel_seconds = start.elapsed().as_secs_f64();
+    SpeedupRow {
+        stage: stage.to_string(),
+        serial_seconds,
+        parallel_seconds,
+        speedup: serial_seconds / parallel_seconds.max(1e-12),
+        identical: serial_out == parallel_out,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let par = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .map(|w| Parallelism::parse(&w[1]).expect("valid --threads"))
+        .unwrap_or(Parallelism::Auto);
+    eprintln!("[exp_par_speedup] scale = {scale:?}, parallel setting = {par}");
+
+    // A conflict-heavy workload: one weakened 6-attribute FD over 5k tuples
+    // (paper-scale conflict graphs at Default scale).
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: scale.tuples(5000),
+        attributes: 12,
+        fd_count: 1,
+        lhs_size: 6,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.5,
+        seed: 3,
+    });
+    let instance = workload.dirty_instance();
+    let fds = workload.dirty_fds();
+
+    let mut rows = Vec::new();
+
+    rows.push(measure("conflict_graph_build", par, |p| {
+        ConflictGraph::build_with(instance, fds, p)
+    }));
+
+    let conflict = ConflictGraph::build(instance, fds);
+    let graph = conflict.to_graph();
+    rows.push(measure("vertex_cover", par, |p| approx_vertex_cover_with(&graph, p)));
+
+    let cover: Vec<usize> = approx_vertex_cover_with(&graph, par).iter().collect();
+    rows.push(measure("data_repair_alg4", par, |p| {
+        let out = repair_data_with_cover_par(instance, fds, &cover, 7, p);
+        (out.repaired, out.changed_cells)
+    }));
+
+    let problem = RepairProblem::with_weight_par(instance, fds, WeightKind::DistinctCount, par);
+    let budget = problem.delta_p_original();
+    rows.push(measure("tau_sweep_sampling", par, |p| {
+        let config = SearchConfig {
+            max_expansions: 10_000,
+            parallelism: p,
+            ..Default::default()
+        };
+        let out = find_repairs_sampling(&problem, 0, budget, (budget / 8).max(1), &config);
+        out.repairs.iter().map(|r| (r.repair.delta_p, r.tau_range)).collect::<Vec<_>>()
+    }));
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stage.clone(),
+                format!("{:.4}", r.serial_seconds),
+                format!("{:.4}", r.parallel_seconds),
+                format!("{:.2}x", r.speedup),
+                if r.identical { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["stage", "serial s", "parallel s", "speedup", "identical"], &table)
+    );
+    if let Some(path) = write_json_report("parallel_speedup", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "parallel output diverged from serial — determinism invariant broken"
+    );
+}

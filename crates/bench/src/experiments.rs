@@ -8,21 +8,55 @@ use crate::workloads::{Scale, Workload, WorkloadSpec};
 use rt_baseline::{unified_cost_repair, UnifiedCostConfig};
 use rt_constraints::DistinctCountWeight;
 use rt_core::{
-    find_repairs_range, find_repairs_sampling, repair::repair_data_fds_with, RepairProblem,
-    SearchAlgorithm, SearchConfig, WeightKind,
+    find_repairs_range, find_repairs_sampling, repair::repair_data_fds_with, Parallelism,
+    RepairProblem, SearchAlgorithm, SearchConfig, WeightKind,
 };
 use rt_datagen::evaluate_repair;
-use serde::Serialize;
+use rt_par::par_map_coarse;
+
 
 /// The four error-rate mixes of Figures 7 and 8: `(fd_error, data_error)`.
 pub const ERROR_MIXES: [(f64, f64); 4] = [(0.8, 0.0), (0.5, 0.05), (0.3, 0.05), (0.0, 0.05)];
+
+crate::impl_to_json!(QualityRow {
+    fd_error_rate,
+    data_error_rate,
+    tau_r,
+    data_f,
+    fd_f,
+    combined_f,
+    cells_modified,
+    attrs_appended,
+});
+crate::impl_to_json!(ComparisonRow {
+    algorithm,
+    fd_error_rate,
+    data_error_rate,
+    fd_precision,
+    fd_recall,
+    data_precision,
+    data_recall,
+    combined_f,
+    best_tau_r,
+});
+crate::impl_to_json!(PerfRow {
+    algorithm,
+    tuples,
+    attributes,
+    fds,
+    tau_r,
+    seconds,
+    states_visited,
+    truncated,
+});
+crate::impl_to_json!(MultiRepairRow { algorithm, max_tau_r, seconds, repairs_found, states_visited });
 
 // ---------------------------------------------------------------------------
 // Figure 7: repair quality vs. relative trust
 // ---------------------------------------------------------------------------
 
 /// One point of Figure 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QualityRow {
     /// Fraction of LHS attributes removed from the clean FD.
     pub fd_error_rate: f64,
@@ -44,10 +78,21 @@ pub struct QualityRow {
 
 /// Figure 7: combined F-score for each error mix across a sweep of `τ_r`.
 pub fn quality_vs_trust(scale: Scale) -> Vec<QualityRow> {
+    quality_vs_trust_par(scale, Parallelism::Auto)
+}
+
+/// [`quality_vs_trust`] with an explicit [`Parallelism`] setting.
+///
+/// The four error mixes are independent end-to-end pipelines (generate →
+/// perturb → repair → score), so each runs on its own worker thread; rows
+/// come back in mix order, identical to the serial sweep. The search inside
+/// each mix runs serially — the mixes are the coarsest unit of work.
+pub fn quality_vs_trust_par(scale: Scale, par: Parallelism) -> Vec<QualityRow> {
     let tuples = scale.tuples(1000);
     let tau_values = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
-    let mut rows = Vec::new();
-    for &(fd_error_rate, data_error_rate) in ERROR_MIXES.iter() {
+    let search = SearchConfig { parallelism: Parallelism::Serial, ..Default::default() };
+    let per_mix: Vec<Vec<QualityRow>> = par_map_coarse(par, ERROR_MIXES.len(), |m| {
+        let (fd_error_rate, data_error_rate) = ERROR_MIXES[m];
         let workload = Workload::build(&WorkloadSpec {
             tuples,
             attributes: 12,
@@ -62,12 +107,13 @@ pub fn quality_vs_trust(scale: Scale) -> Vec<QualityRow> {
             workload.dirty_fds(),
             WeightKind::DistinctCount,
         );
+        let mut rows = Vec::new();
         for &tau_r in &tau_values {
             let tau = problem.absolute_tau(tau_r);
             let repair = repair_data_fds_with(
                 &problem,
                 tau,
-                &SearchConfig::default(),
+                &search,
                 SearchAlgorithm::AStar,
                 workload.spec.seed,
             );
@@ -88,8 +134,9 @@ pub fn quality_vs_trust(scale: Scale) -> Vec<QualityRow> {
                 attrs_appended: quality.attrs_appended,
             });
         }
-    }
-    rows
+        rows
+    });
+    per_mix.into_iter().flatten().collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -97,7 +144,7 @@ pub fn quality_vs_trust(scale: Scale) -> Vec<QualityRow> {
 // ---------------------------------------------------------------------------
 
 /// One row of the Figure 8 table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ComparisonRow {
     /// Which repair system produced the row.
     pub algorithm: String,
@@ -123,10 +170,18 @@ pub struct ComparisonRow {
 /// (over a sweep of `τ_r`) versus the single repair of the unified-cost
 /// baseline, for each error mix.
 pub fn versus_unified_cost(scale: Scale) -> Vec<ComparisonRow> {
+    versus_unified_cost_par(scale, Parallelism::Auto)
+}
+
+/// [`versus_unified_cost`] with an explicit [`Parallelism`] setting; like
+/// [`quality_vs_trust_par`], the error mixes fan out one per worker thread.
+pub fn versus_unified_cost_par(scale: Scale, par: Parallelism) -> Vec<ComparisonRow> {
     let tuples = scale.tuples(800);
     let tau_values = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0];
-    let mut rows = Vec::new();
-    for &(fd_error_rate, data_error_rate) in ERROR_MIXES.iter() {
+    let search = SearchConfig { parallelism: Parallelism::Serial, ..Default::default() };
+    let per_mix: Vec<Vec<ComparisonRow>> = par_map_coarse(par, ERROR_MIXES.len(), |m| {
+        let (fd_error_rate, data_error_rate) = ERROR_MIXES[m];
+        let mut rows = Vec::new();
         let workload = Workload::build(&WorkloadSpec {
             tuples,
             attributes: 12,
@@ -169,7 +224,7 @@ pub fn versus_unified_cost(scale: Scale) -> Vec<ComparisonRow> {
             let repair = repair_data_fds_with(
                 &problem,
                 tau,
-                &SearchConfig::default(),
+                &search,
                 SearchAlgorithm::AStar,
                 workload.spec.seed,
             );
@@ -200,8 +255,9 @@ pub fn versus_unified_cost(scale: Scale) -> Vec<ComparisonRow> {
                 best_tau_r: Some(tau_r),
             });
         }
-    }
-    rows
+        rows
+    });
+    per_mix.into_iter().flatten().collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -209,7 +265,7 @@ pub fn versus_unified_cost(scale: Scale) -> Vec<ComparisonRow> {
 // ---------------------------------------------------------------------------
 
 /// One performance measurement (a point on Figures 9–12).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PerfRow {
     /// Which search produced the row (`A*-Repair` / `Best-First-Repair`).
     pub algorithm: String,
@@ -370,7 +426,7 @@ pub fn effect_of_tau(scale: Scale) -> Vec<PerfRow> {
 // ---------------------------------------------------------------------------
 
 /// One point of Figure 13.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiRepairRow {
     /// Strategy (`Range-Repair` or `Sampling-Repair`).
     pub algorithm: String,

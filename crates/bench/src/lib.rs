@@ -24,6 +24,7 @@
 //! paper-sized configuration instead.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod workloads;
 

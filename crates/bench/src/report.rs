@@ -1,6 +1,6 @@
 //! Rendering experiment results as aligned text tables and JSON reports.
 
-use serde::Serialize;
+use crate::json::ToJson;
 use std::path::PathBuf;
 
 /// Renders a simple aligned table (header + rows) for terminal output.
@@ -48,10 +48,9 @@ pub fn report_dir() -> PathBuf {
 
 /// Serializes an experiment's rows to `target/experiments/<name>.json`.
 /// Returns the path on success.
-pub fn write_json_report<T: Serialize>(name: &str, rows: &T) -> Option<PathBuf> {
+pub fn write_json_report<T: ToJson + ?Sized>(name: &str, rows: &T) -> Option<PathBuf> {
     let path = report_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(rows).ok()?;
-    std::fs::write(&path, json).ok()?;
+    std::fs::write(&path, rows.to_json()).ok()?;
     Some(path)
 }
 
@@ -86,11 +85,11 @@ mod tests {
 
     #[test]
     fn json_report_round_trips() {
-        #[derive(Serialize)]
         struct Row {
             x: usize,
             y: f64,
         }
+        crate::impl_to_json!(Row { x, y });
         let rows = vec![Row { x: 1, y: 0.5 }, Row { x: 2, y: 0.25 }];
         let path = write_json_report("unit_test_report", &rows).expect("report written");
         let text = std::fs::read_to_string(&path).unwrap();

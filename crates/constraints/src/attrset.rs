@@ -7,11 +7,10 @@
 //! relations at 64 attributes; the paper's widest experiment uses 34).
 
 use rt_relation::AttrId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of attributes of one relation schema, stored as a 64-bit mask.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct AttrSet(u64);
 
 impl AttrSet {

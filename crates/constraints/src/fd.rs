@@ -10,11 +10,10 @@
 
 use crate::attrset::AttrSet;
 use rt_relation::{AttrId, Instance, Schema, Tuple};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A functional dependency `X → A`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fd {
     /// Left-hand side attribute set `X`.
     pub lhs: AttrSet,
@@ -116,7 +115,7 @@ impl fmt::Display for Fd {
 /// extensions, indexed by position in this set. Duplicate FDs are allowed
 /// (the paper normalizes `|Σ'| = |Σ|` by keeping duplicates when two FDs
 /// collapse to the same relaxation).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct FdSet {
     fds: Vec<Fd>,
 }

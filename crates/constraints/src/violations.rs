@@ -22,12 +22,12 @@
 use crate::attrset::AttrSet;
 use crate::fd::FdSet;
 use rt_graph::UndirectedGraph;
+use rt_par::{par_map_indexed, Parallelism};
 use rt_relation::Instance;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One conflict-graph edge: a pair of tuples violating at least one FD.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictEdge {
     /// Row indices of the two conflicting tuples (`rows.0 < rows.1`).
     pub rows: (usize, usize),
@@ -53,7 +53,7 @@ impl ConflictEdge {
 }
 
 /// A difference set together with the number of conflict edges carrying it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DifferenceSet {
     /// Attributes on which the tuples of these edges differ.
     pub attrs: AttrSet,
@@ -75,7 +75,7 @@ impl DifferenceSet {
 
 /// All distinct difference sets of a conflict graph, sorted by decreasing
 /// edge count (the A* heuristic prefers "heavy" difference sets first).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DifferenceSetIndex {
     sets: Vec<DifferenceSet>,
 }
@@ -110,7 +110,7 @@ impl DifferenceSetIndex {
 /// The conflict graph of an instance with respect to an FD set, enriched with
 /// difference sets so questions about *relaxations* of that FD set can be
 /// answered without touching the data again.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictGraph {
     row_count: usize,
     edges: Vec<ConflictEdge>,
@@ -125,22 +125,45 @@ impl ConflictGraph {
     /// but different sub-classes. Edges found for several FDs are merged and
     /// labelled with every violated FD.
     pub fn build(instance: &Instance, fds: &FdSet) -> Self {
-        use rt_relation::Value;
-        let mut edge_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        Self::build_with(instance, fds, Parallelism::Serial)
+    }
 
+    /// [`ConflictGraph::build`] with an explicit [`Parallelism`] setting.
+    ///
+    /// The construction is split into three phases so the quadratic part can
+    /// fan out over worker threads:
+    ///
+    /// 1. **blocking** (serial, linear): per FD, partition rows by LHS
+    ///    projection and sub-partition each class by RHS value; every class
+    ///    with ≥ 2 sub-classes becomes one *block* of pending pair scans;
+    /// 2. **pair scans** (parallel over blocks): each block emits its
+    ///    cross-sub-class row pairs independently — blocks never share
+    ///    mutable state;
+    /// 3. **merge + labelling** (deterministic): pair lists are merged into
+    ///    one edge map in block order, then the per-edge difference sets are
+    ///    computed in parallel over the *sorted* edge list.
+    ///
+    /// Because the final edge list is sorted by row pair and FD labels are
+    /// sorted and deduplicated, the result is bit-identical for every
+    /// `Parallelism` setting (covered by the workspace determinism tests).
+    pub fn build_with(instance: &Instance, fds: &FdSet, par: Parallelism) -> Self {
+        use rt_relation::Value;
+
+        // Phase 1: blocking. A block is the list of RHS sub-classes of one
+        // LHS class of one FD; sub-classes are kept in first-row order so the
+        // block list itself is deterministic.
+        let mut blocks: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
         for (fd_idx, fd) in fds.iter() {
             let lhs_attrs = fd.lhs.to_vec();
-            // Partition rows by LHS projection.
             let mut by_lhs: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
             for (row, tuple) in instance.tuples() {
                 let key: Vec<&Value> = lhs_attrs.iter().map(|a| tuple.get(*a)).collect();
                 by_lhs.entry(key).or_default().push(row);
             }
-            for class in by_lhs.into_values() {
-                if class.len() < 2 {
-                    continue;
-                }
-                // Sub-partition by RHS value.
+            let mut classes: Vec<Vec<usize>> =
+                by_lhs.into_values().filter(|c| c.len() >= 2).collect();
+            classes.sort_by_key(|c| c[0]);
+            for class in classes {
                 let mut by_rhs: HashMap<&Value, Vec<usize>> = HashMap::new();
                 for &row in &class {
                     by_rhs.entry(instance.tuple_unchecked(row).get(fd.rhs)).or_default().push(row);
@@ -148,35 +171,52 @@ impl ConflictGraph {
                 if by_rhs.len() < 2 {
                     continue;
                 }
-                let sub_classes: Vec<Vec<usize>> = by_rhs.into_values().collect();
-                // Every pair of rows in different sub-classes violates the FD.
-                for i in 0..sub_classes.len() {
-                    for j in (i + 1)..sub_classes.len() {
-                        for &u in &sub_classes[i] {
-                            for &v in &sub_classes[j] {
-                                let key = (u.min(v), u.max(v));
-                                edge_map.entry(key).or_default().push(fd_idx);
-                            }
+                let mut sub_classes: Vec<Vec<usize>> = by_rhs.into_values().collect();
+                sub_classes.sort_by_key(|c| c[0]);
+                blocks.push((fd_idx, sub_classes));
+            }
+        }
+
+        // Phase 2: per-block pair scans, fanned out over worker threads.
+        // Every pair of rows in different sub-classes violates the FD.
+        let per_block: Vec<Vec<(usize, usize)>> = par_map_indexed(par, blocks.len(), |b| {
+            let (_, sub_classes) = &blocks[b];
+            let mut pairs = Vec::new();
+            for i in 0..sub_classes.len() {
+                for j in (i + 1)..sub_classes.len() {
+                    for &u in &sub_classes[i] {
+                        for &v in &sub_classes[j] {
+                            pairs.push((u.min(v), u.max(v)));
                         }
                     }
                 }
             }
+            pairs
+        });
+
+        // Phase 3a: deterministic merge, in block order.
+        let mut edge_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for ((fd_idx, _), pairs) in blocks.iter().zip(per_block) {
+            for pair in pairs {
+                edge_map.entry(pair).or_default().push(*fd_idx);
+            }
         }
 
-        let mut edges: Vec<ConflictEdge> = edge_map
-            .into_iter()
-            .map(|((u, v), mut violated)| {
-                violated.sort_unstable();
-                violated.dedup();
-                let diff = AttrSet::from_attrs(
-                    instance
-                        .tuple_unchecked(u)
-                        .differing_attrs(instance.tuple_unchecked(v)),
-                );
-                ConflictEdge { rows: (u, v), violated_fds: violated, difference_set: diff }
-            })
-            .collect();
-        edges.sort_by_key(|e| e.rows);
+        // Phase 3b: sort the edge keys, then label edges in parallel (the
+        // difference-set computation walks both tuples, which dominates for
+        // wide schemas).
+        let mut keyed: Vec<((usize, usize), Vec<usize>)> = edge_map.into_iter().collect();
+        keyed.sort_unstable_by_key(|(rows, _)| *rows);
+        let edges: Vec<ConflictEdge> = par_map_indexed(par, keyed.len(), |i| {
+            let ((u, v), violated) = &keyed[i];
+            let mut violated = violated.clone();
+            violated.sort_unstable();
+            violated.dedup();
+            let diff = AttrSet::from_attrs(
+                instance.tuple_unchecked(*u).differing_attrs(instance.tuple_unchecked(*v)),
+            );
+            ConflictEdge { rows: (*u, *v), violated_fds: violated, difference_set: diff }
+        });
         ConflictGraph { row_count: instance.len(), edges }
     }
 
@@ -215,9 +255,18 @@ impl ConflictGraph {
     /// This is sound and complete for relaxations: every pair violating `Σ'`
     /// also violates `Σ` and is therefore among the stored edges.
     pub fn subgraph_for(&self, relaxed: &FdSet) -> UndirectedGraph {
+        self.subgraph_for_with(relaxed, Parallelism::Serial)
+    }
+
+    /// [`ConflictGraph::subgraph_for`] with an explicit [`Parallelism`]
+    /// setting: the per-edge violation tests fan out over worker threads and
+    /// surviving edges are inserted in their original (sorted) order, so the
+    /// result is identical for every setting.
+    pub fn subgraph_for_with(&self, relaxed: &FdSet, par: Parallelism) -> UndirectedGraph {
+        let keep = par_map_indexed(par, self.edges.len(), |i| self.edges[i].violates_any(relaxed));
         let mut g = UndirectedGraph::with_vertices(self.row_count);
-        for e in &self.edges {
-            if e.violates_any(relaxed) {
+        for (e, keep) in self.edges.iter().zip(keep) {
+            if keep {
                 g.add_edge(e.rows.0, e.rows.1);
             }
         }

@@ -8,7 +8,7 @@
 //!    graph of `(I, Σ')` — the tuples outside the cover already satisfy `Σ'`
 //!    pairwise and are never touched;
 //! 2. for each covered tuple, walk its attributes in random order, keeping a
-//!    candidate assignment ([`find_assignment`], Algorithm 5) that agrees
+//!    candidate assignment (`find_assignment`, Algorithm 5) that agrees
 //!    with the already-fixed attributes and is consistent with every clean
 //!    tuple; whenever fixing the next attribute would make consistency
 //!    impossible, overwrite that attribute with the candidate's value
@@ -23,8 +23,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rt_constraints::{ConflictGraph, FdSet};
-use rt_graph::approx_vertex_cover;
-use rt_relation::{AttrId, CellRef, Instance, Tuple, Value};
+use rt_graph::{approx_vertex_cover, approx_vertex_cover_with, UndirectedGraph};
+use rt_par::{par_map_coarse, Parallelism};
+use rt_relation::{AttrId, CellRef, Instance, Tuple, Value, VarId};
 use std::collections::{BTreeSet, HashMap};
 
 /// Outcome of a data repair.
@@ -77,6 +78,72 @@ impl CleanIndex {
     }
 }
 
+/// A [`CleanIndex`] layered over a shared, frozen base: lookups consult the
+/// unit's own repaired tuples first, then the initially-clean tuples.
+///
+/// This is what lets repair units (connected components of the conflict
+/// graph) run on worker threads: the base is read-only and shared, the
+/// overlay is private to the unit.
+struct ScopedIndex<'a> {
+    base: &'a CleanIndex,
+    local: CleanIndex,
+}
+
+impl<'a> ScopedIndex<'a> {
+    fn new(base: &'a CleanIndex, fds: &FdSet) -> Self {
+        ScopedIndex { base, local: CleanIndex::new(fds) }
+    }
+
+    fn insert_tuple(&mut self, fds: &FdSet, tuple: &Tuple) {
+        self.local.insert_tuple(fds, tuple);
+    }
+
+    fn forced_rhs(&self, fds: &FdSet, fd_idx: usize, candidate: &Tuple) -> Option<&Value> {
+        self.local
+            .forced_rhs(fds, fd_idx, candidate)
+            .or_else(|| self.base.forced_rhs(fds, fd_idx, candidate))
+    }
+}
+
+/// Hands out fresh V-instance variables from a private id namespace.
+///
+/// Worker threads cannot share the instance's variable counters, so each
+/// repair unit allocates *scratch* variables starting at `base[attr]` (one
+/// past the largest id already present in the instance's columns). After the
+/// units finish, [`apply_units`] remaps every scratch variable to a real
+/// fresh variable of the output instance, in deterministic order.
+struct VarAlloc {
+    next: Vec<u32>,
+}
+
+impl VarAlloc {
+    /// Scans `instance` for the largest variable id per attribute, so scratch
+    /// ids can never collide with pre-existing variables.
+    fn scratch_base(instance: &Instance) -> Vec<u32> {
+        let mut base = vec![0u32; instance.schema().arity()];
+        for (_, tuple) in instance.tuples() {
+            for i in 0..tuple.arity() {
+                if let Value::Var(vid) = tuple.get(AttrId(i as u16)) {
+                    let slot = &mut base[vid.attr as usize];
+                    *slot = (*slot).max(vid.id.saturating_add(1));
+                }
+            }
+        }
+        base
+    }
+
+    fn new(base: Vec<u32>) -> Self {
+        VarAlloc { next: base }
+    }
+
+    fn fresh(&mut self, attr: AttrId) -> Value {
+        let c = &mut self.next[attr.index()];
+        let id = *c;
+        *c += 1;
+        Value::Var(VarId::new(attr.0, id))
+    }
+}
+
 /// Algorithm 5 (`Find_Assignment`): tries to complete `tuple` into an
 /// assignment that keeps the attributes in `fixed` unchanged and does not
 /// violate any FD against the clean tuples indexed in `index`.
@@ -89,8 +156,8 @@ fn find_assignment(
     tuple: &Tuple,
     fixed: &BTreeSet<AttrId>,
     fds: &FdSet,
-    index: &CleanIndex,
-    instance: &mut Instance,
+    index: &ScopedIndex<'_>,
+    vars: &mut VarAlloc,
 ) -> Option<Tuple> {
     let arity = tuple.arity();
     let mut fixed = fixed.clone();
@@ -100,7 +167,7 @@ fn find_assignment(
         if fixed.contains(&attr) {
             candidate.set(attr, tuple.get(attr).clone());
         } else {
-            candidate.set(attr, instance.fresh_var(attr));
+            candidate.set(attr, vars.fresh(attr));
         }
     }
     // Iterate to a fixpoint; each round either returns, or fixes one more
@@ -137,20 +204,135 @@ pub fn repair_data(instance: &Instance, fds: &FdSet, seed: u64) -> DataRepairOut
     repair_data_with_cover(instance, fds, &cover_rows, seed)
 }
 
+/// [`repair_data`] with an explicit [`Parallelism`] setting: conflict-graph
+/// construction, vertex cover and the per-component repair all fan out over
+/// worker threads. Bit-identical to itself under every setting.
+pub fn repair_data_par(
+    instance: &Instance,
+    fds: &FdSet,
+    seed: u64,
+    par: Parallelism,
+) -> DataRepairOutcome {
+    let conflict = ConflictGraph::build_with(instance, fds, par);
+    let graph = conflict.to_graph();
+    let cover = approx_vertex_cover_with(&graph, par);
+    let cover_rows: Vec<usize> = cover.iter().collect();
+    repair_data_with_cover_and_graph(instance, fds, &cover_rows, seed, par, &graph)
+}
+
 /// Same as [`repair_data`] but reuses a previously computed vertex cover of
 /// the conflict graph of `(instance, fds)` (for example the one produced by
 /// the FD-modification search).
+///
+/// This is the paper's sequential Algorithm 4: one pass over the cover in
+/// random order, each repaired tuple immediately joining the clean set.
 pub fn repair_data_with_cover(
     instance: &Instance,
     fds: &FdSet,
     cover_rows: &[usize],
     seed: u64,
 ) -> DataRepairOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut repaired = instance.clone();
-    let all_attrs: Vec<AttrId> = instance.schema().attr_ids().collect();
+    // The whole cover forms a single repair unit with the caller's seed —
+    // exactly the sequential algorithm.
+    let base = build_clean_index(instance, fds, cover_rows);
+    let scratch = VarAlloc::scratch_base(instance);
+    let unit = repair_unit(instance, fds, cover_rows, &base, &scratch, seed);
+    apply_units(instance, vec![unit], &scratch, cover_rows.len())
+}
 
-    // Index of the clean tuples (everything outside the cover).
+/// Component-parallel variant of [`repair_data_with_cover`] (the tentpole of
+/// the parallel execution layer).
+///
+/// The cover rows are grouped by connected component of the conflict graph
+/// of `(instance, fds)`; components are independent repair units that run on
+/// worker threads against the shared frozen index of the initially-clean
+/// tuples, then merge deterministically (components ordered by smallest row,
+/// scratch variables renumbered in merge order).
+///
+/// **Determinism.** The unit decomposition, per-unit seeds, merge order and
+/// variable renumbering depend only on the inputs — never on thread
+/// scheduling — so every `Parallelism` setting produces bit-identical
+/// output (`Serial` simply runs the same units on the calling thread).
+///
+/// **Soundness.** Units cannot see each other's repaired tuples, and with
+/// several overlapping FDs two tuples from different components could in
+/// principle be steered into a *new* joint violation (each copying the same
+/// clean value into a shared LHS). The sequential algorithm excludes this by
+/// construction, so after merging we verify `Σ'` actually holds; in the rare
+/// failure case the sequential path is rerun as the authoritative answer.
+/// The check is itself deterministic, so the guarantee above still holds.
+pub fn repair_data_with_cover_par(
+    instance: &Instance,
+    fds: &FdSet,
+    cover_rows: &[usize],
+    seed: u64,
+    par: Parallelism,
+) -> DataRepairOutcome {
+    let graph = ConflictGraph::build_with(instance, fds, par).to_graph();
+    repair_data_with_cover_and_graph(instance, fds, cover_rows, seed, par, &graph)
+}
+
+/// Below this many cover rows the component fan-out runs inline: repairing a
+/// tuple is cheap, so thread spawns would dominate.
+const MIN_COVER_ROWS_FOR_PARALLEL: usize = 64;
+
+/// [`repair_data_with_cover_par`] for callers that already hold the
+/// (violating) conflict graph of `(instance, fds)` — e.g. the FD search,
+/// whose `RepairProblem` answers any relaxation's subgraph from the stored
+/// difference sets without touching the data again.
+pub fn repair_data_with_cover_and_graph(
+    instance: &Instance,
+    fds: &FdSet,
+    cover_rows: &[usize],
+    seed: u64,
+    par: Parallelism,
+    graph: &UndirectedGraph,
+) -> DataRepairOutcome {
+    // Group cover rows by connected component of the conflict graph.
+    let components = graph.connected_components();
+    let cover_set: BTreeSet<usize> = cover_rows.iter().copied().collect();
+    let mut units: Vec<Vec<usize>> = components
+        .iter()
+        .map(|c| c.iter().copied().filter(|r| cover_set.contains(r)).collect::<Vec<usize>>())
+        .filter(|u| !u.is_empty())
+        .collect();
+    // Defensive: cover rows outside the conflict graph (possible when the
+    // caller passes a stale cover) form one trailing unit.
+    let in_units: BTreeSet<usize> = units.iter().flatten().copied().collect();
+    let rest: Vec<usize> = cover_rows.iter().copied().filter(|r| !in_units.contains(r)).collect();
+    if !rest.is_empty() {
+        units.push(rest);
+    }
+
+    let base = build_clean_index(instance, fds, cover_rows);
+    let scratch = VarAlloc::scratch_base(instance);
+    // Units are coarse, few and size-skewed, so bypass `par_map_indexed`'s
+    // per-item cutoff; the work-size gate (cover rows, an input property)
+    // keeps tiny repairs inline.
+    let unit_par =
+        if cover_rows.len() < MIN_COVER_ROWS_FOR_PARALLEL { Parallelism::Serial } else { par };
+    let unit_results: Vec<Vec<(usize, Tuple)>> = par_map_coarse(unit_par, units.len(), |u| {
+        // Distinct, deterministic per-unit seed streams (the shim's
+        // `seed_from_u64` scrambles, so XORing the index is safe).
+        let unit_seed = seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        repair_unit(instance, fds, &units[u], &base, &scratch, unit_seed)
+    });
+    let unit_count = unit_results.len();
+    let merged = apply_units(instance, unit_results, &scratch, cover_rows.len());
+
+    // Units repaired in isolation: verify no *cross-unit* violation crept
+    // in, falling back to the sequential algorithm when one did. A single
+    // unit IS the sequential algorithm, and the check itself is the
+    // near-linear partition-based one (not the quadratic `holds_on`).
+    if unit_count <= 1 || ConflictGraph::build_with(&merged.repaired, fds, par).is_empty() {
+        merged
+    } else {
+        repair_data_with_cover(instance, fds, cover_rows, seed)
+    }
+}
+
+/// Indexes the initially-clean tuples (everything outside the cover).
+fn build_clean_index(instance: &Instance, fds: &FdSet, cover_rows: &[usize]) -> CleanIndex {
     let cover_set: BTreeSet<usize> = cover_rows.iter().copied().collect();
     let mut index = CleanIndex::new(fds);
     for (row, tuple) in instance.tuples() {
@@ -158,13 +340,32 @@ pub fn repair_data_with_cover(
             index.insert_tuple(fds, tuple);
         }
     }
+    index
+}
+
+/// Repairs one unit (a set of cover rows) against the frozen clean index,
+/// returning the repaired tuples in processing order. Scratch variables are
+/// allocated from `scratch_base`; [`apply_units`] renumbers them.
+fn repair_unit(
+    instance: &Instance,
+    fds: &FdSet,
+    rows: &[usize],
+    base_index: &CleanIndex,
+    scratch_base: &[u32],
+    seed: u64,
+) -> Vec<(usize, Tuple)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all_attrs: Vec<AttrId> = instance.schema().attr_ids().collect();
+    let mut index = ScopedIndex::new(base_index, fds);
+    let mut vars = VarAlloc::new(scratch_base.to_vec());
 
     // Process covered tuples in random order.
-    let mut order: Vec<usize> = cover_rows.to_vec();
+    let mut order: Vec<usize> = rows.to_vec();
     order.shuffle(&mut rng);
 
+    let mut out = Vec::with_capacity(order.len());
     for &row in &order {
-        let original = repaired.tuple_unchecked(row).clone();
+        let original = instance.tuple_unchecked(row).clone();
         let mut working = original.clone();
 
         // Random attribute order; the first attribute is only "anchored"
@@ -174,12 +375,12 @@ pub fn repair_data_with_cover(
         let mut fixed: BTreeSet<AttrId> = BTreeSet::new();
         fixed.insert(attr_order[0]);
 
-        let mut last_valid = find_assignment(&working, &fixed, fds, &index, &mut repaired)
+        let mut last_valid = find_assignment(&working, &fixed, fds, &index, &mut vars)
             .expect("an assignment always exists when a single attribute is fixed");
 
         for &attr in &attr_order[1..] {
             fixed.insert(attr);
-            match find_assignment(&working, &fixed, fds, &index, &mut repaired) {
+            match find_assignment(&working, &fixed, fds, &index, &mut vars) {
                 Some(assignment) => {
                     last_valid = assignment;
                 }
@@ -195,20 +396,49 @@ pub fn repair_data_with_cover(
         }
 
         // All attributes fixed: `working` equals the last valid assignment
-        // and is consistent with every clean tuple.
-        for &attr in &all_attrs {
-            let v = working.get(attr).clone();
-            repaired.set_cell(CellRef::new(row, attr), v).expect("row exists");
-        }
-        // The tuple joins the clean set.
-        index.insert_tuple(fds, repaired.tuple_unchecked(row));
+        // and is consistent with every clean tuple. It joins the unit's
+        // clean set.
+        index.insert_tuple(fds, &working);
+        out.push((row, working));
     }
+    out
+}
 
+/// Writes the units' repaired tuples into a copy of `instance`, renumbering
+/// scratch variables to real fresh variables in deterministic (unit, tuple,
+/// attribute) order, and computes the changed-cell diff.
+fn apply_units(
+    instance: &Instance,
+    units: Vec<Vec<(usize, Tuple)>>,
+    scratch_base: &[u32],
+    cover_size: usize,
+) -> DataRepairOutcome {
+    let mut repaired = instance.clone();
+    let all_attrs: Vec<AttrId> = instance.schema().attr_ids().collect();
+    for unit in units {
+        // Scratch variables are scoped per unit: the same scratch id in two
+        // units names two different variables.
+        let mut remap: HashMap<VarId, Value> = HashMap::new();
+        for (row, tuple) in unit {
+            for &attr in &all_attrs {
+                let mut v = tuple.get(attr).clone();
+                if let Value::Var(vid) = v {
+                    if vid.id >= scratch_base[vid.attr as usize] {
+                        v = remap
+                            .entry(vid)
+                            .or_insert_with(|| repaired.fresh_var(AttrId(vid.attr)))
+                            .clone();
+                    }
+                }
+                repaired.set_cell(CellRef::new(row, attr), v).expect("row exists");
+            }
+        }
+    }
     let changed_cells = instance
         .diff(&repaired)
         .expect("repair preserves schema and tuple count")
         .changed_cells;
-    DataRepairOutcome { repaired, changed_cells, cover_size: cover_rows.len() }
+    DataRepairOutcome { repaired, changed_cells, cover_size }
 }
 
 #[cfg(test)]

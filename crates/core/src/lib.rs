@@ -56,8 +56,9 @@ pub mod repair;
 pub mod search;
 pub mod state;
 
-pub use data_repair::{repair_data, DataRepairOutcome};
+pub use data_repair::{repair_data, repair_data_par, DataRepairOutcome};
 pub use multi::{find_repairs_range, find_repairs_sampling, MultiRepairOutcome};
+pub use rt_par::Parallelism;
 pub use problem::{RepairProblem, WeightKind};
 pub use repair::{repair_data_fds, repair_data_fds_relative, Repair};
 pub use search::{

@@ -10,12 +10,13 @@
 //! the range, `τ` is tightened to `δ_P − 1`, heuristic values are refreshed,
 //! and the traversal simply continues until the range is exhausted.
 
-use crate::data_repair::repair_data_with_cover;
+use crate::data_repair::repair_data_with_cover_and_graph;
 use crate::heuristic::goal_cost_estimate;
 use crate::problem::RepairProblem;
 use crate::repair::Repair;
 use crate::search::{modify_fds_astar, FdRepair, SearchConfig, SearchStats};
 use crate::state::RepairState;
+use rt_par::{par_map_coarse, par_map_indexed, Parallelism};
 use std::time::Instant;
 
 /// An FD repair annotated with the relative-trust interval it covers: every
@@ -41,28 +42,49 @@ impl MultiRepairOutcome {
     /// Materializes the corresponding data repairs (one per FD repair) using
     /// Algorithm 4.
     pub fn materialize(&self, problem: &RepairProblem, seed: u64) -> Vec<Repair> {
-        self.repairs
-            .iter()
-            .map(|ranged| {
-                let fd_repair = &ranged.repair;
-                let data = repair_data_with_cover(
-                    problem.instance(),
-                    &fd_repair.fd_set,
-                    &fd_repair.cover_rows,
-                    seed,
-                );
-                Repair {
-                    tau: ranged.tau_range.1,
-                    state: fd_repair.state.clone(),
-                    modified_fds: fd_repair.fd_set.clone(),
-                    dist_c: fd_repair.dist_c,
-                    delta_p: fd_repair.delta_p,
-                    repaired_instance: data.repaired,
-                    changed_cells: data.changed_cells,
-                    search_stats: self.stats,
-                }
-            })
-            .collect()
+        self.materialize_with(problem, seed, Parallelism::Serial)
+    }
+
+    /// [`MultiRepairOutcome::materialize`] with an explicit [`Parallelism`]
+    /// setting: the repairs of the spectrum are independent, so each
+    /// materialization runs on its own worker thread (and each uses the
+    /// component-parallel Algorithm 4 internally when it gets a slot).
+    /// Bit-identical for every setting.
+    pub fn materialize_with(
+        &self,
+        problem: &RepairProblem,
+        seed: u64,
+        par: Parallelism,
+    ) -> Vec<Repair> {
+        // With a single repair the fan-out is over components inside
+        // Algorithm 4 instead; with several, one thread per repair avoids
+        // oversubscription. Either way the choice depends only on the input.
+        let inner = if self.repairs.len() <= 1 { par } else { Parallelism::Serial };
+        par_map_coarse(par, self.repairs.len(), |i| {
+            let ranged = &self.repairs[i];
+            let fd_repair = &ranged.repair;
+            // The stored conflict graph answers each relaxation's violating
+            // subgraph from difference sets — no rescan of the data.
+            let violating = problem.violating_subgraph_with(&fd_repair.state, inner);
+            let data = repair_data_with_cover_and_graph(
+                problem.instance(),
+                &fd_repair.fd_set,
+                &fd_repair.cover_rows,
+                seed,
+                inner,
+                &violating,
+            );
+            Repair {
+                tau: ranged.tau_range.1,
+                state: fd_repair.state.clone(),
+                modified_fds: fd_repair.fd_set.clone(),
+                dist_c: fd_repair.dist_c,
+                delta_p: fd_repair.delta_p,
+                repaired_instance: data.repaired,
+                changed_cells: data.changed_cells,
+                search_stats: self.stats,
+            }
+        })
     }
 }
 
@@ -116,7 +138,7 @@ pub fn find_repairs_range(
         stats.states_expanded += 1;
         let state = entry.state;
 
-        let cover = problem.cover_for(&state);
+        let cover = problem.cover_for_with(&state, config.parallelism);
         let delta_p = cover.len() * problem.alpha();
         if (delta_p as i64) <= tau {
             // Goal for the current τ: record it and tighten the budget.
@@ -137,15 +159,24 @@ pub fn find_repairs_range(
                 current_upper = tau as usize;
             }
             // Refresh heuristic values for the tightened budget; states with
-            // no goal descendant any more are dropped.
+            // no goal descendant any more are dropped. Entries are
+            // independent, so the re-estimates fan out over worker threads
+            // and surviving entries keep their original order.
             if tau >= 0 {
                 let new_tau = tau as usize;
+                let refreshed: Vec<(Option<f64>, usize)> =
+                    par_map_indexed(config.parallelism, open.len(), |i| {
+                        let h =
+                            goal_cost_estimate(problem, &open[i].state, new_tau, &config.heuristic);
+                        (h.lower_bound, h.nodes)
+                    });
+                let mut keep = refreshed.iter();
                 open.retain_mut(|e| {
-                    let h = goal_cost_estimate(problem, &e.state, new_tau, &config.heuristic);
-                    stats.heuristic_nodes += h.nodes;
-                    match h.lower_bound {
+                    let (lb, nodes) = keep.next().expect("one refresh result per entry");
+                    stats.heuristic_nodes += nodes;
+                    match lb {
                         Some(lb) => {
-                            e.priority = lb;
+                            e.priority = *lb;
                             true
                         }
                         None => false,
@@ -162,13 +193,18 @@ pub fn find_repairs_range(
 
         // Expand children (both for goal and non-goal states; a goal's
         // children are where strictly cheaper-data / costlier-FD repairs
-        // live).
+        // live). Like the refresh, the child estimates are independent.
         let new_tau = tau.max(0) as usize;
-        for child in state.children(problem.sigma(), problem.arity()) {
-            let cost = problem.dist_c(&child);
-            let h = goal_cost_estimate(problem, &child, new_tau, &config.heuristic);
-            stats.heuristic_nodes += h.nodes;
-            if let Some(lb) = h.lower_bound {
+        let children = state.children(problem.sigma(), problem.arity());
+        let estimates: Vec<(f64, Option<f64>, usize)> =
+            par_map_indexed(config.parallelism, children.len(), |i| {
+                let cost = problem.dist_c(&children[i]);
+                let h = goal_cost_estimate(problem, &children[i], new_tau, &config.heuristic);
+                (cost, h.lower_bound, h.nodes)
+            });
+        for (child, (cost, lb, nodes)) in children.into_iter().zip(estimates) {
+            stats.heuristic_nodes += nodes;
+            if let Some(lb) = lb {
                 stats.states_generated += 1;
                 open.push(RangeEntry { state: child, priority: lb, cost });
             }
@@ -182,6 +218,12 @@ pub fn find_repairs_range(
 /// The naive comparator ("Sampling-Repair"): run the single-τ A* search at
 /// every `τ` in `{tau_low, tau_low + step, ...} ∪ {tau_high}` and keep the
 /// distinct results.
+///
+/// The per-τ searches are completely independent, so they fan out over
+/// worker threads (`config.parallelism`), one τ per slot; results are merged
+/// in descending-τ order, so the outcome is bit-identical to the serial
+/// sweep. Each inner search runs serially to avoid oversubscription — the
+/// sweep itself is the coarsest available unit of work.
 pub fn find_repairs_sampling(
     problem: &RepairProblem,
     tau_low: usize,
@@ -201,8 +243,12 @@ pub fn find_repairs_sampling(
     // Descending: mirrors Range-Repair's order (largest budget first).
     taus.reverse();
 
-    for tau in taus {
-        let outcome = modify_fds_astar(problem, tau, config);
+    let inner = SearchConfig { parallelism: Parallelism::Serial, ..*config };
+    let outcomes = par_map_coarse(config.parallelism, taus.len(), |i| {
+        modify_fds_astar(problem, taus[i], &inner)
+    });
+
+    for (tau, outcome) in taus.into_iter().zip(outcomes) {
         stats.states_expanded += outcome.stats.states_expanded;
         stats.states_generated += outcome.stats.states_generated;
         stats.heuristic_nodes += outcome.stats.heuristic_nodes;

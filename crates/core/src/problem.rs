@@ -12,7 +12,8 @@ use crate::state::RepairState;
 use rt_constraints::{
     AttrCountWeight, AttrSet, ConflictGraph, DistinctCountWeight, EntropyWeight, FdSet, Weight,
 };
-use rt_graph::{approx_vertex_cover, UndirectedGraph, VertexCover};
+use rt_graph::{approx_vertex_cover_with, UndirectedGraph, VertexCover};
+use rt_par::Parallelism;
 use rt_relation::Instance;
 use std::sync::Arc;
 
@@ -56,17 +57,40 @@ impl RepairProblem {
 
     /// Prepares a repair problem with an explicit weighting function.
     pub fn with_weight(instance: &Instance, sigma: &FdSet, weight: WeightKind) -> Self {
+        Self::with_weight_par(instance, sigma, weight, Parallelism::Serial)
+    }
+
+    /// [`RepairProblem::with_weight`] with an explicit [`Parallelism`]
+    /// setting: the conflict-graph construction — the expensive,
+    /// data-dependent part of problem setup — fans out over worker threads.
+    pub fn with_weight_par(
+        instance: &Instance,
+        sigma: &FdSet,
+        weight: WeightKind,
+        par: Parallelism,
+    ) -> Self {
         let w: Arc<dyn Weight> = match weight {
             WeightKind::AttrCount => Arc::new(AttrCountWeight),
             WeightKind::DistinctCount => Arc::new(DistinctCountWeight::new(instance)),
             WeightKind::Entropy => Arc::new(EntropyWeight::new(instance)),
         };
-        Self::with_weight_fn(instance, sigma, w)
+        Self::with_weight_fn_par(instance, sigma, w, par)
     }
 
     /// Prepares a repair problem with a caller-supplied weighting function.
     pub fn with_weight_fn(instance: &Instance, sigma: &FdSet, weight: Arc<dyn Weight>) -> Self {
-        let conflict = ConflictGraph::build(instance, sigma);
+        Self::with_weight_fn_par(instance, sigma, weight, Parallelism::Serial)
+    }
+
+    /// [`RepairProblem::with_weight_fn`] with an explicit [`Parallelism`]
+    /// setting.
+    pub fn with_weight_fn_par(
+        instance: &Instance,
+        sigma: &FdSet,
+        weight: Arc<dyn Weight>,
+        par: Parallelism,
+    ) -> Self {
+        let conflict = ConflictGraph::build_with(instance, sigma, par);
         let diff_groups = Self::group_by_difference_set(&conflict);
         let arity = instance.schema().arity();
         let alpha = (arity.saturating_sub(1)).min(sigma.len()).max(1);
@@ -140,9 +164,23 @@ impl RepairProblem {
         self.conflict.subgraph_for(&self.relaxed_fds(state))
     }
 
+    /// [`RepairProblem::violating_subgraph`] with an explicit
+    /// [`Parallelism`] setting for the per-edge violation tests.
+    pub fn violating_subgraph_with(&self, state: &RepairState, par: Parallelism) -> UndirectedGraph {
+        self.conflict.subgraph_for_with(&self.relaxed_fds(state), par)
+    }
+
     /// 2-approximate minimum vertex cover of the still-violating subgraph.
     pub fn cover_for(&self, state: &RepairState) -> VertexCover {
-        approx_vertex_cover(&self.violating_subgraph(state))
+        self.cover_for_with(state, Parallelism::Serial)
+    }
+
+    /// [`RepairProblem::cover_for`] with an explicit [`Parallelism`] setting:
+    /// both the edge filtering and the per-component cover computation fan
+    /// out over worker threads. Bit-identical for every setting.
+    pub fn cover_for_with(&self, state: &RepairState, par: Parallelism) -> VertexCover {
+        let subgraph = self.conflict.subgraph_for_with(&self.relaxed_fds(state), par);
+        approx_vertex_cover_with(&subgraph, par)
     }
 
     /// `δ_P(Σ', I) = α · |C2opt(Σ', I)|` — the P-approximate upper bound on

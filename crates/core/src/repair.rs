@@ -7,7 +7,7 @@
 //! is a *P-approximate τ-constrained repair* with
 //! `P = 2 · min(|R|-1, |Σ|)` (Definition 5).
 
-use crate::data_repair::{repair_data_with_cover, DataRepairOutcome};
+use crate::data_repair::{repair_data_with_cover_and_graph, DataRepairOutcome};
 use crate::problem::RepairProblem;
 use crate::search::{run_search, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats};
 use crate::state::RepairState;
@@ -80,11 +80,17 @@ pub fn repair_data_fds_with(
 ) -> Option<Repair> {
     let FdRepairOutcome { repair, stats } = run_search(problem, tau, config, algorithm);
     let fd_repair = repair?;
-    let data: DataRepairOutcome = repair_data_with_cover(
+    // The violating subgraph of the chosen relaxation doubles as the
+    // conflict graph of `(I, Σ')` (sound and complete for relaxations), so
+    // Algorithm 4 never has to rescan the data to find its components.
+    let violating = problem.violating_subgraph_with(&fd_repair.state, config.parallelism);
+    let data: DataRepairOutcome = repair_data_with_cover_and_graph(
         problem.instance(),
         &fd_repair.fd_set,
         &fd_repair.cover_rows,
         seed,
+        config.parallelism,
+        &violating,
     );
     debug_assert!(fd_repair.fd_set.holds_on(&data.repaired));
     Some(Repair {

@@ -22,6 +22,7 @@ use crate::heuristic::{goal_cost_estimate, HeuristicConfig};
 use crate::problem::RepairProblem;
 use crate::state::RepairState;
 use rt_constraints::FdSet;
+use rt_par::{par_map_indexed, Parallelism};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -44,11 +45,20 @@ pub struct SearchConfig {
     pub max_expansions: usize,
     /// Heuristic configuration (A* only).
     pub heuristic: HeuristicConfig,
+    /// Worker threads for the parallel parts of the pipeline (subgraph
+    /// filtering, per-component vertex cover, child heuristic evaluation,
+    /// the τ-sweep and the data-repair step). Results are bit-identical for
+    /// every setting; this only trades wall-clock time for cores.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { max_expansions: 500_000, heuristic: HeuristicConfig::default() }
+        SearchConfig {
+            max_expansions: 500_000,
+            heuristic: HeuristicConfig::default(),
+            parallelism: Parallelism::Auto,
+        }
     }
 }
 
@@ -168,7 +178,7 @@ pub fn run_search(
         let state = entry.state;
 
         // Goal test: δ_P(Σ_h, I) ≤ τ.
-        let cover = problem.cover_for(&state);
+        let cover = problem.cover_for_with(&state, config.parallelism);
         let delta_p = cover.len() * problem.alpha();
         if delta_p <= tau {
             let fd_set = problem.relaxed_fds(&state);
@@ -182,17 +192,24 @@ pub fn run_search(
             });
         }
 
-        // Expand children.
-        for child in state.children(problem.sigma(), problem.arity()) {
-            let cost = problem.dist_c(&child);
-            let priority = match algorithm {
-                SearchAlgorithm::BestFirst => Some(cost),
-                SearchAlgorithm::AStar => {
-                    let h = goal_cost_estimate(problem, &child, tau, &config.heuristic);
-                    stats.heuristic_nodes += h.nodes;
-                    h.lower_bound
+        // Expand children: priorities are independent per child, so the
+        // heuristic evaluations fan out over worker threads; pushing in
+        // child order keeps `seq` (and thus tie-breaking) deterministic.
+        let children = state.children(problem.sigma(), problem.arity());
+        let priorities: Vec<(f64, Option<f64>, usize)> =
+            par_map_indexed(config.parallelism, children.len(), |i| {
+                let child = &children[i];
+                let cost = problem.dist_c(child);
+                match algorithm {
+                    SearchAlgorithm::BestFirst => (cost, Some(cost), 0),
+                    SearchAlgorithm::AStar => {
+                        let h = goal_cost_estimate(problem, child, tau, &config.heuristic);
+                        (cost, h.lower_bound, h.nodes)
+                    }
                 }
-            };
+            });
+        for (child, (cost, priority, nodes)) in children.into_iter().zip(priorities) {
+            stats.heuristic_nodes += nodes;
             if let Some(priority) = priority {
                 seq += 1;
                 stats.states_generated += 1;

@@ -14,11 +14,10 @@
 
 use rt_constraints::{AttrSet, FdSet};
 use rt_relation::AttrId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A state of the FD-modification search space: one LHS extension per FD.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RepairState {
     extensions: Vec<AttrSet>,
 }

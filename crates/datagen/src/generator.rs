@@ -298,7 +298,7 @@ pub fn generate_census_like(config: &CensusLikeConfig) -> (Instance, FdSet) {
                     .collect();
                 cells[a] = Value::Int(mix_to_category(
                     &sources,
-                    (a as u64).wrapping_mul(0x9E1_F) ^ config.seed,
+                    (a as u64).wrapping_mul(0x9E1F) ^ config.seed,
                     cardinalities[a],
                 ));
             }

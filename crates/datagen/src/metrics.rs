@@ -1,6 +1,6 @@
 //! Repair-quality metrics (Section 8.1 of the paper).
 //!
-//! Given the ground truth produced by [`crate::perturb`] and a repair
+//! Given the ground truth produced by [`crate::perturb()`] and a repair
 //! `(Σ_r, I_r)`, the metrics score how well the repair undid the
 //! perturbation:
 //!
@@ -20,11 +20,10 @@
 use crate::perturb::GroundTruth;
 use rt_constraints::FdSet;
 use rt_relation::{CellRef, Instance};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Precision/recall/F-scores of one repair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepairQuality {
     /// Fraction of modified cells that were correct modifications.
     pub data_precision: f64,

@@ -268,7 +268,7 @@ mod tests {
         let (clean, fds) = clean_workload();
         let config = PerturbConfig { fd_error_rate: 1.0, data_error_rate: 0.0, ..Default::default() };
         let truth = perturb(&clean, &fds, &config);
-        assert!(truth.sigma_dirty.get(0).lhs.len() >= 1);
+        assert!(!truth.sigma_dirty.get(0).lhs.is_empty());
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! A simple undirected graph over integer vertices.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Undirected graph with `usize` vertex identifiers.
@@ -9,7 +8,7 @@ use std::collections::BTreeSet;
 /// may appear in an edge, and isolated vertices simply never show up in the
 /// adjacency lists. Parallel edges are collapsed; self-loops are rejected
 /// (two copies of the same tuple can never violate an FD with themselves).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UndirectedGraph {
     /// adjacency[v] = sorted set of neighbours of v.
     adjacency: Vec<BTreeSet<usize>>,
@@ -117,6 +116,58 @@ impl UndirectedGraph {
             g.add_edge(u, v);
         }
         g
+    }
+
+    /// Connected components over the non-isolated vertices, each sorted
+    /// ascending, ordered by their smallest vertex.
+    ///
+    /// Isolated vertices are omitted: they carry no edges, so no repair
+    /// algorithm ever needs them. The deterministic ordering is what lets
+    /// per-component work fan out over threads and merge back bit-identically
+    /// (see `approx_vertex_cover_with`).
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.adjacency.len();
+        let mut visited = vec![false; n];
+        let mut components = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if visited[start] || self.adjacency[start].is_empty() {
+                continue;
+            }
+            let mut component = Vec::new();
+            visited[start] = true;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                component.push(v);
+                for u in self.neighbors(v) {
+                    if !visited[u] {
+                        visited[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// The subgraph induced by `vertices` (which must be sorted ascending),
+    /// with vertex ids remapped to `0..vertices.len()`.
+    ///
+    /// Returns the local graph; local id `i` corresponds to `vertices[i]`.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> UndirectedGraph {
+        let mut local = UndirectedGraph::with_vertices(vertices.len());
+        for (li, &v) in vertices.iter().enumerate() {
+            for u in self.neighbors(v) {
+                if u > v {
+                    if let Ok(lu) = vertices.binary_search(&u) {
+                        local.add_edge(li, lu);
+                    }
+                }
+            }
+        }
+        local
     }
 }
 

@@ -13,17 +13,22 @@
 //!
 //! * [`UndirectedGraph`] — an adjacency-list graph over `usize` vertices;
 //! * [`vertex_cover::matching_vertex_cover`] — the classical maximal-matching
-//!   2-approximation (Garey & Johnson, the paper's reference [7]);
+//!   2-approximation (Garey & Johnson, the paper's reference \[7\]);
 //! * [`vertex_cover::greedy_degree_vertex_cover`] — a max-degree greedy
 //!   heuristic (no worst-case factor, often smaller covers in practice);
 //! * [`vertex_cover::exact_vertex_cover`] — exponential branch-and-bound used
-//!   by the test suite to validate the 2-approximation factor on small graphs.
+//!   by the test suite to validate the 2-approximation factor on small graphs;
+//! * [`vertex_cover::approx_vertex_cover`] — the hybrid cover the repair
+//!   algorithms use: per connected component, the smaller of the matching and
+//!   greedy covers. Its [`vertex_cover::approx_vertex_cover_with`] variant
+//!   computes the components in parallel (`rt-par`) with bit-identical
+//!   results for every thread count.
 
 pub mod graph;
 pub mod vertex_cover;
 
 pub use graph::UndirectedGraph;
 pub use vertex_cover::{
-    approx_vertex_cover, exact_vertex_cover, greedy_degree_vertex_cover, matching_vertex_cover,
-    VertexCover,
+    approx_vertex_cover, approx_vertex_cover_with, exact_vertex_cover,
+    greedy_degree_vertex_cover, matching_vertex_cover, VertexCover,
 };

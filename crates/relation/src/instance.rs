@@ -15,12 +15,11 @@ use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 use crate::value::{Value, VarId};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// Address of a single cell `t[A]` inside an instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellRef {
     /// Row (tuple) index.
     pub row: usize,
@@ -43,7 +42,7 @@ impl fmt::Display for CellRef {
 
 /// The cell-wise difference `Δ_d(I, I')` between two instances, plus the
 /// derived distance `dist_d(I, I') = |Δ_d(I, I')|`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstanceDiff {
     /// Cells whose value differs between the two instances.
     pub changed_cells: Vec<CellRef>,
@@ -70,7 +69,7 @@ impl InstanceDiff {
 }
 
 /// A (V-)instance of a relation schema.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     schema: Schema,
     tuples: Vec<Tuple>,

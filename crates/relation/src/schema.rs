@@ -2,7 +2,6 @@
 
 use crate::error::RelationError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -15,7 +14,7 @@ pub const MAX_ATTRIBUTES: usize = 64;
 ///
 /// An `AttrId` is just a small index; it is only meaningful relative to the
 /// schema it was created from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrId(pub u16);
 
 impl AttrId {
@@ -44,11 +43,10 @@ impl From<usize> for AttrId {
 /// paper assumes unbounded domains, and every algorithm in the workspace only
 /// relies on value equality plus the ability to invent fresh values
 /// (V-instance variables).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     name: String,
     attributes: Vec<String>,
-    #[serde(skip)]
     by_name: HashMap<String, AttrId>,
 }
 
@@ -122,8 +120,8 @@ impl Schema {
     ///
     /// Fails when no attribute has that name.
     pub fn attr_id(&self, name: &str) -> Result<AttrId> {
-        // `by_name` is skipped by serde; fall back to a scan if it is empty
-        // but attributes exist (i.e. the schema was deserialized).
+        // Fall back to a scan when the index is empty but attributes exist
+        // (a schema reconstructed without its lookup map).
         if let Some(id) = self.by_name.get(name) {
             return Ok(*id);
         }

@@ -2,13 +2,12 @@
 
 use crate::schema::AttrId;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// A tuple `t ∈ Dom(A_1) × ... × Dom(A_m)` (possibly containing V-instance
 /// variables).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
     cells: Vec<Value>,
 }

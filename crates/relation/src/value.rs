@@ -13,7 +13,6 @@
 //! [`Value::matches`] implements exactly this semantics and is what the
 //! violation-detection code uses when comparing cells.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a V-instance variable.
@@ -21,7 +20,7 @@ use std::fmt;
 /// Variables are scoped per attribute (`attr`) and numbered (`id`); the pair
 /// uniquely identifies the variable within an instance. Two `VarId`s are the
 /// same variable iff both components are equal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId {
     /// Attribute the variable ranges over (index into the schema).
     pub attr: u16,
@@ -47,7 +46,7 @@ impl fmt::Display for VarId {
 /// `Value` is intentionally small: the paper's algorithms only ever compare
 /// values for equality (FD semantics are equality based), so we provide a
 /// handful of constant kinds plus the V-instance variable case.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// SQL-style missing value. Two nulls compare equal here, which matches
     /// the behaviour of the paper's experiments (nulls are just another

@@ -48,7 +48,7 @@ fn main() {
     let spectrum = find_repairs_range(&problem, 0, budget, &SearchConfig::default());
     let materialized = spectrum.materialize(&problem, 11);
     println!("Pareto frontier ({} repairs):", materialized.len());
-    println!("{:>4}  {:>12}  {:>12}  {}", "#", "dist_c(Σ,Σ')", "cell changes", "modified FDs");
+    println!("{:>4}  {:>12}  {:>12}  modified FDs", "#", "dist_c(Σ,Σ')", "cell changes");
     for (i, repair) in materialized.iter().enumerate() {
         println!(
             "{:>4}  {:>12.1}  {:>12}  {}",

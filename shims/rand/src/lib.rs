@@ -1,0 +1,212 @@
+//! # rand (offline shim)
+//!
+//! A dependency-free stand-in for the tiny slice of the `rand` crate this
+//! workspace actually uses: [`rngs::StdRng`] seeded with
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over primitive ranges,
+//! and [`seq::SliceRandom`]'s `shuffle` / `choose`.
+//!
+//! The build environment has no access to crates.io, so the real `rand`
+//! cannot be vendored. This shim keeps the call sites source-compatible. The
+//! generator is SplitMix64 — statistically fine for workload synthesis and
+//! randomized repair orderings, *not* cryptographic. Streams differ from the
+//! real `StdRng` (ChaCha12), so seeds produce different (but still fully
+//! deterministic and reproducible) sequences.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draws a value in `[range.start, range.end)` from `rng`.
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+/// Object-safe source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Subset of `rand::Rng` used by this workspace.
+pub trait Rng: RngCore + Sized {
+    /// Uniform draw from a half-open range (`low..high`, `high` exclusive).
+    ///
+    /// Panics when the range is empty, matching `rand`'s behaviour.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Subset of `rand::SeedableRng` used by this workspace.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 53 high bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Pseudo-random generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed (Murmur3-style finalizer) so that related
+            // seeds — s, s ^ c, s + k·gamma — yield unrelated streams. The
+            // raw seed must NOT be used as the state directly: SplitMix64
+            // advances by a fixed gamma per draw, so seeds differing by
+            // multiples of the gamma would produce shifted copies of one
+            // stream. Real `rand` hashes seeds for the same reason.
+            let mut z = seed.wrapping_add(0xA076_1D64_78BD_642F);
+            z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            StdRng { state: z ^ (z >> 33) }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Subset of `rand::seq::SliceRandom` used by this workspace.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, or `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000usize), b.gen_range(0..1_000_000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20i64);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_picks_members() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle is virtually never the identity");
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn related_seeds_produce_unrelated_streams() {
+        // Seeds differing by multiples of the SplitMix64 gamma must not
+        // yield shifted copies of the same stream (this is exactly how
+        // per-unit seeds are derived in rt-core's data repair).
+        const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(0);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(GAMMA);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        // `b` must not be `a` shifted by one draw.
+        assert_ne!(&a[1..], &b[..31]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_spread_across_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -26,6 +26,7 @@ struct Options {
     output: Option<String>,
     seed: u64,
     max_expansions: usize,
+    threads: Parallelism,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,9 @@ options:
   --output <file>      write the repaired instance as CSV (single-repair modes)
   --seed <N>           seed for the data-repair step (default: 0)
   --max-expansions <N> search budget (default: 500000)
+  --threads <T>        worker threads: auto | serial | <count>  (default: auto)
+                       results are identical for every setting; more threads
+                       only make the repair faster
   --help               print this help
 ";
 
@@ -62,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut output = None;
     let mut seed = 0u64;
     let mut max_expansions = 500_000usize;
+    let mut threads = Parallelism::Auto;
 
     let mut i = 0;
     while i < args.len() {
@@ -106,6 +111,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 max_expansions =
                     v.parse().map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
             }
+            "--threads" => {
+                let v = take_value(&mut i)?;
+                threads = Parallelism::parse(&v).map_err(|e| format!("--threads: {e}"))?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other => {
                 if input.is_some() {
@@ -129,6 +138,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         output,
         seed,
         max_expansions,
+        threads,
     })
 }
 
@@ -152,19 +162,24 @@ fn run(options: &Options) -> Result<(), String> {
         return Ok(());
     }
 
-    let problem = RepairProblem::with_weight(&instance, &fds, options.weight);
+    let problem =
+        RepairProblem::with_weight_par(&instance, &fds, options.weight, options.threads);
     let budget = problem.delta_p_original();
     println!(
         "{} conflicting tuple pairs; repairing everything by cell changes would \
          touch at most {budget} cells\n",
         problem.conflict_graph().edge_count()
     );
-    let search = SearchConfig { max_expansions: options.max_expansions, ..Default::default() };
+    let search = SearchConfig {
+        max_expansions: options.max_expansions,
+        parallelism: options.threads,
+        ..Default::default()
+    };
 
     match options.mode {
         Mode::Spectrum => {
             let spectrum = find_repairs_range(&problem, 0, budget, &search);
-            let repairs = spectrum.materialize(&problem, options.seed);
+            let repairs = spectrum.materialize_with(&problem, options.seed, options.threads);
             println!("{} non-dominated repairs:", repairs.len());
             for (ranged, repair) in spectrum.repairs.iter().zip(repairs.iter()) {
                 println!(
@@ -298,6 +313,17 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_all_spellings() {
+        let o = parse_args(&args(&["d.csv", "--fd", "A->B"])).unwrap();
+        assert_eq!(o.threads, Parallelism::Auto);
+        let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "serial"])).unwrap();
+        assert_eq!(o.threads, Parallelism::Serial);
+        let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Parallelism::Fixed(4));
+        assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "x"])).is_err());
+    }
+
+    #[test]
     fn end_to_end_on_a_temporary_csv() {
         // Write a tiny violating instance, run the single-repair path.
         let dir = std::env::temp_dir().join("rtclean_test");
@@ -313,6 +339,7 @@ mod tests {
             output: Some(output.to_string_lossy().to_string()),
             seed: 1,
             max_expansions: 10_000,
+            threads: Parallelism::Fixed(2),
         };
         run(&options).unwrap();
         let repaired =

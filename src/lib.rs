@@ -8,9 +8,13 @@
 //! This crate is a thin facade that re-exports the workspace crates:
 //!
 //! * [`relation`] — schemas, tuples, instances and V-instances;
+//! * [`par`] — the parallel execution layer: the [`prelude::Parallelism`]
+//!   config and deterministic fork/join maps every other crate fans out
+//!   with (results are bit-identical for every thread count);
 //! * [`constraints`] — functional dependencies, violation detection,
 //!   conflict graphs, difference sets, weights and FD discovery;
-//! * [`graph`] — undirected graphs and approximate vertex cover;
+//! * [`graph`] — undirected graphs, connected components and approximate
+//!   vertex cover;
 //! * [`core`] — the repair algorithms themselves (τ-constrained repairs, A*
 //!   FD modification, near-optimal data repair, Range-Repair);
 //! * [`baseline`] — the unified-cost comparator;
@@ -46,6 +50,7 @@ pub use rt_constraints as constraints;
 pub use rt_core as core;
 pub use rt_datagen as datagen;
 pub use rt_graph as graph;
+pub use rt_par as par;
 pub use rt_relation as relation;
 
 /// The most commonly used items, re-exported flat.
@@ -56,8 +61,8 @@ pub mod prelude {
     };
     pub use rt_core::{
         find_repairs_range, find_repairs_sampling, modify_fds_astar, modify_fds_best_first,
-        repair_data, repair_data_fds, repair_data_fds_relative, Repair, RepairProblem,
-        RepairState, SearchAlgorithm, SearchConfig, WeightKind,
+        repair_data, repair_data_fds, repair_data_fds_relative, Parallelism, Repair,
+        RepairProblem, RepairState, SearchAlgorithm, SearchConfig, WeightKind,
     };
     pub use rt_datagen::{
         evaluate_repair, generate_census_like, perturb, CensusLikeConfig, PerturbConfig,

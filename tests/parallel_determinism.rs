@@ -1,0 +1,191 @@
+//! The parallel execution layer's hard invariant: for every `Parallelism`
+//! setting, every stage of the pipeline produces output bit-identical to the
+//! serial path. Thread count may only change wall-clock time.
+//!
+//! Exercised on a generated 5k-tuple workload (conflict-heavy: one weakened
+//! 6-attribute FD plus injected cell errors) and on the paper's Figure-2
+//! example for the multi-FD corner cases.
+
+use relative_trust::prelude::*;
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_core::data_repair::{repair_data_par, repair_data_with_cover_par};
+use rt_core::repair::repair_data_fds_with;
+use rt_graph::approx_vertex_cover_with;
+
+const PARALLEL_SETTINGS: [Parallelism; 3] =
+    [Parallelism::Fixed(2), Parallelism::Fixed(4), Parallelism::Auto];
+
+fn workload_5k() -> Workload {
+    Workload::build(&WorkloadSpec {
+        tuples: 5000,
+        attributes: 12,
+        fd_count: 1,
+        lhs_size: 6,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.5,
+        seed: 3,
+    })
+}
+
+#[test]
+fn conflict_graph_is_identical_across_parallelism_settings() {
+    let w = workload_5k();
+    let serial = ConflictGraph::build_with(w.dirty_instance(), w.dirty_fds(), Parallelism::Serial);
+    assert!(!serial.is_empty(), "workload must actually produce conflicts");
+    // The Serial setting is also the default `build` path.
+    assert_eq!(serial, ConflictGraph::build(w.dirty_instance(), w.dirty_fds()));
+    for par in PARALLEL_SETTINGS {
+        let parallel = ConflictGraph::build_with(w.dirty_instance(), w.dirty_fds(), par);
+        assert_eq!(serial, parallel, "conflict graph diverged under {par:?}");
+    }
+}
+
+#[test]
+fn vertex_cover_is_identical_across_parallelism_settings() {
+    let w = workload_5k();
+    let graph = ConflictGraph::build(w.dirty_instance(), w.dirty_fds()).to_graph();
+    let serial = approx_vertex_cover_with(&graph, Parallelism::Serial);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, approx_vertex_cover(&graph));
+    for par in PARALLEL_SETTINGS {
+        assert_eq!(serial, approx_vertex_cover_with(&graph, par), "cover diverged under {par:?}");
+    }
+}
+
+#[test]
+fn data_repair_is_identical_across_parallelism_settings() {
+    let w = workload_5k();
+    for seed in [0u64, 7] {
+        let serial = repair_data_par(w.dirty_instance(), w.dirty_fds(), seed, Parallelism::Serial);
+        assert!(w.dirty_fds().holds_on(&serial.repaired), "seed {seed}");
+        for par in PARALLEL_SETTINGS {
+            let parallel = repair_data_par(w.dirty_instance(), w.dirty_fds(), seed, par);
+            assert_eq!(serial.repaired, parallel.repaired, "seed {seed}, {par:?}");
+            assert_eq!(serial.changed_cells, parallel.changed_cells, "seed {seed}, {par:?}");
+            assert_eq!(serial.cover_size, parallel.cover_size, "seed {seed}, {par:?}");
+        }
+    }
+}
+
+#[test]
+fn end_to_end_repair_is_identical_across_parallelism_settings() {
+    let w = workload_5k();
+    let problem = RepairProblem::with_weight_par(
+        w.dirty_instance(),
+        w.dirty_fds(),
+        WeightKind::DistinctCount,
+        Parallelism::Auto,
+    );
+    let tau = problem.absolute_tau(0.3);
+    let serial_config = SearchConfig {
+        max_expansions: 10_000,
+        parallelism: Parallelism::Serial,
+        ..Default::default()
+    };
+    let serial = repair_data_fds_with(&problem, tau, &serial_config, SearchAlgorithm::AStar, 11)
+        .expect("repair exists");
+    for par in PARALLEL_SETTINGS {
+        let config = SearchConfig { parallelism: par, ..serial_config };
+        let parallel = repair_data_fds_with(&problem, tau, &config, SearchAlgorithm::AStar, 11)
+            .expect("repair exists");
+        assert_eq!(serial.modified_fds, parallel.modified_fds, "{par:?}");
+        assert_eq!(serial.repaired_instance, parallel.repaired_instance, "{par:?}");
+        assert_eq!(serial.changed_cells, parallel.changed_cells, "{par:?}");
+        assert_eq!(serial.delta_p, parallel.delta_p, "{par:?}");
+        assert_eq!(
+            serial.search_stats.states_expanded,
+            parallel.search_stats.states_expanded,
+            "search trajectory diverged under {par:?}"
+        );
+    }
+}
+
+#[test]
+fn tau_sweep_is_identical_across_parallelism_settings() {
+    // Figure-2: small enough to sweep every τ, multi-FD so relaxation
+    // interactions are exercised.
+    let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+    let inst = Instance::from_int_rows(
+        schema.clone(),
+        &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+    )
+    .unwrap();
+    let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+    let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
+    let hi = problem.delta_p_original();
+
+    let serial_config = SearchConfig { parallelism: Parallelism::Serial, ..Default::default() };
+    let serial_sweep = find_repairs_sampling(&problem, 0, hi, 1, &serial_config);
+    let serial_range = find_repairs_range(&problem, 0, hi, &serial_config);
+    for par in PARALLEL_SETTINGS {
+        let config = SearchConfig { parallelism: par, ..serial_config };
+        let sweep = find_repairs_sampling(&problem, 0, hi, 1, &config);
+        assert_eq!(serial_sweep.repairs.len(), sweep.repairs.len(), "{par:?}");
+        for (a, b) in serial_sweep.repairs.iter().zip(sweep.repairs.iter()) {
+            assert_eq!(a.repair.state, b.repair.state, "{par:?}");
+            assert_eq!(a.tau_range, b.tau_range, "{par:?}");
+        }
+        let range = find_repairs_range(&problem, 0, hi, &config);
+        assert_eq!(serial_range.repairs.len(), range.repairs.len(), "{par:?}");
+        for (a, b) in serial_range.repairs.iter().zip(range.repairs.iter()) {
+            assert_eq!(a.repair.state, b.repair.state, "{par:?}");
+            assert_eq!(a.tau_range, b.tau_range, "{par:?}");
+        }
+        // Materialization too.
+        let serial_mat = serial_range.materialize_with(&problem, 5, Parallelism::Serial);
+        let mat = range.materialize_with(&problem, 5, par);
+        assert_eq!(serial_mat.len(), mat.len(), "{par:?}");
+        for (a, b) in serial_mat.iter().zip(mat.iter()) {
+            assert_eq!(a.repaired_instance, b.repaired_instance, "{par:?}");
+            assert_eq!(a.changed_cells, b.changed_cells, "{par:?}");
+        }
+    }
+}
+
+#[test]
+fn serial_fallback_handles_component_interactions() {
+    // Overlapping FDs where repairing components in isolation *could* steer
+    // two components into a fresh joint violation: the component-parallel
+    // path must still return an instance satisfying Σ' (falling back to the
+    // sequential algorithm when its post-merge validation fails), and stay
+    // deterministic while doing so.
+    let schema = Schema::new("R", vec!["Z", "W", "P", "Y"]).unwrap();
+    let rows: Vec<Vec<i64>> = vec![
+        vec![1, 10, 5, 100], // clean neighbours for component A
+        vec![1, 11, 5, 101], // conflicts with row 0 on Z->W
+        vec![2, 10, 5, 102], // clean neighbours for component B
+        vec![2, 12, 5, 103], // conflicts with row 2 on Z->W
+        vec![3, 13, 6, 104],
+    ];
+    let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
+    let fds = FdSet::parse(&["Z->W", "W,P->Y"], &schema).unwrap();
+    for seed in 0..20u64 {
+        let serial =
+            repair_data_par(&inst, &fds, seed, Parallelism::Serial);
+        assert!(fds.holds_on(&serial.repaired), "seed {seed}: serial repair must satisfy Σ'");
+        for par in PARALLEL_SETTINGS {
+            let parallel = repair_data_par(&inst, &fds, seed, par);
+            assert!(fds.holds_on(&parallel.repaired), "seed {seed}, {par:?}");
+            assert_eq!(serial.repaired, parallel.repaired, "seed {seed}, {par:?}");
+        }
+    }
+}
+
+#[test]
+fn explicit_cover_path_matches_across_settings() {
+    let w = workload_5k();
+    let graph = ConflictGraph::build(w.dirty_instance(), w.dirty_fds()).to_graph();
+    let cover: Vec<usize> = approx_vertex_cover(&graph).iter().collect();
+    let serial = repair_data_with_cover_par(
+        w.dirty_instance(),
+        w.dirty_fds(),
+        &cover,
+        9,
+        Parallelism::Serial,
+    );
+    for par in PARALLEL_SETTINGS {
+        let parallel =
+            repair_data_with_cover_par(w.dirty_instance(), w.dirty_fds(), &cover, 9, par);
+        assert_eq!(serial.repaired, parallel.repaired, "{par:?}");
+    }
+}
