@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_attrs-8af2fc7beab89c09.d: crates/bench/benches/bench_attrs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_attrs-8af2fc7beab89c09.rmeta: crates/bench/benches/bench_attrs.rs Cargo.toml
+
+crates/bench/benches/bench_attrs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_attrs-d6ee6e3e003197a2.d: crates/bench/benches/bench_attrs.rs
+
+/root/repo/target/debug/deps/bench_attrs-d6ee6e3e003197a2: crates/bench/benches/bench_attrs.rs
+
+crates/bench/benches/bench_attrs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fds-083bab638e4d6338.d: crates/bench/benches/bench_fds.rs
+
+/root/repo/target/debug/deps/bench_fds-083bab638e4d6338: crates/bench/benches/bench_fds.rs
+
+crates/bench/benches/bench_fds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fds-76241fc109261fbc.d: crates/bench/benches/bench_fds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fds-76241fc109261fbc.rmeta: crates/bench/benches/bench_fds.rs Cargo.toml
+
+crates/bench/benches/bench_fds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

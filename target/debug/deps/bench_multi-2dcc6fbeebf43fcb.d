@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_multi-2dcc6fbeebf43fcb.d: crates/bench/benches/bench_multi.rs
+
+/root/repo/target/debug/deps/bench_multi-2dcc6fbeebf43fcb: crates/bench/benches/bench_multi.rs
+
+crates/bench/benches/bench_multi.rs:

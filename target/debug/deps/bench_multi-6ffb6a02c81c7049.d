@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_multi-6ffb6a02c81c7049.d: crates/bench/benches/bench_multi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_multi-6ffb6a02c81c7049.rmeta: crates/bench/benches/bench_multi.rs Cargo.toml
+
+crates/bench/benches/bench_multi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_quality-25bdb782a8abdb96.d: crates/bench/benches/bench_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_quality-25bdb782a8abdb96.rmeta: crates/bench/benches/bench_quality.rs Cargo.toml
+
+crates/bench/benches/bench_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

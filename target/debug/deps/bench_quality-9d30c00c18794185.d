@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_quality-9d30c00c18794185.d: crates/bench/benches/bench_quality.rs
+
+/root/repo/target/debug/deps/bench_quality-9d30c00c18794185: crates/bench/benches/bench_quality.rs
+
+crates/bench/benches/bench_quality.rs:

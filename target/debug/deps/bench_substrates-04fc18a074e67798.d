@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_substrates-04fc18a074e67798.d: crates/bench/benches/bench_substrates.rs
+
+/root/repo/target/debug/deps/bench_substrates-04fc18a074e67798: crates/bench/benches/bench_substrates.rs
+
+crates/bench/benches/bench_substrates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_substrates-b4b421f8b37087e8.d: crates/bench/benches/bench_substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_substrates-b4b421f8b37087e8.rmeta: crates/bench/benches/bench_substrates.rs Cargo.toml
+
+crates/bench/benches/bench_substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

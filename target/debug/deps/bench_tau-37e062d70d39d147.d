@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_tau-37e062d70d39d147.d: crates/bench/benches/bench_tau.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_tau-37e062d70d39d147.rmeta: crates/bench/benches/bench_tau.rs Cargo.toml
+
+crates/bench/benches/bench_tau.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

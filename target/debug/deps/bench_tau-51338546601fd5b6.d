@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_tau-51338546601fd5b6.d: crates/bench/benches/bench_tau.rs
+
+/root/repo/target/debug/deps/bench_tau-51338546601fd5b6: crates/bench/benches/bench_tau.rs
+
+crates/bench/benches/bench_tau.rs:

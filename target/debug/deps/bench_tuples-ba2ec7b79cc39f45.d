@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_tuples-ba2ec7b79cc39f45.d: crates/bench/benches/bench_tuples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_tuples-ba2ec7b79cc39f45.rmeta: crates/bench/benches/bench_tuples.rs Cargo.toml
+
+crates/bench/benches/bench_tuples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

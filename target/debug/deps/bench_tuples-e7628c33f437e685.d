@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_tuples-e7628c33f437e685.d: crates/bench/benches/bench_tuples.rs
+
+/root/repo/target/debug/deps/bench_tuples-e7628c33f437e685: crates/bench/benches/bench_tuples.rs
+
+crates/bench/benches/bench_tuples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-1a52a0af3e5333ce.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-1a52a0af3e5333ce.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

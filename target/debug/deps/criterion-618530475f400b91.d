@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-618530475f400b91.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-618530475f400b91.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-618530475f400b91.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ed9716f07f7621a0.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-ed9716f07f7621a0: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

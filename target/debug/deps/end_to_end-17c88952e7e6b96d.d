@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-17c88952e7e6b96d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-17c88952e7e6b96d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_effect_tau-1b6488ce12730793.d: crates/bench/src/bin/exp_effect_tau.rs
+
+/root/repo/target/debug/deps/exp_effect_tau-1b6488ce12730793: crates/bench/src/bin/exp_effect_tau.rs
+
+crates/bench/src/bin/exp_effect_tau.rs:

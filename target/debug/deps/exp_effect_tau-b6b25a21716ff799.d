@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_effect_tau-b6b25a21716ff799.d: crates/bench/src/bin/exp_effect_tau.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_effect_tau-b6b25a21716ff799.rmeta: crates/bench/src/bin/exp_effect_tau.rs Cargo.toml
+
+crates/bench/src/bin/exp_effect_tau.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_effect_tau-f22d4784cc5cfffd.d: crates/bench/src/bin/exp_effect_tau.rs
+
+/root/repo/target/debug/deps/exp_effect_tau-f22d4784cc5cfffd: crates/bench/src/bin/exp_effect_tau.rs
+
+crates/bench/src/bin/exp_effect_tau.rs:

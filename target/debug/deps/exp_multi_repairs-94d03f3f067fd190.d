@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_multi_repairs-94d03f3f067fd190.d: crates/bench/src/bin/exp_multi_repairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_multi_repairs-94d03f3f067fd190.rmeta: crates/bench/src/bin/exp_multi_repairs.rs Cargo.toml
+
+crates/bench/src/bin/exp_multi_repairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

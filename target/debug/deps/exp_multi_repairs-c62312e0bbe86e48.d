@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_multi_repairs-c62312e0bbe86e48.d: crates/bench/src/bin/exp_multi_repairs.rs
+
+/root/repo/target/debug/deps/exp_multi_repairs-c62312e0bbe86e48: crates/bench/src/bin/exp_multi_repairs.rs
+
+crates/bench/src/bin/exp_multi_repairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_multi_repairs-fa4b0895c7e721b2.d: crates/bench/src/bin/exp_multi_repairs.rs
+
+/root/repo/target/debug/deps/exp_multi_repairs-fa4b0895c7e721b2: crates/bench/src/bin/exp_multi_repairs.rs
+
+crates/bench/src/bin/exp_multi_repairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_par_speedup-0635fb35d59189d1.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/debug/deps/exp_par_speedup-0635fb35d59189d1: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_par_speedup-22b9e1dd3d32ed25.d: crates/bench/src/bin/exp_par_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_par_speedup-22b9e1dd3d32ed25.rmeta: crates/bench/src/bin/exp_par_speedup.rs Cargo.toml
+
+crates/bench/src/bin/exp_par_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

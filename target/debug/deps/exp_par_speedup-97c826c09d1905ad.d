@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_par_speedup-97c826c09d1905ad.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/debug/deps/exp_par_speedup-97c826c09d1905ad: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_quality_vs_trust-15ff1224a695facb.d: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+/root/repo/target/debug/deps/exp_quality_vs_trust-15ff1224a695facb: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+crates/bench/src/bin/exp_quality_vs_trust.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_quality_vs_trust-f8590c71dc900721.d: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+/root/repo/target/debug/deps/exp_quality_vs_trust-f8590c71dc900721: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+crates/bench/src/bin/exp_quality_vs_trust.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_quality_vs_trust-fe11c701a72d3e09.d: crates/bench/src/bin/exp_quality_vs_trust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_quality_vs_trust-fe11c701a72d3e09.rmeta: crates/bench/src/bin/exp_quality_vs_trust.rs Cargo.toml
+
+crates/bench/src/bin/exp_quality_vs_trust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

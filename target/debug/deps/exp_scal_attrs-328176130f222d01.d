@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scal_attrs-328176130f222d01.d: crates/bench/src/bin/exp_scal_attrs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scal_attrs-328176130f222d01.rmeta: crates/bench/src/bin/exp_scal_attrs.rs Cargo.toml
+
+crates/bench/src/bin/exp_scal_attrs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

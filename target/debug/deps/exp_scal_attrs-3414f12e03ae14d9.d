@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scal_attrs-3414f12e03ae14d9.d: crates/bench/src/bin/exp_scal_attrs.rs
+
+/root/repo/target/debug/deps/exp_scal_attrs-3414f12e03ae14d9: crates/bench/src/bin/exp_scal_attrs.rs
+
+crates/bench/src/bin/exp_scal_attrs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scal_attrs-d2ebedf387a06d68.d: crates/bench/src/bin/exp_scal_attrs.rs
+
+/root/repo/target/debug/deps/exp_scal_attrs-d2ebedf387a06d68: crates/bench/src/bin/exp_scal_attrs.rs
+
+crates/bench/src/bin/exp_scal_attrs.rs:

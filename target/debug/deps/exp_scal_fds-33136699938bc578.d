@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scal_fds-33136699938bc578.d: crates/bench/src/bin/exp_scal_fds.rs
+
+/root/repo/target/debug/deps/exp_scal_fds-33136699938bc578: crates/bench/src/bin/exp_scal_fds.rs
+
+crates/bench/src/bin/exp_scal_fds.rs:

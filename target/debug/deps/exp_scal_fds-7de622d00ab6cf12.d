@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scal_fds-7de622d00ab6cf12.d: crates/bench/src/bin/exp_scal_fds.rs
+
+/root/repo/target/debug/deps/exp_scal_fds-7de622d00ab6cf12: crates/bench/src/bin/exp_scal_fds.rs
+
+crates/bench/src/bin/exp_scal_fds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scal_fds-96fa72c99f29f563.d: crates/bench/src/bin/exp_scal_fds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scal_fds-96fa72c99f29f563.rmeta: crates/bench/src/bin/exp_scal_fds.rs Cargo.toml
+
+crates/bench/src/bin/exp_scal_fds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

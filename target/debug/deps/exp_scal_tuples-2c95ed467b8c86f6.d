@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scal_tuples-2c95ed467b8c86f6.d: crates/bench/src/bin/exp_scal_tuples.rs
+
+/root/repo/target/debug/deps/exp_scal_tuples-2c95ed467b8c86f6: crates/bench/src/bin/exp_scal_tuples.rs
+
+crates/bench/src/bin/exp_scal_tuples.rs:

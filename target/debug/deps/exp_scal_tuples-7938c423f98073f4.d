@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scal_tuples-7938c423f98073f4.d: crates/bench/src/bin/exp_scal_tuples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scal_tuples-7938c423f98073f4.rmeta: crates/bench/src/bin/exp_scal_tuples.rs Cargo.toml
+
+crates/bench/src/bin/exp_scal_tuples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scal_tuples-deaad42b2beccbb0.d: crates/bench/src/bin/exp_scal_tuples.rs
+
+/root/repo/target/debug/deps/exp_scal_tuples-deaad42b2beccbb0: crates/bench/src/bin/exp_scal_tuples.rs
+
+crates/bench/src/bin/exp_scal_tuples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_vs_unified_cost-204e3c22c114a50c.d: crates/bench/src/bin/exp_vs_unified_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_vs_unified_cost-204e3c22c114a50c.rmeta: crates/bench/src/bin/exp_vs_unified_cost.rs Cargo.toml
+
+crates/bench/src/bin/exp_vs_unified_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_vs_unified_cost-784ae644f6c9472f.d: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+/root/repo/target/debug/deps/exp_vs_unified_cost-784ae644f6c9472f: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+crates/bench/src/bin/exp_vs_unified_cost.rs:

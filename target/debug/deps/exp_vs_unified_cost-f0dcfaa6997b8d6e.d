@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_vs_unified_cost-f0dcfaa6997b8d6e.d: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+/root/repo/target/debug/deps/exp_vs_unified_cost-f0dcfaa6997b8d6e: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+crates/bench/src/bin/exp_vs_unified_cost.rs:

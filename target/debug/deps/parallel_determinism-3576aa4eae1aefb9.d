@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-3576aa4eae1aefb9.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-3576aa4eae1aefb9: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

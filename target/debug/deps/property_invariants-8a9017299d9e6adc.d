@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-8a9017299d9e6adc.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-8a9017299d9e6adc: tests/property_invariants.rs
+
+tests/property_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-96cfd6a3fedb62d0.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-96cfd6a3fedb62d0: tests/property_invariants.rs
+
+tests/property_invariants.rs:

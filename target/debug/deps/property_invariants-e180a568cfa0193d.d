@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_invariants-e180a568cfa0193d.d: tests/property_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_invariants-e180a568cfa0193d.rmeta: tests/property_invariants.rs Cargo.toml
+
+tests/property_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

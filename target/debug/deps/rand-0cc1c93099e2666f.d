@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0cc1c93099e2666f.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0cc1c93099e2666f.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

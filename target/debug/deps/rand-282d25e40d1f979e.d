@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-282d25e40d1f979e.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-282d25e40d1f979e.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ac0d0ab0dee86e55.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ac0d0ab0dee86e55.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ac0d0ab0dee86e55.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b1039ff85ceb4b4a.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b1039ff85ceb4b4a: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relative_trust-1753608ada3755c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/relative_trust-1753608ada3755c3: src/lib.rs
+
+src/lib.rs:

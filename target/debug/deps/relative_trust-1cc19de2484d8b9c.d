@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/relative_trust-1cc19de2484d8b9c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelative_trust-1cc19de2484d8b9c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relative_trust-9663c05872f904fa.d: src/lib.rs
+
+/root/repo/target/debug/deps/librelative_trust-9663c05872f904fa.rmeta: src/lib.rs
+
+src/lib.rs:

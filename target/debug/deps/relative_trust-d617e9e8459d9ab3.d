@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/relative_trust-d617e9e8459d9ab3.d: src/lib.rs
+
+/root/repo/target/debug/deps/librelative_trust-d617e9e8459d9ab3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librelative_trust-d617e9e8459d9ab3.rmeta: src/lib.rs
+
+src/lib.rs:

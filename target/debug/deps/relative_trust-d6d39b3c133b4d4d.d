@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/relative_trust-d6d39b3c133b4d4d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelative_trust-d6d39b3c133b4d4d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

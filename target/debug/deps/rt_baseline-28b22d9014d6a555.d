@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rt_baseline-28b22d9014d6a555.d: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/debug/deps/librt_baseline-28b22d9014d6a555.rlib: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/debug/deps/librt_baseline-28b22d9014d6a555.rmeta: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/unified.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rt_baseline-4440a27df9caf5c8.d: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/debug/deps/rt_baseline-4440a27df9caf5c8: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/unified.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rt_baseline-ec50d91633517251.d: crates/baseline/src/lib.rs crates/baseline/src/unified.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_baseline-ec50d91633517251.rmeta: crates/baseline/src/lib.rs crates/baseline/src/unified.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/unified.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rt_baseline-ff050bd202e15007.d: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/debug/deps/librt_baseline-ff050bd202e15007.rmeta: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/unified.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rt_bench-aee76e56a811e516.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/librt_bench-aee76e56a811e516.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

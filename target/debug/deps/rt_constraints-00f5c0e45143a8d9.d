@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rt_constraints-00f5c0e45143a8d9.d: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_constraints-00f5c0e45143a8d9.rmeta: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs Cargo.toml
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/attrset.rs:
+crates/constraints/src/discovery.rs:
+crates/constraints/src/fd.rs:
+crates/constraints/src/partition.rs:
+crates/constraints/src/violations.rs:
+crates/constraints/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rt_constraints-7ed019d61bdbd0d9.d: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+/root/repo/target/debug/deps/librt_constraints-7ed019d61bdbd0d9.rlib: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+/root/repo/target/debug/deps/librt_constraints-7ed019d61bdbd0d9.rmeta: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/attrset.rs:
+crates/constraints/src/discovery.rs:
+crates/constraints/src/fd.rs:
+crates/constraints/src/partition.rs:
+crates/constraints/src/violations.rs:
+crates/constraints/src/weights.rs:

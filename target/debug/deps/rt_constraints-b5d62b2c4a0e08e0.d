@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rt_constraints-b5d62b2c4a0e08e0.d: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+/root/repo/target/debug/deps/rt_constraints-b5d62b2c4a0e08e0: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/attrset.rs:
+crates/constraints/src/discovery.rs:
+crates/constraints/src/fd.rs:
+crates/constraints/src/partition.rs:
+crates/constraints/src/violations.rs:
+crates/constraints/src/weights.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rt_core-08e2a050e3bfd677.d: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/librt_core-08e2a050e3bfd677.rmeta: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/data_repair.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/multi.rs:
+crates/core/src/problem.rs:
+crates/core/src/repair.rs:
+crates/core/src/search.rs:
+crates/core/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rt_core-0db144a3bbe5da2e.d: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/librt_core-0db144a3bbe5da2e.rlib: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/librt_core-0db144a3bbe5da2e.rmeta: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/data_repair.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/multi.rs:
+crates/core/src/problem.rs:
+crates/core/src/repair.rs:
+crates/core/src/search.rs:
+crates/core/src/state.rs:

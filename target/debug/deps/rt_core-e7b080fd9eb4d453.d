@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rt_core-e7b080fd9eb4d453.d: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_core-e7b080fd9eb4d453.rmeta: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/data_repair.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/multi.rs:
+crates/core/src/problem.rs:
+crates/core/src/repair.rs:
+crates/core/src/search.rs:
+crates/core/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rt_datagen-81add1111df0a6ff.d: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+/root/repo/target/debug/deps/librt_datagen-81add1111df0a6ff.rlib: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+/root/repo/target/debug/deps/librt_datagen-81add1111df0a6ff.rmeta: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/perturb.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rt_datagen-8ba9be7984d1754a.d: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+/root/repo/target/debug/deps/rt_datagen-8ba9be7984d1754a: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/perturb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rt_datagen-97cb51abd7d71451.d: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_datagen-97cb51abd7d71451.rmeta: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/perturb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rt_datagen-be1005759a7d4307.d: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+/root/repo/target/debug/deps/librt_datagen-be1005759a7d4307.rmeta: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/perturb.rs:

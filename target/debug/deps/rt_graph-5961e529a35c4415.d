@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rt_graph-5961e529a35c4415.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/debug/deps/librt_graph-5961e529a35c4415.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/vertex_cover.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rt_graph-6e943af45a66c29e.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/debug/deps/rt_graph-6e943af45a66c29e: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/vertex_cover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rt_graph-aeae8f825519fc17.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/debug/deps/librt_graph-aeae8f825519fc17.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/debug/deps/librt_graph-aeae8f825519fc17.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/vertex_cover.rs:

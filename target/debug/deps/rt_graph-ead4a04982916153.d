@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rt_graph-ead4a04982916153.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_graph-ead4a04982916153.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/vertex_cover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

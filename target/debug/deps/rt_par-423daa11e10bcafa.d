@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rt_par-423daa11e10bcafa.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/rt_par-423daa11e10bcafa: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rt_par-856bb447198d8459.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_par-856bb447198d8459.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rt_par-c0cd33d3637bb35d.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_par-c0cd33d3637bb35d.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

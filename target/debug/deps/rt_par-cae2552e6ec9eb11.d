@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rt_par-cae2552e6ec9eb11.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/librt_par-cae2552e6ec9eb11.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rt_par-fec03b44640e59fa.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/librt_par-fec03b44640e59fa.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/librt_par-fec03b44640e59fa.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rt_relation-ae5e62aa816c28e3.d: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/debug/deps/librt_relation-ae5e62aa816c28e3.rmeta: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/instance.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

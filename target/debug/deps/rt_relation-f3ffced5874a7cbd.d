@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rt_relation-f3ffced5874a7cbd.d: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_relation-f3ffced5874a7cbd.rmeta: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+crates/relation/src/lib.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/instance.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

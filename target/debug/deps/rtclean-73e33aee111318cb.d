@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtclean-73e33aee111318cb.d: src/bin/rtclean.rs
+
+/root/repo/target/debug/deps/rtclean-73e33aee111318cb: src/bin/rtclean.rs
+
+src/bin/rtclean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtclean-8936dd6a15dbaabb.d: src/bin/rtclean.rs
+
+/root/repo/target/debug/deps/rtclean-8936dd6a15dbaabb: src/bin/rtclean.rs
+
+src/bin/rtclean.rs:

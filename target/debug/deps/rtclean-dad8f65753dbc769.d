@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtclean-dad8f65753dbc769.d: src/bin/rtclean.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtclean-dad8f65753dbc769.rmeta: src/bin/rtclean.rs Cargo.toml
+
+src/bin/rtclean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

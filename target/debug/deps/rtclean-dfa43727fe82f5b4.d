@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtclean-dfa43727fe82f5b4.d: src/bin/rtclean.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtclean-dfa43727fe82f5b4.rmeta: src/bin/rtclean.rs Cargo.toml
+
+src/bin/rtclean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtclean-fb89d591cd18df52.d: src/bin/rtclean.rs
+
+/root/repo/target/debug/deps/rtclean-fb89d591cd18df52: src/bin/rtclean.rs
+
+src/bin/rtclean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/census_cleaning-6befdf56e2ee99ae.d: examples/census_cleaning.rs
+
+/root/repo/target/debug/examples/census_cleaning-6befdf56e2ee99ae: examples/census_cleaning.rs
+
+examples/census_cleaning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/census_cleaning-ef9da4b88baa9e44.d: examples/census_cleaning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcensus_cleaning-ef9da4b88baa9e44.rmeta: examples/census_cleaning.rs Cargo.toml
+
+examples/census_cleaning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b965c0979bb7dcd5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b965c0979bb7dcd5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trust_exploration-50877aca2757a1b3.d: examples/trust_exploration.rs
+
+/root/repo/target/debug/examples/trust_exploration-50877aca2757a1b3: examples/trust_exploration.rs
+
+examples/trust_exploration.rs:

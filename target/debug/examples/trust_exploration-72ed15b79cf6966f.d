@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trust_exploration-72ed15b79cf6966f.d: examples/trust_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrust_exploration-72ed15b79cf6966f.rmeta: examples/trust_exploration.rs Cargo.toml
+
+examples/trust_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librt_graph.rlib: /root/repo/crates/graph/src/graph.rs /root/repo/crates/graph/src/lib.rs /root/repo/crates/graph/src/vertex_cover.rs /root/repo/crates/par/src/lib.rs

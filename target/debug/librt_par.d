@@ -1,0 +1,1 @@
+/root/repo/target/debug/librt_par.rlib: /root/repo/crates/par/src/lib.rs

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rt_relation",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"rt_relation/error/enum.RelationError.html\" title=\"enum rt_relation::error::RelationError\">RelationError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[302]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rt_constraints",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"rt_constraints/attrset/struct.AttrSetIter.html\" title=\"struct rt_constraints::attrset::AttrSetIter\">AttrSetIter</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[356]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rt_relation",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/index/trait.Index.html\" title=\"trait core::ops::index::Index\">Index</a>&lt;<a class=\"struct\" href=\"rt_relation/schema/struct.AttrId.html\" title=\"struct rt_relation::schema::AttrId\">AttrId</a>&gt; for <a class=\"struct\" href=\"rt_relation/tuple/struct.Tuple.html\" title=\"struct rt_relation::tuple::Tuple\">Tuple</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[423]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["exp_par_speedup",[["impl <a class=\"trait\" href=\"rt_bench/json/trait.ToJson.html\" title=\"trait rt_bench::json::ToJson\">ToJson</a> for <a class=\"struct\" href=\"exp_par_speedup/struct.SpeedupRow.html\" title=\"struct exp_par_speedup::SpeedupRow\">SpeedupRow</a>",0]]],["rt_bench",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[274,16]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_attrs-12ba014ce955b08a.d: crates/bench/benches/bench_attrs.rs
+
+/root/repo/target/release/deps/bench_attrs-12ba014ce955b08a: crates/bench/benches/bench_attrs.rs
+
+crates/bench/benches/bench_attrs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_attrs-4b6aa74ba5ead5b7.d: crates/bench/benches/bench_attrs.rs
+
+/root/repo/target/release/deps/bench_attrs-4b6aa74ba5ead5b7: crates/bench/benches/bench_attrs.rs
+
+crates/bench/benches/bench_attrs.rs:

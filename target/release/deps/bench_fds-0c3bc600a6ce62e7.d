@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_fds-0c3bc600a6ce62e7.d: crates/bench/benches/bench_fds.rs
+
+/root/repo/target/release/deps/bench_fds-0c3bc600a6ce62e7: crates/bench/benches/bench_fds.rs
+
+crates/bench/benches/bench_fds.rs:

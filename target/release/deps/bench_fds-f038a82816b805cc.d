@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_fds-f038a82816b805cc.d: crates/bench/benches/bench_fds.rs
+
+/root/repo/target/release/deps/bench_fds-f038a82816b805cc: crates/bench/benches/bench_fds.rs
+
+crates/bench/benches/bench_fds.rs:

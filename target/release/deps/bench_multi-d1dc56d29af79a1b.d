@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_multi-d1dc56d29af79a1b.d: crates/bench/benches/bench_multi.rs
+
+/root/repo/target/release/deps/bench_multi-d1dc56d29af79a1b: crates/bench/benches/bench_multi.rs
+
+crates/bench/benches/bench_multi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_multi-e3776784f0192a4f.d: crates/bench/benches/bench_multi.rs
+
+/root/repo/target/release/deps/bench_multi-e3776784f0192a4f: crates/bench/benches/bench_multi.rs
+
+crates/bench/benches/bench_multi.rs:

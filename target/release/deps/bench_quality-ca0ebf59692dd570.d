@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_quality-ca0ebf59692dd570.d: crates/bench/benches/bench_quality.rs
+
+/root/repo/target/release/deps/bench_quality-ca0ebf59692dd570: crates/bench/benches/bench_quality.rs
+
+crates/bench/benches/bench_quality.rs:

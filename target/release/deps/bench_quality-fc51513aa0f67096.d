@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_quality-fc51513aa0f67096.d: crates/bench/benches/bench_quality.rs
+
+/root/repo/target/release/deps/bench_quality-fc51513aa0f67096: crates/bench/benches/bench_quality.rs
+
+crates/bench/benches/bench_quality.rs:

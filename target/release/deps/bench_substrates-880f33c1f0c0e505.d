@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_substrates-880f33c1f0c0e505.d: crates/bench/benches/bench_substrates.rs
+
+/root/repo/target/release/deps/bench_substrates-880f33c1f0c0e505: crates/bench/benches/bench_substrates.rs
+
+crates/bench/benches/bench_substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_substrates-d206e0e159dcbba8.d: crates/bench/benches/bench_substrates.rs
+
+/root/repo/target/release/deps/bench_substrates-d206e0e159dcbba8: crates/bench/benches/bench_substrates.rs
+
+crates/bench/benches/bench_substrates.rs:

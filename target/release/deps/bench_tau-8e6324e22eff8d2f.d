@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_tau-8e6324e22eff8d2f.d: crates/bench/benches/bench_tau.rs
+
+/root/repo/target/release/deps/bench_tau-8e6324e22eff8d2f: crates/bench/benches/bench_tau.rs
+
+crates/bench/benches/bench_tau.rs:

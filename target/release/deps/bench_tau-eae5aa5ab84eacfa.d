@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_tau-eae5aa5ab84eacfa.d: crates/bench/benches/bench_tau.rs
+
+/root/repo/target/release/deps/bench_tau-eae5aa5ab84eacfa: crates/bench/benches/bench_tau.rs
+
+crates/bench/benches/bench_tau.rs:

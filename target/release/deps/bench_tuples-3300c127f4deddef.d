@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_tuples-3300c127f4deddef.d: crates/bench/benches/bench_tuples.rs
+
+/root/repo/target/release/deps/bench_tuples-3300c127f4deddef: crates/bench/benches/bench_tuples.rs
+
+crates/bench/benches/bench_tuples.rs:

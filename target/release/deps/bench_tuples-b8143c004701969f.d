@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_tuples-b8143c004701969f.d: crates/bench/benches/bench_tuples.rs
+
+/root/repo/target/release/deps/bench_tuples-b8143c004701969f: crates/bench/benches/bench_tuples.rs
+
+crates/bench/benches/bench_tuples.rs:

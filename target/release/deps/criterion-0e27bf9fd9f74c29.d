@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0e27bf9fd9f74c29.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0e27bf9fd9f74c29.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0e27bf9fd9f74c29.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e4dc35a8673dde1f.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-e4dc35a8673dde1f: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_effect_tau-b2c19f0ae25fcc92.d: crates/bench/src/bin/exp_effect_tau.rs
+
+/root/repo/target/release/deps/exp_effect_tau-b2c19f0ae25fcc92: crates/bench/src/bin/exp_effect_tau.rs
+
+crates/bench/src/bin/exp_effect_tau.rs:

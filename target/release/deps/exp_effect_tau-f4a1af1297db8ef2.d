@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_effect_tau-f4a1af1297db8ef2.d: crates/bench/src/bin/exp_effect_tau.rs
+
+/root/repo/target/release/deps/exp_effect_tau-f4a1af1297db8ef2: crates/bench/src/bin/exp_effect_tau.rs
+
+crates/bench/src/bin/exp_effect_tau.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_multi_repairs-22bee0c17e32cf0a.d: crates/bench/src/bin/exp_multi_repairs.rs
+
+/root/repo/target/release/deps/exp_multi_repairs-22bee0c17e32cf0a: crates/bench/src/bin/exp_multi_repairs.rs
+
+crates/bench/src/bin/exp_multi_repairs.rs:

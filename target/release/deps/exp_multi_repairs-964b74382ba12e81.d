@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_multi_repairs-964b74382ba12e81.d: crates/bench/src/bin/exp_multi_repairs.rs
+
+/root/repo/target/release/deps/exp_multi_repairs-964b74382ba12e81: crates/bench/src/bin/exp_multi_repairs.rs
+
+crates/bench/src/bin/exp_multi_repairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_par_speedup-3d71b587df49cf73.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/release/deps/exp_par_speedup-3d71b587df49cf73: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

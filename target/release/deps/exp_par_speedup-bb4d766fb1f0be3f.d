@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_par_speedup-bb4d766fb1f0be3f.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/release/deps/exp_par_speedup-bb4d766fb1f0be3f: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_quality_vs_trust-cec6cb512fc67e59.d: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+/root/repo/target/release/deps/exp_quality_vs_trust-cec6cb512fc67e59: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+crates/bench/src/bin/exp_quality_vs_trust.rs:

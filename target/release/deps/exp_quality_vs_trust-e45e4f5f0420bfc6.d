@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_quality_vs_trust-e45e4f5f0420bfc6.d: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+/root/repo/target/release/deps/exp_quality_vs_trust-e45e4f5f0420bfc6: crates/bench/src/bin/exp_quality_vs_trust.rs
+
+crates/bench/src/bin/exp_quality_vs_trust.rs:

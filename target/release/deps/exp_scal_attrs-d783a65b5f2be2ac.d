@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scal_attrs-d783a65b5f2be2ac.d: crates/bench/src/bin/exp_scal_attrs.rs
+
+/root/repo/target/release/deps/exp_scal_attrs-d783a65b5f2be2ac: crates/bench/src/bin/exp_scal_attrs.rs
+
+crates/bench/src/bin/exp_scal_attrs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scal_attrs-e1e39eb2387c2fdf.d: crates/bench/src/bin/exp_scal_attrs.rs
+
+/root/repo/target/release/deps/exp_scal_attrs-e1e39eb2387c2fdf: crates/bench/src/bin/exp_scal_attrs.rs
+
+crates/bench/src/bin/exp_scal_attrs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scal_fds-646ff2a052d5cca7.d: crates/bench/src/bin/exp_scal_fds.rs
+
+/root/repo/target/release/deps/exp_scal_fds-646ff2a052d5cca7: crates/bench/src/bin/exp_scal_fds.rs
+
+crates/bench/src/bin/exp_scal_fds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scal_fds-a6c2192b8c1bfed1.d: crates/bench/src/bin/exp_scal_fds.rs
+
+/root/repo/target/release/deps/exp_scal_fds-a6c2192b8c1bfed1: crates/bench/src/bin/exp_scal_fds.rs
+
+crates/bench/src/bin/exp_scal_fds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scal_tuples-15f5aa823c615bbc.d: crates/bench/src/bin/exp_scal_tuples.rs
+
+/root/repo/target/release/deps/exp_scal_tuples-15f5aa823c615bbc: crates/bench/src/bin/exp_scal_tuples.rs
+
+crates/bench/src/bin/exp_scal_tuples.rs:

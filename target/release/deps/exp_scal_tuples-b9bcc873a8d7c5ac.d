@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scal_tuples-b9bcc873a8d7c5ac.d: crates/bench/src/bin/exp_scal_tuples.rs
+
+/root/repo/target/release/deps/exp_scal_tuples-b9bcc873a8d7c5ac: crates/bench/src/bin/exp_scal_tuples.rs
+
+crates/bench/src/bin/exp_scal_tuples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_vs_unified_cost-3dc950c30d9526d1.d: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+/root/repo/target/release/deps/exp_vs_unified_cost-3dc950c30d9526d1: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+crates/bench/src/bin/exp_vs_unified_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_vs_unified_cost-8f411a93664ef91f.d: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+/root/repo/target/release/deps/exp_vs_unified_cost-8f411a93664ef91f: crates/bench/src/bin/exp_vs_unified_cost.rs
+
+crates/bench/src/bin/exp_vs_unified_cost.rs:

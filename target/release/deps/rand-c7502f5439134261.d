@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-c7502f5439134261.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-c7502f5439134261: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e08bec872218e08b.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e08bec872218e08b.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e08bec872218e08b.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

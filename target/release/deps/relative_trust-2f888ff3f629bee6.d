@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/relative_trust-2f888ff3f629bee6.d: src/lib.rs
+
+/root/repo/target/release/deps/relative_trust-2f888ff3f629bee6: src/lib.rs
+
+src/lib.rs:

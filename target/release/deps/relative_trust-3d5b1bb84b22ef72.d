@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/relative_trust-3d5b1bb84b22ef72.d: src/lib.rs
+
+/root/repo/target/release/deps/librelative_trust-3d5b1bb84b22ef72.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librelative_trust-3d5b1bb84b22ef72.rmeta: src/lib.rs
+
+src/lib.rs:

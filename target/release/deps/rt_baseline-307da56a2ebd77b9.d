@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/rt_baseline-307da56a2ebd77b9.d: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/release/deps/rt_baseline-307da56a2ebd77b9: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/unified.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rt_baseline-420df733e37d353d.d: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/release/deps/librt_baseline-420df733e37d353d.rlib: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+/root/repo/target/release/deps/librt_baseline-420df733e37d353d.rmeta: crates/baseline/src/lib.rs crates/baseline/src/unified.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/unified.rs:

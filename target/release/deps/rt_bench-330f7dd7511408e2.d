@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rt_bench-330f7dd7511408e2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/librt_bench-330f7dd7511408e2.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/librt_bench-330f7dd7511408e2.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rt_bench-689750c5f5c4303f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/rt_bench-689750c5f5c4303f: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/json.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/json.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rt_constraints-388aca5d801ae86d.d: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+/root/repo/target/release/deps/librt_constraints-388aca5d801ae86d.rlib: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+/root/repo/target/release/deps/librt_constraints-388aca5d801ae86d.rmeta: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/attrset.rs:
+crates/constraints/src/discovery.rs:
+crates/constraints/src/fd.rs:
+crates/constraints/src/partition.rs:
+crates/constraints/src/violations.rs:
+crates/constraints/src/weights.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rt_constraints-ead9a9f727fbb584.d: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+/root/repo/target/release/deps/rt_constraints-ead9a9f727fbb584: crates/constraints/src/lib.rs crates/constraints/src/attrset.rs crates/constraints/src/discovery.rs crates/constraints/src/fd.rs crates/constraints/src/partition.rs crates/constraints/src/violations.rs crates/constraints/src/weights.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/attrset.rs:
+crates/constraints/src/discovery.rs:
+crates/constraints/src/fd.rs:
+crates/constraints/src/partition.rs:
+crates/constraints/src/violations.rs:
+crates/constraints/src/weights.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rt_core-a0f344b02b694e73.d: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+/root/repo/target/release/deps/librt_core-a0f344b02b694e73.rlib: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+/root/repo/target/release/deps/librt_core-a0f344b02b694e73.rmeta: crates/core/src/lib.rs crates/core/src/data_repair.rs crates/core/src/heuristic.rs crates/core/src/multi.rs crates/core/src/problem.rs crates/core/src/repair.rs crates/core/src/search.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/data_repair.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/multi.rs:
+crates/core/src/problem.rs:
+crates/core/src/repair.rs:
+crates/core/src/search.rs:
+crates/core/src/state.rs:

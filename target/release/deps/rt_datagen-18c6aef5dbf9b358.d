@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rt_datagen-18c6aef5dbf9b358.d: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+/root/repo/target/release/deps/librt_datagen-18c6aef5dbf9b358.rlib: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+/root/repo/target/release/deps/librt_datagen-18c6aef5dbf9b358.rmeta: crates/datagen/src/lib.rs crates/datagen/src/generator.rs crates/datagen/src/metrics.rs crates/datagen/src/perturb.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/generator.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/perturb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rt_graph-5ebcd8c38a407271.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/release/deps/rt_graph-5ebcd8c38a407271: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/vertex_cover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rt_graph-74200fc4278b86ac.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/release/deps/librt_graph-74200fc4278b86ac.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+/root/repo/target/release/deps/librt_graph-74200fc4278b86ac.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/vertex_cover.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/vertex_cover.rs:

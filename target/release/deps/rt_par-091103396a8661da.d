@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rt_par-091103396a8661da.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/librt_par-091103396a8661da.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/librt_par-091103396a8661da.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rt_par-9f2c1b5f43a60b7b.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/rt_par-9f2c1b5f43a60b7b: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

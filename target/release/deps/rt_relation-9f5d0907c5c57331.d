@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rt_relation-9f5d0907c5c57331.d: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/librt_relation-9f5d0907c5c57331.rlib: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/librt_relation-9f5d0907c5c57331.rmeta: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/instance.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

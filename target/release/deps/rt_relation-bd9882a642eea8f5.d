@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rt_relation-bd9882a642eea8f5.d: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/rt_relation-bd9882a642eea8f5: crates/relation/src/lib.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/instance.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/instance.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

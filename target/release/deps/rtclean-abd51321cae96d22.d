@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtclean-abd51321cae96d22.d: src/bin/rtclean.rs
+
+/root/repo/target/release/deps/rtclean-abd51321cae96d22: src/bin/rtclean.rs
+
+src/bin/rtclean.rs:

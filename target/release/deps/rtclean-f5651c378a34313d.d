@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtclean-f5651c378a34313d.d: src/bin/rtclean.rs
+
+/root/repo/target/release/deps/rtclean-f5651c378a34313d: src/bin/rtclean.rs
+
+src/bin/rtclean.rs:

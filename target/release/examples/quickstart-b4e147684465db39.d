@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b4e147684465db39.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b4e147684465db39: examples/quickstart.rs
+
+examples/quickstart.rs:
