@@ -12,6 +12,12 @@ cd "$(dirname "$0")"
 quick=0
 [ "${1:-}" = "--quick" ] && quick=1
 
+echo "==> checking that no build artifacts are tracked"
+if git ls-files -- 'target/' | grep -q .; then
+    echo "error: files under target/ are tracked by git; run: git rm -r --cached target/" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -19,6 +25,9 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [ "$quick" -eq 0 ]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+
     echo "==> cargo doc --no-deps -q (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 

@@ -25,4 +25,6 @@
 
 pub mod unified;
 
-pub use unified::{unified_cost_repair, UnifiedCostConfig, UnifiedRepair};
+pub use unified::{
+    unified_cost_repair, unified_cost_repair_with_graph, UnifiedCostConfig, UnifiedRepair,
+};

@@ -26,7 +26,11 @@ impl Default for UnifiedCostConfig {
         // only when doing so wipes out a large share of the violations —
         // matching the behaviour reported for the unified-cost baseline in
         // Figure 8 of the paper.
-        UnifiedCostConfig { cell_change_weight: 1.0, fd_modification_weight: 1.0, seed: 0 }
+        UnifiedCostConfig {
+            cell_change_weight: 1.0,
+            fd_modification_weight: 1.0,
+            seed: 0,
+        }
     }
 }
 
@@ -79,9 +83,23 @@ pub fn unified_cost_repair(
     weight: &dyn Weight,
     config: &UnifiedCostConfig,
 ) -> UnifiedRepair {
+    let conflict = ConflictGraph::build(instance, sigma);
+    unified_cost_repair_with_graph(instance, sigma, weight, config, &conflict)
+}
+
+/// [`unified_cost_repair`] over a caller-supplied conflict graph of
+/// `(instance, sigma)` — the entry point `rt_engine::RepairEngine` uses so
+/// the baseline shares the engine's prepared graph instead of rebuilding
+/// it per call.
+pub fn unified_cost_repair_with_graph(
+    instance: &Instance,
+    sigma: &FdSet,
+    weight: &dyn Weight,
+    config: &UnifiedCostConfig,
+    conflict: &ConflictGraph,
+) -> UnifiedRepair {
     let arity = instance.schema().arity();
     let alpha = (arity.saturating_sub(1)).min(sigma.len()).max(1);
-    let conflict = ConflictGraph::build(instance, sigma);
 
     let mut appended: Vec<AttrSet> = vec![AttrSet::EMPTY; sigma.len()];
     let mut fd_cost = 0.0;
@@ -92,8 +110,7 @@ pub fn unified_cost_repair(
         if current_cover == 0 {
             break;
         }
-        let current_data_cost =
-            config.cell_change_weight * (alpha * current_cover) as f64;
+        let current_data_cost = config.cell_change_weight * (alpha * current_cover) as f64;
 
         // Evaluate every single-attribute extension.
         let mut best: Option<(usize, AttrId, f64)> = None; // (fd, attr, net gain)
@@ -103,10 +120,8 @@ pub fn unified_cost_repair(
                 let mut trial = appended.clone();
                 trial[j] = trial[j].with(attr);
                 let trial_fds = sigma.extend_lhs(&trial);
-                let trial_cover =
-                    approx_vertex_cover(&conflict.subgraph_for(&trial_fds)).len();
-                let trial_data_cost =
-                    config.cell_change_weight * (alpha * trial_cover) as f64;
+                let trial_cover = approx_vertex_cover(&conflict.subgraph_for(&trial_fds)).len();
+                let trial_data_cost = config.cell_change_weight * (alpha * trial_cover) as f64;
                 let modification_cost =
                     config.fd_modification_weight * weight.weight(AttrSet::singleton(attr));
                 let gain = current_data_cost - trial_data_cost - modification_cost;
@@ -119,8 +134,7 @@ pub fn unified_cost_repair(
         match best {
             Some((j, attr, _)) => {
                 appended[j] = appended[j].with(attr);
-                fd_cost +=
-                    config.fd_modification_weight * weight.weight(AttrSet::singleton(attr));
+                fd_cost += config.fd_modification_weight * weight.weight(AttrSet::singleton(attr));
             }
             None => break, // no profitable FD modification remains
         }
@@ -151,7 +165,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -171,7 +190,10 @@ mod tests {
     fn expensive_fd_modifications_force_a_pure_data_repair() {
         let (inst, fds) = figure2();
         let weight = DistinctCountWeight::new(&inst);
-        let config = UnifiedCostConfig { fd_modification_weight: 100.0, ..Default::default() };
+        let config = UnifiedCostConfig {
+            fd_modification_weight: 100.0,
+            ..Default::default()
+        };
         let repair = unified_cost_repair(&inst, &fds, &weight, &config);
         assert_eq!(repair.fd_changes(), 0, "FDs must stay untouched");
         assert_eq!(repair.fd_cost, 0.0);
@@ -201,8 +223,7 @@ mod tests {
     fn clean_data_costs_nothing() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
         let inst =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 2], vec![2, 2], vec![3, 5]])
-                .unwrap();
+            Instance::from_int_rows(schema.clone(), &[vec![1, 2], vec![2, 2], vec![3, 5]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let weight = DistinctCountWeight::new(&inst);
         let repair = unified_cost_repair(&inst, &fds, &weight, &UnifiedCostConfig::default());
@@ -231,7 +252,10 @@ mod tests {
         // Even with free FD modifications, each appended attribute must be a
         // legal extension (never the RHS, never a duplicate).
         let (inst, fds) = figure2();
-        let config = UnifiedCostConfig { fd_modification_weight: 0.0, ..Default::default() };
+        let config = UnifiedCostConfig {
+            fd_modification_weight: 0.0,
+            ..Default::default()
+        };
         let repair = unified_cost_repair(&inst, &fds, &AttrCountWeight, &config);
         for (j, fd) in fds.iter() {
             let appended = repair.appended_attrs[j];

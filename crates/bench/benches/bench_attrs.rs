@@ -26,10 +26,15 @@ fn bench_search_vs_attributes(c: &mut Criterion) {
             WeightKind::DistinctCount,
         );
         let tau = problem.absolute_tau(0.01);
-        let config = SearchConfig { max_expansions: 800, ..Default::default() };
-        group.bench_with_input(BenchmarkId::new("astar", attributes), &attributes, |b, _| {
-            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar))
-        });
+        let config = SearchConfig {
+            max_expansions: 800,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("astar", attributes),
+            &attributes,
+            |b, _| b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar)),
+        );
         group.bench_with_input(
             BenchmarkId::new("best_first", attributes),
             &attributes,

@@ -25,13 +25,18 @@ fn bench_search_vs_fds(c: &mut Criterion) {
             WeightKind::DistinctCount,
         );
         let tau = problem.absolute_tau(0.01);
-        let config = SearchConfig { max_expansions: 800, ..Default::default() };
+        let config = SearchConfig {
+            max_expansions: 800,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("astar", fd_count), &fd_count, |b, _| {
             b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar))
         });
-        group.bench_with_input(BenchmarkId::new("best_first", fd_count), &fd_count, |b, _| {
-            b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::BestFirst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("best_first", fd_count),
+            &fd_count,
+            |b, _| b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::BestFirst)),
+        );
     }
     group.finish();
 }

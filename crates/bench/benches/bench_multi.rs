@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_bench::workloads::{Workload, WorkloadSpec};
-use rt_core::{find_repairs_range, find_repairs_sampling, RepairProblem, SearchConfig, WeightKind};
+use rt_core::{sampling_search, RangeSearch, RepairProblem, SearchConfig, WeightKind};
 
 fn bench_multi_repairs(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure13_multi_repairs");
@@ -25,18 +25,23 @@ fn bench_multi_repairs(c: &mut Criterion) {
         WeightKind::DistinctCount,
     );
     let reference = problem.delta_p_original();
-    let config = SearchConfig { max_expansions: 800, ..Default::default() };
+    let config = SearchConfig {
+        max_expansions: 800,
+        ..Default::default()
+    };
     for &max_tau_r in &[0.1f64, 0.2, 0.3] {
         let tau_high = ((reference as f64) * max_tau_r).ceil() as usize;
         let step = (((reference as f64) * 0.017).ceil() as usize).max(1);
         let label = format!("{}%", (max_tau_r * 100.0) as usize);
-        group.bench_with_input(BenchmarkId::new("range_repair", &label), &tau_high, |b, &hi| {
-            b.iter(|| find_repairs_range(&problem, 0, hi, &config))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("range_repair", &label),
+            &tau_high,
+            |b, &hi| b.iter(|| RangeSearch::new(&problem, 0, hi, &config).run_to_end()),
+        );
         group.bench_with_input(
             BenchmarkId::new("sampling_repair", &label),
             &tau_high,
-            |b, &hi| b.iter(|| find_repairs_sampling(&problem, 0, hi, step, &config)),
+            |b, &hi| b.iter(|| sampling_search(&problem, 0, hi, step, &config)),
         );
     }
     group.finish();

@@ -27,23 +27,26 @@ fn bench_end_to_end_repair(c: &mut Criterion) {
     let dirty = workload.dirty_instance();
     let dirty_fds = workload.dirty_fds();
     let problem = RepairProblem::with_weight(dirty, dirty_fds, WeightKind::DistinctCount);
-    let config = SearchConfig { max_expansions: 800, ..Default::default() };
+    let config = SearchConfig {
+        max_expansions: 800,
+        ..Default::default()
+    };
 
     for &tau_r in &[0.0f64, 0.3, 1.0] {
         let tau = problem.absolute_tau(tau_r);
         let label = format!("tau_r={}%", (tau_r * 100.0) as usize);
-        group.bench_with_input(BenchmarkId::new("relative_trust", &label), &tau, |b, &tau| {
-            b.iter(|| {
-                repair_data_fds_with(&problem, tau, &config, SearchAlgorithm::AStar, 17)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("relative_trust", &label),
+            &tau,
+            |b, &tau| {
+                b.iter(|| repair_data_fds_with(&problem, tau, &config, SearchAlgorithm::AStar, 17))
+            },
+        );
     }
 
     let weight = DistinctCountWeight::new(dirty);
     group.bench_function("unified_cost_baseline", |b| {
-        b.iter(|| {
-            unified_cost_repair(dirty, dirty_fds, &weight, &UnifiedCostConfig::default())
-        })
+        b.iter(|| unified_cost_repair(dirty, dirty_fds, &weight, &UnifiedCostConfig::default()))
     });
     group.finish();
 }

@@ -30,15 +30,19 @@ fn bench_conflict_graph(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build", tuples), &tuples, |b, _| {
             b.iter(|| ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds()))
         });
-        group.bench_with_input(BenchmarkId::new("build_parallel", tuples), &tuples, |b, _| {
-            b.iter(|| {
-                ConflictGraph::build_with(
-                    workload.dirty_instance(),
-                    workload.dirty_fds(),
-                    Parallelism::Auto,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_parallel", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    ConflictGraph::build_with(
+                        workload.dirty_instance(),
+                        workload.dirty_fds(),
+                        Parallelism::Auto,
+                    )
+                })
+            },
+        );
         let cg = ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds());
         group.bench_with_input(
             BenchmarkId::new("subgraph_filter", tuples),
@@ -63,10 +67,11 @@ fn bench_vertex_cover(c: &mut Criterion) {
         fd_error_rate: 0.5,
         seed: 3,
     });
-    let graph =
-        ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds()).to_graph();
+    let graph = ConflictGraph::build(workload.dirty_instance(), workload.dirty_fds()).to_graph();
     group.bench_function("matching", |b| b.iter(|| matching_vertex_cover(&graph)));
-    group.bench_function("greedy_degree", |b| b.iter(|| greedy_degree_vertex_cover(&graph)));
+    group.bench_function("greedy_degree", |b| {
+        b.iter(|| greedy_degree_vertex_cover(&graph))
+    });
     group.bench_function("hybrid", |b| b.iter(|| approx_vertex_cover(&graph)));
     group.bench_function("hybrid_parallel", |b| {
         b.iter(|| approx_vertex_cover_with(&graph, Parallelism::Auto))
@@ -110,7 +115,10 @@ fn bench_fd_discovery(c: &mut Criterion) {
         fd_error_rate: 0.0,
         seed: 7,
     });
-    let config = DiscoveryConfig { max_lhs_size: 3, ..Default::default() };
+    let config = DiscoveryConfig {
+        max_lhs_size: 3,
+        ..Default::default()
+    };
     group.bench_function("levelwise_lhs3", |b| {
         b.iter(|| discover_fds(&workload.truth.clean, &config))
     });

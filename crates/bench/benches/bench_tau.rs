@@ -24,7 +24,10 @@ fn bench_search_vs_tau(c: &mut Criterion) {
         workload.dirty_fds(),
         WeightKind::DistinctCount,
     );
-    let config = SearchConfig { max_expansions: 800, ..Default::default() };
+    let config = SearchConfig {
+        max_expansions: 800,
+        ..Default::default()
+    };
     for &tau_r in &[0.1f64, 0.4, 0.7, 0.99] {
         let tau = problem.absolute_tau(tau_r);
         let label = format!("{}%", (tau_r * 100.0) as usize);

@@ -26,7 +26,10 @@ fn bench_search_vs_tuples(c: &mut Criterion) {
             WeightKind::DistinctCount,
         );
         let tau = problem.absolute_tau(0.01);
-        let config = SearchConfig { max_expansions: 800, ..Default::default() };
+        let config = SearchConfig {
+            max_expansions: 800,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("astar", tuples), &tuples, |b, _| {
             b.iter(|| run_search(&problem, tau, &config, SearchAlgorithm::AStar))
         });

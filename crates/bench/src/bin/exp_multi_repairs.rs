@@ -24,7 +24,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["max tau_r", "algorithm", "seconds", "repairs found", "visited states"],
+            &[
+                "max tau_r",
+                "algorithm",
+                "seconds",
+                "repairs found",
+                "visited states"
+            ],
             &table
         )
     );

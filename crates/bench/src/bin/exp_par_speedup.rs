@@ -14,7 +14,7 @@ use rt_bench::workloads::{Scale, Workload, WorkloadSpec};
 use rt_bench::{impl_to_json, render_table, write_json_report};
 use rt_constraints::ConflictGraph;
 use rt_core::data_repair::repair_data_with_cover_par;
-use rt_core::{find_repairs_sampling, Parallelism, RepairProblem, SearchConfig, WeightKind};
+use rt_core::{sampling_search, Parallelism, RepairProblem, SearchConfig, WeightKind};
 use rt_graph::approx_vertex_cover_with;
 use std::time::Instant;
 
@@ -27,10 +27,20 @@ struct SpeedupRow {
     identical: bool,
 }
 
-impl_to_json!(SpeedupRow { stage, serial_seconds, parallel_seconds, speedup, identical });
+impl_to_json!(SpeedupRow {
+    stage,
+    serial_seconds,
+    parallel_seconds,
+    speedup,
+    identical
+});
 
 /// Times `f` under both settings and checks the outputs match.
-fn measure<T: PartialEq>(stage: &str, par: Parallelism, f: impl Fn(Parallelism) -> T) -> SpeedupRow {
+fn measure<T: PartialEq>(
+    stage: &str,
+    par: Parallelism,
+    f: impl Fn(Parallelism) -> T,
+) -> SpeedupRow {
     // Untimed warm-up so allocator and page-cache effects don't skew the
     // serial (first) measurement.
     let _ = f(Parallelism::Serial);
@@ -81,7 +91,9 @@ fn main() {
 
     let conflict = ConflictGraph::build(instance, fds);
     let graph = conflict.to_graph();
-    rows.push(measure("vertex_cover", par, |p| approx_vertex_cover_with(&graph, p)));
+    rows.push(measure("vertex_cover", par, |p| {
+        approx_vertex_cover_with(&graph, p)
+    }));
 
     let cover: Vec<usize> = approx_vertex_cover_with(&graph, par).iter().collect();
     rows.push(measure("data_repair_alg4", par, |p| {
@@ -97,8 +109,11 @@ fn main() {
             parallelism: p,
             ..Default::default()
         };
-        let out = find_repairs_sampling(&problem, 0, budget, (budget / 8).max(1), &config);
-        out.repairs.iter().map(|r| (r.repair.delta_p, r.tau_range)).collect::<Vec<_>>()
+        let out = sampling_search(&problem, 0, budget, (budget / 8).max(1), &config);
+        out.repairs
+            .iter()
+            .map(|r| (r.repair.delta_p, r.tau_range))
+            .collect::<Vec<_>>()
     }));
 
     let table: Vec<Vec<String>> = rows
@@ -109,13 +124,20 @@ fn main() {
                 format!("{:.4}", r.serial_seconds),
                 format!("{:.4}", r.parallel_seconds),
                 format!("{:.2}x", r.speedup),
-                if r.identical { "yes".into() } else { "NO".into() },
+                if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["stage", "serial s", "parallel s", "speedup", "identical"], &table)
+        render_table(
+            &["stage", "serial s", "parallel s", "speedup", "identical"],
+            &table
+        )
     );
     if let Some(path) = write_json_report("parallel_speedup", &rows) {
         eprintln!("wrote {}", path.display());

@@ -27,7 +27,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["FD err", "Data err", "tau_r", "Data F", "FD F", "Combined F", "cells", "attrs"],
+            &[
+                "FD err",
+                "Data err",
+                "tau_r",
+                "Data F",
+                "FD F",
+                "Combined F",
+                "cells",
+                "attrs"
+            ],
             &table
         )
     );

@@ -17,14 +17,24 @@ fn main() {
                 r.algorithm.clone(),
                 format!("{:.3}", r.seconds),
                 r.states_visited.to_string(),
-                if r.truncated { "yes".into() } else { "no".into() },
+                if r.truncated {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["attributes", "algorithm", "seconds", "visited states", "truncated"],
+            &[
+                "attributes",
+                "algorithm",
+                "seconds",
+                "visited states",
+                "truncated"
+            ],
             &table
         )
     );

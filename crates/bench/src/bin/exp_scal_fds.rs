@@ -17,13 +17,20 @@ fn main() {
                 r.algorithm.clone(),
                 format!("{:.3}", r.seconds),
                 r.states_visited.to_string(),
-                if r.truncated { "yes (cap hit)".into() } else { "no".into() },
+                if r.truncated {
+                    "yes (cap hit)".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["FDs", "algorithm", "seconds", "visited states", "truncated"], &table)
+        render_table(
+            &["FDs", "algorithm", "seconds", "visited states", "truncated"],
+            &table
+        )
     );
     if let Some(path) = write_json_report("figure11_scalability_fds", &rows) {
         eprintln!("wrote {}", path.display());

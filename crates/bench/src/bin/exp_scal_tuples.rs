@@ -17,13 +17,26 @@ fn main() {
                 r.algorithm.clone(),
                 format!("{:.3}", r.seconds),
                 r.states_visited.to_string(),
-                if r.truncated { "yes".into() } else { "no".into() },
+                if r.truncated {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["tuples", "algorithm", "seconds", "visited states", "truncated"], &table)
+        render_table(
+            &[
+                "tuples",
+                "algorithm",
+                "seconds",
+                "visited states",
+                "truncated"
+            ],
+            &table
+        )
     );
     if let Some(path) = write_json_report("figure9_scalability_tuples", &rows) {
         eprintln!("wrote {}", path.display());

@@ -21,7 +21,9 @@ fn main() {
                 format!("{:.2}", r.data_precision),
                 format!("{:.2}", r.data_recall),
                 format!("{:.3}", r.combined_f),
-                r.best_tau_r.map(|t| format!("{:.0}%", t * 100.0)).unwrap_or_else(|| "-".into()),
+                r.best_tau_r
+                    .map(|t| format!("{:.0}%", t * 100.0))
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
@@ -29,8 +31,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Algorithm", "FD err", "Data err", "FD prec", "FD rec", "Data prec", "Data rec",
-                "Combined F", "best tau_r"
+                "Algorithm",
+                "FD err",
+                "Data err",
+                "FD prec",
+                "FD rec",
+                "Data prec",
+                "Data rec",
+                "Combined F",
+                "best tau_r"
             ],
             &table
         )

@@ -5,15 +5,10 @@
 //! reuse the same workload construction.
 
 use crate::workloads::{Scale, Workload, WorkloadSpec};
-use rt_baseline::{unified_cost_repair, UnifiedCostConfig};
-use rt_constraints::DistinctCountWeight;
-use rt_core::{
-    find_repairs_range, find_repairs_sampling, repair::repair_data_fds_with, Parallelism,
-    RepairProblem, SearchAlgorithm, SearchConfig, WeightKind,
-};
+use rt_baseline::UnifiedCostConfig;
+use rt_core::{Parallelism, RangeSearch, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind};
 use rt_datagen::evaluate_repair;
 use rt_par::par_map_coarse;
-
 
 /// The four error-rate mixes of Figures 7 and 8: `(fd_error, data_error)`.
 pub const ERROR_MIXES: [(f64, f64); 4] = [(0.8, 0.0), (0.5, 0.05), (0.3, 0.05), (0.0, 0.05)];
@@ -49,7 +44,13 @@ crate::impl_to_json!(PerfRow {
     states_visited,
     truncated,
 });
-crate::impl_to_json!(MultiRepairRow { algorithm, max_tau_r, seconds, repairs_found, states_visited });
+crate::impl_to_json!(MultiRepairRow {
+    algorithm,
+    max_tau_r,
+    seconds,
+    repairs_found,
+    states_visited
+});
 
 // ---------------------------------------------------------------------------
 // Figure 7: repair quality vs. relative trust
@@ -90,7 +91,6 @@ pub fn quality_vs_trust(scale: Scale) -> Vec<QualityRow> {
 pub fn quality_vs_trust_par(scale: Scale, par: Parallelism) -> Vec<QualityRow> {
     let tuples = scale.tuples(1000);
     let tau_values = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
-    let search = SearchConfig { parallelism: Parallelism::Serial, ..Default::default() };
     let per_mix: Vec<Vec<QualityRow>> = par_map_coarse(par, ERROR_MIXES.len(), |m| {
         let (fd_error_rate, data_error_rate) = ERROR_MIXES[m];
         let workload = Workload::build(&WorkloadSpec {
@@ -102,22 +102,14 @@ pub fn quality_vs_trust_par(scale: Scale, par: Parallelism) -> Vec<QualityRow> {
             fd_error_rate,
             seed: 17,
         });
-        let problem = RepairProblem::with_weight(
-            workload.dirty_instance(),
-            workload.dirty_fds(),
-            WeightKind::DistinctCount,
-        );
+        // One engine session per mix: the conflict graph is built once and
+        // every τ_r of the sweep queries it.
+        let engine = workload.engine(Parallelism::Serial, SearchConfig::default().max_expansions);
         let mut rows = Vec::new();
         for &tau_r in &tau_values {
-            let tau = problem.absolute_tau(tau_r);
-            let repair = repair_data_fds_with(
-                &problem,
-                tau,
-                &search,
-                SearchAlgorithm::AStar,
-                workload.spec.seed,
-            );
-            let Some(repair) = repair else { continue };
+            let Ok(repair) = engine.repair_at_relative(tau_r) else {
+                continue;
+            };
             let quality = evaluate_repair(
                 &workload.truth,
                 &repair.modified_fds,
@@ -178,7 +170,6 @@ pub fn versus_unified_cost(scale: Scale) -> Vec<ComparisonRow> {
 pub fn versus_unified_cost_par(scale: Scale, par: Parallelism) -> Vec<ComparisonRow> {
     let tuples = scale.tuples(800);
     let tau_values = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0];
-    let search = SearchConfig { parallelism: Parallelism::Serial, ..Default::default() };
     let per_mix: Vec<Vec<ComparisonRow>> = par_map_coarse(par, ERROR_MIXES.len(), |m| {
         let (fd_error_rate, data_error_rate) = ERROR_MIXES[m];
         let mut rows = Vec::new();
@@ -191,19 +182,20 @@ pub fn versus_unified_cost_par(scale: Scale, par: Parallelism) -> Vec<Comparison
             fd_error_rate,
             seed: 23,
         });
-        let dirty = workload.dirty_instance();
-        let dirty_fds = workload.dirty_fds();
+        // One engine session per mix serves both systems: the unified-cost
+        // baseline and the relative-trust sweep share its conflict graph.
+        let engine = workload.engine(Parallelism::Serial, SearchConfig::default().max_expansions);
 
         // --- unified-cost baseline (one repair, fixed trade-off) ---
-        let weight = DistinctCountWeight::new(dirty);
-        let unified = unified_cost_repair(
-            dirty,
-            dirty_fds,
-            &weight,
-            &UnifiedCostConfig { seed: workload.spec.seed, ..Default::default() },
+        let unified = engine.unified_baseline(&UnifiedCostConfig {
+            seed: workload.spec.seed,
+            ..Default::default()
+        });
+        let unified_quality = evaluate_repair(
+            &workload.truth,
+            &unified.modified_fds,
+            &unified.repaired_instance,
         );
-        let unified_quality =
-            evaluate_repair(&workload.truth, &unified.modified_fds, &unified.repaired_instance);
         rows.push(ComparisonRow {
             algorithm: "Uniform-Cost".to_string(),
             fd_error_rate,
@@ -217,18 +209,11 @@ pub fn versus_unified_cost_par(scale: Scale, par: Parallelism) -> Vec<Comparison
         });
 
         // --- relative-trust repairs across τ_r; keep the best ---
-        let problem = RepairProblem::with_weight(dirty, dirty_fds, WeightKind::DistinctCount);
         let mut best: Option<(f64, rt_datagen::RepairQuality)> = None;
         for &tau_r in &tau_values {
-            let tau = problem.absolute_tau(tau_r);
-            let repair = repair_data_fds_with(
-                &problem,
-                tau,
-                &search,
-                SearchAlgorithm::AStar,
-                workload.spec.seed,
-            );
-            let Some(repair) = repair else { continue };
+            let Ok(repair) = engine.repair_at_relative(tau_r) else {
+                continue;
+            };
             let quality = evaluate_repair(
                 &workload.truth,
                 &repair.modified_fds,
@@ -318,7 +303,10 @@ fn measure_search(
 /// Best-First terminates in reasonable time when it struggles (the paper
 /// simply reports ">24h" in those cases).
 fn perf_config() -> SearchConfig {
-    SearchConfig { max_expansions: 10_000, ..Default::default() }
+    SearchConfig {
+        max_expansions: 10_000,
+        ..Default::default()
+    }
 }
 
 /// Figure 9: runtime and visited states as the number of tuples grows
@@ -457,35 +445,38 @@ pub fn multi_repair_comparison(scale: Scale) -> Vec<MultiRepairRow> {
         fd_error_rate: 0.5,
         seed: 47,
     });
-    let problem = RepairProblem::with_weight(
-        workload.dirty_instance(),
-        workload.dirty_fds(),
-        WeightKind::DistinctCount,
-    );
-    let reference = problem.delta_p_original();
-    let config = perf_config();
+    // One engine serves every range of the figure; Range-Repair and
+    // Sampling-Repair are two query styles over the same session.
+    let engine = workload.engine(Parallelism::Auto, perf_config().max_expansions);
+    let reference = engine.delta_p_original();
     let mut rows = Vec::new();
     for &max_tau_r in &max_values {
         let tau_high = ((reference as f64) * max_tau_r).ceil() as usize;
 
-        let range = find_repairs_range(&problem, 0, tau_high, &config);
+        // This figure measures the FD search only, so drive the engine's
+        // resumable RangeSearch directly instead of the materializing
+        // sweep: same traversal and stats, no data repairs built just to
+        // be counted.
+        let range =
+            RangeSearch::new(engine.problem(), 0, tau_high, engine.search_config()).run_to_end();
+        let (repairs_found, range_stats) = (range.repairs.len(), range.stats);
         rows.push(MultiRepairRow {
             algorithm: "Range-Repair".to_string(),
             max_tau_r,
-            seconds: range.stats.elapsed.as_secs_f64(),
-            repairs_found: range.repairs.len(),
-            states_visited: range.stats.states_expanded,
+            seconds: range_stats.elapsed.as_secs_f64(),
+            repairs_found,
+            states_visited: range_stats.states_expanded,
         });
 
         // The paper samples τ_r in steps of 1.7% of δ_P.
         let step = (((reference as f64) * 0.017).ceil() as usize).max(1);
-        let sampling = find_repairs_sampling(&problem, 0, tau_high, step, &config);
+        let sampling = engine.sampling_spectrum(0..=tau_high, step);
         rows.push(MultiRepairRow {
             algorithm: "Sampling-Repair".to_string(),
             max_tau_r,
-            seconds: sampling.stats.elapsed.as_secs_f64(),
-            repairs_found: sampling.repairs.len(),
-            states_visited: sampling.stats.states_expanded,
+            seconds: sampling.search_stats.elapsed.as_secs_f64(),
+            repairs_found: sampling.len(),
+            states_visited: sampling.search_stats.states_expanded,
         });
     }
     rows
@@ -501,7 +492,8 @@ mod tests {
         assert!(!rows.is_empty());
         for &(fd_err, data_err) in ERROR_MIXES.iter() {
             assert!(
-                rows.iter().any(|r| r.fd_error_rate == fd_err && r.data_error_rate == data_err),
+                rows.iter()
+                    .any(|r| r.fd_error_rate == fd_err && r.data_error_rate == data_err),
                 "missing mix ({fd_err}, {data_err})"
             );
         }

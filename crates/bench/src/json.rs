@@ -152,8 +152,16 @@ mod tests {
         }
         impl_to_json!(Row { x, y, label });
         let rows = vec![
-            Row { x: 1, y: 0.5, label: "a".to_string() },
-            Row { x: 2, y: 0.25, label: "b".to_string() },
+            Row {
+                x: 1,
+                y: 0.5,
+                label: "a".to_string(),
+            },
+            Row {
+                x: 2,
+                y: 0.25,
+                label: "b".to_string(),
+            },
         ];
         let json = rows.to_json();
         assert!(json.starts_with('['));

@@ -17,7 +17,13 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };

@@ -1,9 +1,8 @@
 //! Workload construction shared by the experiment drivers and benches.
 
 use rt_constraints::FdSet;
-use rt_datagen::{
-    generate_census_like, perturb, CensusLikeConfig, GroundTruth, PerturbConfig,
-};
+use rt_core::{Parallelism, WeightKind};
+use rt_datagen::{generate_census_like, perturb, CensusLikeConfig, GroundTruth, PerturbConfig};
 use rt_relation::Instance;
 
 /// How large a workload to build.
@@ -123,7 +122,10 @@ impl Workload {
                 seed: spec.seed.wrapping_mul(31).wrapping_add(7),
             },
         );
-        Workload { spec: spec.clone(), truth }
+        Workload {
+            spec: spec.clone(),
+            truth,
+        }
     }
 
     /// The dirty instance handed to the repair algorithms.
@@ -134,6 +136,24 @@ impl Workload {
     /// The dirty FD set handed to the repair algorithms.
     pub fn dirty_fds(&self) -> &FdSet {
         &self.truth.sigma_dirty
+    }
+
+    /// A repair-engine session over the dirty `(I, Σ)` of this workload,
+    /// seeded with the workload's seed: the entry point every experiment
+    /// driver queries. `parallelism` controls all parallel stages;
+    /// `max_expansions` caps each FD search.
+    pub fn engine(
+        &self,
+        parallelism: Parallelism,
+        max_expansions: usize,
+    ) -> rt_engine::RepairEngine {
+        rt_engine::RepairEngine::builder(self.truth.dirty.clone(), self.truth.sigma_dirty.clone())
+            .weight(WeightKind::DistinctCount)
+            .parallelism(parallelism)
+            .max_expansions(max_expansions)
+            .seed(self.spec.seed)
+            .build()
+            .expect("workload always yields a valid engine configuration")
     }
 }
 
@@ -160,8 +180,7 @@ mod tests {
     #[test]
     fn scale_parsing_and_sizing() {
         assert_eq!(Scale::from_args(&[]), Scale::Default);
-        let args: Vec<String> =
-            vec!["prog".into(), "--scale".into(), "smoke".into()];
+        let args: Vec<String> = vec!["prog".into(), "--scale".into(), "smoke".into()];
         assert_eq!(Scale::from_args(&args), Scale::Smoke);
         let args: Vec<String> = vec!["--scale".into(), "paper".into()];
         assert_eq!(Scale::from_args(&args), Scale::Paper);

@@ -35,7 +35,11 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
-        DiscoveryConfig { max_lhs_size: 5, minimal_only: true, max_fds: None }
+        DiscoveryConfig {
+            max_lhs_size: 5,
+            minimal_only: true,
+            max_fds: None,
+        }
     }
 }
 
@@ -53,8 +57,10 @@ pub fn discover_fds(instance: &Instance, config: &DiscoveryConfig) -> FdSet {
     let mut partitions: HashMap<AttrSet, StrippedPartition> = HashMap::new();
     partitions.insert(AttrSet::EMPTY, StrippedPartition::universal(instance.len()));
     for &a in &all_attrs {
-        partitions
-            .insert(AttrSet::singleton(a), StrippedPartition::compute(instance, AttrSet::singleton(a)));
+        partitions.insert(
+            AttrSet::singleton(a),
+            StrippedPartition::compute(instance, AttrSet::singleton(a)),
+        );
     }
 
     // Level 0: constant columns (∅ → A).
@@ -66,7 +72,8 @@ pub fn discover_fds(instance: &Instance, config: &DiscoveryConfig) -> FdSet {
     }
 
     // Level-wise search over LHS candidates of increasing size.
-    let mut current_level: Vec<AttrSet> = all_attrs.iter().map(|&a| AttrSet::singleton(a)).collect();
+    let mut current_level: Vec<AttrSet> =
+        all_attrs.iter().map(|&a| AttrSet::singleton(a)).collect();
     let max_level = config.max_lhs_size.min(arity.saturating_sub(1));
 
     for level in 1..=max_level {
@@ -164,7 +171,10 @@ mod tests {
         let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
         let fds = discover_fds(&inst, &DiscoveryConfig::default());
         let a_to_b = Fd::parse("A->B", &schema).unwrap();
-        assert!(fds.as_slice().contains(&a_to_b), "expected A->B among {fds}");
+        assert!(
+            fds.as_slice().contains(&a_to_b),
+            "expected A->B among {fds}"
+        );
         // A -> C must NOT be reported (C is a row counter).
         let a_to_c = Fd::parse("A->C", &schema).unwrap();
         assert!(!fds.as_slice().contains(&a_to_c));
@@ -186,18 +196,20 @@ mod tests {
         let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
         let fds = discover_fds(&inst, &DiscoveryConfig::default());
         // A->B is minimal; AC->B holds too but must not be reported.
-        assert!(fds.as_slice().contains(&Fd::parse("A->B", &schema).unwrap()));
-        assert!(!fds.as_slice().iter().any(|fd| fd.rhs.index() == 1 && fd.lhs.len() > 1));
+        assert!(fds
+            .as_slice()
+            .contains(&Fd::parse("A->B", &schema).unwrap()));
+        assert!(!fds
+            .as_slice()
+            .iter()
+            .any(|fd| fd.rhs.index() == 1 && fd.lhs.len() > 1));
     }
 
     #[test]
     fn constant_column_yields_empty_lhs_fd() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
-        let inst = Instance::from_int_rows(
-            schema.clone(),
-            &[vec![1, 7], vec![2, 7], vec![3, 7]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_int_rows(schema.clone(), &[vec![1, 7], vec![2, 7], vec![3, 7]]).unwrap();
         let fds = discover_fds(&inst, &DiscoveryConfig::default());
         assert!(fds
             .as_slice()
@@ -213,11 +225,18 @@ mod tests {
             .flat_map(|a| (0..4).map(move |b| vec![a, b, a * 4 + b]))
             .collect();
         let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
-        let restricted =
-            discover_fds(&inst, &DiscoveryConfig { max_lhs_size: 1, ..Default::default() });
+        let restricted = discover_fds(
+            &inst,
+            &DiscoveryConfig {
+                max_lhs_size: 1,
+                ..Default::default()
+            },
+        );
         assert!(restricted.as_slice().iter().all(|fd| fd.lhs.len() <= 1));
         let full = discover_fds(&inst, &DiscoveryConfig::default());
-        assert!(full.as_slice().contains(&Fd::parse("A,B->C", &schema).unwrap()));
+        assert!(full
+            .as_slice()
+            .contains(&Fd::parse("A,B->C", &schema).unwrap()));
     }
 
     #[test]
@@ -227,7 +246,10 @@ mod tests {
         let inst = Instance::from_int_rows(schema, &rows).unwrap();
         let fds = discover_fds(
             &inst,
-            &DiscoveryConfig { max_fds: Some(3), ..Default::default() },
+            &DiscoveryConfig {
+                max_fds: Some(3),
+                ..Default::default()
+            },
         );
         assert_eq!(fds.len(), 3);
     }
@@ -239,11 +261,14 @@ mod tests {
         let schema = Schema::with_arity(4).unwrap();
         let mut seed: u64 = 42;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as i64
         };
-        let rows: Vec<Vec<i64>> =
-            (0..25).map(|_| (0..4).map(|_| next() % 3).collect()).collect();
+        let rows: Vec<Vec<i64>> = (0..25)
+            .map(|_| (0..4).map(|_| next() % 3).collect())
+            .collect();
         let inst = Instance::from_int_rows(schema, &rows).unwrap();
         let fds = discover_fds(&inst, &DiscoveryConfig::default());
         for (_, fd) in fds.iter() {

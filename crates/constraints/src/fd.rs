@@ -25,13 +25,19 @@ impl Fd {
     /// Creates an FD. Panics (debug assertion) if `A ∈ X`, which would make
     /// the FD trivial.
     pub fn new(lhs: AttrSet, rhs: AttrId) -> Self {
-        debug_assert!(!lhs.contains(rhs), "trivial FD: rhs {rhs} appears in lhs {lhs}");
+        debug_assert!(
+            !lhs.contains(rhs),
+            "trivial FD: rhs {rhs} appears in lhs {lhs}"
+        );
         Fd { lhs, rhs }
     }
 
     /// Convenience constructor from raw attribute indices.
     pub fn from_indices(lhs: &[u16], rhs: u16) -> Self {
-        Fd::new(AttrSet::from_attrs(lhs.iter().map(|&i| AttrId(i))), AttrId(rhs))
+        Fd::new(
+            AttrSet::from_attrs(lhs.iter().map(|&i| AttrId(i))),
+            AttrId(rhs),
+        )
     }
 
     /// Parses an FD of the form `"X1,X2->A"` against a schema, using
@@ -63,7 +69,10 @@ impl Fd {
     /// never added to the LHS (that would make the FD trivial), mirroring the
     /// paper's restriction on allowed modifications.
     pub fn extend_lhs(&self, extension: AttrSet) -> Fd {
-        Fd { lhs: self.lhs.union(extension.without(self.rhs)), rhs: self.rhs }
+        Fd {
+            lhs: self.lhs.union(extension.without(self.rhs)),
+            rhs: self.rhs,
+        }
     }
 
     /// Attributes that may legally be appended to this FD's LHS given a
@@ -96,9 +105,16 @@ impl Fd {
 
     /// Renders the FD with schema attribute names, e.g. `Surname,GivenName -> Income`.
     pub fn display_with(&self, schema: &Schema) -> String {
-        let lhs: Vec<&str> =
-            self.lhs.iter().map(|a| schema.attr_name(a).unwrap_or("?")).collect();
-        format!("{} -> {}", lhs.join(","), schema.attr_name(self.rhs).unwrap_or("?"))
+        let lhs: Vec<&str> = self
+            .lhs
+            .iter()
+            .map(|a| schema.attr_name(a).unwrap_or("?"))
+            .collect();
+        format!(
+            "{} -> {}",
+            lhs.join(","),
+            schema.attr_name(self.rhs).unwrap_or("?")
+        )
     }
 }
 
@@ -133,7 +149,10 @@ impl FdSet {
 
     /// Parses a list of `"X,Y->A"` specs against a schema.
     pub fn parse(specs: &[&str], schema: &Schema) -> Result<Self, String> {
-        let fds = specs.iter().map(|s| Fd::parse(s, schema)).collect::<Result<Vec<_>, _>>()?;
+        let fds = specs
+            .iter()
+            .map(|s| Fd::parse(s, schema))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(FdSet { fds })
     }
 
@@ -169,7 +188,9 @@ impl FdSet {
 
     /// All attributes mentioned by any FD.
     pub fn attributes(&self) -> AttrSet {
-        self.fds.iter().fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.attributes()))
+        self.fds
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.attributes()))
     }
 
     /// Applies a vector of LHS extensions `Δ_c = (Y_1, ..., Y_z)`, producing
@@ -285,7 +306,9 @@ impl fmt::Display for FdSet {
 
 impl FromIterator<Fd> for FdSet {
     fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> Self {
-        FdSet { fds: iter.into_iter().collect() }
+        FdSet {
+            fds: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -298,7 +321,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         Instance::from_int_rows(
             schema,
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap()
     }
@@ -348,10 +376,8 @@ mod tests {
         assert!(!fds.holds_on(&inst));
         // The paper's CA->B, AC->D relaxation (Figure 3, last row) leaves only
         // the (t1,t2) conflict, so it still does not hold...
-        let relaxed = fds.extend_lhs(&[
-            AttrSet::singleton(AttrId(2)),
-            AttrSet::singleton(AttrId(0)),
-        ]);
+        let relaxed =
+            fds.extend_lhs(&[AttrSet::singleton(AttrId(2)), AttrSet::singleton(AttrId(0))]);
         assert!(!relaxed.holds_on(&inst));
         // ...but extending A->B with C and D makes the first FD hold.
         let fd = Fd::parse("A,C,D->B", &schema).unwrap();
@@ -419,16 +445,18 @@ mod tests {
     #[test]
     fn variables_break_agreement_in_violations() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
-        let mut inst =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
+        let mut inst = Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
         let fd = Fd::parse("A->B", &schema).unwrap();
         assert!(!fd.holds_on(&inst));
         // Replacing t2[A] by a fresh variable resolves the violation.
         let v = inst.fresh_var(AttrId(0));
-        inst.set_cell(rt_relation::CellRef::new(1, AttrId(0)), v).unwrap();
+        inst.set_cell(rt_relation::CellRef::new(1, AttrId(0)), v)
+            .unwrap();
         assert!(fd.holds_on(&inst));
-        assert_eq!(inst.cell(rt_relation::CellRef::new(1, AttrId(0))).unwrap(),
-                   &Value::Var(rt_relation::VarId::new(0, 0)));
+        assert_eq!(
+            inst.cell(rt_relation::CellRef::new(1, AttrId(0))).unwrap(),
+            &Value::Var(rt_relation::VarId::new(0, 0))
+        );
     }
 
     #[test]

@@ -33,25 +33,30 @@ impl StrippedPartition {
     /// in a cell do land in the same class, matching [`Value::matches`].
     pub fn compute(instance: &Instance, attrs: AttrSet) -> Self {
         let attr_vec = attrs.to_vec();
-        let mut groups: HashMap<Vec<&Value>, Vec<usize>> =
-            HashMap::with_capacity(instance.len());
+        let mut groups: HashMap<Vec<&Value>, Vec<usize>> = HashMap::with_capacity(instance.len());
         for (row, tuple) in instance.tuples() {
             let key: Vec<&Value> = attr_vec.iter().map(|a| tuple.get(*a)).collect();
             groups.entry(key).or_default().push(row);
         }
-        let mut classes: Vec<Vec<usize>> =
-            groups.into_values().filter(|c| c.len() > 1).collect();
+        let mut classes: Vec<Vec<usize>> = groups.into_values().filter(|c| c.len() > 1).collect();
         for c in &mut classes {
             c.sort_unstable();
         }
         classes.sort_unstable();
-        StrippedPartition { classes, row_count: instance.len() }
+        StrippedPartition {
+            classes,
+            row_count: instance.len(),
+        }
     }
 
     /// The partition of the empty attribute set: one class holding all rows
     /// (if there are at least two).
     pub fn universal(row_count: usize) -> Self {
-        let classes = if row_count > 1 { vec![(0..row_count).collect()] } else { vec![] };
+        let classes = if row_count > 1 {
+            vec![(0..row_count).collect()]
+        } else {
+            vec![]
+        };
         StrippedPartition { classes, row_count }
     }
 
@@ -103,7 +108,10 @@ impl StrippedPartition {
             c.sort_unstable();
         }
         classes.sort_unstable();
-        StrippedPartition { classes, row_count: self.row_count }
+        StrippedPartition {
+            classes,
+            row_count: self.row_count,
+        }
     }
 
     /// `true` when the FD `X → A` holds, where this partition is the
@@ -128,7 +136,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         Instance::from_int_rows(
             schema,
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap()
     }
@@ -198,11 +211,9 @@ mod tests {
     #[test]
     fn error_measure() {
         let schema = Schema::with_arity(2).unwrap();
-        let inst = Instance::from_int_rows(
-            schema,
-            &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 4]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_int_rows(schema, &[vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 4]])
+                .unwrap();
         let p = StrippedPartition::compute(&inst, attrs(&[0]));
         // One class of 3 rows: removing 2 rows makes A a key → e = 2/4.
         assert!((p.error() - 0.5).abs() < 1e-12);
@@ -215,7 +226,8 @@ mod tests {
         let mut inst =
             Instance::from_int_rows(schema, &[vec![1, 1], vec![1, 2], vec![1, 3]]).unwrap();
         let v = inst.fresh_var(AttrId(0));
-        inst.set_cell(rt_relation::CellRef::new(2, AttrId(0)), v).unwrap();
+        inst.set_cell(rt_relation::CellRef::new(2, AttrId(0)), v)
+            .unwrap();
         let p = StrippedPartition::compute(&inst, attrs(&[0]));
         // Rows 0 and 1 still share A=1; row 2 now has a variable → singleton.
         assert_eq!(p.class_count(), 1);

@@ -103,7 +103,11 @@ impl DifferenceSetIndex {
 
     /// Difference sets still violated by the given (relaxed) FD set.
     pub fn violated_by(&self, fds: &FdSet) -> Vec<DifferenceSet> {
-        self.sets.iter().filter(|d| d.violates_any(fds)).copied().collect()
+        self.sets
+            .iter()
+            .filter(|d| d.violates_any(fds))
+            .copied()
+            .collect()
     }
 }
 
@@ -166,7 +170,10 @@ impl ConflictGraph {
             for class in classes {
                 let mut by_rhs: HashMap<&Value, Vec<usize>> = HashMap::new();
                 for &row in &class {
-                    by_rhs.entry(instance.tuple_unchecked(row).get(fd.rhs)).or_default().push(row);
+                    by_rhs
+                        .entry(instance.tuple_unchecked(row).get(fd.rhs))
+                        .or_default()
+                        .push(row);
                 }
                 if by_rhs.len() < 2 {
                     continue;
@@ -213,11 +220,20 @@ impl ConflictGraph {
             violated.sort_unstable();
             violated.dedup();
             let diff = AttrSet::from_attrs(
-                instance.tuple_unchecked(*u).differing_attrs(instance.tuple_unchecked(*v)),
+                instance
+                    .tuple_unchecked(*u)
+                    .differing_attrs(instance.tuple_unchecked(*v)),
             );
-            ConflictEdge { rows: (*u, *v), violated_fds: violated, difference_set: diff }
+            ConflictEdge {
+                rows: (*u, *v),
+                violated_fds: violated,
+                difference_set: diff,
+            }
         });
-        ConflictGraph { row_count: instance.len(), edges }
+        ConflictGraph {
+            row_count: instance.len(),
+            edges,
+        }
     }
 
     /// Number of tuples of the underlying instance.
@@ -263,7 +279,9 @@ impl ConflictGraph {
     /// surviving edges are inserted in their original (sorted) order, so the
     /// result is identical for every setting.
     pub fn subgraph_for_with(&self, relaxed: &FdSet, par: Parallelism) -> UndirectedGraph {
-        let keep = par_map_indexed(par, self.edges.len(), |i| self.edges[i].violates_any(relaxed));
+        let keep = par_map_indexed(par, self.edges.len(), |i| {
+            self.edges[i].violates_any(relaxed)
+        });
         let mut g = UndirectedGraph::with_vertices(self.row_count);
         for (e, keep) in self.edges.iter().zip(keep) {
             if keep {
@@ -275,7 +293,10 @@ impl ConflictGraph {
 
     /// Number of edges that still violate a relaxation `Σ'`.
     pub fn violation_count_for(&self, relaxed: &FdSet) -> usize {
-        self.edges.iter().filter(|e| e.violates_any(relaxed)).count()
+        self.edges
+            .iter()
+            .filter(|e| e.violates_any(relaxed))
+            .count()
     }
 
     /// Groups edges by difference set, sorted by decreasing edge count.
@@ -294,8 +315,11 @@ impl ConflictGraph {
 
     /// Rows that participate in at least one conflict.
     pub fn conflicting_rows(&self) -> Vec<usize> {
-        let mut rows: Vec<usize> =
-            self.edges.iter().flat_map(|e| [e.rows.0, e.rows.1]).collect();
+        let mut rows: Vec<usize> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.rows.0, e.rows.1])
+            .collect();
         rows.sort_unstable();
         rows.dedup();
         rows
@@ -312,7 +336,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -392,15 +421,17 @@ mod tests {
         // Sanity: relaxed set really holds on the data.
         assert!(relaxed.holds_on(&inst));
         // And the full subgraph equals to_graph for the original FDs.
-        assert_eq!(cg.subgraph_for(&fds).edge_count(), cg.to_graph().edge_count());
+        assert_eq!(
+            cg.subgraph_for(&fds).edge_count(),
+            cg.to_graph().edge_count()
+        );
     }
 
     #[test]
     fn empty_when_data_is_clean() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
         let inst =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 1], vec![3, 2]])
-                .unwrap();
+            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 1], vec![3, 2]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let cg = ConflictGraph::build(&inst, &fds);
         assert!(cg.is_empty());
@@ -430,11 +461,9 @@ mod tests {
         // Three tuples share the LHS value; RHS values are x, x, y → the two
         // x-tuples each conflict with the y-tuple but not with each other.
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
-        let inst = Instance::from_int_rows(
-            schema.clone(),
-            &[vec![1, 10], vec![1, 10], vec![1, 20]],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_int_rows(schema.clone(), &[vec![1, 10], vec![1, 10], vec![1, 20]])
+                .unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let cg = ConflictGraph::build(&inst, &fds);
         let rows: Vec<(usize, usize)> = cg.edges().iter().map(|e| e.rows).collect();

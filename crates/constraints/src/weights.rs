@@ -58,7 +58,10 @@ pub struct DistinctCountWeight {
 impl DistinctCountWeight {
     /// Captures (a clone of) the initial instance.
     pub fn new(instance: &Instance) -> Self {
-        DistinctCountWeight { instance: instance.clone(), cache: Mutex::new(HashMap::new()) }
+        DistinctCountWeight {
+            instance: instance.clone(),
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -86,15 +89,21 @@ pub struct EntropyWeight {
 impl EntropyWeight {
     /// Precomputes per-column entropies of the initial instance.
     pub fn new(instance: &Instance) -> Self {
-        let entropies =
-            instance.schema().attr_ids().map(|a| instance.column_entropy(a)).collect();
+        let entropies = instance
+            .schema()
+            .attr_ids()
+            .map(|a| instance.column_entropy(a))
+            .collect();
         EntropyWeight { entropies }
     }
 }
 
 impl Weight for EntropyWeight {
     fn weight(&self, attrs: AttrSet) -> f64 {
-        attrs.iter().map(|a| self.entropies.get(a.index()).copied().unwrap_or(0.0)).sum()
+        attrs
+            .iter()
+            .map(|a| self.entropies.get(a.index()).copied().unwrap_or(0.0))
+            .sum()
     }
 }
 
@@ -107,7 +116,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         Instance::from_int_rows(
             schema,
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap()
     }
@@ -121,7 +135,10 @@ mod tests {
         let w = AttrCountWeight;
         assert_eq!(w.weight(AttrSet::EMPTY), 0.0);
         assert_eq!(w.weight(set(&[1, 3])), 2.0);
-        assert_eq!(w.extension_cost(&[set(&[1]), AttrSet::EMPTY, set(&[0, 2])]), 3.0);
+        assert_eq!(
+            w.extension_cost(&[set(&[1]), AttrSet::EMPTY, set(&[0, 2])]),
+            3.0
+        );
     }
 
     #[test]
@@ -133,7 +150,7 @@ mod tests {
         assert_eq!(w.weight(set(&[1])), 3.0); // B ∈ {1,2,3}
         assert_eq!(w.weight(set(&[2])), 2.0); // C ∈ {1,4}
         assert_eq!(w.weight(set(&[0, 1])), 4.0); // all AB combos distinct
-        // Cached second call returns the same value.
+                                                 // Cached second call returns the same value.
         assert_eq!(w.weight(set(&[0, 1])), 4.0);
     }
 

@@ -58,7 +58,9 @@ struct CleanIndex {
 
 impl CleanIndex {
     fn new(fds: &FdSet) -> Self {
-        CleanIndex { per_fd: vec![HashMap::new(); fds.len()] }
+        CleanIndex {
+            per_fd: vec![HashMap::new(); fds.len()],
+        }
     }
 
     fn insert_tuple(&mut self, fds: &FdSet, tuple: &Tuple) {
@@ -91,7 +93,10 @@ struct ScopedIndex<'a> {
 
 impl<'a> ScopedIndex<'a> {
     fn new(base: &'a CleanIndex, fds: &FdSet) -> Self {
-        ScopedIndex { base, local: CleanIndex::new(fds) }
+        ScopedIndex {
+            base,
+            local: CleanIndex::new(fds),
+        }
     }
 
     fn insert_tuple(&mut self, fds: &FdSet, tuple: &Tuple) {
@@ -293,13 +298,22 @@ pub fn repair_data_with_cover_and_graph(
     let cover_set: BTreeSet<usize> = cover_rows.iter().copied().collect();
     let mut units: Vec<Vec<usize>> = components
         .iter()
-        .map(|c| c.iter().copied().filter(|r| cover_set.contains(r)).collect::<Vec<usize>>())
+        .map(|c| {
+            c.iter()
+                .copied()
+                .filter(|r| cover_set.contains(r))
+                .collect::<Vec<usize>>()
+        })
         .filter(|u| !u.is_empty())
         .collect();
     // Defensive: cover rows outside the conflict graph (possible when the
     // caller passes a stale cover) form one trailing unit.
     let in_units: BTreeSet<usize> = units.iter().flatten().copied().collect();
-    let rest: Vec<usize> = cover_rows.iter().copied().filter(|r| !in_units.contains(r)).collect();
+    let rest: Vec<usize> = cover_rows
+        .iter()
+        .copied()
+        .filter(|r| !in_units.contains(r))
+        .collect();
     if !rest.is_empty() {
         units.push(rest);
     }
@@ -309,8 +323,11 @@ pub fn repair_data_with_cover_and_graph(
     // Units are coarse, few and size-skewed, so bypass `par_map_indexed`'s
     // per-item cutoff; the work-size gate (cover rows, an input property)
     // keeps tiny repairs inline.
-    let unit_par =
-        if cover_rows.len() < MIN_COVER_ROWS_FOR_PARALLEL { Parallelism::Serial } else { par };
+    let unit_par = if cover_rows.len() < MIN_COVER_ROWS_FOR_PARALLEL {
+        Parallelism::Serial
+    } else {
+        par
+    };
     let unit_results: Vec<Vec<(usize, Tuple)>> = par_map_coarse(unit_par, units.len(), |u| {
         // Distinct, deterministic per-unit seed streams (the shim's
         // `seed_from_u64` scrambles, so XORing the index is safe).
@@ -430,7 +447,9 @@ fn apply_units(
                             .clone();
                     }
                 }
-                repaired.set_cell(CellRef::new(row, attr), v).expect("row exists");
+                repaired
+                    .set_cell(CellRef::new(row, attr), v)
+                    .expect("row exists");
             }
         }
     }
@@ -438,7 +457,11 @@ fn apply_units(
         .diff(&repaired)
         .expect("repair preserves schema and tuple count")
         .changed_cells;
-    DataRepairOutcome { repaired, changed_cells, cover_size }
+    DataRepairOutcome {
+        repaired,
+        changed_cells,
+        cover_size,
+    }
 }
 
 #[cfg(test)]
@@ -450,7 +473,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -483,8 +511,7 @@ mod tests {
                 out.cover_size * alpha
             );
             // Only covered rows are ever modified.
-            let changed_rows: BTreeSet<usize> =
-                out.changed_cells.iter().map(|c| c.row).collect();
+            let changed_rows: BTreeSet<usize> = out.changed_cells.iter().map(|c| c.row).collect();
             assert!(changed_rows.len() <= out.cover_size);
         }
     }
@@ -513,8 +540,7 @@ mod tests {
     fn clean_instance_is_returned_unchanged() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
         let inst =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 5], vec![2, 5], vec![3, 9]])
-                .unwrap();
+            Instance::from_int_rows(schema.clone(), &[vec![1, 5], vec![2, 5], vec![3, 9]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let out = repair_data(&inst, &fds, 3);
         assert_eq!(out.distance(), 0);

@@ -37,7 +37,10 @@ pub struct HeuristicConfig {
 
 impl Default for HeuristicConfig {
     fn default() -> Self {
-        HeuristicConfig { max_diff_sets: 5, node_budget: 20_000 }
+        HeuristicConfig {
+            max_diff_sets: 5,
+            node_budget: 20_000,
+        }
     }
 }
 
@@ -72,7 +75,10 @@ pub fn goal_cost_estimate(
     if violated.is_empty() {
         // The state itself is a goal (no violations at all): its own cost is
         // the exact answer.
-        return HeuristicValue { lower_bound: Some(problem.dist_c(state)), nodes: 0 };
+        return HeuristicValue {
+            lower_bound: Some(problem.dist_c(state)),
+            nodes: 0,
+        };
     }
     // Select Ds: heaviest difference sets first, preferring small overlap
     // with the already selected ones (ties in the paper's description).
@@ -94,7 +100,10 @@ pub fn goal_cost_estimate(
         .iter()
         .map(|s| problem.dist_c(s))
         .min_by(|a, b| a.total_cmp(b));
-    HeuristicValue { lower_bound, nodes: ctx.nodes }
+    HeuristicValue {
+        lower_bound,
+        nodes: ctx.nodes,
+    }
 }
 
 /// Greedy selection of difference sets: pick the heaviest remaining set,
@@ -189,8 +198,7 @@ impl<'a> Context<'a> {
             .iter()
             .map(|&j| {
                 let fd = relaxed.get(j);
-                let attrs: Vec<rt_relation::AttrId> =
-                    d.attrs.without(fd.rhs).iter().collect();
+                let attrs: Vec<rt_relation::AttrId> = d.attrs.without(fd.rhs).iter().collect();
                 (j, attrs)
             })
             .collect();
@@ -213,9 +221,9 @@ impl<'a> Context<'a> {
                 .iter()
                 .copied()
                 .filter(|g| {
-                    ext_relaxed.iter().any(|(_, fd)| {
-                        fd.lhs.is_disjoint_from(g.attrs) && g.attrs.contains(fd.rhs)
-                    })
+                    ext_relaxed
+                        .iter()
+                        .any(|(_, fd)| fd.lhs.is_disjoint_from(g.attrs) && g.attrs.contains(fd.rhs))
                 })
                 .collect();
             self.recurse(extended, unresolved.clone(), &still);
@@ -260,7 +268,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -358,7 +371,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_stays_optimistic() {
         let problem = figure2_problem();
-        let tight = HeuristicConfig { max_diff_sets: 5, node_budget: 1 };
+        let tight = HeuristicConfig {
+            max_diff_sets: 5,
+            node_budget: 1,
+        };
         let root = RepairState::root(2);
         let exact = exact_cheapest_goal(&problem, &root, 2).unwrap();
         let h = goal_cost_estimate(&problem, &root, 2, &tight);
@@ -372,8 +388,14 @@ mod tests {
             attrs: AttrSet::from_bits(0b0011),
             edges: vec![(0, 1), (1, 2), (2, 3)],
         };
-        let g2 = DiffSetGroup { attrs: AttrSet::from_bits(0b0110), edges: vec![(4, 5)] };
-        let g3 = DiffSetGroup { attrs: AttrSet::from_bits(0b1100), edges: vec![(6, 7), (8, 9)] };
+        let g2 = DiffSetGroup {
+            attrs: AttrSet::from_bits(0b0110),
+            edges: vec![(4, 5)],
+        };
+        let g3 = DiffSetGroup {
+            attrs: AttrSet::from_bits(0b1100),
+            edges: vec![(6, 7), (8, 9)],
+        };
         let all = [&g1, &g2, &g3];
         let selected = select_diff_sets(&all, 2);
         assert_eq!(selected.len(), 2);

@@ -14,22 +14,30 @@
 //!
 //! ## Entry points
 //!
+//! The recommended public surface is the session type
+//! `rt_engine::RepairEngine`, which owns a prepared [`RepairProblem`] and
+//! serves repeated queries. The primitives it is built from live here:
+//!
 //! * [`RepairProblem`] — bundles the instance, the FDs, the conflict graph
 //!   and the weighting function; everything else operates on it.
-//! * [`repair::repair_data_fds`] — Algorithm 1: one `τ`-constrained repair.
-//! * [`search::modify_fds_astar`] / [`search::modify_fds_best_first`] —
-//!   Algorithm 2 and the best-first baseline: minimal FD relaxation for a
-//!   given `τ`.
+//! * [`repair::repair_data_fds_with`] — Algorithm 1: one `τ`-constrained
+//!   repair.
+//! * [`search::run_search`] — Algorithm 2 (A*) and the best-first baseline:
+//!   minimal FD relaxation for a given `τ`.
 //! * [`data_repair::repair_data`] — Algorithms 4 & 5: near-optimal data
 //!   repair for a fixed (possibly relaxed) FD set, returning a V-instance.
-//! * [`multi::find_repairs_range`] / [`multi::find_repairs_sampling`] —
-//!   Algorithm 6 (Range-Repair) and the Sampling-Repair comparator: a set of
+//! * [`multi::RangeSearch`] / [`multi::sampling_search`] — Algorithm 6
+//!   (Range-Repair, resumable) and the Sampling-Repair comparator: a set of
 //!   repairs covering a whole range of relative-trust values.
+//!
+//! The historical free-function conveniences (`repair_data_fds`,
+//! `find_repairs_range`, `modify_fds_astar`, …) are deprecated wrappers
+//! around these primitives; new code should go through the engine.
 //!
 //! ```
 //! use rt_relation::{Instance, Schema};
 //! use rt_constraints::FdSet;
-//! use rt_core::{RepairProblem, repair::repair_data_fds};
+//! use rt_core::{RepairProblem, SearchAlgorithm, SearchConfig, repair::repair_data_fds_with};
 //!
 //! // Figure 2 of the paper.
 //! let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
@@ -43,7 +51,9 @@
 //! let problem = RepairProblem::new(&instance, &fds);
 //! // Allow at most 2 cell changes: the paper says the best FD repairs are
 //! // then CA->B / DA->B combined with C->D.
-//! let repair = repair_data_fds(&problem, 2).expect("a repair exists");
+//! let repair =
+//!     repair_data_fds_with(&problem, 2, &SearchConfig::default(), SearchAlgorithm::AStar, 0)
+//!         .expect("a repair exists");
 //! assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
 //! assert!(repair.data_changes() <= 2);
 //! ```
@@ -57,12 +67,21 @@ pub mod search;
 pub mod state;
 
 pub use data_repair::{repair_data, repair_data_par, DataRepairOutcome};
-pub use multi::{find_repairs_range, find_repairs_sampling, MultiRepairOutcome};
-pub use rt_par::Parallelism;
+pub use multi::{sampling_search, MultiRepairOutcome, RangeSearch, RangedFdRepair};
 pub use problem::{RepairProblem, WeightKind};
-pub use repair::{repair_data_fds, repair_data_fds_relative, Repair};
+pub use repair::Repair;
+pub use rt_par::Parallelism;
 pub use search::{
-    modify_fds_astar, modify_fds_best_first, FdRepairOutcome, SearchAlgorithm, SearchConfig,
-    SearchStats,
+    run_search, FdRepair, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats,
 };
 pub use state::RepairState;
+
+// Deprecated free-function surface, kept for source compatibility. The
+// `allow` silences the deprecation warnings the re-exports themselves
+// would otherwise trigger.
+#[allow(deprecated)]
+pub use multi::{find_repairs_range, find_repairs_sampling};
+#[allow(deprecated)]
+pub use repair::{repair_data_fds, repair_data_fds_relative};
+#[allow(deprecated)]
+pub use search::{modify_fds_astar, modify_fds_best_first};

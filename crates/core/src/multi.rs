@@ -10,11 +10,10 @@
 //! the range, `τ` is tightened to `δ_P − 1`, heuristic values are refreshed,
 //! and the traversal simply continues until the range is exhausted.
 
-use crate::data_repair::repair_data_with_cover_and_graph;
 use crate::heuristic::goal_cost_estimate;
 use crate::problem::RepairProblem;
 use crate::repair::Repair;
-use crate::search::{modify_fds_astar, FdRepair, SearchConfig, SearchStats};
+use crate::search::{run_search, FdRepair, SearchAlgorithm, SearchConfig, SearchStats};
 use crate::state::RepairState;
 use rt_par::{par_map_coarse, par_map_indexed, Parallelism};
 use std::time::Instant;
@@ -59,31 +58,21 @@ impl MultiRepairOutcome {
         // With a single repair the fan-out is over components inside
         // Algorithm 4 instead; with several, one thread per repair avoids
         // oversubscription. Either way the choice depends only on the input.
-        let inner = if self.repairs.len() <= 1 { par } else { Parallelism::Serial };
+        let inner = if self.repairs.len() <= 1 {
+            par
+        } else {
+            Parallelism::Serial
+        };
         par_map_coarse(par, self.repairs.len(), |i| {
             let ranged = &self.repairs[i];
-            let fd_repair = &ranged.repair;
-            // The stored conflict graph answers each relaxation's violating
-            // subgraph from difference sets — no rescan of the data.
-            let violating = problem.violating_subgraph_with(&fd_repair.state, inner);
-            let data = repair_data_with_cover_and_graph(
-                problem.instance(),
-                &fd_repair.fd_set,
-                &fd_repair.cover_rows,
+            crate::repair::materialize_fd_repair(
+                problem,
+                &ranged.repair,
+                ranged.tau_range.1,
                 seed,
                 inner,
-                &violating,
-            );
-            Repair {
-                tau: ranged.tau_range.1,
-                state: fd_repair.state.clone(),
-                modified_fds: fd_repair.fd_set.clone(),
-                dist_c: fd_repair.dist_c,
-                delta_p: fd_repair.delta_p,
-                repaired_instance: data.repaired,
-                changed_cells: data.changed_cells,
-                search_stats: self.stats,
-            }
+                self.stats,
+            )
         })
     }
 }
@@ -97,122 +86,237 @@ struct RangeEntry {
     cost: f64,
 }
 
+/// A resumable Range-Repair traversal (Algorithm 6, `Find_Repairs_FDs`):
+/// the query-state cache behind both [`find_repairs_range`] and the
+/// engine's streaming sweep.
+///
+/// The search keeps its open list, its current budget `τ` and its
+/// cumulative statistics between calls to [`RangeSearch::next_repair`], so
+/// adjacent `τ` values share vertex-cover and heuristic work instead of
+/// re-expanding the same prefix of the state space. Draining the search
+/// yields exactly the repairs (in the same order, bit for bit) that a
+/// one-shot [`find_repairs_range`] call over the same range produces.
+pub struct RangeSearch<'p> {
+    problem: &'p RepairProblem,
+    config: SearchConfig,
+    open: Vec<RangeEntry>,
+    tau: i64,
+    tau_low: i64,
+    current_upper: usize,
+    stats: SearchStats,
+    exhausted: bool,
+}
+
+impl<'p> RangeSearch<'p> {
+    /// Prepares a range search over `τ ∈ [tau_low, tau_high]`. No search
+    /// work happens until the first [`RangeSearch::next_repair`] call.
+    pub fn new(
+        problem: &'p RepairProblem,
+        tau_low: usize,
+        tau_high: usize,
+        config: &SearchConfig,
+    ) -> Self {
+        // The root is the only state generated up front.
+        let stats = SearchStats {
+            states_generated: 1,
+            ..Default::default()
+        };
+        RangeSearch {
+            problem,
+            config: *config,
+            open: vec![RangeEntry {
+                state: RepairState::root(problem.fd_count()),
+                priority: 0.0,
+                cost: 0.0,
+            }],
+            tau: tau_high as i64,
+            tau_low: tau_low as i64,
+            current_upper: tau_high,
+            stats,
+            exhausted: false,
+        }
+    }
+
+    /// The problem this search runs against.
+    pub fn problem(&self) -> &'p RepairProblem {
+        self.problem
+    }
+
+    /// Cumulative statistics over every `next_repair` call so far.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// `true` once the range is exhausted (or the expansion cap was hit);
+    /// every later [`RangeSearch::next_repair`] call returns `None`.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The budget the traversal is currently exploring. Starts at the
+    /// range's upper bound and tightens to `δ_P − 1` after each repair;
+    /// `None` once it has dropped below the range's lower bound.
+    pub fn current_tau(&self) -> Option<usize> {
+        (self.tau >= self.tau_low && self.tau >= 0).then_some(self.tau as usize)
+    }
+
+    /// Resumes the traversal until the next distinct FD repair is found.
+    ///
+    /// Returns `None` when the range is exhausted; check
+    /// [`SearchStats::truncated`] to distinguish a completed sweep from one
+    /// stopped by the expansion cap.
+    pub fn next_repair(&mut self) -> Option<RangedFdRepair> {
+        if self.exhausted {
+            return None;
+        }
+        let start = Instant::now();
+        let problem = self.problem;
+        let config = &self.config;
+        let found = loop {
+            if self.open.is_empty() || self.tau < self.tau_low {
+                self.exhausted = true;
+                break None;
+            }
+            if self.stats.states_expanded >= config.max_expansions {
+                self.stats.truncated = true;
+                self.exhausted = true;
+                break None;
+            }
+            // Pop the entry with the smallest priority (ties: smaller cost).
+            let best_idx = self
+                .open
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.priority
+                        .total_cmp(&b.priority)
+                        .then(a.cost.total_cmp(&b.cost))
+                })
+                .map(|(i, _)| i)
+                .expect("open list is non-empty");
+            let entry = self.open.swap_remove(best_idx);
+            self.stats.states_expanded += 1;
+            let state = entry.state;
+
+            let cover = problem.cover_for_with(&state, config.parallelism);
+            let delta_p = cover.len() * problem.alpha();
+            let mut found: Option<RangedFdRepair> = None;
+            if (delta_p as i64) <= self.tau {
+                // Goal for the current τ: record it and tighten the budget.
+                let fd_set = problem.relaxed_fds(&state);
+                let dist_c = problem.dist_c(&state);
+                found = Some(RangedFdRepair {
+                    repair: FdRepair {
+                        state: state.clone(),
+                        fd_set,
+                        dist_c,
+                        delta_p,
+                        cover_rows: cover.iter().collect(),
+                    },
+                    tau_range: (delta_p, self.current_upper),
+                });
+                self.tau = delta_p as i64 - 1;
+                if self.tau >= self.tau_low {
+                    self.current_upper = self.tau as usize;
+                }
+                // Refresh heuristic values for the tightened budget; states
+                // with no goal descendant any more are dropped. Entries are
+                // independent, so the re-estimates fan out over worker
+                // threads and surviving entries keep their original order.
+                if self.tau >= 0 {
+                    let new_tau = self.tau as usize;
+                    let open = &mut self.open;
+                    let refreshed: Vec<(Option<f64>, usize)> =
+                        par_map_indexed(config.parallelism, open.len(), |i| {
+                            let h = goal_cost_estimate(
+                                problem,
+                                &open[i].state,
+                                new_tau,
+                                &config.heuristic,
+                            );
+                            (h.lower_bound, h.nodes)
+                        });
+                    let mut keep = refreshed.iter();
+                    let stats = &mut self.stats;
+                    open.retain_mut(|e| {
+                        let (lb, nodes) = keep.next().expect("one refresh result per entry");
+                        stats.heuristic_nodes += nodes;
+                        match lb {
+                            Some(lb) => {
+                                e.priority = *lb;
+                                true
+                            }
+                            None => false,
+                        }
+                    });
+                } else {
+                    self.open.clear();
+                }
+            }
+
+            if self.tau < self.tau_low {
+                self.exhausted = true;
+                break found;
+            }
+
+            // Expand children (both for goal and non-goal states; a goal's
+            // children are where strictly cheaper-data / costlier-FD repairs
+            // live). Like the refresh, the child estimates are independent.
+            let new_tau = self.tau.max(0) as usize;
+            let children = state.children(problem.sigma(), problem.arity());
+            let estimates: Vec<(f64, Option<f64>, usize)> =
+                par_map_indexed(config.parallelism, children.len(), |i| {
+                    let cost = problem.dist_c(&children[i]);
+                    let h = goal_cost_estimate(problem, &children[i], new_tau, &config.heuristic);
+                    (cost, h.lower_bound, h.nodes)
+                });
+            for (child, (cost, lb, nodes)) in children.into_iter().zip(estimates) {
+                self.stats.heuristic_nodes += nodes;
+                if let Some(lb) = lb {
+                    self.stats.states_generated += 1;
+                    self.open.push(RangeEntry {
+                        state: child,
+                        priority: lb,
+                        cost,
+                    });
+                }
+            }
+
+            if found.is_some() {
+                break found;
+            }
+        };
+        self.stats.elapsed += start.elapsed();
+        found
+    }
+
+    /// Drains the remaining repairs into a [`MultiRepairOutcome`].
+    pub fn run_to_end(mut self) -> MultiRepairOutcome {
+        let mut repairs = Vec::new();
+        while let Some(r) = self.next_repair() {
+            repairs.push(r);
+        }
+        MultiRepairOutcome {
+            repairs,
+            stats: self.stats,
+        }
+    }
+}
+
 /// Algorithm 6 (`Find_Repairs_FDs`): all distinct FD repairs whose `δ_P`
 /// falls inside `[tau_low, tau_high]`, in a single search pass.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with rt_engine::RepairEngine and call `sweep`/`spectrum`, \
+            or drive a RangeSearch directly"
+)]
 pub fn find_repairs_range(
     problem: &RepairProblem,
     tau_low: usize,
     tau_high: usize,
     config: &SearchConfig,
 ) -> MultiRepairOutcome {
-    let start = Instant::now();
-    let mut stats = SearchStats::default();
-    let mut repairs: Vec<RangedFdRepair> = Vec::new();
-
-    let mut tau: i64 = tau_high as i64;
-    let tau_low_i = tau_low as i64;
-    let mut current_upper = tau_high;
-
-    let mut open: Vec<RangeEntry> = vec![RangeEntry {
-        state: RepairState::root(problem.fd_count()),
-        priority: 0.0,
-        cost: 0.0,
-    }];
-    stats.states_generated += 1;
-
-    while !open.is_empty() && tau >= tau_low_i {
-        if stats.states_expanded >= config.max_expansions {
-            stats.truncated = true;
-            break;
-        }
-        // Pop the entry with the smallest priority (ties: smaller cost).
-        let best_idx = open
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.priority.total_cmp(&b.priority).then(a.cost.total_cmp(&b.cost))
-            })
-            .map(|(i, _)| i)
-            .expect("open list is non-empty");
-        let entry = open.swap_remove(best_idx);
-        stats.states_expanded += 1;
-        let state = entry.state;
-
-        let cover = problem.cover_for_with(&state, config.parallelism);
-        let delta_p = cover.len() * problem.alpha();
-        if (delta_p as i64) <= tau {
-            // Goal for the current τ: record it and tighten the budget.
-            let fd_set = problem.relaxed_fds(&state);
-            let dist_c = problem.dist_c(&state);
-            repairs.push(RangedFdRepair {
-                repair: FdRepair {
-                    state: state.clone(),
-                    fd_set,
-                    dist_c,
-                    delta_p,
-                    cover_rows: cover.iter().collect(),
-                },
-                tau_range: (delta_p, current_upper),
-            });
-            tau = delta_p as i64 - 1;
-            if tau >= tau_low_i {
-                current_upper = tau as usize;
-            }
-            // Refresh heuristic values for the tightened budget; states with
-            // no goal descendant any more are dropped. Entries are
-            // independent, so the re-estimates fan out over worker threads
-            // and surviving entries keep their original order.
-            if tau >= 0 {
-                let new_tau = tau as usize;
-                let refreshed: Vec<(Option<f64>, usize)> =
-                    par_map_indexed(config.parallelism, open.len(), |i| {
-                        let h =
-                            goal_cost_estimate(problem, &open[i].state, new_tau, &config.heuristic);
-                        (h.lower_bound, h.nodes)
-                    });
-                let mut keep = refreshed.iter();
-                open.retain_mut(|e| {
-                    let (lb, nodes) = keep.next().expect("one refresh result per entry");
-                    stats.heuristic_nodes += nodes;
-                    match lb {
-                        Some(lb) => {
-                            e.priority = *lb;
-                            true
-                        }
-                        None => false,
-                    }
-                });
-            } else {
-                open.clear();
-            }
-        }
-
-        if tau < tau_low_i {
-            break;
-        }
-
-        // Expand children (both for goal and non-goal states; a goal's
-        // children are where strictly cheaper-data / costlier-FD repairs
-        // live). Like the refresh, the child estimates are independent.
-        let new_tau = tau.max(0) as usize;
-        let children = state.children(problem.sigma(), problem.arity());
-        let estimates: Vec<(f64, Option<f64>, usize)> =
-            par_map_indexed(config.parallelism, children.len(), |i| {
-                let cost = problem.dist_c(&children[i]);
-                let h = goal_cost_estimate(problem, &children[i], new_tau, &config.heuristic);
-                (cost, h.lower_bound, h.nodes)
-            });
-        for (child, (cost, lb, nodes)) in children.into_iter().zip(estimates) {
-            stats.heuristic_nodes += nodes;
-            if let Some(lb) = lb {
-                stats.states_generated += 1;
-                open.push(RangeEntry { state: child, priority: lb, cost });
-            }
-        }
-    }
-
-    stats.elapsed = start.elapsed();
-    MultiRepairOutcome { repairs, stats }
+    RangeSearch::new(problem, tau_low, tau_high, config).run_to_end()
 }
 
 /// The naive comparator ("Sampling-Repair"): run the single-τ A* search at
@@ -224,7 +328,7 @@ pub fn find_repairs_range(
 /// in descending-τ order, so the outcome is bit-identical to the serial
 /// sweep. Each inner search runs serially to avoid oversubscription — the
 /// sweep itself is the coarsest available unit of work.
-pub fn find_repairs_sampling(
+pub fn sampling_search(
     problem: &RepairProblem,
     tau_low: usize,
     tau_high: usize,
@@ -243,9 +347,12 @@ pub fn find_repairs_sampling(
     // Descending: mirrors Range-Repair's order (largest budget first).
     taus.reverse();
 
-    let inner = SearchConfig { parallelism: Parallelism::Serial, ..*config };
+    let inner = SearchConfig {
+        parallelism: Parallelism::Serial,
+        ..*config
+    };
     let outcomes = par_map_coarse(config.parallelism, taus.len(), |i| {
-        modify_fds_astar(problem, taus[i], &inner)
+        run_search(problem, taus[i], &inner, SearchAlgorithm::AStar)
     });
 
     for (tau, outcome) in taus.into_iter().zip(outcomes) {
@@ -256,7 +363,10 @@ pub fn find_repairs_sampling(
         if let Some(repair) = outcome.repair {
             let duplicate = repairs.iter().any(|r| r.repair.state == repair.state);
             if !duplicate {
-                repairs.push(RangedFdRepair { tau_range: (repair.delta_p, tau), repair });
+                repairs.push(RangedFdRepair {
+                    tau_range: (repair.delta_p, tau),
+                    repair,
+                });
             }
         }
     }
@@ -265,7 +375,24 @@ pub fn find_repairs_sampling(
     MultiRepairOutcome { repairs, stats }
 }
 
+/// Deprecated spelling of [`sampling_search`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with rt_engine::RepairEngine and call `sampling_spectrum`, \
+            or call sampling_search"
+)]
+pub fn find_repairs_sampling(
+    problem: &RepairProblem,
+    tau_low: usize,
+    tau_high: usize,
+    step: usize,
+    config: &SearchConfig,
+) -> MultiRepairOutcome {
+    sampling_search(problem, tau_low, tau_high, step, config)
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::WeightKind;
@@ -276,7 +403,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -286,8 +418,12 @@ mod tests {
     #[test]
     fn range_repair_finds_the_full_spectrum_on_figure2() {
         let problem = figure2_problem();
-        let out =
-            find_repairs_range(&problem, 0, problem.delta_p_original(), &SearchConfig::default());
+        let out = find_repairs_range(
+            &problem,
+            0,
+            problem.delta_p_original(),
+            &SearchConfig::default(),
+        );
         // δP values along the spectrum: 4 (no FD change), 2 (one attribute),
         // 0 (FD-only repair) → three distinct repairs.
         assert_eq!(out.repairs.len(), 3);
@@ -309,7 +445,9 @@ mod tests {
         let config = SearchConfig::default();
         let out = find_repairs_range(&problem, 0, problem.delta_p_original(), &config);
         for tau in 0..=problem.delta_p_original() {
-            let single = modify_fds_astar(&problem, tau, &config).repair.unwrap();
+            let single = run_search(&problem, tau, &config, SearchAlgorithm::AStar)
+                .repair
+                .unwrap();
             let containing = out
                 .repairs
                 .iter()
@@ -345,8 +483,12 @@ mod tests {
     #[test]
     fn materialized_repairs_satisfy_their_fds() {
         let problem = figure2_problem();
-        let out =
-            find_repairs_range(&problem, 0, problem.delta_p_original(), &SearchConfig::default());
+        let out = find_repairs_range(
+            &problem,
+            0,
+            problem.delta_p_original(),
+            &SearchConfig::default(),
+        );
         let repairs = out.materialize(&problem, 11);
         assert_eq!(repairs.len(), out.repairs.len());
         for r in &repairs {
@@ -371,8 +513,7 @@ mod tests {
     #[test]
     fn empty_range_on_clean_data() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
-        let inst =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 3]]).unwrap();
+        let inst = Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 3]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
         let out = find_repairs_range(&problem, 0, 0, &SearchConfig::default());

@@ -114,7 +114,12 @@ impl RepairProblem {
             .into_iter()
             .map(|(attrs, edges)| DiffSetGroup { attrs, edges })
             .collect();
-        out.sort_by(|a, b| b.edges.len().cmp(&a.edges.len()).then(a.attrs.cmp(&b.attrs)));
+        out.sort_by(|a, b| {
+            b.edges
+                .len()
+                .cmp(&a.edges.len())
+                .then(a.attrs.cmp(&b.attrs))
+        });
         out
     }
 
@@ -166,8 +171,13 @@ impl RepairProblem {
 
     /// [`RepairProblem::violating_subgraph`] with an explicit
     /// [`Parallelism`] setting for the per-edge violation tests.
-    pub fn violating_subgraph_with(&self, state: &RepairState, par: Parallelism) -> UndirectedGraph {
-        self.conflict.subgraph_for_with(&self.relaxed_fds(state), par)
+    pub fn violating_subgraph_with(
+        &self,
+        state: &RepairState,
+        par: Parallelism,
+    ) -> UndirectedGraph {
+        self.conflict
+            .subgraph_for_with(&self.relaxed_fds(state), par)
     }
 
     /// 2-approximate minimum vertex cover of the still-violating subgraph.
@@ -179,7 +189,9 @@ impl RepairProblem {
     /// both the edge filtering and the per-component cover computation fan
     /// out over worker threads. Bit-identical for every setting.
     pub fn cover_for_with(&self, state: &RepairState, par: Parallelism) -> VertexCover {
-        let subgraph = self.conflict.subgraph_for_with(&self.relaxed_fds(state), par);
+        let subgraph = self
+            .conflict
+            .subgraph_for_with(&self.relaxed_fds(state), par);
         approx_vertex_cover_with(&subgraph, par)
     }
 
@@ -240,7 +252,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();

@@ -59,18 +59,34 @@ impl Repair {
 /// happen when the search is truncated by its expansion cap — with an
 /// unbounded search a repair always exists because fully relaxed FDs need no
 /// data changes).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with rt_engine::RepairEngine and call `repair_at`"
+)]
 pub fn repair_data_fds(problem: &RepairProblem, tau: usize) -> Option<Repair> {
-    repair_data_fds_with(problem, tau, &SearchConfig::default(), SearchAlgorithm::AStar, 0)
+    repair_data_fds_with(
+        problem,
+        tau,
+        &SearchConfig::default(),
+        SearchAlgorithm::AStar,
+        0,
+    )
 }
 
 /// Algorithm 1 with the budget expressed as *relative* trust
 /// `τ_r ∈ [0, 1]`, the form used throughout the paper's experiments
 /// (`τ = ⌈τ_r · δ_P(Σ, I)⌉`).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with rt_engine::RepairEngine and call `repair_at_relative`"
+)]
 pub fn repair_data_fds_relative(problem: &RepairProblem, tau_r: f64) -> Option<Repair> {
+    #[allow(deprecated)]
     repair_data_fds(problem, problem.absolute_tau(tau_r))
 }
 
-/// Fully parameterized variant of Algorithm 1.
+/// Fully parameterized variant of Algorithm 1 — the primitive
+/// `rt_engine::RepairEngine::repair_at` delegates to.
 pub fn repair_data_fds_with(
     problem: &RepairProblem,
     tau: usize,
@@ -80,32 +96,56 @@ pub fn repair_data_fds_with(
 ) -> Option<Repair> {
     let FdRepairOutcome { repair, stats } = run_search(problem, tau, config, algorithm);
     let fd_repair = repair?;
+    Some(materialize_fd_repair(
+        problem,
+        &fd_repair,
+        tau,
+        seed,
+        config.parallelism,
+        stats,
+    ))
+}
+
+/// Materializes the data half of an FD repair (Algorithm 4) into a full
+/// [`Repair`] — the single implementation shared by Algorithm 1, the
+/// spectrum materializer ([`crate::multi::MultiRepairOutcome`]) and the
+/// engine's streaming sweep. `tau` is recorded on the repair; `search_stats`
+/// should describe the search that produced `fd_repair`.
+pub fn materialize_fd_repair(
+    problem: &RepairProblem,
+    fd_repair: &crate::search::FdRepair,
+    tau: usize,
+    seed: u64,
+    par: rt_par::Parallelism,
+    search_stats: crate::search::SearchStats,
+) -> Repair {
     // The violating subgraph of the chosen relaxation doubles as the
     // conflict graph of `(I, Σ')` (sound and complete for relaxations), so
     // Algorithm 4 never has to rescan the data to find its components.
-    let violating = problem.violating_subgraph_with(&fd_repair.state, config.parallelism);
+    let violating = problem.violating_subgraph_with(&fd_repair.state, par);
     let data: DataRepairOutcome = repair_data_with_cover_and_graph(
         problem.instance(),
         &fd_repair.fd_set,
         &fd_repair.cover_rows,
         seed,
-        config.parallelism,
+        par,
         &violating,
     );
     debug_assert!(fd_repair.fd_set.holds_on(&data.repaired));
-    Some(Repair {
+    Repair {
         tau,
-        state: fd_repair.state,
-        modified_fds: fd_repair.fd_set,
+        state: fd_repair.state.clone(),
+        modified_fds: fd_repair.fd_set.clone(),
         dist_c: fd_repair.dist_c,
         delta_p: fd_repair.delta_p,
         repaired_instance: data.repaired,
         changed_cells: data.changed_cells,
-        search_stats: stats,
-    })
+        search_stats,
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::WeightKind;
@@ -115,7 +155,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -126,9 +171,12 @@ mod tests {
     fn repairs_satisfy_their_fds_and_respect_tau() {
         let problem = figure2_problem();
         for tau in 0..=4 {
-            let repair = repair_data_fds(&problem, tau)
-                .unwrap_or_else(|| panic!("no repair for τ={tau}"));
-            assert!(repair.modified_fds.holds_on(&repair.repaired_instance), "τ={tau}");
+            let repair =
+                repair_data_fds(&problem, tau).unwrap_or_else(|| panic!("no repair for τ={tau}"));
+            assert!(
+                repair.modified_fds.holds_on(&repair.repaired_instance),
+                "τ={tau}"
+            );
             assert!(
                 repair.data_changes() <= tau.max(repair.delta_p),
                 "τ={tau}: changed {} cells, δP={}",

@@ -135,6 +135,11 @@ impl Ord for OpenEntry {
 
 /// Runs Algorithm 2: A* search for the cheapest FD relaxation whose
 /// `δ_P(Σ', I) ≤ τ`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with rt_engine::RepairEngine and call `fd_repair_at`, \
+            or call run_search with SearchAlgorithm::AStar"
+)]
 pub fn modify_fds_astar(
     problem: &RepairProblem,
     tau: usize,
@@ -145,6 +150,11 @@ pub fn modify_fds_astar(
 
 /// Runs the best-first baseline: identical traversal ordered by `dist_c`
 /// instead of the heuristic estimate.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with rt_engine::RepairEngine (SearchAlgorithm::BestFirst) and \
+            call `fd_repair_at`, or call run_search with SearchAlgorithm::BestFirst"
+)]
 pub fn modify_fds_best_first(
     problem: &RepairProblem,
     tau: usize,
@@ -153,7 +163,8 @@ pub fn modify_fds_best_first(
     run_search(problem, tau, config, SearchAlgorithm::BestFirst)
 }
 
-/// Shared search driver.
+/// Shared search driver — the primitive both deprecated wrappers and the
+/// engine's `fd_repair_at` delegate to.
 pub fn run_search(
     problem: &RepairProblem,
     tau: usize,
@@ -165,7 +176,12 @@ pub fn run_search(
     let mut seq = 0u64;
     let mut open: BinaryHeap<OpenEntry> = BinaryHeap::new();
     let root = RepairState::root(problem.fd_count());
-    open.push(OpenEntry { priority: 0.0, tie: 0.0, seq, state: root });
+    open.push(OpenEntry {
+        priority: 0.0,
+        tie: 0.0,
+        seq,
+        state: root,
+    });
     stats.states_generated += 1;
 
     let outcome_repair = loop {
@@ -213,16 +229,25 @@ pub fn run_search(
             if let Some(priority) = priority {
                 seq += 1;
                 stats.states_generated += 1;
-                open.push(OpenEntry { priority, tie: cost, seq, state: child });
+                open.push(OpenEntry {
+                    priority,
+                    tie: cost,
+                    seq,
+                    state: child,
+                });
             }
         }
     };
 
     stats.elapsed = start.elapsed();
-    FdRepairOutcome { repair: outcome_repair, stats }
+    FdRepairOutcome {
+        repair: outcome_repair,
+        stats,
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::WeightKind;
@@ -232,7 +257,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
@@ -345,7 +375,10 @@ mod tests {
     #[test]
     fn expansion_cap_reports_truncation() {
         let problem = figure2_problem();
-        let config = SearchConfig { max_expansions: 1, ..Default::default() };
+        let config = SearchConfig {
+            max_expansions: 1,
+            ..Default::default()
+        };
         // τ = 0 forces a deep search; one expansion is the root only.
         let got = modify_fds_astar(&problem, 0, &config);
         assert!(got.repair.is_none());
@@ -356,8 +389,7 @@ mod tests {
     fn clean_data_needs_no_modification() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
         let inst =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 5], vec![3, 5]])
-                .unwrap();
+            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 5], vec![3, 5]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
         let got = modify_fds_astar(&problem, 0, &SearchConfig::default());
@@ -375,7 +407,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         let inst = Instance::from_int_rows(
             schema.clone(),
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap();
         let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();

@@ -25,7 +25,9 @@ pub struct RepairState {
 impl RepairState {
     /// The root state `(∅, ..., ∅)` for `fd_count` FDs.
     pub fn root(fd_count: usize) -> Self {
-        RepairState { extensions: vec![AttrSet::EMPTY; fd_count] }
+        RepairState {
+            extensions: vec![AttrSet::EMPTY; fd_count],
+        }
     }
 
     /// Builds a state from an explicit extension vector.
@@ -56,7 +58,9 @@ impl RepairState {
 
     /// Union of all appended attributes.
     pub fn appended_attrs(&self) -> AttrSet {
-        self.extensions.iter().fold(AttrSet::EMPTY, |acc, e| acc.union(*e))
+        self.extensions
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, e| acc.union(*e))
     }
 
     /// `true` when `self` extends `other` component-wise (`other ⊑ self`),
@@ -114,7 +118,9 @@ impl RepairState {
         let appended = self.appended_attrs();
         let greatest = appended.max_attr();
         for (j, fd) in sigma.iter() {
-            let candidates = fd.extension_candidates(arity).difference(self.extensions[j]);
+            let candidates = fd
+                .extension_candidates(arity)
+                .difference(self.extensions[j]);
             for attr in candidates {
                 let valid = match greatest {
                     None => true,
@@ -197,8 +203,7 @@ mod tests {
         let children = root.children(&fds, arity);
         // Candidates are B, C, D, E (A is the LHS, F the RHS).
         assert_eq!(children.len(), 4);
-        let attrs: HashSet<AttrSet> =
-            children.iter().map(|c| c.extensions()[0]).collect();
+        let attrs: HashSet<AttrSet> = children.iter().map(|c| c.extensions()[0]).collect();
         for name in [1u16, 2, 3, 4] {
             assert!(attrs.contains(&AttrSet::singleton(AttrId(name))));
         }

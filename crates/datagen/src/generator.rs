@@ -60,7 +60,11 @@ impl Default for CensusLikeConfig {
         CensusLikeConfig {
             tuples: 1000,
             attributes: 12,
-            planted_fds: vec![PlantedFd { lhs: vec![0, 1, 2], rhs: 3, rhs_cardinality: 50 }],
+            planted_fds: vec![PlantedFd {
+                lhs: vec![0, 1, 2],
+                rhs: 3,
+                rhs_cardinality: 50,
+            }],
             duplication_factor: 3.0,
             skew: 0.4,
             seed: 0xC0FFEE,
@@ -97,9 +101,18 @@ impl CensusLikeConfig {
             if lhs.contains(&rhs) {
                 rhs = (rhs + 1) % attributes;
             }
-            planted.push(PlantedFd { lhs, rhs, rhs_cardinality: 40 });
+            planted.push(PlantedFd {
+                lhs,
+                rhs,
+                rhs_cardinality: 40,
+            });
         }
-        CensusLikeConfig { tuples, attributes, planted_fds: planted, ..Default::default() }
+        CensusLikeConfig {
+            tuples,
+            attributes,
+            planted_fds: planted,
+            ..Default::default()
+        }
     }
 }
 
@@ -129,7 +142,10 @@ const ATTR_NAMES: &[&str] = &[
 ];
 
 fn attr_name(i: usize) -> String {
-    ATTR_NAMES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("attr{i}"))
+    ATTR_NAMES
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("attr{i}"))
 }
 
 /// Draws a category in `[0, cardinality)` with a mild power-law skew.
@@ -139,7 +155,11 @@ fn skewed_category(rng: &mut StdRng, cardinality: usize, skew: f64) -> i64 {
     }
     let u: f64 = rng.gen_range(0.0..1.0);
     // Inverse-CDF of a truncated power law; skew = 0 degenerates to uniform.
-    let x = if skew <= f64::EPSILON { u } else { u.powf(1.0 + skew) };
+    let x = if skew <= f64::EPSILON {
+        u
+    } else {
+        u.powf(1.0 + skew)
+    };
     ((x * cardinality as f64) as usize).min(cardinality - 1) as i64
 }
 
@@ -163,11 +183,17 @@ fn mix_to_category(values: &[i64], salt: u64, cardinality: usize) -> i64 {
 /// which is harmless for the experiments (they only perturb the planted
 /// ones).
 pub fn generate_census_like(config: &CensusLikeConfig) -> (Instance, FdSet) {
-    assert!(config.attributes <= 64, "at most 64 attributes are supported");
+    assert!(
+        config.attributes <= 64,
+        "at most 64 attributes are supported"
+    );
     for fd in &config.planted_fds {
         assert!(fd.rhs < config.attributes, "planted FD rhs out of range");
         assert!(!fd.lhs.contains(&fd.rhs), "planted FD must not be trivial");
-        assert!(fd.lhs.iter().all(|&a| a < config.attributes), "planted FD lhs out of range");
+        assert!(
+            fd.lhs.iter().all(|&a| a < config.attributes),
+            "planted FD lhs out of range"
+        );
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = Schema::new(
@@ -244,8 +270,11 @@ pub fn generate_census_like(config: &CensusLikeConfig) -> (Instance, FdSet) {
     // clash on a weakened LHS, so relaxing the FD with an arbitrary cheap
     // column does not restore consistency — only the genuinely removed
     // attributes (or a near-key record column) do.
-    let correlation_sources: Vec<usize> =
-        config.planted_fds.first().map(|fd| fd.lhs.clone()).unwrap_or_default();
+    let correlation_sources: Vec<usize> = config
+        .planted_fds
+        .first()
+        .map(|fd| fd.lhs.clone())
+        .unwrap_or_default();
     let free_sources = |attr: usize| -> Vec<usize> {
         if correlation_sources.is_empty() {
             return Vec::new();
@@ -316,8 +345,7 @@ pub fn generate_census_like(config: &CensusLikeConfig) -> (Instance, FdSet) {
                     _ => 0,
                 })
                 .collect();
-            cells[fd.rhs] =
-                Value::Int(mix_to_category(&lhs_values, k as u64, fd.rhs_cardinality));
+            cells[fd.rhs] = Value::Int(mix_to_category(&lhs_values, k as u64, fd.rhs_cardinality));
         }
         instance.push(Tuple::new(cells)).expect("arity matches");
     }
@@ -348,7 +376,10 @@ mod tests {
         assert_eq!(instance.len(), 500);
         assert_eq!(instance.schema().arity(), 10);
         assert_eq!(fds.len(), 1);
-        assert!(fds.holds_on(&instance), "planted FD must hold on the clean instance");
+        assert!(
+            fds.holds_on(&instance),
+            "planted FD must hold on the clean instance"
+        );
     }
 
     #[test]
@@ -363,7 +394,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let config = CensusLikeConfig { seed: 7, ..CensusLikeConfig::single_fd(200, 8, 3) };
+        let config = CensusLikeConfig {
+            seed: 7,
+            ..CensusLikeConfig::single_fd(200, 8, 3)
+        };
         let (a, _) = generate_census_like(&config);
         let (b, _) = generate_census_like(&config);
         assert_eq!(a, b);
@@ -416,7 +450,11 @@ mod tests {
     #[should_panic(expected = "trivial")]
     fn trivial_planted_fd_is_rejected() {
         let config = CensusLikeConfig {
-            planted_fds: vec![PlantedFd { lhs: vec![0, 1], rhs: 1, rhs_cardinality: 5 }],
+            planted_fds: vec![PlantedFd {
+                lhs: vec![0, 1],
+                rhs: 1,
+                rhs_cardinality: 5,
+            }],
             ..CensusLikeConfig::default()
         };
         let _ = generate_census_like(&config);

@@ -202,9 +202,7 @@ mod tests {
         let dirty_fd = truth.sigma_dirty.get(0);
         let wrong: Vec<rt_relation::AttrId> = (0..truth.clean.schema().arity() as u16)
             .map(rt_relation::AttrId)
-            .filter(|a| {
-                !dirty_fd.lhs.contains(*a) && *a != dirty_fd.rhs && !removed.contains(*a)
-            })
+            .filter(|a| !dirty_fd.lhs.contains(*a) && *a != dirty_fd.rhs && !removed.contains(*a))
             .take(1)
             .collect();
         assert_eq!(wrong.len(), 1);
@@ -235,7 +233,7 @@ mod tests {
     fn modifying_clean_cells_hurts_precision() {
         let truth = truth_with(0.01, 0.0);
         let mut repaired = truth.clean.clone(); // fixes all errors...
-        // ...but also corrupts one previously clean cell.
+                                                // ...but also corrupts one previously clean cell.
         let clean_cell = (0..truth.clean.len())
             .flat_map(|row| {
                 truth
@@ -246,7 +244,9 @@ mod tests {
             })
             .find(|c| !truth.perturbed_cells.contains(c))
             .unwrap();
-        repaired.set_cell(clean_cell, rt_relation::Value::Int(123456789)).unwrap();
+        repaired
+            .set_cell(clean_cell, rt_relation::Value::Int(123456789))
+            .unwrap();
         let q = evaluate_repair(&truth, &truth.sigma_dirty, &repaired);
         assert!(q.data_precision < 1.0);
         assert_eq!(q.data_recall, 1.0);

@@ -247,7 +247,11 @@ mod tests {
     #[test]
     fn fd_perturbation_removes_the_requested_fraction() {
         let (clean, fds) = clean_workload();
-        let config = PerturbConfig { fd_error_rate: 0.5, data_error_rate: 0.0, ..Default::default() };
+        let config = PerturbConfig {
+            fd_error_rate: 0.5,
+            data_error_rate: 0.0,
+            ..Default::default()
+        };
         let truth = perturb(&clean, &fds, &config);
         assert_eq!(truth.sigma_dirty.len(), fds.len());
         // Half of the 4 LHS attributes removed → 2 removed attributes.
@@ -266,7 +270,11 @@ mod tests {
     #[test]
     fn fd_perturbation_never_empties_a_lhs() {
         let (clean, fds) = clean_workload();
-        let config = PerturbConfig { fd_error_rate: 1.0, data_error_rate: 0.0, ..Default::default() };
+        let config = PerturbConfig {
+            fd_error_rate: 1.0,
+            data_error_rate: 0.0,
+            ..Default::default()
+        };
         let truth = perturb(&clean, &fds, &config);
         assert!(!truth.sigma_dirty.get(0).lhs.is_empty());
     }
@@ -274,12 +282,19 @@ mod tests {
     #[test]
     fn data_perturbation_injects_violations_of_the_clean_fds() {
         let (clean, fds) = clean_workload();
-        let config = PerturbConfig { fd_error_rate: 0.0, data_error_rate: 0.01, ..Default::default() };
+        let config = PerturbConfig {
+            fd_error_rate: 0.0,
+            data_error_rate: 0.01,
+            ..Default::default()
+        };
         let truth = perturb(&clean, &fds, &config);
         assert!(truth.error_count() > 0, "some errors must be injected");
         // Every perturbed cell really differs from the clean instance.
         for cell in &truth.perturbed_cells {
-            assert_ne!(truth.clean.cell(*cell).unwrap(), truth.dirty.cell(*cell).unwrap());
+            assert_ne!(
+                truth.clean.cell(*cell).unwrap(),
+                truth.dirty.cell(*cell).unwrap()
+            );
         }
         // The diff between clean and dirty is exactly the recorded cells.
         let diff = truth.clean.diff(&truth.dirty).unwrap();
@@ -293,21 +308,32 @@ mod tests {
     #[test]
     fn error_count_tracks_the_requested_rate() {
         let (clean, fds) = clean_workload();
-        let config = PerturbConfig { fd_error_rate: 0.0, data_error_rate: 0.005, ..Default::default() };
+        let config = PerturbConfig {
+            fd_error_rate: 0.0,
+            data_error_rate: 0.005,
+            ..Default::default()
+        };
         let truth = perturb(&clean, &fds, &config);
         let requested = (clean.cell_count() as f64 * 0.005).round() as usize;
         // The injector may fall slightly short when it runs out of candidate
         // pairs, but should reach at least half of the requested errors and
         // never exceed them.
         assert!(truth.error_count() <= requested);
-        assert!(truth.error_count() * 2 >= requested, "only {} of {requested} errors injected",
-            truth.error_count());
+        assert!(
+            truth.error_count() * 2 >= requested,
+            "only {} of {requested} errors injected",
+            truth.error_count()
+        );
     }
 
     #[test]
     fn zero_rates_are_a_no_op() {
         let (clean, fds) = clean_workload();
-        let config = PerturbConfig { fd_error_rate: 0.0, data_error_rate: 0.0, ..Default::default() };
+        let config = PerturbConfig {
+            fd_error_rate: 0.0,
+            data_error_rate: 0.0,
+            ..Default::default()
+        };
         let truth = perturb(&clean, &fds, &config);
         assert_eq!(truth.clean, truth.dirty);
         assert_eq!(truth.sigma_clean, truth.sigma_dirty);
@@ -318,7 +344,12 @@ mod tests {
     #[test]
     fn perturbation_is_deterministic_per_seed() {
         let (clean, fds) = clean_workload();
-        let config = PerturbConfig { data_error_rate: 0.01, fd_error_rate: 0.5, seed: 5, ..Default::default() };
+        let config = PerturbConfig {
+            data_error_rate: 0.01,
+            fd_error_rate: 0.5,
+            seed: 5,
+            ..Default::default()
+        };
         let a = perturb(&clean, &fds, &config);
         let b = perturb(&clean, &fds, &config);
         assert_eq!(a.dirty, b.dirty);
@@ -338,7 +369,11 @@ mod tests {
         let truth = perturb(&clean, &fds, &config);
         let lhs = fds.get(0).lhs;
         for cell in &truth.perturbed_cells {
-            assert!(lhs.contains(cell.attr), "LHS violation touched non-LHS column {}", cell.attr);
+            assert!(
+                lhs.contains(cell.attr),
+                "LHS violation touched non-LHS column {}",
+                cell.attr
+            );
         }
         if truth.error_count() > 0 {
             assert!(!fds.holds_on(&truth.dirty));

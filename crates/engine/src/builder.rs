@@ -1,0 +1,166 @@
+//! Fluent construction of a [`RepairEngine`].
+
+use crate::engine::RepairEngine;
+use crate::error::EngineError;
+use crate::stats::EngineStats;
+use rt_constraints::FdSet;
+use rt_core::heuristic::HeuristicConfig;
+use rt_core::{Parallelism, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind};
+use rt_relation::Instance;
+use std::time::Instant;
+
+/// Builder returned by [`RepairEngine::builder`].
+///
+/// Every knob has a sensible default (the paper's experimental setup):
+/// distinct-count weighting, A* search, a 500 000-state expansion cap,
+/// automatic parallelism and seed 0 for the data-repair step.
+///
+/// ```
+/// use rt_engine::{RepairEngine, SearchAlgorithm, WeightKind, Parallelism};
+/// use rt_relation::{Instance, Schema};
+/// use rt_constraints::FdSet;
+///
+/// let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+/// let instance = Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
+/// let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+/// let engine = RepairEngine::builder(instance, fds)
+///     .weight(WeightKind::Entropy)
+///     .parallelism(Parallelism::Auto)
+///     .algorithm(SearchAlgorithm::AStar)
+///     .max_expansions(100_000)
+///     .build()
+///     .unwrap();
+/// assert!(engine.delta_p_original() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepairEngineBuilder {
+    instance: Instance,
+    fds: FdSet,
+    weight: WeightKind,
+    parallelism: Parallelism,
+    algorithm: SearchAlgorithm,
+    max_expansions: usize,
+    heuristic: HeuristicConfig,
+    seed: u64,
+}
+
+impl RepairEngineBuilder {
+    pub(crate) fn new(instance: Instance, fds: FdSet) -> Self {
+        let defaults = SearchConfig::default();
+        RepairEngineBuilder {
+            instance,
+            fds,
+            weight: WeightKind::DistinctCount,
+            parallelism: defaults.parallelism,
+            algorithm: SearchAlgorithm::AStar,
+            max_expansions: defaults.max_expansions,
+            heuristic: defaults.heuristic,
+            seed: 0,
+        }
+    }
+
+    /// Which weighting function `w(Y)` prices LHS extensions
+    /// (default: [`WeightKind::DistinctCount`], the paper's choice).
+    pub fn weight(mut self, weight: WeightKind) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Worker threads for every parallel stage of the pipeline (default:
+    /// [`Parallelism::Auto`]). Results are bit-identical for every setting.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Which FD-modification search to run (default:
+    /// [`SearchAlgorithm::AStar`]).
+    pub fn algorithm(mut self, algorithm: SearchAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Hard cap on expanded search states per query (default: 500 000).
+    /// Must be at least 1.
+    pub fn max_expansions(mut self, max_expansions: usize) -> Self {
+        self.max_expansions = max_expansions;
+        self
+    }
+
+    /// Tuning knobs of the A* heuristic (default:
+    /// [`HeuristicConfig::default`]).
+    pub fn heuristic(mut self, heuristic: HeuristicConfig) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Seed for the randomized data-repair step (default: 0). Two engines
+    /// built with the same seed produce identical repaired instances.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration and prepares the engine: the conflict
+    /// graph of `(I, Σ)` and its difference-set index are built here,
+    /// exactly once for the lifetime of the engine.
+    pub fn build(self) -> Result<RepairEngine, EngineError> {
+        if self.max_expansions == 0 {
+            return Err(EngineError::InvalidConfig(
+                "max_expansions must be at least 1 (the search has to expand the root)".into(),
+            ));
+        }
+        if self.heuristic.max_diff_sets == 0 {
+            return Err(EngineError::InvalidConfig(
+                "heuristic.max_diff_sets must be at least 1".into(),
+            ));
+        }
+        if self.heuristic.node_budget == 0 {
+            return Err(EngineError::InvalidConfig(
+                "heuristic.node_budget must be at least 1".into(),
+            ));
+        }
+        if self.fds.is_empty() {
+            return Err(EngineError::InvalidConfig(
+                "the FD set is empty — there is nothing to repair against".into(),
+            ));
+        }
+        let arity = self.instance.schema().arity();
+        for (i, fd) in self.fds.iter() {
+            if let Some(max) = fd.attributes().max_attr() {
+                if max.0 as usize >= arity {
+                    return Err(EngineError::Fd(format!(
+                        "FD #{i} refers to attribute {} but the instance has only {arity} \
+                         attributes",
+                        max.0
+                    )));
+                }
+            }
+        }
+
+        let start = Instant::now();
+        let problem = RepairProblem::with_weight_par(
+            &self.instance,
+            &self.fds,
+            self.weight,
+            self.parallelism,
+        );
+        let stats = EngineStats {
+            conflict_graph_builds: 1,
+            build_elapsed: start.elapsed(),
+            ..Default::default()
+        };
+        let search_config = SearchConfig {
+            max_expansions: self.max_expansions,
+            heuristic: self.heuristic,
+            parallelism: self.parallelism,
+        };
+        Ok(RepairEngine::from_parts(
+            problem,
+            search_config,
+            self.algorithm,
+            self.seed,
+            stats,
+        ))
+    }
+}

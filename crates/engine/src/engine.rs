@@ -1,0 +1,255 @@
+//! The engine session type.
+
+use crate::builder::RepairEngineBuilder;
+use crate::error::EngineError;
+use crate::stats::EngineStats;
+use crate::stream::{RepairPoint, RepairStream, Spectrum};
+use rt_baseline::{unified_cost_repair_with_graph, UnifiedCostConfig, UnifiedRepair};
+use rt_constraints::FdSet;
+use rt_core::repair::materialize_fd_repair;
+use rt_core::search::FdRepair;
+use rt_core::{
+    run_search, RangeSearch, RangedFdRepair, Repair, RepairProblem, SearchAlgorithm, SearchConfig,
+    SearchStats,
+};
+use rt_relation::Instance;
+use std::ops::RangeInclusive;
+use std::sync::Mutex;
+
+/// A long-lived repair session over one fixed `(I, Σ)`.
+///
+/// The engine is built once — paying for the conflict graph, the
+/// difference-set index and the weighting function exactly once — and then
+/// serves any number of queries across the relative-trust spectrum:
+///
+/// * [`RepairEngine::repair_at`] / [`RepairEngine::repair_at_relative`] —
+///   one τ-constrained repair (Algorithm 1);
+/// * [`RepairEngine::fd_repair_at`] — the FD half only (Algorithm 2), no
+///   data materialization;
+/// * [`RepairEngine::sweep`] — a lazy stream over the distinct repairs of a
+///   τ range (Algorithm 6), materialized on demand;
+/// * [`RepairEngine::spectrum`] — the full range-repair, collected;
+/// * [`RepairEngine::sampling_spectrum`] — the naive per-τ comparator;
+/// * [`RepairEngine::unified_baseline`] — the unified-cost baseline over
+///   the same prepared conflict graph;
+/// * [`RepairEngine::stats`] — cumulative telemetry of the session.
+///
+/// The engine is `Sync`: concurrent scenarios can share one engine behind
+/// an `Arc` and query it from several threads.
+pub struct RepairEngine {
+    problem: RepairProblem,
+    search_config: SearchConfig,
+    algorithm: SearchAlgorithm,
+    seed: u64,
+    stats: Mutex<EngineStats>,
+}
+
+impl RepairEngine {
+    /// Starts building an engine for `(instance, fds)`; see
+    /// [`RepairEngineBuilder`] for the knobs.
+    pub fn builder(instance: Instance, fds: FdSet) -> RepairEngineBuilder {
+        RepairEngineBuilder::new(instance, fds)
+    }
+
+    /// Builds an engine with all-default settings.
+    pub fn new(instance: Instance, fds: FdSet) -> Result<RepairEngine, EngineError> {
+        Self::builder(instance, fds).build()
+    }
+
+    pub(crate) fn from_parts(
+        problem: RepairProblem,
+        search_config: SearchConfig,
+        algorithm: SearchAlgorithm,
+        seed: u64,
+        stats: EngineStats,
+    ) -> Self {
+        RepairEngine {
+            problem,
+            search_config,
+            algorithm,
+            seed,
+            stats: Mutex::new(stats),
+        }
+    }
+
+    /// The prepared repair problem (instance, FDs, conflict graph, weights).
+    pub fn problem(&self) -> &RepairProblem {
+        &self.problem
+    }
+
+    /// The search configuration every query runs with.
+    pub fn search_config(&self) -> &SearchConfig {
+        &self.search_config
+    }
+
+    /// The seed of the randomized data-repair step.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `δ_P(Σ, I)` of the original FD set — the reference budget: repairs
+    /// at `τ = delta_p_original()` touch data only, repairs at `τ = 0`
+    /// touch FDs only.
+    pub fn delta_p_original(&self) -> usize {
+        self.problem.delta_p_original()
+    }
+
+    /// Converts relative trust `τ_r ∈ [0, 1]` into an absolute cell budget.
+    pub fn absolute_tau(&self, tau_r: f64) -> usize {
+        self.problem.absolute_tau(tau_r)
+    }
+
+    /// Cumulative telemetry over every query this engine has served.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock().expect("engine stats lock poisoned")
+    }
+
+    pub(crate) fn absorb_search_stats(&self, stats: &SearchStats) {
+        self.stats
+            .lock()
+            .expect("engine stats lock poisoned")
+            .absorb(stats);
+    }
+
+    pub(crate) fn note_point_materialized(&self) {
+        self.stats
+            .lock()
+            .expect("engine stats lock poisoned")
+            .points_materialized += 1;
+    }
+
+    fn run_fd_search(&self, tau: usize) -> Result<(FdRepair, SearchStats), EngineError> {
+        let outcome = run_search(&self.problem, tau, &self.search_config, self.algorithm);
+        {
+            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            stats.absorb(&outcome.stats);
+            stats.repair_queries += 1;
+        }
+        match outcome.repair {
+            Some(repair) => Ok((repair, outcome.stats)),
+            None => Err(EngineError::BudgetExhausted {
+                tau,
+                max_expansions: self.search_config.max_expansions,
+            }),
+        }
+    }
+
+    /// Algorithm 2: the cheapest FD relaxation whose `δ_P(Σ', I) ≤ tau`,
+    /// without materializing the data half.
+    pub fn fd_repair_at(&self, tau: usize) -> Result<FdRepair, EngineError> {
+        self.run_fd_search(tau).map(|(repair, _)| repair)
+    }
+
+    /// Algorithm 1: one joint repair `(Σ', I')` for the absolute cell
+    /// budget `tau`.
+    pub fn repair_at(&self, tau: usize) -> Result<Repair, EngineError> {
+        let (fd_repair, stats) = self.run_fd_search(tau)?;
+        Ok(materialize_fd_repair(
+            &self.problem,
+            &fd_repair,
+            tau,
+            self.seed,
+            self.search_config.parallelism,
+            stats,
+        ))
+    }
+
+    /// [`RepairEngine::repair_at`] with the budget expressed as *relative*
+    /// trust `τ_r ∈ [0, 1]` (clamped), the form used throughout the paper's
+    /// experiments: `τ = ⌈τ_r · δ_P(Σ, I)⌉`.
+    pub fn repair_at_relative(&self, tau_r: f64) -> Result<Repair, EngineError> {
+        self.repair_at(self.absolute_tau(tau_r))
+    }
+
+    /// A lazy, streaming sweep over `τ ∈ range`: yields every distinct
+    /// repair of the range, largest `τ` first, materializing each one only
+    /// when the iterator is advanced. The whole sweep is a single
+    /// Range-Repair traversal (Algorithm 6) over the engine's prepared
+    /// conflict graph — construction work is never repeated per τ.
+    pub fn sweep(&self, range: RangeInclusive<usize>) -> RepairStream<'_> {
+        let (tau_low, tau_high) = (*range.start(), *range.end());
+        self.stats
+            .lock()
+            .expect("engine stats lock poisoned")
+            .sweeps_started += 1;
+        let search = RangeSearch::new(&self.problem, tau_low, tau_high, &self.search_config);
+        RepairStream::new(self, search, tau_high)
+    }
+
+    /// The full range-repair: every distinct repair between "trust the
+    /// data" (`τ = 0`) and "trust the constraints"
+    /// (`τ = δ_P(Σ, I)`), collected into a [`Spectrum`].
+    pub fn spectrum(&self) -> Result<Spectrum, EngineError> {
+        self.sweep(0..=self.delta_p_original()).collect_spectrum()
+    }
+
+    /// The naive Sampling-Repair comparator (Figure 13 of the paper): one
+    /// independent A* search per sampled `τ`, duplicates removed. Provided
+    /// for comparison with [`RepairEngine::sweep`]; the streaming sweep
+    /// dominates it.
+    ///
+    /// The per-τ searches are independent, so an expansion cap hit in one
+    /// of them does not invalidate the others: the partial spectrum is
+    /// returned with [`SearchStats::truncated`] set in its stats.
+    pub fn sampling_spectrum(&self, range: RangeInclusive<usize>, step: usize) -> Spectrum {
+        let (tau_low, tau_high) = (*range.start(), *range.end());
+        let outcome =
+            rt_core::sampling_search(&self.problem, tau_low, tau_high, step, &self.search_config);
+        {
+            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            stats.absorb(&outcome.stats);
+            stats.sweeps_started += 1;
+            stats.points_materialized += outcome.repairs.len();
+        }
+        let points = outcome
+            .repairs
+            .iter()
+            .map(|ranged| RepairPoint {
+                tau_range: ranged.tau_range,
+                repair: self.materialize(ranged, outcome.stats),
+            })
+            .collect();
+        Spectrum {
+            points,
+            search_stats: outcome.stats,
+        }
+    }
+
+    /// The greedy unified-cost baseline (Section 7 comparator), run over
+    /// the engine's prepared conflict graph — no per-call reconstruction.
+    pub fn unified_baseline(&self, config: &UnifiedCostConfig) -> UnifiedRepair {
+        unified_cost_repair_with_graph(
+            self.problem.instance(),
+            self.problem.sigma(),
+            self.problem.weight(),
+            config,
+            self.problem.conflict_graph(),
+        )
+    }
+
+    /// Materializes the data half of a ranged FD repair (Algorithm 4) using
+    /// the engine's seed and parallelism — delegating to the single shared
+    /// implementation in `rt-core` so the engine stays bit-identical to the
+    /// spectrum materializer.
+    pub(crate) fn materialize(&self, ranged: &RangedFdRepair, stats: SearchStats) -> Repair {
+        materialize_fd_repair(
+            &self.problem,
+            &ranged.repair,
+            ranged.tau_range.1,
+            self.seed,
+            self.search_config.parallelism,
+            stats,
+        )
+    }
+}
+
+impl std::fmt::Debug for RepairEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepairEngine")
+            .field("problem", &self.problem)
+            .field("algorithm", &self.algorithm)
+            .field("seed", &self.seed)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,107 @@
+//! The unified error type of the engine boundary.
+//!
+//! The crates below the engine report failure in three different styles:
+//! `rt-relation` has a structured [`RelationError`], `rt-constraints`
+//! returns `String` messages from FD parsing, and `rt-core` signals "no
+//! repair" with `Option::None` (and panics on programmer error). At the
+//! public API boundary all of them surface as one hand-rolled
+//! [`EngineError`] — no `thiserror`, the build environment is offline.
+
+use rt_relation::RelationError;
+use std::fmt;
+
+/// Everything that can go wrong while building or querying a
+/// [`crate::RepairEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The builder was given an inconsistent or unusable configuration.
+    InvalidConfig(String),
+    /// An error from the relational substrate (schemas, instances, CSV).
+    Relation(RelationError),
+    /// A functional-dependency specification failed to parse or refers to
+    /// attributes the instance's schema does not have.
+    Fd(String),
+    /// File-level I/O failed; `path` names the offending file.
+    Io {
+        /// The file involved.
+        path: String,
+        /// Stringified cause (kept `Clone + Eq`).
+        message: String,
+    },
+    /// The FD-modification search hit its expansion cap before finding a
+    /// repair within the cell budget `tau`. An unbounded search always
+    /// succeeds (fully relaxed FDs need no data changes), so this means
+    /// `max_expansions` was too small for the problem.
+    BudgetExhausted {
+        /// The cell budget the query asked for.
+        tau: usize,
+        /// The expansion cap that stopped the search.
+        max_expansions: usize,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for file-level I/O failures.
+    pub fn io(path: impl Into<String>, err: impl fmt::Display) -> Self {
+        EngineError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            EngineError::Relation(e) => write!(f, "{e}"),
+            EngineError::Fd(msg) => write!(f, "invalid functional dependency: {msg}"),
+            EngineError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            EngineError::BudgetExhausted {
+                tau,
+                max_expansions,
+            } => write!(
+                f,
+                "no repair found within τ = {tau}: the search was truncated after \
+                 {max_expansions} expansions (raise max_expansions)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RelationError> for EngineError {
+    fn from(e: RelationError) -> Self {
+        EngineError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EngineError::InvalidConfig("max_expansions must be at least 1".into());
+        assert!(e.to_string().contains("max_expansions"));
+
+        let e = EngineError::BudgetExhausted {
+            tau: 3,
+            max_expansions: 10,
+        };
+        assert!(e.to_string().contains("τ = 3"));
+        assert!(e.to_string().contains("10"));
+
+        let e = EngineError::io("data.csv", "no such file");
+        assert!(e.to_string().contains("data.csv"));
+        assert!(e.to_string().contains("no such file"));
+    }
+
+    #[test]
+    fn relation_errors_convert() {
+        let e: EngineError = RelationError::Csv("bad header".into()).into();
+        assert!(matches!(e, EngineError::Relation(_)));
+        assert!(e.to_string().contains("bad header"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # rt-engine
+//!
+//! The session-oriented public surface of the relative-trust repair system
+//! (Beskales, Ilyas, Golab and Galiullin, ICDE 2013).
+//!
+//! The paper's central object is the *spectrum* of repairs obtained by
+//! sweeping the relative-trust budget `τ` over one fixed `(I, Σ)`. A
+//! [`RepairEngine`] embodies exactly that workflow: it is built **once**
+//! from an instance and an FD set — paying for the conflict graph and its
+//! difference-set index exactly once — and then serves repeated queries
+//! anywhere on the spectrum, lazily and from cached state.
+//!
+//! ```
+//! use rt_engine::{RepairEngine, WeightKind};
+//! use rt_relation::{Instance, Schema};
+//! use rt_constraints::FdSet;
+//!
+//! // Figure 2 of the paper.
+//! let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+//! let instance = Instance::from_int_rows(
+//!     schema.clone(),
+//!     &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+//! )
+//! .unwrap();
+//! let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+//!
+//! // Build the session once...
+//! let engine = RepairEngine::builder(instance, fds)
+//!     .weight(WeightKind::AttrCount)
+//!     .build()
+//!     .unwrap();
+//!
+//! // ...then query it: one repair at a chosen trust level...
+//! let repair = engine.repair_at(2).unwrap();
+//! assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+//!
+//! // ...or the whole spectrum, streamed lazily.
+//! for point in engine.sweep(0..=engine.delta_p_original()) {
+//!     let point = point.unwrap();
+//!     assert!(point.repair.modified_fds.holds_on(&point.repair.repaired_instance));
+//! }
+//!
+//! // The expensive preparation ran exactly once for all of the above.
+//! assert_eq!(engine.stats().conflict_graph_builds, 1);
+//! ```
+
+mod builder;
+mod engine;
+mod error;
+mod stats;
+mod stream;
+
+pub use builder::RepairEngineBuilder;
+pub use engine::RepairEngine;
+pub use error::EngineError;
+pub use stats::EngineStats;
+pub use stream::{RepairPoint, RepairStream, Spectrum};
+
+// The vocabulary types an engine user needs, re-exported so `rt_engine`
+// works as a one-stop import.
+pub use rt_baseline::{UnifiedCostConfig, UnifiedRepair};
+pub use rt_core::heuristic::HeuristicConfig;
+pub use rt_core::{
+    FdRepair, Parallelism, Repair, RepairProblem, SearchAlgorithm, SearchStats, WeightKind,
+};

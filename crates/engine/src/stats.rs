@@ -1,0 +1,50 @@
+//! Cumulative telemetry of an engine session.
+
+use std::time::Duration;
+
+/// Counters accumulated over every query an engine has served.
+///
+/// The headline invariant of the session API:
+/// `conflict_graph_builds` stays at `1` no matter how many `repair_at`
+/// calls, sweeps or spectra the engine serves — the expensive
+/// data-dependent preparation happens exactly once, at build time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// How many times the conflict graph of `(I, Σ)` was built. Always `1`
+    /// for an engine (at [`crate::RepairEngineBuilder::build`] time).
+    pub conflict_graph_builds: usize,
+    /// Wall-clock time spent preparing the problem (conflict graph,
+    /// difference-set index, weighting function).
+    pub build_elapsed: Duration,
+    /// Completed single-repair queries ([`crate::RepairEngine::repair_at`]
+    /// and friends).
+    pub repair_queries: usize,
+    /// Sweeps started ([`crate::RepairEngine::sweep`],
+    /// [`crate::RepairEngine::spectrum`],
+    /// [`crate::RepairEngine::sampling_spectrum`]).
+    pub sweeps_started: usize,
+    /// Repair points materialized by streaming sweeps (one per
+    /// [`crate::RepairPoint`] actually pulled from a stream).
+    pub points_materialized: usize,
+    /// States popped from FD-search open lists, across all queries.
+    pub states_expanded: usize,
+    /// States pushed onto FD-search open lists, across all queries.
+    pub states_generated: usize,
+    /// Recursion nodes spent inside the A* heuristic, across all queries.
+    pub heuristic_nodes: usize,
+    /// Wall-clock time spent inside FD searches, across all queries.
+    pub search_elapsed: Duration,
+    /// `true` when any query hit the expansion cap.
+    pub truncated: bool,
+}
+
+impl EngineStats {
+    /// Folds one search run's statistics into the session totals.
+    pub(crate) fn absorb(&mut self, stats: &rt_core::SearchStats) {
+        self.states_expanded += stats.states_expanded;
+        self.states_generated += stats.states_generated;
+        self.heuristic_nodes += stats.heuristic_nodes;
+        self.search_elapsed += stats.elapsed;
+        self.truncated |= stats.truncated;
+    }
+}

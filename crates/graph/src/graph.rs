@@ -18,7 +18,10 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// Creates an empty graph able to hold vertices `0..n`.
     pub fn with_vertices(n: usize) -> Self {
-        UndirectedGraph { adjacency: vec![BTreeSet::new(); n], edge_count: 0 }
+        UndirectedGraph {
+            adjacency: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Largest vertex id representable without growing (`n` from
@@ -64,7 +67,10 @@ impl UndirectedGraph {
 
     /// `true` when `{u, v}` is an edge.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adjacency.get(u).map(|a| a.contains(&v)).unwrap_or(false)
+        self.adjacency
+            .get(u)
+            .map(|a| a.contains(&v))
+            .unwrap_or(false)
     }
 
     /// Degree of a vertex (0 for unknown vertices).
@@ -74,15 +80,20 @@ impl UndirectedGraph {
 
     /// Neighbours of a vertex, ascending.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.adjacency.get(v).into_iter().flat_map(|s| s.iter().copied())
+        self.adjacency
+            .get(v)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Iterates every edge exactly once as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(u, adj)| adj.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+        self.adjacency.iter().enumerate().flat_map(|(u, adj)| {
+            adj.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// Vertices with at least one incident edge, ascending.
@@ -106,7 +117,8 @@ impl UndirectedGraph {
 
     /// Checks whether `cover` touches every edge.
     pub fn is_vertex_cover(&self, cover: &BTreeSet<usize>) -> bool {
-        self.edges().all(|(u, v)| cover.contains(&u) || cover.contains(&v))
+        self.edges()
+            .all(|(u, v)| cover.contains(&u) || cover.contains(&v))
     }
 
     /// Builds a graph directly from an edge list (convenience for tests).

@@ -29,6 +29,6 @@ pub mod vertex_cover;
 
 pub use graph::UndirectedGraph;
 pub use vertex_cover::{
-    approx_vertex_cover, approx_vertex_cover_with, exact_vertex_cover,
-    greedy_degree_vertex_cover, matching_vertex_cover, VertexCover,
+    approx_vertex_cover, approx_vertex_cover_with, exact_vertex_cover, greedy_degree_vertex_cover,
+    matching_vertex_cover, VertexCover,
 };

@@ -133,13 +133,21 @@ pub fn approx_vertex_cover_with(graph: &UndirectedGraph, par: Parallelism) -> Ve
     // per-item cutoff); the edge-count gate — a property of the input, so
     // determinism is unaffected — keeps the search's many tiny cover
     // computations inline where thread spawns would dominate.
-    let par = if graph.edge_count() < MIN_EDGES_FOR_PARALLEL { Parallelism::Serial } else { par };
+    let par = if graph.edge_count() < MIN_EDGES_FOR_PARALLEL {
+        Parallelism::Serial
+    } else {
+        par
+    };
     let per_component: Vec<Vec<usize>> = par_map_coarse(par, components.len(), |c| {
         let vertices = &components[c];
         let local = graph.induced_subgraph(vertices);
         let matching = matching_vertex_cover(&local);
         let greedy = greedy_degree_vertex_cover(&local);
-        let best = if greedy.len() <= matching.len() { greedy } else { matching };
+        let best = if greedy.len() <= matching.len() {
+            greedy
+        } else {
+            matching
+        };
         best.iter().map(|li| vertices[li]).collect()
     });
     let mut cover = BTreeSet::new();
@@ -160,7 +168,9 @@ pub fn approx_vertex_cover_with(graph: &UndirectedGraph, par: Parallelism) -> Ve
 pub fn exact_vertex_cover(graph: &UndirectedGraph, node_budget: usize) -> Option<VertexCover> {
     let edges: Vec<(usize, usize)> = graph.edges().collect();
     if edges.is_empty() {
-        return Some(VertexCover { vertices: BTreeSet::new() });
+        return Some(VertexCover {
+            vertices: BTreeSet::new(),
+        });
     }
     // Upper bound from the 2-approximation.
     let upper = matching_vertex_cover(graph).into_set();
@@ -290,8 +300,9 @@ mod tests {
     #[test]
     fn exact_respects_budget() {
         // A graph big enough that a budget of 1 cannot finish.
-        let edges: Vec<(usize, usize)> =
-            (0..20).flat_map(|i| (i + 1..20).map(move |j| (i, j))).collect();
+        let edges: Vec<(usize, usize)> = (0..20)
+            .flat_map(|i| (i + 1..20).map(move |j| (i, j)))
+            .collect();
         let g = UndirectedGraph::from_edges(&edges);
         assert!(exact_vertex_cover(&g, 1).is_none());
     }

@@ -23,8 +23,7 @@ use std::num::NonZeroUsize;
 ///
 /// Threaded through `SearchConfig` in `rt-core` and exposed as `--threads`
 /// on the `rtclean` CLI. The default is [`Parallelism::Auto`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// Use every available core ([`std::thread::available_parallelism`]).
     #[default]
@@ -36,7 +35,6 @@ pub enum Parallelism {
     Fixed(usize),
 }
 
-
 impl Parallelism {
     /// The number of worker threads this setting resolves to on the current
     /// machine (always at least 1).
@@ -44,9 +42,9 @@ impl Parallelism {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Fixed(n) => n.max(1),
-            Parallelism::Auto => {
-                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-            }
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 
@@ -64,7 +62,9 @@ impl Parallelism {
             n => match n.parse::<usize>() {
                 Ok(0) | Ok(1) => Ok(Parallelism::Serial),
                 Ok(n) => Ok(Parallelism::Fixed(n)),
-                Err(_) => Err(format!("invalid thread count `{n}` (use auto, serial, or a number)")),
+                Err(_) => Err(format!(
+                    "invalid thread count `{n}` (use auto, serial, or a number)"
+                )),
             },
         }
     }
@@ -109,7 +109,10 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = par.effective_threads().min(len / MIN_ITEMS_PER_THREAD.max(1)).max(1);
+    let threads = par
+        .effective_threads()
+        .min(len / MIN_ITEMS_PER_THREAD.max(1))
+        .max(1);
     if threads <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
@@ -205,7 +208,11 @@ mod tests {
     fn par_map_matches_serial_map() {
         let items: Vec<u64> = (0..10_000).collect();
         let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
-        for par in [Parallelism::Serial, Parallelism::Fixed(2), Parallelism::Fixed(7)] {
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+        ] {
             assert_eq!(par_map(par, &items, |x| x * x + 1), serial, "{par:?}");
         }
     }
@@ -214,7 +221,10 @@ mod tests {
     fn par_map_indexed_handles_edge_sizes() {
         for len in [0usize, 1, 2, 15, 16, 17, 1000] {
             let expected: Vec<usize> = (0..len).map(|i| i * 3).collect();
-            assert_eq!(par_map_indexed(Parallelism::Fixed(4), len, |i| i * 3), expected);
+            assert_eq!(
+                par_map_indexed(Parallelism::Fixed(4), len, |i| i * 3),
+                expected
+            );
         }
     }
 

@@ -83,9 +83,8 @@ pub fn read_instance<R: Read>(relation_name: &str, reader: R) -> Result<Instance
         if line.trim().is_empty() {
             continue;
         }
-        let fields = split_line(&line).map_err(|e| {
-            RelationError::Csv(format!("line {}: {}", lineno + 2, e))
-        })?;
+        let fields = split_line(&line)
+            .map_err(|e| RelationError::Csv(format!("line {}: {}", lineno + 2, e)))?;
         if fields.len() != arity {
             return Err(RelationError::Csv(format!(
                 "line {}: expected {} fields, found {}",
@@ -162,7 +161,10 @@ Bob,41,\"Doha, Qatar\"
             *inst.cell(crate::CellRef::new(2, AttrId(0))).unwrap(),
             Value::Str("Cara \"C\"".into())
         );
-        assert_eq!(*inst.cell(crate::CellRef::new(2, AttrId(2))).unwrap(), Value::Null);
+        assert_eq!(
+            *inst.cell(crate::CellRef::new(2, AttrId(2))).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -174,7 +176,11 @@ Bob,41,\"Doha, Qatar\"
         assert_eq!(inst.len(), reread.len());
         for (row, tuple) in inst.tuples() {
             for (attr, val) in tuple.cells() {
-                assert_eq!(val, reread.tuple(row).unwrap().get(attr), "cell ({row},{attr})");
+                assert_eq!(
+                    val,
+                    reread.tuple(row).unwrap().get(attr),
+                    "cell ({row},{attr})"
+                );
             }
         }
     }

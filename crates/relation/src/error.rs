@@ -51,7 +51,10 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::TooManyAttributes { requested, max } => {
-                write!(f, "schema has {requested} attributes, at most {max} are supported")
+                write!(
+                    f,
+                    "schema has {requested} attributes, at most {max} are supported"
+                )
             }
             RelationError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute name `{name}`")
@@ -60,10 +63,16 @@ impl fmt::Display for RelationError {
                 write!(f, "unknown attribute `{name}`")
             }
             RelationError::AttributeOutOfRange { index, arity } => {
-                write!(f, "attribute index {index} out of range for schema of arity {arity}")
+                write!(
+                    f,
+                    "attribute index {index} out of range for schema of arity {arity}"
+                )
             }
             RelationError::ArityMismatch { tuple, schema } => {
-                write!(f, "tuple has {tuple} cells but schema has {schema} attributes")
+                write!(
+                    f,
+                    "tuple has {tuple} cells but schema has {schema} attributes"
+                )
             }
             RelationError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range for instance with {rows} rows")
@@ -91,14 +100,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = RelationError::TooManyAttributes { requested: 70, max: 64 };
+        let e = RelationError::TooManyAttributes {
+            requested: 70,
+            max: 64,
+        };
         assert!(e.to_string().contains("70"));
         assert!(e.to_string().contains("64"));
 
         let e = RelationError::DuplicateAttribute("Income".into());
         assert!(e.to_string().contains("Income"));
 
-        let e = RelationError::ArityMismatch { tuple: 3, schema: 5 };
+        let e = RelationError::ArityMismatch {
+            tuple: 3,
+            schema: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
     }
 

@@ -81,7 +81,11 @@ impl Instance {
     /// Creates an empty instance of the given schema.
     pub fn new(schema: Schema) -> Self {
         let arity = schema.arity();
-        Instance { schema, tuples: Vec::new(), var_counters: vec![0; arity] }
+        Instance {
+            schema,
+            tuples: Vec::new(),
+            var_counters: vec![0; arity],
+        }
     }
 
     /// Creates an instance from pre-built tuples.
@@ -144,9 +148,10 @@ impl Instance {
     ///
     /// Fails when the row is out of range.
     pub fn tuple(&self, row: usize) -> Result<&Tuple> {
-        self.tuples
-            .get(row)
-            .ok_or(RelationError::RowOutOfRange { row, rows: self.tuples.len() })
+        self.tuples.get(row).ok_or(RelationError::RowOutOfRange {
+            row,
+            rows: self.tuples.len(),
+        })
     }
 
     /// Borrows a tuple without bounds-check error handling (panics on OOB).
@@ -174,7 +179,10 @@ impl Instance {
         let t = self
             .tuples
             .get_mut(cell.row)
-            .ok_or(RelationError::RowOutOfRange { row: cell.row, rows })?;
+            .ok_or(RelationError::RowOutOfRange {
+                row: cell.row,
+                rows,
+            })?;
         t.set(cell.attr, value);
         Ok(())
     }
@@ -244,7 +252,9 @@ impl Instance {
     /// of tuples (repairs never add or remove tuples).
     pub fn diff(&self, other: &Instance) -> Result<InstanceDiff> {
         if self.schema != other.schema {
-            return Err(RelationError::IncompatibleInstances("schemas differ".into()));
+            return Err(RelationError::IncompatibleInstances(
+                "schemas differ".into(),
+            ));
         }
         if self.tuples.len() != other.tuples.len() {
             return Err(RelationError::IncompatibleInstances(format!(
@@ -261,7 +271,9 @@ impl Instance {
                 }
             }
         }
-        Ok(InstanceDiff { changed_cells: changed })
+        Ok(InstanceDiff {
+            changed_cells: changed,
+        })
     }
 
     /// Projects the instance onto the first `k` attributes, dropping the rest
@@ -301,8 +313,11 @@ impl fmt::Display for Instance {
         let names: Vec<&str> = self.schema.attributes().map(|(_, n)| n).collect();
         writeln!(f, "{}", names.join(" | "))?;
         for (_, t) in self.tuples() {
-            let row: Vec<String> =
-                self.schema.attr_ids().map(|a| t.get(a).to_string()).collect();
+            let row: Vec<String> = self
+                .schema
+                .attr_ids()
+                .map(|a| t.get(a).to_string())
+                .collect();
             writeln!(f, "{}", row.join(" | "))?;
         }
         Ok(())
@@ -318,7 +333,12 @@ mod tests {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
         Instance::from_int_rows(
             schema,
-            &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+            ],
         )
         .unwrap()
     }
@@ -328,7 +348,10 @@ mod tests {
         let inst = small_instance();
         assert_eq!(inst.len(), 4);
         assert_eq!(inst.cell_count(), 16);
-        assert_eq!(*inst.cell(CellRef::new(1, AttrId(3))).unwrap(), Value::Int(3));
+        assert_eq!(
+            *inst.cell(CellRef::new(1, AttrId(3))).unwrap(),
+            Value::Int(3)
+        );
         assert!(inst.cell(CellRef::new(9, AttrId(0))).is_err());
     }
 
@@ -344,8 +367,12 @@ mod tests {
     fn set_cell_and_diff() {
         let inst = small_instance();
         let mut repaired = inst.clone();
-        repaired.set_cell(CellRef::new(1, AttrId(1)), Value::int(1)).unwrap();
-        repaired.set_cell(CellRef::new(1, AttrId(3)), Value::int(1)).unwrap();
+        repaired
+            .set_cell(CellRef::new(1, AttrId(1)), Value::int(1))
+            .unwrap();
+        repaired
+            .set_cell(CellRef::new(1, AttrId(3)), Value::int(1))
+            .unwrap();
         let diff = inst.diff(&repaired).unwrap();
         assert_eq!(diff.distance(), 2);
         assert_eq!(diff.changed_rows(), vec![1]);

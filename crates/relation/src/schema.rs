@@ -72,7 +72,11 @@ impl Schema {
                 return Err(RelationError::DuplicateAttribute(a.clone()));
             }
         }
-        Ok(Schema { name: name.into(), attributes, by_name })
+        Ok(Schema {
+            name: name.into(),
+            attributes,
+            by_name,
+        })
     }
 
     /// Builds an anonymous schema with attributes named `A0..A{n-1}`.
@@ -95,7 +99,10 @@ impl Schema {
 
     /// Iterates over `(AttrId, name)` pairs in declaration order.
     pub fn attributes(&self) -> impl Iterator<Item = (AttrId, &str)> {
-        self.attributes.iter().enumerate().map(|(i, n)| (AttrId(i as u16), n.as_str()))
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u16), n.as_str()))
     }
 
     /// All attribute ids in declaration order.
@@ -110,7 +117,10 @@ impl Schema {
     /// Fails when the id is out of range.
     pub fn attr_name(&self, attr: AttrId) -> Result<&str> {
         self.attributes.get(attr.index()).map(String::as_str).ok_or(
-            RelationError::AttributeOutOfRange { index: attr.index(), arity: self.arity() },
+            RelationError::AttributeOutOfRange {
+                index: attr.index(),
+                arity: self.arity(),
+            },
         )
     }
 
@@ -154,7 +164,14 @@ mod tests {
     fn build_and_lookup() {
         let s = Schema::new(
             "Persons",
-            vec!["GivenName", "Surname", "BirthDate", "Gender", "Phone", "Income"],
+            vec![
+                "GivenName",
+                "Surname",
+                "BirthDate",
+                "Gender",
+                "Phone",
+                "Income",
+            ],
         )
         .unwrap();
         assert_eq!(s.arity(), 6);
@@ -168,7 +185,10 @@ mod tests {
     #[test]
     fn unknown_attribute_is_an_error() {
         let s = Schema::with_arity(3).unwrap();
-        assert!(matches!(s.attr_id("Z"), Err(RelationError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.attr_id("Z"),
+            Err(RelationError::UnknownAttribute(_))
+        ));
         assert!(matches!(
             s.attr_name(AttrId(9)),
             Err(RelationError::AttributeOutOfRange { .. })

@@ -20,7 +20,9 @@ impl Tuple {
 
     /// Creates a tuple of `arity` nulls.
     pub fn nulls(arity: usize) -> Self {
-        Tuple { cells: vec![Value::Null; arity] }
+        Tuple {
+            cells: vec![Value::Null; arity],
+        }
     }
 
     /// Number of cells.
@@ -45,7 +47,10 @@ impl Tuple {
 
     /// Iterates over `(AttrId, &Value)` pairs.
     pub fn cells(&self) -> impl Iterator<Item = (AttrId, &Value)> {
-        self.cells.iter().enumerate().map(|(i, v)| (AttrId(i as u16), v))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (AttrId(i as u16), v))
     }
 
     /// Raw access to the underlying cell vector.

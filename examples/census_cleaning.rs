@@ -49,12 +49,15 @@ fn main() {
         truth.sigma_dirty.display_with(clean.schema())
     );
 
-    // 3. Repair at several relative-trust levels.
-    let problem = RepairProblem::new(&truth.dirty, &truth.sigma_dirty);
+    // 3. Repair at several relative-trust levels — one engine session
+    //    serves every query off the conflict graph it built once.
+    let engine = RepairEngine::builder(truth.dirty.clone(), truth.sigma_dirty.clone())
+        .build()
+        .expect("valid engine configuration");
     println!(
         "conflict graph: {} edges, δP(Σd, Id) = {}\n",
-        problem.conflict_graph().edge_count(),
-        problem.delta_p_original()
+        engine.problem().conflict_graph().edge_count(),
+        engine.delta_p_original()
     );
 
     println!(
@@ -63,7 +66,7 @@ fn main() {
     );
     let mut best: Option<(f64, f64)> = None;
     for tau_r in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
-        let Some(repair) = repair_data_fds_relative(&problem, tau_r) else {
+        let Ok(repair) = engine.repair_at_relative(tau_r) else {
             println!("{:>6}  no repair found", format!("{:.0}%", tau_r * 100.0));
             continue;
         };

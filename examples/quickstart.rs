@@ -16,17 +16,59 @@ use relative_trust::prelude::*;
 fn employee_instance() -> (Instance, FdSet) {
     let schema = Schema::new(
         "Persons",
-        vec!["GivenName", "Surname", "BirthDate", "Gender", "Phone", "Income"],
+        vec![
+            "GivenName",
+            "Surname",
+            "BirthDate",
+            "Gender",
+            "Phone",
+            "Income",
+        ],
     )
     .expect("valid schema");
     let rows: Vec<Vec<&str>> = vec![
         vec!["Jack", "White", "5 Jan 1980", "Male", "923-234-4532", "60k"],
-        vec!["Sam", "McCarthy", "19 Jul 1945", "Male", "989-321-4232", "92k"],
-        vec!["Danielle", "Blake", "9 Dec 1970", "Female", "817-213-1211", "120k"],
-        vec!["Matthew", "Webb", "23 Aug 1985", "Male", "246-481-0992", "87k"],
-        vec!["Danielle", "Blake", "9 Dec 1970", "Female", "817-988-9211", "100k"],
+        vec![
+            "Sam",
+            "McCarthy",
+            "19 Jul 1945",
+            "Male",
+            "989-321-4232",
+            "92k",
+        ],
+        vec![
+            "Danielle",
+            "Blake",
+            "9 Dec 1970",
+            "Female",
+            "817-213-1211",
+            "120k",
+        ],
+        vec![
+            "Matthew",
+            "Webb",
+            "23 Aug 1985",
+            "Male",
+            "246-481-0992",
+            "87k",
+        ],
+        vec![
+            "Danielle",
+            "Blake",
+            "9 Dec 1970",
+            "Female",
+            "817-988-9211",
+            "100k",
+        ],
         vec!["Hong", "Li", "27 Oct 1972", "Female", "591-977-1244", "90k"],
-        vec!["Jian", "Zhang", "14 Apr 1990", "Male", "912-143-4981", "55k"],
+        vec![
+            "Jian",
+            "Zhang",
+            "14 Apr 1990",
+            "Male",
+            "912-143-4981",
+            "55k",
+        ],
         vec!["Ning", "Wu", "3 Nov 1982", "Male", "313-134-9241", "90k"],
         vec!["Hong", "Li", "8 Mar 1979", "Female", "498-214-5822", "84k"],
         vec!["Ning", "Wu", "8 Nov 1982", "Male", "323-456-3452", "95k"],
@@ -47,31 +89,33 @@ fn main() {
     println!("Asserted FD: {}", fds.display_with(&schema));
     println!("Does the data satisfy it? {}\n", fds.holds_on(&instance));
 
-    // Prepare the repair problem once; the paper's experimental weighting
-    // (distinct-value counts) prices candidate FD relaxations.
-    let problem = RepairProblem::new(&instance, &fds);
+    // Build the engine once; the paper's experimental weighting
+    // (distinct-value counts) prices candidate FD relaxations. The conflict
+    // graph is prepared here and reused by every query below.
+    let engine = RepairEngine::builder(instance.clone(), fds)
+        .seed(7)
+        .build()
+        .expect("valid engine configuration");
     println!(
         "Conflict graph: {} violating tuple pairs, δP(Σ, I) = {} cell changes\n",
-        problem.conflict_graph().edge_count(),
-        problem.delta_p_original()
+        engine.problem().conflict_graph().edge_count(),
+        engine.delta_p_original()
     );
 
     // The whole spectrum of minimal repairs, from "trust the data" (τ = 0)
-    // to "trust the FD" (τ = δP).
-    let spectrum = find_repairs_range(
-        &problem,
-        0,
-        problem.delta_p_original(),
-        &SearchConfig::default(),
-    );
-    println!("Found {} non-dominated repairs:\n", spectrum.repairs.len());
-    for (i, repair) in spectrum.materialize(&problem, 7).iter().enumerate() {
-        let ranged = &spectrum.repairs[i];
+    // to "trust the FD" (τ = δP), streamed lazily: each repair is
+    // materialized only when the loop pulls it.
+    for (i, point) in engine.sweep(0..=engine.delta_p_original()).enumerate() {
+        let point = point.expect("sweep within the default expansion cap");
+        let repair = &point.repair;
         println!(
             "repair #{i}  (τ ∈ [{}, {}])",
-            ranged.tau_range.0, ranged.tau_range.1
+            point.tau_range.0, point.tau_range.1
         );
-        println!("  modified FDs : {}", repair.modified_fds.display_with(&schema));
+        println!(
+            "  modified FDs : {}",
+            repair.modified_fds.display_with(&schema)
+        );
         println!("  dist_c(Σ,Σ') : {:.1}", repair.dist_c);
         println!("  cell changes : {}", repair.data_changes());
         for cell in &repair.changed_cells {
@@ -87,6 +131,12 @@ fn main() {
         }
         println!();
     }
+    let stats = engine.stats();
+    println!(
+        "Engine telemetry: conflict graph built {} time(s), {} repairs materialized,\n\
+         {} search states expanded in total.\n",
+        stats.conflict_graph_builds, stats.points_materialized, stats.states_expanded
+    );
 
     println!(
         "Interpretation: at τ = 0 the FD is weakened (e.g. by BirthDate/Phone),\n\

@@ -37,18 +37,26 @@ fn main() {
     let dirty_fds = &truth.sigma_dirty;
     let schema = dirty.schema().clone();
 
-    let problem = RepairProblem::new(dirty, dirty_fds);
-    let budget = problem.delta_p_original();
+    let engine = RepairEngine::builder(dirty.clone(), dirty_fds.clone())
+        .seed(11)
+        .build()
+        .expect("valid engine configuration");
+    let budget = engine.delta_p_original();
     println!(
         "dirty FD: {}   (δP = {budget} cell changes would fix everything by data edits)\n",
         dirty_fds.display_with(&schema)
     );
 
     // --- the Pareto frontier --------------------------------------------
-    let spectrum = find_repairs_range(&problem, 0, budget, &SearchConfig::default());
-    let materialized = spectrum.materialize(&problem, 11);
+    let spectrum = engine
+        .spectrum()
+        .expect("spectrum within the default expansion cap");
+    let materialized: Vec<&Repair> = spectrum.repairs().collect();
     println!("Pareto frontier ({} repairs):", materialized.len());
-    println!("{:>4}  {:>12}  {:>12}  modified FDs", "#", "dist_c(Σ,Σ')", "cell changes");
+    println!(
+        "{:>4}  {:>12}  {:>12}  modified FDs",
+        "#", "dist_c(Σ,Σ')", "cell changes"
+    );
     for (i, repair) in materialized.iter().enumerate() {
         println!(
             "{:>4}  {:>12.1}  {:>12}  {}",
@@ -71,8 +79,9 @@ fn main() {
     println!("\nfrontier verified: no repair dominates another.\n");
 
     // --- the unified-cost baseline ----------------------------------------
-    let weight = rt_constraints::DistinctCountWeight::new(dirty);
-    let unified = unified_cost_repair(dirty, dirty_fds, &weight, &UnifiedCostConfig::default());
+    // Served by the same engine session: the baseline reuses the conflict
+    // graph the engine prepared instead of rebuilding it.
+    let unified = engine.unified_baseline(&UnifiedCostConfig::default());
     println!(
         "unified-cost baseline: {} appended attributes, {} cell changes (single repair)",
         unified.fd_changes(),

@@ -33,7 +33,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id rendered as `"{name}/{parameter}"`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { rendered: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            rendered: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -94,7 +96,10 @@ impl<'a> BenchmarkGroup<'a> {
         if !self.criterion.matches(&full) {
             return;
         }
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
         report(&full, &bencher.samples);
     }
@@ -137,7 +142,6 @@ pub struct Criterion {
     filter: Option<String>,
 }
 
-
 impl Criterion {
     /// Reads a benchmark name filter from the command line
     /// (`cargo bench -- <substring>`), skipping harness flags.
@@ -153,7 +157,11 @@ impl Criterion {
     /// Starts a named benchmark group with default settings
     /// (10 samples per benchmark).
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
     }
 }
 
@@ -207,7 +215,9 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching_benchmarks() {
-        let mut c = Criterion { filter: Some("other".to_string()) };
+        let mut c = Criterion {
+            filter: Some("other".to_string()),
+        };
         let mut group = c.benchmark_group("shim_test");
         let mut runs = 0usize;
         group.bench_function("counting", |b| b.iter(|| runs += 1));

@@ -100,7 +100,9 @@ pub mod rngs {
             let mut z = seed.wrapping_add(0xA076_1D64_78BD_642F);
             z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
             z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
-            StdRng { state: z ^ (z >> 33) }
+            StdRng {
+                state: z ^ (z >> 33),
+            }
         }
     }
 }
@@ -152,7 +154,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert_eq!(a.gen_range(0..1_000_000usize), b.gen_range(0..1_000_000usize));
+            assert_eq!(
+                a.gen_range(0..1_000_000usize),
+                b.gen_range(0..1_000_000usize)
+            );
         }
     }
 
@@ -175,7 +180,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 50-element shuffle is virtually never the identity");
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle is virtually never the identity"
+        );
         assert!(v.choose(&mut rng).is_some());
         let empty: [usize; 0] = [];
         assert!(empty.choose(&mut rng).is_none());

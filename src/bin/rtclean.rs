@@ -73,19 +73,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         let arg = &args[i];
         let take_value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            args.get(*i).cloned().ok_or_else(|| format!("missing value after `{arg}`"))
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after `{arg}`"))
         };
         match arg.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
             "--fd" => fd_specs.push(take_value(&mut i)?),
             "--tau" => {
                 let v = take_value(&mut i)?;
-                let n = v.parse::<usize>().map_err(|_| format!("invalid --tau value `{v}`"))?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --tau value `{v}`"))?;
                 mode = Some(Mode::Tau(n));
             }
             "--tau-r" => {
                 let v = take_value(&mut i)?;
-                let f = v.parse::<f64>().map_err(|_| format!("invalid --tau-r value `{v}`"))?;
+                let f = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --tau-r value `{v}`"))?;
                 if !(0.0..=1.0).contains(&f) {
                     return Err(format!("--tau-r must be in [0,1], got {f}"));
                 }
@@ -104,12 +110,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--output" => output = Some(take_value(&mut i)?),
             "--seed" => {
                 let v = take_value(&mut i)?;
-                seed = v.parse().map_err(|_| format!("invalid --seed value `{v}`"))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{v}`"))?;
             }
             "--max-expansions" => {
                 let v = take_value(&mut i)?;
-                max_expansions =
-                    v.parse().map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
+                max_expansions = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
             }
             "--threads" => {
                 let v = take_value(&mut i)?;
@@ -142,13 +151,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     })
 }
 
-fn run(options: &Options) -> Result<(), String> {
-    let instance =
-        relative_trust::relation::csv::read_instance_from_path("input", &options.input)
-            .map_err(|e| format!("cannot read `{}`: {e}", options.input))?;
+/// Maps a failure from the CSV reader onto the right `EngineError` variant:
+/// file-access problems become `Io` (with the path), parse problems keep
+/// their structured `Relation` form.
+fn file_error(path: &str, e: RelationError) -> EngineError {
+    match e {
+        RelationError::Io(message) => EngineError::Io {
+            path: path.to_string(),
+            message,
+        },
+        other => EngineError::Relation(other),
+    }
+}
+
+fn run(options: &Options) -> Result<(), EngineError> {
+    // File I/O and CSV parsing surface as typed `EngineError`s, never as
+    // panics: bad user input exits non-zero with a one-line message.
+    let instance = relative_trust::relation::csv::read_instance_from_path("input", &options.input)
+        .map_err(|e| file_error(&options.input, e))?;
     let schema = instance.schema().clone();
     let specs: Vec<&str> = options.fd_specs.iter().map(String::as_str).collect();
-    let fds = FdSet::parse(&specs, &schema)?;
+    let fds = FdSet::parse(&specs, &schema).map_err(EngineError::Fd)?;
 
     println!(
         "loaded {} tuples × {} attributes from {}",
@@ -162,35 +185,37 @@ fn run(options: &Options) -> Result<(), String> {
         return Ok(());
     }
 
-    let problem =
-        RepairProblem::with_weight_par(&instance, &fds, options.weight, options.threads);
-    let budget = problem.delta_p_original();
+    let engine = RepairEngine::builder(instance.clone(), fds)
+        .weight(options.weight)
+        .parallelism(options.threads)
+        .max_expansions(options.max_expansions)
+        .seed(options.seed)
+        .build()?;
+    let budget = engine.delta_p_original();
     println!(
         "{} conflicting tuple pairs; repairing everything by cell changes would \
          touch at most {budget} cells\n",
-        problem.conflict_graph().edge_count()
+        engine.problem().conflict_graph().edge_count()
     );
-    let search = SearchConfig {
-        max_expansions: options.max_expansions,
-        parallelism: options.threads,
-        ..Default::default()
-    };
 
     match options.mode {
         Mode::Spectrum => {
-            let spectrum = find_repairs_range(&problem, 0, budget, &search);
-            let repairs = spectrum.materialize_with(&problem, options.seed, options.threads);
-            println!("{} non-dominated repairs:", repairs.len());
-            for (ranged, repair) in spectrum.repairs.iter().zip(repairs.iter()) {
+            // The sweep is lazy: each repair is materialized as it is
+            // printed, off one shared Range-Repair traversal.
+            let mut count = 0usize;
+            for point in engine.sweep(0..=budget) {
+                let point = point?;
+                count += 1;
                 println!(
                     "  τ ∈ [{:>4}, {:>4}]  FD cost {:>10.1}  cell changes {:>5}   {}",
-                    ranged.tau_range.0,
-                    ranged.tau_range.1,
-                    repair.dist_c,
-                    repair.data_changes(),
-                    repair.modified_fds.display_with(&schema)
+                    point.tau_range.0,
+                    point.tau_range.1,
+                    point.repair.dist_c,
+                    point.repair.data_changes(),
+                    point.repair.modified_fds.display_with(&schema)
                 );
             }
+            println!("{count} non-dominated repairs.");
             println!(
                 "\nre-run with --tau <N> (or --tau-r <F>) and --output <file> to materialize one."
             );
@@ -198,21 +223,15 @@ fn run(options: &Options) -> Result<(), String> {
         Mode::Tau(_) | Mode::TauRelative(_) => {
             let tau = match options.mode {
                 Mode::Tau(t) => t.min(budget),
-                Mode::TauRelative(f) => problem.absolute_tau(f),
+                Mode::TauRelative(f) => engine.absolute_tau(f),
                 Mode::Spectrum => unreachable!(),
             };
-            let repair = rt_core::repair::repair_data_fds_with(
-                &problem,
-                tau,
-                &search,
-                SearchAlgorithm::AStar,
-                options.seed,
-            )
-            .ok_or_else(|| {
-                format!("no repair exists within τ = {tau} (try a larger budget)")
-            })?;
+            let repair = engine.repair_at(tau)?;
             println!("repair for τ = {tau}:");
-            println!("  modified FDs : {}", repair.modified_fds.display_with(&schema));
+            println!(
+                "  modified FDs : {}",
+                repair.modified_fds.display_with(&schema)
+            );
             println!("  FD distance  : {:.1}", repair.dist_c);
             println!("  cell changes : {}", repair.data_changes());
             for cell in repair.changed_cells.iter().take(25) {
@@ -220,7 +239,10 @@ fn run(options: &Options) -> Result<(), String> {
                     "    row {} [{}]: {} -> {}",
                     cell.row,
                     schema.attr_name(cell.attr).unwrap_or("?"),
-                    instance.cell(*cell).map(|v| v.to_string()).unwrap_or_default(),
+                    instance
+                        .cell(*cell)
+                        .map(|v| v.to_string())
+                        .unwrap_or_default(),
                     repair
                         .repaired_instance
                         .cell(*cell)
@@ -236,7 +258,7 @@ fn run(options: &Options) -> Result<(), String> {
                     &repair.repaired_instance,
                     path,
                 )
-                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                .map_err(|e| file_error(path, e))?;
                 println!("repaired instance written to {path}");
             }
         }
@@ -282,8 +304,21 @@ mod tests {
     #[test]
     fn parses_full_single_repair_invocation() {
         let o = parse_args(&args(&[
-            "d.csv", "--fd", "A->B", "--fd", "C,D->E", "--tau-r", "0.25", "--weight", "entropy",
-            "--output", "out.csv", "--seed", "9", "--max-expansions", "1234",
+            "d.csv",
+            "--fd",
+            "A->B",
+            "--fd",
+            "C,D->E",
+            "--tau-r",
+            "0.25",
+            "--weight",
+            "entropy",
+            "--output",
+            "out.csv",
+            "--seed",
+            "9",
+            "--max-expansions",
+            "1234",
         ]))
         .unwrap();
         assert_eq!(o.fd_specs.len(), 2);
@@ -321,6 +356,71 @@ mod tests {
         let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "4"])).unwrap();
         assert_eq!(o.threads, Parallelism::Fixed(4));
         assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn missing_input_file_is_a_typed_error_not_a_panic() {
+        let options = Options {
+            input: "/nonexistent/definitely_missing.csv".to_string(),
+            fd_specs: vec!["A->B".to_string()],
+            mode: Mode::Tau(1),
+            weight: WeightKind::AttrCount,
+            output: None,
+            seed: 0,
+            max_expansions: 1000,
+            threads: Parallelism::Serial,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(matches!(err, EngineError::Io { .. }), "got {err:?}");
+        assert!(err.to_string().contains("definitely_missing.csv"));
+    }
+
+    #[test]
+    fn malformed_csv_is_a_typed_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("rtclean_test_bad_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("ragged.csv");
+        // Second data row has the wrong number of fields.
+        std::fs::write(&input, "A,B\n1,1\n2\n").unwrap();
+        let options = Options {
+            input: input.to_string_lossy().to_string(),
+            fd_specs: vec!["A->B".to_string()],
+            mode: Mode::Tau(1),
+            weight: WeightKind::AttrCount,
+            output: None,
+            seed: 0,
+            max_expansions: 1000,
+            threads: Parallelism::Serial,
+        };
+        let err = run(&options).unwrap_err();
+        // A parse failure is not an access failure: it surfaces as the
+        // structured Relation error, not Io.
+        assert!(
+            matches!(err, EngineError::Relation(RelationError::Csv(_))),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn unknown_fd_attribute_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("rtclean_test_bad_fd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        std::fs::write(&input, "A,B\n1,1\n1,2\n").unwrap();
+        let options = Options {
+            input: input.to_string_lossy().to_string(),
+            fd_specs: vec!["A->Nope".to_string()],
+            mode: Mode::Spectrum,
+            weight: WeightKind::AttrCount,
+            output: None,
+            seed: 0,
+            max_expansions: 1000,
+            threads: Parallelism::Serial,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(matches!(err, EngineError::Fd(_)), "got {err:?}");
+        std::fs::remove_file(&input).ok();
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! and Galiullin, *"On the Relative Trust between Inconsistent Data and
 //! Inaccurate Constraints"* (ICDE 2013).
 //!
-//! This crate is a thin facade that re-exports the workspace crates:
+//! The primary public surface is the session type
+//! [`RepairEngine`](prelude::RepairEngine) from the [`engine`] crate: build
+//! it once from an instance and an FD set, then query it repeatedly across
+//! the relative-trust spectrum. The workspace crates underneath are
+//! re-exported for direct access:
 //!
+//! * [`engine`] — **start here**: the [`prelude::RepairEngine`] session,
+//!   its fluent builder, the lazy [`prelude::RepairStream`] sweep and the
+//!   unified [`prelude::EngineError`];
 //! * [`relation`] — schemas, tuples, instances and V-instances;
 //! * [`par`] — the parallel execution layer: the [`prelude::Parallelism`]
 //!   config and deterministic fork/join maps every other crate fans out
@@ -35,41 +42,80 @@
 //! .unwrap();
 //! let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
 //!
-//! // Build the repair problem once, then ask for repairs at any trust level.
-//! let problem = RepairProblem::new(&instance, &fds);
-//! let spectrum = find_repairs_range(&problem, 0, problem.delta_p_original(),
-//!                                   &SearchConfig::default());
-//! assert!(!spectrum.repairs.is_empty());
-//! for repair in spectrum.materialize(&problem, 0) {
-//!     assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+//! // Build the engine once, then ask for repairs at any trust level.
+//! let engine = RepairEngine::builder(instance, fds).build().unwrap();
+//! for point in engine.sweep(0..=engine.delta_p_original()) {
+//!     let point = point.unwrap();
+//!     assert!(point.repair.modified_fds.holds_on(&point.repair.repaired_instance));
 //! }
+//! // The conflict graph was built exactly once, at `build()` time.
+//! assert_eq!(engine.stats().conflict_graph_builds, 1);
 //! ```
+//!
+//! ## Migrating from the free functions
+//!
+//! Versions up to 0.1 exposed the algorithms as free functions taking a
+//! `&RepairProblem`. Those functions still exist but are deprecated; each
+//! maps to one engine query:
+//!
+//! | deprecated free function            | engine replacement                          |
+//! |-------------------------------------|---------------------------------------------|
+//! | `RepairProblem::new(&i, &fds)`      | `RepairEngine::builder(i, fds).build()?`    |
+//! | `repair_data_fds(&p, tau)`          | `engine.repair_at(tau)?`                    |
+//! | `repair_data_fds_relative(&p, t)`   | `engine.repair_at_relative(t)?`             |
+//! | `modify_fds_astar(&p, tau, &cfg)`   | `engine.fd_repair_at(tau)?`                 |
+//! | `find_repairs_range(&p, lo, hi, …)` | `engine.sweep(lo..=hi)` (lazy) or           |
+//! |                                     | `engine.spectrum()?` (collected)            |
+//! | `find_repairs_sampling(&p, …)`      | `engine.sampling_spectrum(lo..=hi, step)`   |
+//! | `unified_cost_repair(&i, &fds, …)`  | `engine.unified_baseline(&cfg)`             |
+//!
+//! Configuration that used to be scattered across `SearchConfig`,
+//! `WeightKind` and per-call seeds moves onto the builder:
+//! `RepairEngine::builder(i, fds).weight(..).algorithm(..).max_expansions(..)
+//! .parallelism(..).seed(..).build()?`. Failures that used to be `Option`s
+//! or panics surface as the typed [`prelude::EngineError`].
 
 pub use rt_baseline as baseline;
 pub use rt_constraints as constraints;
 pub use rt_core as core;
 pub use rt_datagen as datagen;
+pub use rt_engine as engine;
 pub use rt_graph as graph;
 pub use rt_par as par;
 pub use rt_relation as relation;
 
-/// The most commonly used items, re-exported flat.
+/// The most commonly used items, re-exported flat. Engine first: new code
+/// should only need [`RepairEngine`](prelude::RepairEngine) plus the data
+/// types.
 pub mod prelude {
+    pub use rt_engine::{
+        EngineError, EngineStats, RepairEngine, RepairEngineBuilder, RepairPoint, RepairStream,
+        Spectrum,
+    };
+
     pub use rt_baseline::{unified_cost_repair, UnifiedCostConfig, UnifiedRepair};
     pub use rt_constraints::{
         discover_fds, AttrSet, ConflictGraph, DiscoveryConfig, Fd, FdSet, Weight,
     };
     pub use rt_core::{
-        find_repairs_range, find_repairs_sampling, modify_fds_astar, modify_fds_best_first,
-        repair_data, repair_data_fds, repair_data_fds_relative, Parallelism, Repair,
-        RepairProblem, RepairState, SearchAlgorithm, SearchConfig, WeightKind,
+        repair_data, sampling_search, Parallelism, RangeSearch, Repair, RepairProblem, RepairState,
+        SearchAlgorithm, SearchConfig, SearchStats, WeightKind,
     };
     pub use rt_datagen::{
         evaluate_repair, generate_census_like, perturb, CensusLikeConfig, PerturbConfig,
         RepairQuality,
     };
     pub use rt_graph::{approx_vertex_cover, UndirectedGraph};
-    pub use rt_relation::{AttrId, CellRef, Instance, Schema, Tuple, Value};
+    pub use rt_relation::{AttrId, CellRef, Instance, RelationError, Schema, Tuple, Value};
+
+    // The deprecated free-function surface, kept importable so existing
+    // code keeps compiling (each use still warns with a pointer to its
+    // engine replacement).
+    #[allow(deprecated)]
+    pub use rt_core::{
+        find_repairs_range, find_repairs_sampling, modify_fds_astar, modify_fds_best_first,
+        repair_data_fds, repair_data_fds_relative,
+    };
 }
 
 #[cfg(test)]
@@ -79,11 +125,11 @@ mod tests {
     #[test]
     fn facade_exposes_the_full_pipeline() {
         let schema = Schema::new("R", vec!["A", "B"]).unwrap();
-        let instance =
-            Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
+        let instance = Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
-        let problem = RepairProblem::new(&instance, &fds);
-        let repair = repair_data_fds(&problem, problem.delta_p_original()).unwrap();
+        let engine = RepairEngine::new(instance, fds).unwrap();
+        let repair = engine.repair_at(engine.delta_p_original()).unwrap();
         assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+        assert_eq!(engine.stats().conflict_graph_builds, 1);
     }
 }

@@ -9,17 +9,59 @@ use relative_trust::prelude::*;
 fn employee_example() -> (Instance, FdSet) {
     let schema = Schema::new(
         "Persons",
-        vec!["GivenName", "Surname", "BirthDate", "Gender", "Phone", "Income"],
+        vec![
+            "GivenName",
+            "Surname",
+            "BirthDate",
+            "Gender",
+            "Phone",
+            "Income",
+        ],
     )
     .unwrap();
     let rows: Vec<Vec<&str>> = vec![
         vec!["Jack", "White", "5 Jan 1980", "Male", "923-234-4532", "60k"],
-        vec!["Sam", "McCarthy", "19 Jul 1945", "Male", "989-321-4232", "92k"],
-        vec!["Danielle", "Blake", "9 Dec 1970", "Female", "817-213-1211", "120k"],
-        vec!["Matthew", "Webb", "23 Aug 1985", "Male", "246-481-0992", "87k"],
-        vec!["Danielle", "Blake", "9 Dec 1970", "Female", "817-988-9211", "100k"],
+        vec![
+            "Sam",
+            "McCarthy",
+            "19 Jul 1945",
+            "Male",
+            "989-321-4232",
+            "92k",
+        ],
+        vec![
+            "Danielle",
+            "Blake",
+            "9 Dec 1970",
+            "Female",
+            "817-213-1211",
+            "120k",
+        ],
+        vec![
+            "Matthew",
+            "Webb",
+            "23 Aug 1985",
+            "Male",
+            "246-481-0992",
+            "87k",
+        ],
+        vec![
+            "Danielle",
+            "Blake",
+            "9 Dec 1970",
+            "Female",
+            "817-988-9211",
+            "100k",
+        ],
         vec!["Hong", "Li", "27 Oct 1972", "Female", "591-977-1244", "90k"],
-        vec!["Jian", "Zhang", "14 Apr 1990", "Male", "912-143-4981", "55k"],
+        vec![
+            "Jian",
+            "Zhang",
+            "14 Apr 1990",
+            "Male",
+            "912-143-4981",
+            "55k",
+        ],
         vec!["Ning", "Wu", "3 Nov 1982", "Male", "313-134-9241", "90k"],
         vec!["Hong", "Li", "8 Mar 1979", "Female", "498-214-5822", "84k"],
         vec!["Ning", "Wu", "8 Nov 1982", "Male", "323-456-3452", "95k"],
@@ -38,40 +80,51 @@ fn figure1_employee_example_produces_the_expected_spectrum() {
     let (instance, fds) = employee_example();
     assert!(!fds.holds_on(&instance));
 
-    let problem = RepairProblem::new(&instance, &fds);
+    let engine = RepairEngine::builder(instance.clone(), fds.clone())
+        .seed(3)
+        .build()
+        .unwrap();
     // Three name clashes (Blake, Li, Wu) → three conflict edges, cover 3.
-    assert_eq!(problem.conflict_graph().edge_count(), 3);
-    assert_eq!(problem.delta_p_original(), 3);
+    assert_eq!(engine.problem().conflict_graph().edge_count(), 3);
+    assert_eq!(engine.delta_p_original(), 3);
 
-    let spectrum =
-        find_repairs_range(&problem, 0, problem.delta_p_original(), &SearchConfig::default());
-    assert!(spectrum.repairs.len() >= 2, "expected at least a pure-data and a pure-FD repair");
+    let spectrum = engine.spectrum().unwrap();
+    assert!(
+        spectrum.len() >= 2,
+        "expected at least a pure-data and a pure-FD repair"
+    );
 
-    let repairs = spectrum.materialize(&problem, 3);
     // Extremes of the spectrum.
-    let pure_data = repairs.first().unwrap();
+    let pure_data = &spectrum.points.first().unwrap().repair;
     assert!(pure_data.is_pure_data_repair());
-    assert!(pure_data.modified_fds.holds_on(&pure_data.repaired_instance));
-    let pure_fd = repairs.last().unwrap();
+    assert!(pure_data
+        .modified_fds
+        .holds_on(&pure_data.repaired_instance));
+    let pure_fd = &spectrum.points.last().unwrap().repair;
     assert!(pure_fd.is_pure_fd_repair());
     assert!(pure_fd.modified_fds.holds_on(&instance));
     // The pure FD repair must extend the LHS (e.g. with BirthDate or Phone).
     assert!(pure_fd.modified_fds.get(0).lhs.len() > fds.get(0).lhs.len());
 
     // Every repair satisfies its own FDs and respects its τ interval.
-    for (ranged, repair) in spectrum.repairs.iter().zip(repairs.iter()) {
-        assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
-        assert!(repair.data_changes() <= ranged.tau_range.1.max(ranged.tau_range.0));
+    for point in &spectrum.points {
+        assert!(point
+            .repair
+            .modified_fds
+            .holds_on(&point.repair.repaired_instance));
+        assert!(point.repair.data_changes() <= point.tau_range.1.max(point.tau_range.0));
     }
 }
 
 #[test]
 fn pareto_frontier_is_non_dominated_and_monotone() {
     let (instance, fds) = employee_example();
-    let problem = RepairProblem::new(&instance, &fds);
-    let spectrum =
-        find_repairs_range(&problem, 0, problem.delta_p_original(), &SearchConfig::default());
-    let repairs = spectrum.materialize(&problem, 1);
+    let engine = RepairEngine::builder(instance, fds)
+        .seed(1)
+        .build()
+        .unwrap();
+    let spectrum = engine.spectrum().unwrap();
+    let repairs: Vec<&Repair> = spectrum.repairs().collect();
 
     for (i, a) in repairs.iter().enumerate() {
         for (j, b) in repairs.iter().enumerate() {
@@ -86,9 +139,9 @@ fn pareto_frontier_is_non_dominated_and_monotone() {
     }
     // Ordered from data-heavy to FD-heavy: dist_c must be non-decreasing and
     // δP non-increasing.
-    for pair in spectrum.repairs.windows(2) {
-        assert!(pair[0].repair.dist_c <= pair[1].repair.dist_c);
-        assert!(pair[0].repair.delta_p >= pair[1].repair.delta_p);
+    for pair in repairs.windows(2) {
+        assert!(pair[0].dist_c <= pair[1].dist_c);
+        assert!(pair[0].delta_p >= pair[1].delta_p);
     }
 }
 
@@ -109,10 +162,11 @@ fn generated_workload_round_trip_with_metrics() {
     );
     assert!(!truth.sigma_dirty.holds_on(&truth.dirty));
 
-    let problem = RepairProblem::new(&truth.dirty, &truth.sigma_dirty);
+    let engine = RepairEngine::new(truth.dirty.clone(), truth.sigma_dirty.clone()).unwrap();
     for tau_r in [0.0, 0.5, 1.0] {
-        let repair = repair_data_fds_relative(&problem, tau_r)
-            .unwrap_or_else(|| panic!("no repair at τ_r = {tau_r}"));
+        let repair = engine
+            .repair_at_relative(tau_r)
+            .unwrap_or_else(|e| panic!("no repair at τ_r = {tau_r}: {e}"));
         assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
         let quality = evaluate_repair(&truth, &repair.modified_fds, &repair.repaired_instance);
         assert!((0.0..=1.0).contains(&quality.combined_f));
@@ -136,23 +190,20 @@ fn relative_trust_dominates_unified_cost_on_fd_error_workload() {
             seed: 3,
         },
     );
-    let problem = RepairProblem::new(&truth.dirty, &truth.sigma_dirty);
+    let engine = RepairEngine::new(truth.dirty.clone(), truth.sigma_dirty.clone()).unwrap();
 
     // Relative trust, τ = 0: keep the data, fix the FD.
-    let rt = repair_data_fds_relative(&problem, 0.0).expect("pure FD repair exists");
+    let rt = engine
+        .repair_at_relative(0.0)
+        .expect("pure FD repair exists");
     let rt_quality = evaluate_repair(&truth, &rt.modified_fds, &rt.repaired_instance);
     // Data untouched → perfect data scores.
     assert_eq!(rt_quality.data_precision, 1.0);
     assert_eq!(rt_quality.data_recall, 1.0);
 
-    // Unified cost: single repair with its fixed trade-off.
-    let weight = relative_trust::constraints::DistinctCountWeight::new(&truth.dirty);
-    let unified = unified_cost_repair(
-        &truth.dirty,
-        &truth.sigma_dirty,
-        &weight,
-        &UnifiedCostConfig::default(),
-    );
+    // Unified cost: single repair with its fixed trade-off, served by the
+    // same engine session (same prepared conflict graph and weights).
+    let unified = engine.unified_baseline(&UnifiedCostConfig::default());
     let unified_quality =
         evaluate_repair(&truth, &unified.modified_fds, &unified.repaired_instance);
 
@@ -170,12 +221,11 @@ fn csv_round_trip_feeds_the_repair_pipeline() {
     let (instance, fds) = employee_example();
     let mut buf = Vec::new();
     relative_trust::relation::csv::write_instance(&instance, &mut buf).unwrap();
-    let reread =
-        relative_trust::relation::csv::read_instance("Persons", buf.as_slice()).unwrap();
+    let reread = relative_trust::relation::csv::read_instance("Persons", buf.as_slice()).unwrap();
     assert_eq!(reread.len(), instance.len());
 
-    let problem = RepairProblem::new(&reread, &fds);
-    let repair = repair_data_fds(&problem, problem.delta_p_original()).unwrap();
+    let engine = RepairEngine::new(reread, fds).unwrap();
+    let repair = engine.repair_at(engine.delta_p_original()).unwrap();
     assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
 }
 
@@ -186,7 +236,11 @@ fn discovered_fds_hold_and_can_seed_the_pipeline() {
     let (clean, planted) = generate_census_like(&CensusLikeConfig::single_fd(300, 8, 3));
     let discovered = discover_fds(
         &clean,
-        &DiscoveryConfig { max_lhs_size: 3, minimal_only: true, max_fds: Some(50) },
+        &DiscoveryConfig {
+            max_lhs_size: 3,
+            minimal_only: true,
+            max_fds: Some(50),
+        },
     );
     for (_, fd) in discovered.iter() {
         assert!(fd.holds_on(&clean), "discovered FD {fd} does not hold");
@@ -204,14 +258,46 @@ fn discovered_fds_hold_and_can_seed_the_pipeline() {
 #[test]
 fn sampling_and_range_repair_agree_through_the_facade() {
     let (instance, fds) = employee_example();
-    let problem = RepairProblem::new(&instance, &fds);
-    let hi = problem.delta_p_original();
-    let config = SearchConfig::default();
-    let range = find_repairs_range(&problem, 0, hi, &config);
-    let sampling = find_repairs_sampling(&problem, 0, hi, 1, &config);
-    assert_eq!(range.repairs.len(), sampling.repairs.len());
-    for (a, b) in range.repairs.iter().zip(sampling.repairs.iter()) {
+    let engine = RepairEngine::new(instance, fds).unwrap();
+    let hi = engine.delta_p_original();
+    let range = engine.sweep(0..=hi).collect_spectrum().unwrap();
+    let sampling = engine.sampling_spectrum(0..=hi, 1);
+    assert_eq!(range.len(), sampling.len());
+    for (a, b) in range.points.iter().zip(sampling.points.iter()) {
         assert_eq!(a.repair.delta_p, b.repair.delta_p);
         assert!((a.repair.dist_c - b.repair.dist_c).abs() < 1e-9);
+    }
+}
+
+/// The deprecated free-function surface must keep producing exactly what
+/// the engine produces, so existing user code stays correct while it
+/// migrates.
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_functions_match_the_engine() {
+    let (instance, fds) = employee_example();
+    let problem = RepairProblem::new(&instance, &fds);
+    let engine = RepairEngine::builder(instance.clone(), fds.clone())
+        .build()
+        .unwrap();
+    let hi = engine.delta_p_original();
+    assert_eq!(problem.delta_p_original(), hi);
+
+    for tau in 0..=hi {
+        let old = repair_data_fds(&problem, tau).unwrap();
+        let new = engine.repair_at(tau).unwrap();
+        assert_eq!(old.state, new.state, "τ={tau}");
+        assert_eq!(old.modified_fds, new.modified_fds, "τ={tau}");
+        assert_eq!(old.repaired_instance, new.repaired_instance, "τ={tau}");
+        assert_eq!(old.changed_cells, new.changed_cells, "τ={tau}");
+    }
+
+    let old_spectrum =
+        find_repairs_range(&problem, 0, hi, &SearchConfig::default()).materialize(&problem, 0);
+    let new_spectrum = engine.spectrum().unwrap();
+    assert_eq!(old_spectrum.len(), new_spectrum.len());
+    for (old, new) in old_spectrum.iter().zip(new_spectrum.repairs()) {
+        assert_eq!(old.repaired_instance, new.repaired_instance);
+        assert_eq!(old.changed_cells, new.changed_cells);
     }
 }

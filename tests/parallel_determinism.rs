@@ -12,8 +12,11 @@ use rt_core::data_repair::{repair_data_par, repair_data_with_cover_par};
 use rt_core::repair::repair_data_fds_with;
 use rt_graph::approx_vertex_cover_with;
 
-const PARALLEL_SETTINGS: [Parallelism; 3] =
-    [Parallelism::Fixed(2), Parallelism::Fixed(4), Parallelism::Auto];
+const PARALLEL_SETTINGS: [Parallelism; 3] = [
+    Parallelism::Fixed(2),
+    Parallelism::Fixed(4),
+    Parallelism::Auto,
+];
 
 fn workload_5k() -> Workload {
     Workload::build(&WorkloadSpec {
@@ -31,9 +34,15 @@ fn workload_5k() -> Workload {
 fn conflict_graph_is_identical_across_parallelism_settings() {
     let w = workload_5k();
     let serial = ConflictGraph::build_with(w.dirty_instance(), w.dirty_fds(), Parallelism::Serial);
-    assert!(!serial.is_empty(), "workload must actually produce conflicts");
+    assert!(
+        !serial.is_empty(),
+        "workload must actually produce conflicts"
+    );
     // The Serial setting is also the default `build` path.
-    assert_eq!(serial, ConflictGraph::build(w.dirty_instance(), w.dirty_fds()));
+    assert_eq!(
+        serial,
+        ConflictGraph::build(w.dirty_instance(), w.dirty_fds())
+    );
     for par in PARALLEL_SETTINGS {
         let parallel = ConflictGraph::build_with(w.dirty_instance(), w.dirty_fds(), par);
         assert_eq!(serial, parallel, "conflict graph diverged under {par:?}");
@@ -48,7 +57,11 @@ fn vertex_cover_is_identical_across_parallelism_settings() {
     assert!(!serial.is_empty());
     assert_eq!(serial, approx_vertex_cover(&graph));
     for par in PARALLEL_SETTINGS {
-        assert_eq!(serial, approx_vertex_cover_with(&graph, par), "cover diverged under {par:?}");
+        assert_eq!(
+            serial,
+            approx_vertex_cover_with(&graph, par),
+            "cover diverged under {par:?}"
+        );
     }
 }
 
@@ -61,8 +74,14 @@ fn data_repair_is_identical_across_parallelism_settings() {
         for par in PARALLEL_SETTINGS {
             let parallel = repair_data_par(w.dirty_instance(), w.dirty_fds(), seed, par);
             assert_eq!(serial.repaired, parallel.repaired, "seed {seed}, {par:?}");
-            assert_eq!(serial.changed_cells, parallel.changed_cells, "seed {seed}, {par:?}");
-            assert_eq!(serial.cover_size, parallel.cover_size, "seed {seed}, {par:?}");
+            assert_eq!(
+                serial.changed_cells, parallel.changed_cells,
+                "seed {seed}, {par:?}"
+            );
+            assert_eq!(
+                serial.cover_size, parallel.cover_size,
+                "seed {seed}, {par:?}"
+            );
         }
     }
 }
@@ -85,16 +104,21 @@ fn end_to_end_repair_is_identical_across_parallelism_settings() {
     let serial = repair_data_fds_with(&problem, tau, &serial_config, SearchAlgorithm::AStar, 11)
         .expect("repair exists");
     for par in PARALLEL_SETTINGS {
-        let config = SearchConfig { parallelism: par, ..serial_config };
+        let config = SearchConfig {
+            parallelism: par,
+            ..serial_config
+        };
         let parallel = repair_data_fds_with(&problem, tau, &config, SearchAlgorithm::AStar, 11)
             .expect("repair exists");
         assert_eq!(serial.modified_fds, parallel.modified_fds, "{par:?}");
-        assert_eq!(serial.repaired_instance, parallel.repaired_instance, "{par:?}");
+        assert_eq!(
+            serial.repaired_instance, parallel.repaired_instance,
+            "{par:?}"
+        );
         assert_eq!(serial.changed_cells, parallel.changed_cells, "{par:?}");
         assert_eq!(serial.delta_p, parallel.delta_p, "{par:?}");
         assert_eq!(
-            serial.search_stats.states_expanded,
-            parallel.search_stats.states_expanded,
+            serial.search_stats.states_expanded, parallel.search_stats.states_expanded,
             "search trajectory diverged under {par:?}"
         );
     }
@@ -107,25 +131,36 @@ fn tau_sweep_is_identical_across_parallelism_settings() {
     let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
     let inst = Instance::from_int_rows(
         schema.clone(),
-        &[vec![1, 1, 1, 1], vec![1, 2, 1, 3], vec![2, 2, 1, 1], vec![2, 3, 4, 3]],
+        &[
+            vec![1, 1, 1, 1],
+            vec![1, 2, 1, 3],
+            vec![2, 2, 1, 1],
+            vec![2, 3, 4, 3],
+        ],
     )
     .unwrap();
     let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
     let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
     let hi = problem.delta_p_original();
 
-    let serial_config = SearchConfig { parallelism: Parallelism::Serial, ..Default::default() };
-    let serial_sweep = find_repairs_sampling(&problem, 0, hi, 1, &serial_config);
-    let serial_range = find_repairs_range(&problem, 0, hi, &serial_config);
+    let serial_config = SearchConfig {
+        parallelism: Parallelism::Serial,
+        ..Default::default()
+    };
+    let serial_sweep = sampling_search(&problem, 0, hi, 1, &serial_config);
+    let serial_range = RangeSearch::new(&problem, 0, hi, &serial_config).run_to_end();
     for par in PARALLEL_SETTINGS {
-        let config = SearchConfig { parallelism: par, ..serial_config };
-        let sweep = find_repairs_sampling(&problem, 0, hi, 1, &config);
+        let config = SearchConfig {
+            parallelism: par,
+            ..serial_config
+        };
+        let sweep = sampling_search(&problem, 0, hi, 1, &config);
         assert_eq!(serial_sweep.repairs.len(), sweep.repairs.len(), "{par:?}");
         for (a, b) in serial_sweep.repairs.iter().zip(sweep.repairs.iter()) {
             assert_eq!(a.repair.state, b.repair.state, "{par:?}");
             assert_eq!(a.tau_range, b.tau_range, "{par:?}");
         }
-        let range = find_repairs_range(&problem, 0, hi, &config);
+        let range = RangeSearch::new(&problem, 0, hi, &config).run_to_end();
         assert_eq!(serial_range.repairs.len(), range.repairs.len(), "{par:?}");
         for (a, b) in serial_range.repairs.iter().zip(range.repairs.iter()) {
             assert_eq!(a.repair.state, b.repair.state, "{par:?}");
@@ -160,9 +195,11 @@ fn serial_fallback_handles_component_interactions() {
     let inst = Instance::from_int_rows(schema.clone(), &rows).unwrap();
     let fds = FdSet::parse(&["Z->W", "W,P->Y"], &schema).unwrap();
     for seed in 0..20u64 {
-        let serial =
-            repair_data_par(&inst, &fds, seed, Parallelism::Serial);
-        assert!(fds.holds_on(&serial.repaired), "seed {seed}: serial repair must satisfy Σ'");
+        let serial = repair_data_par(&inst, &fds, seed, Parallelism::Serial);
+        assert!(
+            fds.holds_on(&serial.repaired),
+            "seed {seed}: serial repair must satisfy Σ'"
+        );
         for par in PARALLEL_SETTINGS {
             let parallel = repair_data_par(&inst, &fds, seed, par);
             assert!(fds.holds_on(&parallel.repaired), "seed {seed}, {par:?}");

@@ -18,8 +18,9 @@ const CASES: u64 = 48;
 /// `[0, max_value)` — small domains so FD violations are frequent.
 fn random_instance(rng: &mut StdRng, arity: usize, max_rows: usize, max_value: i64) -> Instance {
     let rows = rng.gen_range(2..max_rows);
-    let rows: Vec<Vec<i64>> =
-        (0..rows).map(|_| (0..arity).map(|_| rng.gen_range(0..max_value)).collect()).collect();
+    let rows: Vec<Vec<i64>> = (0..rows)
+        .map(|_| (0..arity).map(|_| rng.gen_range(0..max_value)).collect())
+        .collect();
     let schema = Schema::with_arity(arity).unwrap();
     Instance::from_int_rows(schema, &rows).unwrap()
 }
@@ -76,7 +77,10 @@ fn vertex_cover_is_within_factor_two() {
         let cg = ConflictGraph::build(&instance, &fds);
         let graph = cg.to_graph();
         let approx = matching_vertex_cover(&graph);
-        assert!(graph.is_vertex_cover(&approx.clone().into_set()), "case {case}");
+        assert!(
+            graph.is_vertex_cover(&approx.clone().into_set()),
+            "case {case}"
+        );
         if let Some(exact) = exact_vertex_cover(&graph, 200_000) {
             assert!(approx.len() <= 2 * exact.len().max(1), "case {case}");
             assert!(exact.len() <= approx.len(), "case {case}");
@@ -123,14 +127,25 @@ fn tau_constrained_repairs_are_sound_and_monotone() {
         let mut rng = StdRng::seed_from_u64(0x4000 + case);
         let instance = random_instance(&mut rng, 4, 12, 2);
         let fds = random_fdset(&mut rng, 4, 2);
-        let problem = RepairProblem::with_weight(&instance, &fds, WeightKind::AttrCount);
-        let budget = problem.delta_p_original();
+        let engine = RepairEngine::builder(instance.clone(), fds.clone())
+            .weight(WeightKind::AttrCount)
+            .build()
+            .expect("valid engine configuration");
+        let budget = engine.delta_p_original();
         let mut previous = f64::INFINITY;
         for tau in 0..=budget {
-            let Some(repair) = repair_data_fds(&problem, tau) else { continue };
-            assert!(repair.modified_fds.holds_on(&repair.repaired_instance), "case {case}");
+            let Ok(repair) = engine.repair_at(tau) else {
+                continue;
+            };
+            assert!(
+                repair.modified_fds.holds_on(&repair.repaired_instance),
+                "case {case}"
+            );
             assert!(repair.delta_p <= tau, "case {case}");
-            assert!(repair.data_changes() <= repair.delta_p.max(tau), "case {case}");
+            assert!(
+                repair.data_changes() <= repair.delta_p.max(tau),
+                "case {case}"
+            );
             assert!(fds.is_relaxation(&repair.modified_fds), "case {case}");
             assert!(repair.dist_c <= previous + 1e-9, "case {case}");
             previous = repair.dist_c;
