@@ -2,15 +2,27 @@
 # CI gate for the relative-trust workspace.
 #
 # Mirrors the tier-1 verify command (build + test) and adds the
-# documentation and lint gates the repo holds itself to:
+# documentation, lint and work-metric gates the repo holds itself to:
 #
-#   ./ci.sh          # run everything
+#   ./ci.sh          # build + tests + fmt + doc + clippy
 #   ./ci.sh --quick  # build + tests only (skip doc + clippy)
+#   ./ci.sh --bench  # everything above + deterministic work-metric gate
+#
+# The workspace is fully vendored (path deps + local shims); no crates.io
+# access is required, so every mode also runs offline (CARGO_NET_OFFLINE).
 set -euo pipefail
 cd "$(dirname "$0")"
 
+export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
+
 quick=0
-[ "${1:-}" = "--quick" ] && quick=1
+bench=0
+case "${1:-}" in
+    --quick) quick=1 ;;
+    --bench) bench=1 ;;
+    "") ;;
+    *) echo "usage: ./ci.sh [--quick|--bench]" >&2; exit 2 ;;
+esac
 
 echo "==> checking that no build artifacts are tracked"
 if git ls-files -- 'target/' | grep -q .; then
@@ -33,6 +45,21 @@ if [ "$quick" -eq 0 ]; then
 
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --all-targets -- -D warnings
+fi
+
+if [ "$bench" -eq 1 ]; then
+    # Deterministic work-metric regression gate: counts A* expansions,
+    # heuristic nodes, conflict-graph builds, incremental edge deltas and
+    # cells changed on fixed-seed workloads (this container has one core
+    # and no network, so wall-clock numbers would be noise — work counters
+    # are exact). --selftest additionally proves the gate trips when any
+    # counter is artificially inflated. Re-baseline intentional changes
+    # with: cargo run --release -p rt-bench --bin bench_gate -- --out ci/bench_baseline.json
+    echo "==> bench gate (deterministic work counters vs ci/bench_baseline.json)"
+    cargo run --release -q -p rt-bench --bin bench_gate -- \
+        --out ci/BENCH_smoke.json \
+        --check ci/bench_baseline.json \
+        --selftest
 fi
 
 echo "==> CI OK"

@@ -1,0 +1,346 @@
+//! `bench_gate` — deterministic work-metric regression gate for CI.
+//!
+//! This container has one core and no network, so wall-clock benchmarks are
+//! noise. The gate instead counts *work*: A* node expansions, heuristic
+//! recursion nodes, conflict-graph builds, cells changed, incremental edge
+//! deltas. Every counter is bit-deterministic (the workspace's parallel ≡
+//! serial and incremental ≡ rebuild contracts), so any drift is a real
+//! behavioural change — improvements re-baseline, regressions fail.
+//!
+//! ```text
+//! bench_gate --out ci/BENCH_smoke.json                    # measure + write
+//! bench_gate --out ... --check ci/bench_baseline.json     # + gate against baseline
+//! bench_gate --check ci/bench_baseline.json --selftest    # + prove the gate trips
+//! bench_gate --check ... --inflate spectrum.states_expanded  # negative test
+//! ```
+//!
+//! Regenerate the baseline after an intentional change with
+//! `bench_gate --out ci/bench_baseline.json`.
+
+use rt_bench::{Workload, WorkloadSpec};
+use rt_core::{Parallelism, WeightKind};
+use rt_datagen::{generate_mutation_stream, MutationStreamConfig};
+use rt_engine::json::{self, JsonValue};
+use rt_engine::{MutationBatch, RepairEngine, Spectrum};
+use std::process::ExitCode;
+
+/// Ordered metric list (order is stable so baselines diff cleanly).
+type Metrics = Vec<(String, u64)>;
+
+fn spectrum_signature(s: &Spectrum) -> (usize, usize) {
+    let cells: usize = s.repairs().map(|r| r.data_changes()).sum();
+    (s.len(), cells)
+}
+
+/// Scenario 1: a full spectrum sweep on a fixed-seed workload.
+fn measure_spectrum(metrics: &mut Metrics) {
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 160,
+        attributes: 10,
+        fd_count: 2,
+        lhs_size: 3,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.4,
+        seed: 31,
+    });
+    let engine = workload.engine(Parallelism::Serial, 200_000);
+    let spectrum = engine.spectrum().expect("smoke spectrum completes");
+    let stats = engine.stats();
+    let (points, cells) = spectrum_signature(&spectrum);
+    assert_eq!(stats.conflict_graph_builds, 1, "engine invariant violated");
+    let m = |k: &str, v: u64| (format!("spectrum.{k}"), v);
+    metrics.push(m("states_expanded", stats.states_expanded as u64));
+    metrics.push(m("states_generated", stats.states_generated as u64));
+    metrics.push(m("heuristic_nodes", stats.heuristic_nodes as u64));
+    metrics.push(m(
+        "conflict_graph_builds",
+        stats.conflict_graph_builds as u64,
+    ));
+    metrics.push(m("points", points as u64));
+    metrics.push(m("cells_changed", cells as u64));
+}
+
+/// Scenario 2: a live mutation stream replayed against one engine session,
+/// verified bit-identical to a fresh rebuild at the end.
+fn measure_mutations(metrics: &mut Metrics) {
+    let workload = Workload::build(&WorkloadSpec {
+        tuples: 120,
+        attributes: 8,
+        fd_count: 2,
+        lhs_size: 3,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.3,
+        seed: 7,
+    });
+    let mut engine = RepairEngine::builder(
+        workload.dirty_instance().clone(),
+        workload.dirty_fds().clone(),
+    )
+    .weight(WeightKind::DistinctCount)
+    .parallelism(Parallelism::Serial)
+    .max_expansions(200_000)
+    .seed(workload.spec.seed)
+    .build()
+    .expect("gate workload builds");
+
+    engine.spectrum().expect("pre-mutation spectrum completes");
+    let ops = generate_mutation_stream(
+        workload.dirty_instance(),
+        workload.dirty_fds(),
+        &MutationStreamConfig {
+            ops: 15,
+            fd_edit_weight: 1,
+            fresh_value_rate: 0.5,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    for op in &ops {
+        engine
+            .apply(&MutationBatch::new().push(op.clone()))
+            .expect("generated stream applies cleanly");
+    }
+    let after = engine.spectrum().expect("post-mutation spectrum completes");
+    let stats = engine.stats();
+    assert_eq!(stats.conflict_graph_builds, 1, "engine invariant violated");
+    assert_eq!(stats.graph_rebuild_avoided, ops.len());
+
+    // Hard equivalence gate: the incremental session must be bit-identical
+    // to a fresh engine on the mutated inputs.
+    let fresh = RepairEngine::builder(
+        engine.problem().instance().clone(),
+        engine.problem().sigma().clone(),
+    )
+    .weight(WeightKind::DistinctCount)
+    .parallelism(Parallelism::Serial)
+    .max_expansions(200_000)
+    .seed(workload.spec.seed)
+    .build()
+    .expect("fresh engine builds");
+    let fresh_spectrum = fresh.spectrum().expect("fresh spectrum completes");
+    assert!(
+        after.bit_identical(&fresh_spectrum),
+        "incremental engine diverged from a fresh rebuild"
+    );
+
+    let (points, cells) = spectrum_signature(&after);
+    let m = |k: &str, v: u64| (format!("mutations.{k}"), v);
+    metrics.push(m("states_expanded", stats.states_expanded as u64));
+    metrics.push(m("heuristic_nodes", stats.heuristic_nodes as u64));
+    metrics.push(m(
+        "conflict_graph_builds",
+        stats.conflict_graph_builds as u64,
+    ));
+    metrics.push(m(
+        "graph_rebuild_avoided",
+        stats.graph_rebuild_avoided as u64,
+    ));
+    metrics.push(m("edges_added", stats.edges_added as u64));
+    metrics.push(m("edges_removed", stats.edges_removed as u64));
+    metrics.push(m("components_dirtied", stats.components_dirtied as u64));
+    metrics.push(m("points", points as u64));
+    metrics.push(m("cells_changed", cells as u64));
+}
+
+fn measure() -> Metrics {
+    let mut metrics = Metrics::new();
+    measure_spectrum(&mut metrics);
+    measure_mutations(&mut metrics);
+    metrics
+}
+
+fn render(metrics: &Metrics) -> String {
+    use rt_bench::json::ToJson;
+    let mut out = String::from("{\"format\": 1,\n \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        k.write_json(&mut out);
+        out.push_str(": ");
+        v.write_json(&mut out);
+    }
+    out.push_str("\n }}\n");
+    out
+}
+
+fn parse_metrics(text: &str) -> Result<Metrics, String> {
+    let doc = json::parse(text)?;
+    let fields = doc
+        .get("metrics")
+        .and_then(JsonValue::as_object)
+        .ok_or("baseline has no \"metrics\" object")?;
+    fields
+        .iter()
+        .map(|(k, v)| {
+            v.as_usize()
+                .map(|n| (k.clone(), n as u64))
+                .ok_or(format!("metric {k} is not a non-negative integer"))
+        })
+        .collect()
+}
+
+/// Gate rule: a counter above its baseline is a work regression → fail.
+/// Below baseline (an improvement) or metrics only on one side → warn, so
+/// intentional changes re-baseline explicitly.
+fn check(current: &Metrics, baseline: &Metrics) -> Result<Vec<String>, Vec<String>> {
+    let mut warnings = Vec::new();
+    let mut failures = Vec::new();
+    for (key, base) in baseline {
+        match current.iter().find(|(k, _)| k == key) {
+            None => failures.push(format!("metric `{key}` disappeared (baseline {base})")),
+            Some((_, cur)) if cur > base => failures.push(format!(
+                "work regression: `{key}` rose {base} -> {cur} (+{:.1}%)",
+                ((*cur as f64 / *base as f64) - 1.0) * 100.0
+            )),
+            Some((_, cur)) if cur < base => warnings.push(format!(
+                "improvement: `{key}` fell {base} -> {cur}; re-baseline to lock it in"
+            )),
+            _ => {}
+        }
+    }
+    for (key, _) in current {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            warnings.push(format!("new metric `{key}` not in baseline; re-baseline"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(warnings)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Proves the gate actually trips: inflating any counter by 10% (rounding
+/// up) against the same metrics as baseline must fail the check.
+fn selftest(metrics: &Metrics) -> Result<(), String> {
+    if check(metrics, metrics).is_err() {
+        return Err("identical metrics must pass the gate".to_string());
+    }
+    for i in 0..metrics.len() {
+        let mut inflated = metrics.clone();
+        inflated[i].1 += (inflated[i].1 / 10).max(1);
+        if check(&inflated, metrics).is_ok() {
+            return Err(format!(
+                "inflating `{}` was not caught by the gate",
+                metrics[i].0
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut inflate: Option<String> = None;
+    let mut run_selftest = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned();
+            }
+            "--check" => {
+                i += 1;
+                check_path = args.get(i).cloned();
+            }
+            "--inflate" => {
+                i += 1;
+                inflate = args.get(i).cloned();
+            }
+            "--selftest" => run_selftest = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_gate [--out <path>] [--check <baseline>] [--selftest] \
+                     [--inflate <metric>]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    println!("bench_gate: measuring deterministic work counters...");
+    let mut metrics = measure();
+    for (k, v) in &metrics {
+        println!("  {k:<40} {v}");
+    }
+
+    if let Some(path) = &out_path {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        if let Err(e) = std::fs::write(path, render(&metrics)) {
+            eprintln!("bench_gate: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: wrote {path}");
+    }
+
+    if let Some(metric) = &inflate {
+        match metrics.iter_mut().find(|(k, _)| k == metric) {
+            Some(entry) => {
+                entry.1 += (entry.1 / 10).max(1);
+                println!(
+                    "bench_gate: artificially inflated `{metric}` to {}",
+                    entry.1
+                );
+            }
+            None => {
+                eprintln!("bench_gate: unknown metric `{metric}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if run_selftest {
+        match selftest(&metrics) {
+            Ok(()) => println!("bench_gate: selftest OK (every inflated counter trips the gate)"),
+            Err(e) => {
+                eprintln!("bench_gate: selftest FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &check_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_metrics(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_gate: bad baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check(&metrics, &baseline) {
+            Ok(warnings) => {
+                for w in &warnings {
+                    println!("bench_gate: note: {w}");
+                }
+                println!("bench_gate: OK against {path}");
+            }
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("bench_gate: FAIL: {f}");
+                }
+                eprintln!(
+                    "bench_gate: counters regressed; if intentional, re-baseline with \
+                     `cargo run --release -p rt-bench --bin bench_gate -- --out {path}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -161,6 +161,16 @@ impl FdSet {
         self.fds.push(fd);
     }
 
+    /// Removes and returns the FD at `idx`; later FDs shift down by one
+    /// position (the positional indices incremental consumers renumber by).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn remove(&mut self, idx: usize) -> Fd {
+        self.fds.remove(idx)
+    }
+
     /// Number of FDs `|Σ|`.
     pub fn len(&self) -> usize {
         self.fds.len()

@@ -12,7 +12,12 @@
 //!   a set of attributes), the workhorse of both violation detection and FD
 //!   discovery;
 //! * [`violations`] — conflict-graph construction (Definition 6) and the
-//!   per-edge *difference sets* that power the A* heuristic of Section 5.2;
+//!   per-edge *difference sets* that power the A* heuristic of Section 5.2,
+//!   plus edge-level patching (`apply_delta`, `retract_tuples`) for live
+//!   mutations;
+//! * [`incremental`] — delta maintenance of the per-FD LHS equivalence
+//!   partitions, so mutations recompute conflicts only around the touched
+//!   rows;
 //! * [`weights`] — the monotone weighting functions `w(Y)` that price LHS
 //!   extensions (attribute count, distinct-value count, entropy);
 //! * [`discovery`] — level-wise exact FD discovery used to set up the
@@ -21,6 +26,7 @@
 pub mod attrset;
 pub mod discovery;
 pub mod fd;
+pub mod incremental;
 pub mod partition;
 pub mod violations;
 pub mod weights;
@@ -28,6 +34,7 @@ pub mod weights;
 pub use attrset::AttrSet;
 pub use discovery::{discover_fds, DiscoveryConfig};
 pub use fd::{Fd, FdSet};
+pub use incremental::{incident_conflict_edges, FdPartitionIndex};
 pub use partition::StrippedPartition;
-pub use violations::{ConflictGraph, DifferenceSet, DifferenceSetIndex};
+pub use violations::{ConflictGraph, ConflictGraphDeltaSummary, DifferenceSet, DifferenceSetIndex};
 pub use weights::{AttrCountWeight, DistinctCountWeight, EntropyWeight, Weight};

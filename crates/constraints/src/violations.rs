@@ -111,6 +111,34 @@ impl DifferenceSetIndex {
     }
 }
 
+/// What an incremental conflict-graph patch did, in edges. `edges_relabeled`
+/// counts edges whose row pair survived but whose violated-FD labels or
+/// difference set changed; any non-zero field means FD-level search results
+/// computed against the old graph are stale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConflictGraphDeltaSummary {
+    /// Edges that exist now but did not before.
+    pub edges_added: usize,
+    /// Edges that existed before but do not now.
+    pub edges_removed: usize,
+    /// Edges whose labels or difference set changed in place.
+    pub edges_relabeled: usize,
+}
+
+impl ConflictGraphDeltaSummary {
+    /// `true` when the patch changed nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == ConflictGraphDeltaSummary::default()
+    }
+
+    /// Folds another summary into this one.
+    pub fn absorb(&mut self, other: &ConflictGraphDeltaSummary) {
+        self.edges_added += other.edges_added;
+        self.edges_removed += other.edges_removed;
+        self.edges_relabeled += other.edges_relabeled;
+    }
+}
+
 /// The conflict graph of an instance with respect to an FD set, enriched with
 /// difference sets so questions about *relaxations* of that FD set can be
 /// answered without touching the data again.
@@ -313,6 +341,202 @@ impl ConflictGraph {
         DifferenceSetIndex { sets }
     }
 
+    /// Applies an incremental delta: drops every stored edge incident to
+    /// `dirty_rows`, splices in `recomputed` (the edges incident to those
+    /// rows under the instance's *current* tuples, as produced by
+    /// [`crate::incremental::incident_conflict_edges`]) and adopts
+    /// `new_row_count`.
+    ///
+    /// Edges between two untouched rows are untouched tuples on both ends,
+    /// so they are carried over verbatim; the result is bit-identical to a
+    /// from-scratch build against the mutated instance. `dirty_rows` must be
+    /// sorted; `recomputed` must be sorted by row pair (both hold for the
+    /// producer above).
+    pub fn apply_delta(
+        &mut self,
+        dirty_rows: &[usize],
+        recomputed: Vec<ConflictEdge>,
+        new_row_count: usize,
+    ) -> ConflictGraphDeltaSummary {
+        debug_assert!(dirty_rows.windows(2).all(|w| w[0] < w[1]));
+        let is_dirty = |r: usize| dirty_rows.binary_search(&r).is_ok();
+        let mut old_incident: HashMap<(usize, usize), (Vec<usize>, AttrSet)> = HashMap::new();
+        self.edges.retain(|e| {
+            if is_dirty(e.rows.0) || is_dirty(e.rows.1) {
+                old_incident.insert(e.rows, (e.violated_fds.clone(), e.difference_set));
+                false
+            } else {
+                true
+            }
+        });
+        let mut summary = ConflictGraphDeltaSummary::default();
+        for e in &recomputed {
+            match old_incident.remove(&e.rows) {
+                Some((labels, diff)) => {
+                    if labels != e.violated_fds || diff != e.difference_set {
+                        summary.edges_relabeled += 1;
+                    }
+                }
+                None => summary.edges_added += 1,
+            }
+        }
+        summary.edges_removed = old_incident.len();
+        self.edges = Self::merge_sorted(std::mem::take(&mut self.edges), recomputed);
+        self.row_count = new_row_count;
+        summary
+    }
+
+    /// Merges two edge lists already sorted by row pair — linear, instead
+    /// of re-sorting the whole graph per patch.
+    fn merge_sorted(kept: Vec<ConflictEdge>, fresh: Vec<ConflictEdge>) -> Vec<ConflictEdge> {
+        debug_assert!(kept.windows(2).all(|w| w[0].rows < w[1].rows));
+        debug_assert!(fresh.windows(2).all(|w| w[0].rows < w[1].rows));
+        if fresh.is_empty() {
+            return kept;
+        }
+        if kept.is_empty() {
+            return fresh;
+        }
+        let mut merged = Vec::with_capacity(kept.len() + fresh.len());
+        let mut a = kept.into_iter().peekable();
+        let mut b = fresh.into_iter().peekable();
+        while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+            if x.rows <= y.rows {
+                merged.push(a.next().expect("peeked"));
+            } else {
+                merged.push(b.next().expect("peeked"));
+            }
+        }
+        merged.extend(a);
+        merged.extend(b);
+        merged
+    }
+
+    /// Removes `rows` (sorted, deduplicated) from the graph: every incident
+    /// edge disappears and the surviving edges are renumbered downwards to
+    /// match [`rt_relation::Instance::remove_rows`]' compaction. Returns the
+    /// number of edges removed.
+    ///
+    /// The renumbering is monotonic, so the edge list stays sorted without a
+    /// re-sort — the whole retraction is one linear pass over the edges,
+    /// touching only the components the removed tuples participated in.
+    pub fn retract_tuples(&mut self, rows: &[usize]) -> usize {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        let before = self.edges.len();
+        self.edges.retain(|e| {
+            rows.binary_search(&e.rows.0).is_err() && rows.binary_search(&e.rows.1).is_err()
+        });
+        for e in &mut self.edges {
+            e.rows.0 -= rows.partition_point(|&d| d < e.rows.0);
+            e.rows.1 -= rows.partition_point(|&d| d < e.rows.1);
+        }
+        self.row_count -= rows.len();
+        before - self.edges.len()
+    }
+
+    /// Integrates a newly appended FD (`fds.get(fd_idx)`, with `fd_idx`
+    /// pointing past the FDs the graph was built for): one blocking pass
+    /// over the data *for that FD only* finds its violating pairs, which
+    /// either label existing edges or become new ones.
+    pub fn integrate_fd(
+        &mut self,
+        instance: &Instance,
+        fds: &FdSet,
+        fd_idx: usize,
+    ) -> ConflictGraphDeltaSummary {
+        use rt_relation::Value;
+        let fd = fds.get(fd_idx);
+        let lhs_attrs = fd.lhs.to_vec();
+        let mut by_lhs: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+        for (row, tuple) in instance.tuples() {
+            let key: Vec<&Value> = lhs_attrs.iter().map(|a| tuple.get(*a)).collect();
+            by_lhs.entry(key).or_default().push(row);
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for class in by_lhs.into_values() {
+            if class.len() < 2 {
+                continue;
+            }
+            let mut by_rhs: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for &row in &class {
+                by_rhs
+                    .entry(instance.tuple_unchecked(row).get(fd.rhs))
+                    .or_default()
+                    .push(row);
+            }
+            if by_rhs.len() < 2 {
+                continue;
+            }
+            let sub_classes: Vec<Vec<usize>> = by_rhs.into_values().collect();
+            for i in 0..sub_classes.len() {
+                for j in (i + 1)..sub_classes.len() {
+                    for &u in &sub_classes[i] {
+                        for &v in &sub_classes[j] {
+                            pairs.push((u.min(v), u.max(v)));
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut summary = ConflictGraphDeltaSummary::default();
+        let mut fresh: Vec<ConflictEdge> = Vec::new();
+        for pair in pairs {
+            match self.edges.binary_search_by_key(&pair, |e| e.rows) {
+                Ok(i) => {
+                    let edge = &mut self.edges[i];
+                    if let Err(pos) = edge.violated_fds.binary_search(&fd_idx) {
+                        edge.violated_fds.insert(pos, fd_idx);
+                        summary.edges_relabeled += 1;
+                    }
+                }
+                Err(_) => {
+                    let tu = instance.tuple_unchecked(pair.0);
+                    let tv = instance.tuple_unchecked(pair.1);
+                    fresh.push(ConflictEdge {
+                        rows: pair,
+                        violated_fds: fds.violated_by(tu, tv),
+                        difference_set: AttrSet::from_attrs(tu.differing_attrs(tv)),
+                    });
+                    summary.edges_added += 1;
+                }
+            }
+        }
+        // `pairs` was sorted, so `fresh` is too: splice by linear merge.
+        self.edges = Self::merge_sorted(std::mem::take(&mut self.edges), fresh);
+        summary
+    }
+
+    /// Withdraws the FD at `fd_idx` from the edge labels: the label
+    /// disappears, later FD indices shift down by one (matching the
+    /// [`FdSet`]'s positional renumbering after a removal), and edges left
+    /// with no violated FD are dropped.
+    pub fn remove_fd_labels(&mut self, fd_idx: usize) -> ConflictGraphDeltaSummary {
+        let mut summary = ConflictGraphDeltaSummary::default();
+        self.edges.retain_mut(|e| {
+            let had = e.violated_fds.binary_search(&fd_idx).is_ok();
+            let shifted = e.violated_fds.last().is_some_and(|&f| f > fd_idx);
+            e.violated_fds.retain(|&f| f != fd_idx);
+            for f in &mut e.violated_fds {
+                if *f > fd_idx {
+                    *f -= 1;
+                }
+            }
+            if e.violated_fds.is_empty() {
+                summary.edges_removed += 1;
+                false
+            } else {
+                if had || shifted {
+                    summary.edges_relabeled += 1;
+                }
+                true
+            }
+        });
+        summary
+    }
+
     /// Rows that participate in at least one conflict.
     pub fn conflicting_rows(&self) -> Vec<usize> {
         let mut rows: Vec<usize> = self
@@ -468,6 +692,57 @@ mod tests {
         let cg = ConflictGraph::build(&inst, &fds);
         let rows: Vec<(usize, usize)> = cg.edges().iter().map(|e| e.rows).collect();
         assert_eq!(rows, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn apply_delta_tracks_a_cell_update() {
+        use crate::incremental::{incident_conflict_edges, FdPartitionIndex};
+        use rt_relation::{CellRef, Value};
+        let (mut inst, fds) = figure2();
+        let mut cg = ConflictGraph::build(&inst, &fds);
+        let mut index = FdPartitionIndex::build(&inst, &fds);
+        // Set t4[A] = 1: breaks the (t3,t4) conflict on A->B and creates a
+        // fresh (t1,t4)/(t2,t4) situation on A->B.
+        index.remove_row(&inst, &fds, 3);
+        inst.set_cell(CellRef::new(3, AttrId(0)), Value::int(1))
+            .unwrap();
+        index.insert_row(&inst, &fds, 3);
+        let recomputed = incident_conflict_edges(&inst, &fds, &index, &[3]);
+        let summary = cg.apply_delta(&[3], recomputed, inst.len());
+        assert_eq!(cg, ConflictGraph::build(&inst, &fds));
+        assert!(summary.edges_added > 0 || summary.edges_removed > 0);
+    }
+
+    #[test]
+    fn retract_tuples_drops_and_renumbers() {
+        let (mut inst, fds) = figure2();
+        let mut cg = ConflictGraph::build(&inst, &fds);
+        // Remove rows 0 and 2: edges (0,1), (1,2), (2,3) all die; rows 1, 3
+        // become rows 0, 1.
+        let removed = cg.retract_tuples(&[0, 2]);
+        assert_eq!(removed, 3);
+        inst.remove_rows(&[0, 2]).unwrap();
+        assert_eq!(cg, ConflictGraph::build(&inst, &fds));
+        assert_eq!(cg.row_count(), 2);
+    }
+
+    #[test]
+    fn integrate_and_remove_fd_match_batch_builds() {
+        let (inst, mut fds) = figure2();
+        let schema = inst.schema().clone();
+        let mut cg = ConflictGraph::build(&inst, &fds);
+        // Add B->C: t2=(.,2,1,.) vs t3=(.,2,1,.) agree on C, but t2/t3 vs
+        // others create fresh labelled pairs.
+        fds.push(Fd::parse("B->C", &schema).unwrap());
+        let summary = cg.integrate_fd(&inst, &fds, 2);
+        assert_eq!(cg, ConflictGraph::build(&inst, &fds));
+        let _ = summary;
+        // Remove the first FD; labels shift down and edges violating only
+        // A->B disappear.
+        fds.remove(0);
+        let summary = cg.remove_fd_labels(0);
+        assert_eq!(cg, ConflictGraph::build(&inst, &fds));
+        assert!(summary.edges_removed > 0 || summary.edges_relabeled > 0);
     }
 
     #[test]

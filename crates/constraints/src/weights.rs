@@ -33,6 +33,18 @@ pub trait Weight: Send + Sync {
     fn extension_cost(&self, extensions: &[AttrSet]) -> f64 {
         extensions.iter().map(|y| self.weight(*y)).sum()
     }
+
+    /// A cheap fingerprint of the weighting *function*: two weights with
+    /// equal `Some` fingerprints assign the same weight to every attribute
+    /// set. `None` means "unknown" — incremental maintenance then has to
+    /// assume the function changed after a data mutation.
+    ///
+    /// This is what lets an engine keep FD-level search caches alive across
+    /// mutations that happen not to move the weighting (always true for the
+    /// data-independent [`AttrCountWeight`]).
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// `w(Y) = |Y|`: each appended attribute costs 1.
@@ -42,6 +54,11 @@ pub struct AttrCountWeight;
 impl Weight for AttrCountWeight {
     fn weight(&self, attrs: AttrSet) -> f64 {
         attrs.len() as f64
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // Data-independent: every AttrCountWeight is the same function.
+        Some(0xA77C_0047)
     }
 }
 
@@ -105,6 +122,16 @@ impl Weight for EntropyWeight {
             .map(|a| self.entropies.get(a.index()).copied().unwrap_or(0.0))
             .sum()
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // The precomputed entropy vector fully determines the function.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for e in &self.entropies {
+            e.to_bits().hash(&mut h);
+        }
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +191,22 @@ mod tests {
         // Weight of a pair is the sum of individual weights.
         let sum = w.weight(set(&[0])) + w.weight(set(&[3]));
         assert!((w.weight(set(&[0, 3])) - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprints_identify_stable_functions() {
+        let inst = instance();
+        // AttrCount: constant fingerprint across values.
+        assert_eq!(AttrCountWeight.fingerprint(), AttrCountWeight.fingerprint());
+        assert!(AttrCountWeight.fingerprint().is_some());
+        // Entropy: equal data → equal fingerprint; different data → different.
+        let e1 = EntropyWeight::new(&inst);
+        let e2 = EntropyWeight::new(&inst.clone());
+        assert_eq!(e1.fingerprint(), e2.fingerprint());
+        let truncated = EntropyWeight::new(&inst.truncate(2));
+        assert_ne!(e1.fingerprint(), truncated.fingerprint());
+        // DistinctCount: unknowable without a full pass → None.
+        assert_eq!(DistinctCountWeight::new(&inst).fingerprint(), None);
     }
 
     #[test]

@@ -27,8 +27,12 @@
 //! * [`data_repair::repair_data`] — Algorithms 4 & 5: near-optimal data
 //!   repair for a fixed (possibly relaxed) FD set, returning a V-instance.
 //! * [`multi::RangeSearch`] / [`multi::sampling_search`] — Algorithm 6
-//!   (Range-Repair, resumable) and the Sampling-Repair comparator: a set of
-//!   repairs covering a whole range of relative-trust values.
+//!   (Range-Repair, resumable and checkpointable) and the Sampling-Repair
+//!   comparator: a set of repairs covering a whole range of relative-trust
+//!   values.
+//! * [`mutation`] — live inserts/deletes/cell updates and FD edits of a
+//!   prepared [`RepairProblem`], maintained incrementally (delta partition
+//!   maintenance + edge-level conflict-graph patching) instead of rebuilt.
 //!
 //! The historical free-function conveniences (`repair_data_fds`,
 //! `find_repairs_range`, `modify_fds_astar`, …) are deprecated wrappers
@@ -61,13 +65,17 @@
 pub mod data_repair;
 pub mod heuristic;
 pub mod multi;
+pub mod mutation;
 pub mod problem;
 pub mod repair;
 pub mod search;
 pub mod state;
 
 pub use data_repair::{repair_data, repair_data_par, DataRepairOutcome};
-pub use multi::{sampling_search, MultiRepairOutcome, RangeSearch, RangedFdRepair};
+pub use multi::{
+    sampling_search, MultiRepairOutcome, RangeSearch, RangedFdRepair, SweepCheckpoint,
+};
+pub use mutation::{MutationEffect, MutationOp};
 pub use problem::{RepairProblem, WeightKind};
 pub use repair::Repair;
 pub use rt_par::Parallelism;

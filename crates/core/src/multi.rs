@@ -86,6 +86,66 @@ struct RangeEntry {
     cost: f64,
 }
 
+/// The suspended state of a [`RangeSearch`]: everything the traversal knows
+/// except its borrow of the problem.
+///
+/// A checkpoint is fully owned, so it can outlive the search (and the
+/// borrow of the engine's problem) and be stashed across queries. Resuming
+/// via [`RangeSearch::resume`] first *replays* the already-found repairs —
+/// no search work, bit-identical order — and then continues the live
+/// traversal from the saved open list, so
+/// `resume(suspend(s)).run_to_end() ≡ s.run_to_end()` for every prefix of
+/// the sweep.
+///
+/// A checkpoint is only meaningful against a problem whose FD-level
+/// semantics (conflict edges, difference sets, weighting, `α`) are
+/// unchanged since it was taken; the engine's mutation layer tracks exactly
+/// that (`MutationEffect::search_state_invalidated`) and drops stale
+/// checkpoints — the *invalidation-scoped* cache reset.
+pub struct SweepCheckpoint {
+    open: Vec<RangeEntry>,
+    tau: i64,
+    tau_low: i64,
+    tau_high: usize,
+    current_upper: usize,
+    stats: SearchStats,
+    exhausted: bool,
+    found: Vec<RangedFdRepair>,
+}
+
+impl SweepCheckpoint {
+    /// The inclusive `τ` range the suspended sweep was started with.
+    pub fn range(&self) -> (usize, usize) {
+        (self.tau_low.max(0) as usize, self.tau_high)
+    }
+
+    /// Cumulative statistics at suspension time.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Repairs the suspended sweep had already produced.
+    pub fn found_count(&self) -> usize {
+        self.found.len()
+    }
+
+    /// `true` when the suspended sweep had already finished its range.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl std::fmt::Debug for SweepCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepCheckpoint")
+            .field("range", &self.range())
+            .field("found", &self.found.len())
+            .field("open", &self.open.len())
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
 /// A resumable Range-Repair traversal (Algorithm 6, `Find_Repairs_FDs`):
 /// the query-state cache behind both [`find_repairs_range`] and the
 /// engine's streaming sweep.
@@ -102,9 +162,17 @@ pub struct RangeSearch<'p> {
     open: Vec<RangeEntry>,
     tau: i64,
     tau_low: i64,
+    tau_high: usize,
     current_upper: usize,
     stats: SearchStats,
     exhausted: bool,
+    /// Every repair produced so far (live finds and replays alike), in
+    /// order — what [`RangeSearch::suspend`] checkpoints.
+    found: Vec<RangedFdRepair>,
+    /// How much of `found` has been handed out by `next_repair`; below
+    /// `found.len()` only right after a resume, while the already-found
+    /// prefix replays without search work.
+    replay_idx: usize,
 }
 
 impl<'p> RangeSearch<'p> {
@@ -131,9 +199,52 @@ impl<'p> RangeSearch<'p> {
             }],
             tau: tau_high as i64,
             tau_low: tau_low as i64,
+            tau_high,
             current_upper: tau_high,
             stats,
             exhausted: false,
+            found: Vec::new(),
+            replay_idx: 0,
+        }
+    }
+
+    /// Suspends the traversal into an owned [`SweepCheckpoint`], releasing
+    /// the borrow of the problem.
+    pub fn suspend(self) -> SweepCheckpoint {
+        SweepCheckpoint {
+            open: self.open,
+            tau: self.tau,
+            tau_low: self.tau_low,
+            tau_high: self.tau_high,
+            current_upper: self.current_upper,
+            stats: self.stats,
+            exhausted: self.exhausted,
+            found: self.found,
+        }
+    }
+
+    /// Resumes a suspended traversal against `problem` (which must be
+    /// FD-level-unchanged since the checkpoint was taken; see
+    /// [`SweepCheckpoint`]). The repairs found before suspension replay
+    /// first, with no search work; the live traversal then continues from
+    /// the saved open list.
+    pub fn resume(
+        problem: &'p RepairProblem,
+        checkpoint: SweepCheckpoint,
+        config: &SearchConfig,
+    ) -> Self {
+        RangeSearch {
+            problem,
+            config: *config,
+            open: checkpoint.open,
+            tau: checkpoint.tau,
+            tau_low: checkpoint.tau_low,
+            tau_high: checkpoint.tau_high,
+            current_upper: checkpoint.current_upper,
+            stats: checkpoint.stats,
+            exhausted: checkpoint.exhausted,
+            found: checkpoint.found,
+            replay_idx: 0,
         }
     }
 
@@ -166,13 +277,20 @@ impl<'p> RangeSearch<'p> {
     /// [`SearchStats::truncated`] to distinguish a completed sweep from one
     /// stopped by the expansion cap.
     pub fn next_repair(&mut self) -> Option<RangedFdRepair> {
+        // A resumed search first replays the repairs its checkpoint had
+        // already produced — no search work, bit-identical order.
+        if self.replay_idx < self.found.len() {
+            let repair = self.found[self.replay_idx].clone();
+            self.replay_idx += 1;
+            return Some(repair);
+        }
         if self.exhausted {
             return None;
         }
         let start = Instant::now();
         let problem = self.problem;
         let config = &self.config;
-        let found = loop {
+        let produced = loop {
             if self.open.is_empty() || self.tau < self.tau_low {
                 self.exhausted = true;
                 break None;
@@ -287,7 +405,11 @@ impl<'p> RangeSearch<'p> {
             }
         };
         self.stats.elapsed += start.elapsed();
-        found
+        if let Some(repair) = &produced {
+            self.found.push(repair.clone());
+            self.replay_idx = self.found.len();
+        }
+        produced
     }
 
     /// Drains the remaining repairs into a [`MultiRepairOutcome`].
@@ -392,12 +514,21 @@ pub fn find_repairs_sampling(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::WeightKind;
     use rt_constraints::FdSet;
     use rt_relation::{Instance, Schema};
+
+    /// The non-deprecated spelling of Algorithm 6 the tests exercise.
+    fn range_repair(
+        problem: &RepairProblem,
+        tau_low: usize,
+        tau_high: usize,
+        config: &SearchConfig,
+    ) -> MultiRepairOutcome {
+        RangeSearch::new(problem, tau_low, tau_high, config).run_to_end()
+    }
 
     fn figure2_problem() -> RepairProblem {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
@@ -418,7 +549,7 @@ mod tests {
     #[test]
     fn range_repair_finds_the_full_spectrum_on_figure2() {
         let problem = figure2_problem();
-        let out = find_repairs_range(
+        let out = range_repair(
             &problem,
             0,
             problem.delta_p_original(),
@@ -443,7 +574,7 @@ mod tests {
         // one whose interval contains τ.
         let problem = figure2_problem();
         let config = SearchConfig::default();
-        let out = find_repairs_range(&problem, 0, problem.delta_p_original(), &config);
+        let out = range_repair(&problem, 0, problem.delta_p_original(), &config);
         for tau in 0..=problem.delta_p_original() {
             let single = run_search(&problem, tau, &config, SearchAlgorithm::AStar)
                 .repair
@@ -467,8 +598,8 @@ mod tests {
         let problem = figure2_problem();
         let config = SearchConfig::default();
         let hi = problem.delta_p_original();
-        let range = find_repairs_range(&problem, 0, hi, &config);
-        let sampling = find_repairs_sampling(&problem, 0, hi, 1, &config);
+        let range = range_repair(&problem, 0, hi, &config);
+        let sampling = sampling_search(&problem, 0, hi, 1, &config);
         assert_eq!(range.repairs.len(), sampling.repairs.len());
         for (a, b) in range.repairs.iter().zip(sampling.repairs.iter()) {
             assert_eq!(a.repair.delta_p, b.repair.delta_p);
@@ -476,14 +607,14 @@ mod tests {
         }
         // Sampling with a sparse step may miss intermediate repairs but never
         // invents new ones.
-        let sparse = find_repairs_sampling(&problem, 0, hi, hi.max(1), &config);
+        let sparse = sampling_search(&problem, 0, hi, hi.max(1), &config);
         assert!(sparse.repairs.len() <= range.repairs.len());
     }
 
     #[test]
     fn materialized_repairs_satisfy_their_fds() {
         let problem = figure2_problem();
-        let out = find_repairs_range(
+        let out = range_repair(
             &problem,
             0,
             problem.delta_p_original(),
@@ -504,10 +635,62 @@ mod tests {
     #[test]
     fn partial_range_only_returns_matching_repairs() {
         let problem = figure2_problem();
-        let out = find_repairs_range(&problem, 2, 3, &SearchConfig::default());
+        let out = range_repair(&problem, 2, 3, &SearchConfig::default());
         assert_eq!(out.repairs.len(), 1);
         assert_eq!(out.repairs[0].repair.delta_p, 2);
         assert_eq!(out.repairs[0].tau_range, (2, 3));
+    }
+
+    #[test]
+    fn suspend_resume_is_bit_identical_to_uninterrupted_sweep() {
+        let problem = figure2_problem();
+        let config = SearchConfig::default();
+        let hi = problem.delta_p_original();
+        let reference = range_repair(&problem, 0, hi, &config);
+        assert_eq!(reference.repairs.len(), 3);
+
+        // Suspend after every possible prefix length, resume, drain.
+        for cut in 0..=reference.repairs.len() {
+            let mut search = RangeSearch::new(&problem, 0, hi, &config);
+            for _ in 0..cut {
+                search.next_repair().expect("prefix repair exists");
+            }
+            let checkpoint = search.suspend();
+            assert_eq!(checkpoint.found_count(), cut);
+            assert_eq!(checkpoint.range(), (0, hi));
+            let resumed = RangeSearch::resume(&problem, checkpoint, &config).run_to_end();
+            assert_eq!(resumed.repairs.len(), reference.repairs.len(), "cut={cut}");
+            for (a, b) in reference.repairs.iter().zip(resumed.repairs.iter()) {
+                assert_eq!(a.repair.state, b.repair.state);
+                assert_eq!(a.repair.delta_p, b.repair.delta_p);
+                assert_eq!(a.repair.cover_rows, b.repair.cover_rows);
+                assert_eq!(a.tau_range, b.tau_range);
+                assert!((a.repair.dist_c - b.repair.dist_c).abs() < 1e-12);
+            }
+            // The replayed prefix costs no additional expansions: total
+            // stats equal the uninterrupted sweep's.
+            assert_eq!(
+                resumed.stats.states_expanded,
+                reference.stats.states_expanded
+            );
+        }
+    }
+
+    #[test]
+    fn resuming_an_exhausted_checkpoint_replays_for_free() {
+        let problem = figure2_problem();
+        let config = SearchConfig::default();
+        let hi = problem.delta_p_original();
+        let first = RangeSearch::new(&problem, 0, hi, &config).run_to_end();
+        let mut search = RangeSearch::new(&problem, 0, hi, &config);
+        while search.next_repair().is_some() {}
+        let checkpoint = search.suspend();
+        assert!(checkpoint.is_exhausted());
+        let expanded_before = checkpoint.stats().states_expanded;
+        let replayed = RangeSearch::resume(&problem, checkpoint, &config).run_to_end();
+        assert_eq!(replayed.repairs.len(), first.repairs.len());
+        // No new search work at all.
+        assert_eq!(replayed.stats.states_expanded, expanded_before);
     }
 
     #[test]
@@ -516,7 +699,7 @@ mod tests {
         let inst = Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 3]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
-        let out = find_repairs_range(&problem, 0, 0, &SearchConfig::default());
+        let out = range_repair(&problem, 0, 0, &SearchConfig::default());
         // Clean data: the root is the unique repair with δP = 0.
         assert_eq!(out.repairs.len(), 1);
         assert!(out.repairs[0].repair.state.is_root());

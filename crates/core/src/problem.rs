@@ -39,13 +39,25 @@ pub struct DiffSetGroup {
 }
 
 /// A fully prepared instance of the joint repair problem.
+///
+/// Besides the batch construction used here, a prepared problem can also be
+/// *mutated in place* — see [`RepairProblem::apply_mutations`] in
+/// [`crate::mutation`] — which maintains the conflict graph, difference-set
+/// index and weighting incrementally instead of rebuilding them.
 pub struct RepairProblem {
-    instance: Instance,
-    sigma: FdSet,
-    conflict: ConflictGraph,
-    diff_groups: Vec<DiffSetGroup>,
-    weight: Arc<dyn Weight>,
-    alpha: usize,
+    pub(crate) instance: Instance,
+    pub(crate) sigma: FdSet,
+    pub(crate) conflict: ConflictGraph,
+    pub(crate) diff_groups: Vec<DiffSetGroup>,
+    pub(crate) weight: Arc<dyn Weight>,
+    pub(crate) alpha: usize,
+    /// Which built-in weighting the weight was constructed from, if any —
+    /// what lets a mutation rebuild it against the mutated instance. `None`
+    /// for caller-supplied weight functions (which are kept as-is).
+    pub(crate) weight_kind: Option<WeightKind>,
+    /// Per-FD LHS equivalence partitions, built lazily on the first
+    /// mutation and delta-maintained afterwards.
+    pub(crate) incremental: Option<rt_constraints::FdPartitionIndex>,
 }
 
 impl RepairProblem {
@@ -69,12 +81,18 @@ impl RepairProblem {
         weight: WeightKind,
         par: Parallelism,
     ) -> Self {
-        let w: Arc<dyn Weight> = match weight {
+        let mut problem =
+            Self::with_weight_fn_par(instance, sigma, Self::build_weight(instance, weight), par);
+        problem.weight_kind = Some(weight);
+        problem
+    }
+
+    pub(crate) fn build_weight(instance: &Instance, weight: WeightKind) -> Arc<dyn Weight> {
+        match weight {
             WeightKind::AttrCount => Arc::new(AttrCountWeight),
             WeightKind::DistinctCount => Arc::new(DistinctCountWeight::new(instance)),
             WeightKind::Entropy => Arc::new(EntropyWeight::new(instance)),
-        };
-        Self::with_weight_fn_par(instance, sigma, w, par)
+        }
     }
 
     /// Prepares a repair problem with a caller-supplied weighting function.
@@ -92,19 +110,23 @@ impl RepairProblem {
     ) -> Self {
         let conflict = ConflictGraph::build_with(instance, sigma, par);
         let diff_groups = Self::group_by_difference_set(&conflict);
-        let arity = instance.schema().arity();
-        let alpha = (arity.saturating_sub(1)).min(sigma.len()).max(1);
         RepairProblem {
             instance: instance.clone(),
             sigma: sigma.clone(),
             conflict,
             diff_groups,
             weight,
-            alpha,
+            alpha: Self::compute_alpha(instance.schema().arity(), sigma.len()),
+            weight_kind: None,
+            incremental: None,
         }
     }
 
-    fn group_by_difference_set(conflict: &ConflictGraph) -> Vec<DiffSetGroup> {
+    pub(crate) fn compute_alpha(arity: usize, fd_count: usize) -> usize {
+        (arity.saturating_sub(1)).min(fd_count).max(1)
+    }
+
+    pub(crate) fn group_by_difference_set(conflict: &ConflictGraph) -> Vec<DiffSetGroup> {
         use std::collections::HashMap;
         let mut groups: HashMap<AttrSet, Vec<(usize, usize)>> = HashMap::new();
         for e in conflict.edges() {

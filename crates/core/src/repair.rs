@@ -81,8 +81,13 @@ pub fn repair_data_fds(problem: &RepairProblem, tau: usize) -> Option<Repair> {
     note = "build a session with rt_engine::RepairEngine and call `repair_at_relative`"
 )]
 pub fn repair_data_fds_relative(problem: &RepairProblem, tau_r: f64) -> Option<Repair> {
-    #[allow(deprecated)]
-    repair_data_fds(problem, problem.absolute_tau(tau_r))
+    repair_data_fds_with(
+        problem,
+        problem.absolute_tau(tau_r),
+        &SearchConfig::default(),
+        SearchAlgorithm::AStar,
+        0,
+    )
 }
 
 /// Fully parameterized variant of Algorithm 1 — the primitive
@@ -145,8 +150,18 @@ pub fn materialize_fd_repair(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
+    /// Algorithm 1 with the historical defaults (A*, default config, seed 0).
+    fn repair_at(problem: &RepairProblem, tau: usize) -> Option<Repair> {
+        repair_data_fds_with(
+            problem,
+            tau,
+            &SearchConfig::default(),
+            SearchAlgorithm::AStar,
+            0,
+        )
+    }
+
     use super::*;
     use crate::problem::WeightKind;
     use rt_relation::Schema;
@@ -172,7 +187,7 @@ mod tests {
         let problem = figure2_problem();
         for tau in 0..=4 {
             let repair =
-                repair_data_fds(&problem, tau).unwrap_or_else(|| panic!("no repair for τ={tau}"));
+                repair_at(&problem, tau).unwrap_or_else(|| panic!("no repair for τ={tau}"));
             assert!(
                 repair.modified_fds.holds_on(&repair.repaired_instance),
                 "τ={tau}"
@@ -191,7 +206,7 @@ mod tests {
     #[test]
     fn tau_zero_is_a_pure_fd_repair() {
         let problem = figure2_problem();
-        let repair = repair_data_fds(&problem, 0).unwrap();
+        let repair = repair_at(&problem, 0).unwrap();
         assert!(repair.is_pure_fd_repair());
         assert!(!repair.is_pure_data_repair());
         assert_eq!(repair.data_changes(), 0);
@@ -202,7 +217,7 @@ mod tests {
     fn large_tau_is_a_pure_data_repair() {
         let problem = figure2_problem();
         let tau = problem.delta_p_original();
-        let repair = repair_data_fds(&problem, tau).unwrap();
+        let repair = repair_at(&problem, tau).unwrap();
         assert!(repair.is_pure_data_repair());
         assert_eq!(repair.dist_c, 0.0);
         assert_eq!(*problem.sigma(), repair.modified_fds);
@@ -212,12 +227,12 @@ mod tests {
     #[test]
     fn relative_trust_budgets_interpolate() {
         let problem = figure2_problem();
-        let r0 = repair_data_fds_relative(&problem, 0.0).unwrap();
-        let r1 = repair_data_fds_relative(&problem, 1.0).unwrap();
+        let r0 = repair_at(&problem, problem.absolute_tau(0.0)).unwrap();
+        let r1 = repair_at(&problem, problem.absolute_tau(1.0)).unwrap();
         assert!(r0.is_pure_fd_repair());
         assert!(r1.is_pure_data_repair());
         // Intermediate budget: a mixed repair whose dist_c lies between.
-        let rm = repair_data_fds_relative(&problem, 0.5).unwrap();
+        let rm = repair_at(&problem, problem.absolute_tau(0.5)).unwrap();
         assert!(rm.dist_c <= r0.dist_c);
         assert!(rm.dist_c >= r1.dist_c);
     }
@@ -229,7 +244,7 @@ mod tests {
         let problem = figure2_problem();
         let mut previous = f64::INFINITY;
         for tau in 0..=4 {
-            let repair = repair_data_fds(&problem, tau).unwrap();
+            let repair = repair_at(&problem, tau).unwrap();
             assert!(
                 repair.dist_c <= previous + 1e-9,
                 "dist_c increased from {previous} to {} at τ={tau}",

@@ -247,7 +247,6 @@ pub fn run_search(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::WeightKind;
@@ -291,7 +290,7 @@ mod tests {
         let config = SearchConfig::default();
         for tau in 0..=6 {
             let expected = exhaustive_optimum(&problem, tau);
-            let got = modify_fds_astar(&problem, tau, &config);
+            let got = run_search(&problem, tau, &config, SearchAlgorithm::AStar);
             match expected {
                 Some(opt) => {
                     let repair = got.repair.unwrap_or_else(|| {
@@ -314,8 +313,8 @@ mod tests {
         let problem = figure2_problem();
         let config = SearchConfig::default();
         for tau in 0..=6 {
-            let a = modify_fds_astar(&problem, tau, &config);
-            let b = modify_fds_best_first(&problem, tau, &config);
+            let a = run_search(&problem, tau, &config, SearchAlgorithm::AStar);
+            let b = run_search(&problem, tau, &config, SearchAlgorithm::BestFirst);
             match (a.repair, b.repair) {
                 (Some(ra), Some(rb)) => {
                     assert!((ra.dist_c - rb.dist_c).abs() < 1e-9, "τ={tau}")
@@ -331,7 +330,12 @@ mod tests {
         // For τ = 2 the paper says the best repairs are CA->B/C->D or
         // DA->B/C->D, both at cost 1 (attribute-count weighting).
         let problem = figure2_problem();
-        let got = modify_fds_astar(&problem, 2, &SearchConfig::default());
+        let got = run_search(
+            &problem,
+            2,
+            &SearchConfig::default(),
+            SearchAlgorithm::AStar,
+        );
         let repair = got.repair.unwrap();
         assert_eq!(repair.dist_c, 1.0);
         assert_eq!(repair.delta_p, 2);
@@ -346,7 +350,12 @@ mod tests {
     #[test]
     fn tau_zero_requires_resolving_everything_by_fd_changes() {
         let problem = figure2_problem();
-        let got = modify_fds_astar(&problem, 0, &SearchConfig::default());
+        let got = run_search(
+            &problem,
+            0,
+            &SearchConfig::default(),
+            SearchAlgorithm::AStar,
+        );
         let repair = got.repair.expect("a pure FD repair must exist");
         assert_eq!(repair.delta_p, 0);
         // The relaxed FDs must hold on the original data.
@@ -361,8 +370,8 @@ mod tests {
         let problem = figure2_problem();
         let config = SearchConfig::default();
         for tau in [0usize, 1, 2, 3] {
-            let a = modify_fds_astar(&problem, tau, &config);
-            let b = modify_fds_best_first(&problem, tau, &config);
+            let a = run_search(&problem, tau, &config, SearchAlgorithm::AStar);
+            let b = run_search(&problem, tau, &config, SearchAlgorithm::BestFirst);
             assert!(
                 a.stats.states_expanded <= b.stats.states_expanded,
                 "τ={tau}: A* expanded {} vs best-first {}",
@@ -380,7 +389,7 @@ mod tests {
             ..Default::default()
         };
         // τ = 0 forces a deep search; one expansion is the root only.
-        let got = modify_fds_astar(&problem, 0, &config);
+        let got = run_search(&problem, 0, &config, SearchAlgorithm::AStar);
         assert!(got.repair.is_none());
         assert!(got.stats.truncated);
     }
@@ -392,7 +401,12 @@ mod tests {
             Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![2, 5], vec![3, 5]]).unwrap();
         let fds = FdSet::parse(&["A->B"], &schema).unwrap();
         let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::AttrCount);
-        let got = modify_fds_astar(&problem, 0, &SearchConfig::default());
+        let got = run_search(
+            &problem,
+            0,
+            &SearchConfig::default(),
+            SearchAlgorithm::AStar,
+        );
         let repair = got.repair.unwrap();
         assert!(repair.state.is_root());
         assert_eq!(repair.dist_c, 0.0);
@@ -419,7 +433,12 @@ mod tests {
         let problem = RepairProblem::with_weight(&inst, &fds, WeightKind::DistinctCount);
         for tau in 0..=4 {
             let expected = exhaustive_optimum(&problem, tau);
-            let got = modify_fds_astar(&problem, tau, &SearchConfig::default());
+            let got = run_search(
+                &problem,
+                tau,
+                &SearchConfig::default(),
+                SearchAlgorithm::AStar,
+            );
             match expected {
                 Some(opt) => {
                     let r = got.repair.unwrap();

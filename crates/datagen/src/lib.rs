@@ -23,8 +23,10 @@
 
 pub mod generator;
 pub mod metrics;
+pub mod mutations;
 pub mod perturb;
 
 pub use generator::{generate_census_like, CensusLikeConfig, PlantedFd};
 pub use metrics::{evaluate_repair, RepairQuality};
+pub use mutations::{generate_mutation_stream, MutationStreamConfig};
 pub use perturb::{perturb, GroundTruth, PerturbConfig};

@@ -2,17 +2,18 @@
 
 use crate::builder::RepairEngineBuilder;
 use crate::error::EngineError;
+use crate::mutation::{MutationBatch, MutationOutcome};
 use crate::stats::EngineStats;
 use crate::stream::{RepairPoint, RepairStream, Spectrum};
 use rt_baseline::{unified_cost_repair_with_graph, UnifiedCostConfig, UnifiedRepair};
-use rt_constraints::FdSet;
+use rt_constraints::{Fd, FdSet};
 use rt_core::repair::materialize_fd_repair;
 use rt_core::search::FdRepair;
 use rt_core::{
     run_search, RangeSearch, RangedFdRepair, Repair, RepairProblem, SearchAlgorithm, SearchConfig,
-    SearchStats,
+    SearchStats, SweepCheckpoint,
 };
-use rt_relation::Instance;
+use rt_relation::{CellRef, Instance, Tuple, Value};
 use std::ops::RangeInclusive;
 use std::sync::Mutex;
 
@@ -36,12 +37,26 @@ use std::sync::Mutex;
 ///
 /// The engine is `Sync`: concurrent scenarios can share one engine behind
 /// an `Arc` and query it from several threads.
+///
+/// The engine is also *mutable*: [`RepairEngine::apply`] (and the per-op
+/// conveniences [`RepairEngine::insert_tuples`],
+/// [`RepairEngine::delete_tuples`], [`RepairEngine::update_cell`],
+/// [`RepairEngine::add_fd`], [`RepairEngine::remove_fd`]) edit the live
+/// `(I, Σ)` while the prepared state is maintained *incrementally* — the
+/// conflict graph is patched edge-level around the touched rows, never
+/// rebuilt ([`EngineStats::conflict_graph_builds`] stays at `1`), and
+/// suspended sweeps survive any mutation that provably leaves the FD-level
+/// search unchanged.
 pub struct RepairEngine {
     problem: RepairProblem,
     search_config: SearchConfig,
     algorithm: SearchAlgorithm,
     seed: u64,
     stats: Mutex<EngineStats>,
+    /// The most recent suspended sweep, resumable by the next `sweep` over
+    /// the same range. Mutations drop it exactly when they invalidate
+    /// FD-level search state (`MutationEffect::search_state_invalidated`).
+    sweep_cache: Mutex<Option<SweepCheckpoint>>,
 }
 
 impl RepairEngine {
@@ -69,7 +84,90 @@ impl RepairEngine {
             algorithm,
             seed,
             stats: Mutex::new(stats),
+            sweep_cache: Mutex::new(None),
         }
+    }
+
+    /// Applies a validated, all-or-nothing batch of mutations to the live
+    /// `(I, Σ)`, incrementally maintaining the prepared state.
+    ///
+    /// The whole batch is validated against the current state first; on any
+    /// validation error nothing is applied and the engine is untouched.
+    /// After a successful apply, the engine answers every query exactly as
+    /// a freshly built engine on the mutated inputs would — bit-identically
+    /// — while [`EngineStats::conflict_graph_builds`] stays at `1` and
+    /// [`EngineStats::graph_rebuild_avoided`] counts the rebuilds saved.
+    pub fn apply(&mut self, batch: &MutationBatch) -> Result<MutationOutcome, EngineError> {
+        if batch.is_empty() {
+            return Ok(MutationOutcome {
+                sweep_cache_retained: self.sweep_cache.lock().unwrap().is_some(),
+                ..Default::default()
+            });
+        }
+        batch.validate(
+            self.problem.instance().schema(),
+            self.problem.instance().len(),
+            self.problem.fd_count(),
+        )?;
+        // Validation is complete, so the incremental apply cannot fail.
+        let effect = self
+            .problem
+            .apply_mutations(batch.ops())
+            .map_err(EngineError::Mutation)?;
+        {
+            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            stats.mutation_batches += 1;
+            stats.edges_added += effect.edges_added;
+            stats.edges_removed += effect.edges_removed;
+            stats.components_dirtied += effect.components_dirtied;
+            stats.graph_rebuild_avoided += 1;
+        }
+        let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
+        let sweep_cache_retained = if effect.search_state_invalidated {
+            *cache = None;
+            false
+        } else {
+            cache.is_some()
+        };
+        Ok(MutationOutcome {
+            effect,
+            sweep_cache_retained,
+        })
+    }
+
+    /// Appends tuples to the live instance (one-op [`MutationBatch`]).
+    pub fn insert_tuples(&mut self, tuples: Vec<Tuple>) -> Result<MutationOutcome, EngineError> {
+        self.apply(&MutationBatch::new().insert_tuples(tuples))
+    }
+
+    /// Deletes tuples from the live instance; surviving rows compact
+    /// downwards (one-op [`MutationBatch`]).
+    pub fn delete_tuples(&mut self, rows: &[usize]) -> Result<MutationOutcome, EngineError> {
+        self.apply(&MutationBatch::new().delete_tuples(rows.to_vec()))
+    }
+
+    /// Overwrites one cell of the live instance (one-op [`MutationBatch`]).
+    pub fn update_cell(
+        &mut self,
+        cell: CellRef,
+        value: Value,
+    ) -> Result<MutationOutcome, EngineError> {
+        self.apply(&MutationBatch::new().update_cell(cell, value))
+    }
+
+    /// Appends an FD to the live `Σ` (one-op [`MutationBatch`]).
+    pub fn add_fd(&mut self, fd: Fd) -> Result<MutationOutcome, EngineError> {
+        self.apply(&MutationBatch::new().add_fd(fd))
+    }
+
+    /// Removes the FD at `idx` from the live `Σ`; later FDs shift down
+    /// (one-op [`MutationBatch`]).
+    pub fn remove_fd(&mut self, idx: usize) -> Result<MutationOutcome, EngineError> {
+        self.apply(&MutationBatch::new().remove_fd(idx))
+    }
+
+    pub(crate) fn stash_sweep(&self, checkpoint: SweepCheckpoint) {
+        *self.sweep_cache.lock().expect("sweep cache lock poisoned") = Some(checkpoint);
     }
 
     /// The prepared repair problem (instance, FDs, conflict graph, weights).
@@ -166,14 +264,48 @@ impl RepairEngine {
     /// when the iterator is advanced. The whole sweep is a single
     /// Range-Repair traversal (Algorithm 6) over the engine's prepared
     /// conflict graph — construction work is never repeated per τ.
+    /// When a suspended sweep over the *same range* is cached (a previous
+    /// stream over this range was dropped or drained, and no mutation has
+    /// invalidated FD-level search since), the traversal resumes from that
+    /// checkpoint: already-found repairs replay with no search work, and
+    /// the open list continues where it stopped.
     pub fn sweep(&self, range: RangeInclusive<usize>) -> RepairStream<'_> {
         let (tau_low, tau_high) = (*range.start(), *range.end());
-        self.stats
-            .lock()
-            .expect("engine stats lock poisoned")
-            .sweeps_started += 1;
-        let search = RangeSearch::new(&self.problem, tau_low, tau_high, &self.search_config);
-        RepairStream::new(self, search, tau_high)
+        let checkpoint = {
+            let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
+            match cache.take() {
+                Some(cp) if cp.range() == (tau_low, tau_high) => Some(cp),
+                other => {
+                    // A sweep over a different range leaves the checkpoint
+                    // in place — but the cache is a single slot with
+                    // latest-wins eviction, so it only survives until the
+                    // new stream is dropped and stashes its own checkpoint.
+                    *cache = other;
+                    None
+                }
+            }
+        };
+        {
+            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            stats.sweeps_started += 1;
+            if checkpoint.is_some() {
+                stats.sweep_cache_hits += 1;
+            }
+        }
+        match checkpoint {
+            Some(cp) => {
+                // The checkpoint's stats were already published to the
+                // engine by the stream that suspended it.
+                let absorbed = cp.stats();
+                let search = RangeSearch::resume(&self.problem, cp, &self.search_config);
+                RepairStream::new(self, search, tau_high, absorbed)
+            }
+            None => {
+                let search =
+                    RangeSearch::new(&self.problem, tau_low, tau_high, &self.search_config);
+                RepairStream::new(self, search, tau_high, SearchStats::default())
+            }
+        }
     }
 
     /// The full range-repair: every distinct repair between "trust the

@@ -28,6 +28,10 @@ pub enum EngineError {
         /// Stringified cause (kept `Clone + Eq`).
         message: String,
     },
+    /// A mutation batch failed validation against the engine's current
+    /// state (out-of-range row, arity mismatch, unknown FD index, …).
+    /// Nothing was applied: batches are all-or-nothing.
+    Mutation(String),
     /// The FD-modification search hit its expansion cap before finding a
     /// repair within the cell budget `tau`. An unbounded search always
     /// succeeds (fully relaxed FDs need no data changes), so this means
@@ -57,6 +61,7 @@ impl fmt::Display for EngineError {
             EngineError::Relation(e) => write!(f, "{e}"),
             EngineError::Fd(msg) => write!(f, "invalid functional dependency: {msg}"),
             EngineError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            EngineError::Mutation(msg) => write!(f, "invalid mutation batch: {msg}"),
             EngineError::BudgetExhausted {
                 tau,
                 max_expansions,

@@ -43,23 +43,69 @@
 //! // The expensive preparation ran exactly once for all of the above.
 //! assert_eq!(engine.stats().conflict_graph_builds, 1);
 //! ```
+//!
+//! ## Live mutations
+//!
+//! The session survives changes to its data and constraints: a
+//! [`MutationBatch`] (or the per-op conveniences) edits `(I, Σ)` in place
+//! and the prepared state is patched *incrementally* — equivalence
+//! partitions move the touched rows, the conflict graph is patched at the
+//! edge level around them, and the conflict graph is **never rebuilt**:
+//!
+//! ```
+//! use rt_engine::{MutationBatch, RepairEngine, WeightKind};
+//! use rt_relation::{CellRef, AttrId, Instance, Schema, Value};
+//! use rt_constraints::FdSet;
+//!
+//! let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+//! let instance = Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2]]).unwrap();
+//! let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+//! let mut engine = RepairEngine::builder(instance, fds)
+//!     .weight(WeightKind::AttrCount)
+//!     .build()
+//!     .unwrap();
+//!
+//! // A live insert and a cell fix, applied atomically.
+//! let outcome = engine
+//!     .apply(
+//!         &MutationBatch::new()
+//!             .insert_row(vec![Value::int(2), Value::int(5)])
+//!             .update_cell(CellRef::new(1, AttrId(1)), Value::int(1)),
+//!     )
+//!     .unwrap();
+//! assert_eq!(outcome.effect.rows_inserted, 1);
+//!
+//! // Still the same session — and still exactly one graph build; the
+//! // rebuild the batch would have forced was avoided.
+//! let stats = engine.stats();
+//! assert_eq!(stats.conflict_graph_builds, 1);
+//! assert_eq!(stats.graph_rebuild_avoided, 1);
+//! assert!(engine.spectrum().is_ok());
+//! ```
 
 mod builder;
 mod engine;
 mod error;
+pub mod json;
+mod mutation;
+pub mod mutation_log;
 mod stats;
 mod stream;
 
 pub use builder::RepairEngineBuilder;
 pub use engine::RepairEngine;
 pub use error::EngineError;
+pub use mutation::{MutationBatch, MutationOutcome};
+pub use mutation_log::{parse_mutation_log, render_mutation_log};
 pub use stats::EngineStats;
 pub use stream::{RepairPoint, RepairStream, Spectrum};
 
 // The vocabulary types an engine user needs, re-exported so `rt_engine`
 // works as a one-stop import.
 pub use rt_baseline::{UnifiedCostConfig, UnifiedRepair};
+pub use rt_constraints::{Fd, FdSet};
 pub use rt_core::heuristic::HeuristicConfig;
 pub use rt_core::{
-    FdRepair, Parallelism, Repair, RepairProblem, SearchAlgorithm, SearchStats, WeightKind,
+    FdRepair, MutationEffect, MutationOp, Parallelism, Repair, RepairProblem, SearchAlgorithm,
+    SearchStats, WeightKind,
 };

@@ -36,6 +36,25 @@ pub struct EngineStats {
     pub search_elapsed: Duration,
     /// `true` when any query hit the expansion cap.
     pub truncated: bool,
+    /// Mutation batches applied ([`crate::RepairEngine::apply`] and the
+    /// per-op conveniences).
+    pub mutation_batches: usize,
+    /// Conflict edges added by incremental maintenance, across all batches.
+    pub edges_added: usize,
+    /// Conflict edges removed by incremental maintenance, across all
+    /// batches.
+    pub edges_removed: usize,
+    /// Connected components of the conflict graph dirtied by mutations,
+    /// across all batches.
+    pub components_dirtied: usize,
+    /// Full conflict-graph rebuilds that incremental maintenance made
+    /// unnecessary — one per applied non-empty batch. The headline
+    /// invariant extends to the mutable engine: `conflict_graph_builds`
+    /// stays at `1` while this counter grows.
+    pub graph_rebuild_avoided: usize,
+    /// Sweeps answered (partially or fully) from a retained
+    /// [`rt_core::SweepCheckpoint`] instead of a fresh traversal.
+    pub sweep_cache_hits: usize,
 }
 
 impl EngineStats {

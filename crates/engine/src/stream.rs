@@ -40,6 +40,28 @@ impl Spectrum {
     pub fn repairs(&self) -> impl Iterator<Item = &rt_core::Repair> {
         self.points.iter().map(|p| &p.repair)
     }
+
+    /// Full bit-identity with another spectrum: same points, same
+    /// intervals, same FD states and sets, same costs (compared as raw
+    /// bits), same repaired instances and changed cells.
+    ///
+    /// This is the single predicate behind the workspace's
+    /// incremental ≡ rebuild checks (`rtclean apply --verify`, the CI
+    /// `bench_gate`); search statistics are deliberately excluded — two
+    /// identical spectra may cost different amounts of work to produce
+    /// (that difference is the point of the caches).
+    pub fn bit_identical(&self, other: &Spectrum) -> bool {
+        self.len() == other.len()
+            && self.points.iter().zip(other.points.iter()).all(|(a, b)| {
+                a.tau_range == b.tau_range
+                    && a.repair.state == b.repair.state
+                    && a.repair.delta_p == b.repair.delta_p
+                    && a.repair.dist_c.to_bits() == b.repair.dist_c.to_bits()
+                    && a.repair.modified_fds == b.repair.modified_fds
+                    && a.repair.repaired_instance == b.repair.repaired_instance
+                    && a.repair.changed_cells == b.repair.changed_cells
+            })
+    }
 }
 
 /// A lazy iterator over the repair spectrum, returned by
@@ -58,8 +80,13 @@ impl Spectrum {
 /// exhausted.
 pub struct RepairStream<'e> {
     engine: &'e RepairEngine,
-    search: RangeSearch<'e>,
-    /// Stats snapshot already folded into the engine totals.
+    /// `Some` until the stream is dropped; `Drop` suspends the traversal
+    /// into the engine's sweep cache so a later sweep over the same range
+    /// can resume instead of restarting.
+    search: Option<RangeSearch<'e>>,
+    /// Stats snapshot already folded into the engine totals (non-zero for a
+    /// stream resumed from a checkpoint: its past work was published by the
+    /// stream that suspended it).
     absorbed: SearchStats,
     /// The τ the sweep was asked about (for error reporting).
     tau_high: usize,
@@ -67,20 +94,30 @@ pub struct RepairStream<'e> {
 }
 
 impl<'e> RepairStream<'e> {
-    pub(crate) fn new(engine: &'e RepairEngine, search: RangeSearch<'e>, tau_high: usize) -> Self {
+    pub(crate) fn new(
+        engine: &'e RepairEngine,
+        search: RangeSearch<'e>,
+        tau_high: usize,
+        absorbed: SearchStats,
+    ) -> Self {
         RepairStream {
             engine,
-            search,
-            absorbed: SearchStats::default(),
+            search: Some(search),
+            absorbed,
             tau_high,
             finished: false,
         }
     }
 
-    /// Statistics of the underlying traversal so far (this stream only; the
-    /// engine's [`RepairEngine::stats`] aggregates across all queries).
+    fn search(&self) -> &RangeSearch<'e> {
+        self.search.as_ref().expect("search present until drop")
+    }
+
+    /// Statistics of the underlying traversal so far (this traversal,
+    /// including any resumed prefix; the engine's [`RepairEngine::stats`]
+    /// aggregates across all queries).
     pub fn search_stats(&self) -> SearchStats {
-        self.search.stats()
+        self.search().stats()
     }
 
     /// Drains the stream into a [`Spectrum`], propagating a truncation
@@ -92,14 +129,14 @@ impl<'e> RepairStream<'e> {
         }
         Ok(Spectrum {
             points,
-            search_stats: self.search.stats(),
+            search_stats: self.search().stats(),
         })
     }
 
     /// Folds the not-yet-reported part of the search statistics into the
     /// engine's cumulative totals.
     fn publish_stats(&mut self) {
-        let now = self.search.stats();
+        let now = self.search().stats();
         let delta = SearchStats {
             states_expanded: now.states_expanded - self.absorbed.states_expanded,
             states_generated: now.states_generated - self.absorbed.states_generated,
@@ -119,9 +156,14 @@ impl Iterator for RepairStream<'_> {
         if self.finished {
             return None;
         }
-        match self.search.next_repair() {
+        let ranged = self
+            .search
+            .as_mut()
+            .expect("search present until drop")
+            .next_repair();
+        match ranged {
             Some(ranged) => {
-                let stats_snapshot = self.search.stats();
+                let stats_snapshot = self.search().stats();
                 let repair = self.engine.materialize(&ranged, stats_snapshot);
                 self.publish_stats();
                 self.engine.note_point_materialized();
@@ -133,18 +175,30 @@ impl Iterator for RepairStream<'_> {
             None => {
                 self.finished = true;
                 self.publish_stats();
-                if self.search.stats().truncated {
+                if self.search().stats().truncated {
                     // Report the (tightened) budget the traversal stalled
                     // at, not the range's upper bound: repairs above it
                     // were already yielded.
                     Some(Err(EngineError::BudgetExhausted {
-                        tau: self.search.current_tau().unwrap_or(self.tau_high),
+                        tau: self.search().current_tau().unwrap_or(self.tau_high),
                         max_expansions: self.engine.search_config().max_expansions,
                     }))
                 } else {
                     None
                 }
             }
+        }
+    }
+}
+
+impl Drop for RepairStream<'_> {
+    fn drop(&mut self) {
+        if let Some(search) = self.search.take() {
+            // Suspend whatever the traversal reached — a partial prefix or
+            // the exhausted range — so the next sweep over this range can
+            // replay / resume it. Mutations invalidate the checkpoint when
+            // (and only when) they change FD-level search state.
+            self.engine.stash_sweep(search.suspend());
         }
     }
 }

@@ -164,6 +164,38 @@ impl UndirectedGraph {
         components
     }
 
+    /// Number of distinct connected components containing at least one of
+    /// `seeds` and at least one edge.
+    ///
+    /// The traversal is scoped: only the components actually reachable from
+    /// the seeds are walked, so the cost is proportional to the *affected*
+    /// part of the graph, not to the whole graph. Incremental maintenance
+    /// uses this to report how many components a mutation dirtied.
+    pub fn components_touching(&self, seeds: &[usize]) -> usize {
+        let n = self.adjacency.len();
+        // A hash set, not a vec![false; n]: the visited structure must also
+        // cost only as much as the part actually walked.
+        let mut visited: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut components = 0usize;
+        let mut stack = Vec::new();
+        for &seed in seeds {
+            if seed >= n || visited.contains(&seed) || self.adjacency[seed].is_empty() {
+                continue;
+            }
+            components += 1;
+            visited.insert(seed);
+            stack.push(seed);
+            while let Some(v) = stack.pop() {
+                for u in self.neighbors(v) {
+                    if visited.insert(u) {
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        components
+    }
+
     /// The subgraph induced by `vertices` (which must be sorted ascending),
     /// with vertex ids remapped to `0..vertices.len()`.
     ///
@@ -232,6 +264,18 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.edge_count(), 2);
         assert!(u.has_edge(0, 1) && u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn components_touching_counts_seeded_components_once() {
+        // Components: {0,1,2}, {4,5}, {7,8}; vertex 9 is isolated.
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (4, 5), (7, 8)]);
+        assert_eq!(g.components_touching(&[]), 0);
+        assert_eq!(g.components_touching(&[0]), 1);
+        assert_eq!(g.components_touching(&[0, 2]), 1); // same component
+        assert_eq!(g.components_touching(&[1, 5]), 2);
+        assert_eq!(g.components_touching(&[3, 99]), 0); // isolated / unknown
+        assert_eq!(g.components_touching(&[0, 4, 7]), 3);
     }
 
     #[test]

@@ -187,6 +187,39 @@ impl Instance {
         Ok(())
     }
 
+    /// Removes the given rows (deduplicated), compacting the remaining rows
+    /// downwards while preserving their relative order.
+    ///
+    /// Returns the number of rows actually removed. A surviving row's new
+    /// index is its old index minus the number of removed rows below it —
+    /// the monotonic renumbering incremental consumers (conflict-graph
+    /// retraction, partition indexes) rely on.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any row index is out of range; the instance is left
+    /// unchanged in that case.
+    pub fn remove_rows(&mut self, rows: &[usize]) -> Result<usize> {
+        let n = self.tuples.len();
+        if let Some(&bad) = rows.iter().find(|&&r| r >= n) {
+            return Err(RelationError::RowOutOfRange { row: bad, rows: n });
+        }
+        let mut doomed = vec![false; n];
+        let mut removed = 0usize;
+        for &r in rows {
+            if !doomed[r] {
+                doomed[r] = true;
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return Ok(0);
+        }
+        let mut keep = doomed.iter().map(|d| !d);
+        self.tuples.retain(|_| keep.next().unwrap());
+        Ok(removed)
+    }
+
     /// Hands out a fresh V-instance variable for attribute `attr`.
     ///
     /// Fresh variables are never reused, which is exactly what guarantees the
@@ -234,10 +267,16 @@ impl Instance {
         for t in &self.tuples {
             *counts.entry(t.get(attr)).or_insert(0) += 1;
         }
+        // Sum in value order, not HashMap order: float addition is not
+        // associative, and two builds over equal instances must produce
+        // bit-identical entropies (the incremental engine compares weight
+        // fingerprints across rebuilds).
+        let mut counts: Vec<(&Value, usize)> = counts.into_iter().collect();
+        counts.sort_unstable_by_key(|(a, _)| *a);
         let n = self.tuples.len() as f64;
         counts
-            .values()
-            .map(|&c| {
+            .into_iter()
+            .map(|(_, c)| {
                 let p = c as f64 / n;
                 -p * p.log2()
             })
@@ -386,6 +425,26 @@ mod tests {
         assert!(inst.diff(&truncated).is_err());
         let other_schema = Instance::new(Schema::with_arity(4).unwrap());
         assert!(inst.diff(&other_schema).is_err());
+    }
+
+    #[test]
+    fn remove_rows_compacts_and_validates() {
+        let mut inst = small_instance();
+        // Duplicates collapse; rows 1 and 3 go, rows 0 and 2 slide together.
+        assert_eq!(inst.remove_rows(&[3, 1, 1]).unwrap(), 2);
+        assert_eq!(inst.len(), 2);
+        assert_eq!(
+            *inst.cell(CellRef::new(0, AttrId(1))).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            *inst.cell(CellRef::new(1, AttrId(0))).unwrap(),
+            Value::Int(2)
+        );
+        // Out-of-range leaves the instance untouched.
+        assert!(inst.remove_rows(&[0, 9]).is_err());
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.remove_rows(&[]).unwrap(), 0);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Reads a CSV file and a set of functional dependencies, and either
 //!
 //! * produces one repair for a chosen trust level (`--tau` / `--tau-r`), or
-//! * enumerates the whole spectrum of non-dominated repairs (`--spectrum`).
+//! * enumerates the whole spectrum of non-dominated repairs (`--spectrum`),
+//!   or
+//! * replays a JSON mutation log against a live engine (`apply`), keeping
+//!   the prepared state maintained incrementally — the conflict graph is
+//!   never rebuilt.
 //!
 //! Examples:
 //!
@@ -11,6 +15,8 @@
 //! rtclean employees.csv --fd "Surname,GivenName->Income" --spectrum
 //! rtclean employees.csv --fd "Surname,GivenName->Income" --tau-r 0.5 \
 //!         --output repaired.csv
+//! rtclean apply employees.csv --fd "Surname,GivenName->Income" \
+//!         --log mutations.json --verify
 //! ```
 
 use relative_trust::prelude::*;
@@ -41,6 +47,19 @@ enum Mode {
 
 const USAGE: &str = "\
 usage: rtclean <input.csv> --fd \"X1,X2->A\" [--fd ...] [options]
+       rtclean apply <input.csv> --fd \"X1,X2->A\" [--fd ...] --log <mutations.json> [options]
+
+`rtclean apply` replays a JSON mutation log (inserts / deletes / cell
+updates / FD edits) against a live engine session, maintaining the prepared
+state incrementally, then reports the session and prints the post-mutation
+spectrum. With --verify it additionally rebuilds an engine from scratch on
+the mutated inputs and checks the outputs are bit-identical.
+
+apply options:
+  --log <file>         JSON mutation log to replay (required)
+  --per-op | --batch   replay one engine batch per log entry (default) or
+                       apply the whole log as a single atomic batch
+  --verify             compare against a freshly built engine afterwards
 
 options:
   --fd <spec>          functional dependency, e.g. \"Surname,GivenName->Income\"
@@ -266,8 +285,243 @@ fn run(options: &Options) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Options of the `apply` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct ApplyOptions {
+    input: String,
+    fd_specs: Vec<String>,
+    log: String,
+    weight: WeightKind,
+    seed: u64,
+    max_expansions: usize,
+    threads: Parallelism,
+    /// One engine batch per log entry (streaming replay) vs one atomic
+    /// batch for the whole log.
+    per_op: bool,
+    verify: bool,
+}
+
+fn parse_apply_args(args: &[String]) -> Result<ApplyOptions, String> {
+    let mut input: Option<String> = None;
+    let mut fd_specs = Vec::new();
+    let mut log: Option<String> = None;
+    let mut weight = WeightKind::DistinctCount;
+    let mut seed = 0u64;
+    let mut max_expansions = 500_000usize;
+    let mut threads = Parallelism::Auto;
+    let mut per_op = true;
+    let mut verify = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after `{arg}`"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--fd" => fd_specs.push(take_value(&mut i)?),
+            "--log" => log = Some(take_value(&mut i)?),
+            "--per-op" => per_op = true,
+            "--batch" => per_op = false,
+            "--verify" => verify = true,
+            "--weight" => {
+                let v = take_value(&mut i)?;
+                weight = match v.as_str() {
+                    "distinct" => WeightKind::DistinctCount,
+                    "count" => WeightKind::AttrCount,
+                    "entropy" => WeightKind::Entropy,
+                    other => return Err(format!("unknown --weight `{other}`")),
+                };
+            }
+            "--seed" => {
+                let v = take_value(&mut i)?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{v}`"))?;
+            }
+            "--max-expansions" => {
+                let v = take_value(&mut i)?;
+                max_expansions = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
+            }
+            "--threads" => {
+                let v = take_value(&mut i)?;
+                threads = Parallelism::parse(&v).map_err(|e| format!("--threads: {e}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => {
+                if input.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                input = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    Ok(ApplyOptions {
+        input: input.ok_or_else(|| USAGE.to_string())?,
+        fd_specs: if fd_specs.is_empty() {
+            return Err("at least one --fd is required".to_string());
+        } else {
+            fd_specs
+        },
+        log: log.ok_or_else(|| "apply requires --log <mutations.json>".to_string())?,
+        weight,
+        seed,
+        max_expansions,
+        threads,
+        per_op,
+        verify,
+    })
+}
+
+fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
+    let instance = relative_trust::relation::csv::read_instance_from_path("input", &options.input)
+        .map_err(|e| file_error(&options.input, e))?;
+    let schema = instance.schema().clone();
+    let specs: Vec<&str> = options.fd_specs.iter().map(String::as_str).collect();
+    let fds = FdSet::parse(&specs, &schema).map_err(EngineError::Fd)?;
+
+    let log_text =
+        std::fs::read_to_string(&options.log).map_err(|e| EngineError::io(&options.log, e))?;
+    let ops = relative_trust::engine::parse_mutation_log(&log_text, &schema)
+        .map_err(EngineError::Mutation)?;
+
+    println!(
+        "loaded {} tuples × {} attributes from {}; {} log entries from {}",
+        instance.len(),
+        schema.arity(),
+        options.input,
+        ops.len(),
+        options.log
+    );
+
+    let mut engine = RepairEngine::builder(instance, fds)
+        .weight(options.weight)
+        .parallelism(options.threads)
+        .max_expansions(options.max_expansions)
+        .seed(options.seed)
+        .build()?;
+
+    if options.per_op {
+        for (i, op) in ops.iter().enumerate() {
+            let outcome = engine.apply(&MutationBatch::new().push(op.clone()))?;
+            let e = outcome.effect;
+            println!(
+                "  op #{i:<3} rows +{}/-{}  cells ~{}  fds +{}/-{}  edges +{}/-{}  \
+                 components {}  sweep cache {}",
+                e.rows_inserted,
+                e.rows_deleted,
+                e.cells_updated,
+                e.fds_added,
+                e.fds_removed,
+                e.edges_added,
+                e.edges_removed,
+                e.components_dirtied,
+                if outcome.sweep_cache_retained {
+                    "kept"
+                } else {
+                    "reset"
+                }
+            );
+        }
+    } else {
+        let batch: MutationBatch = ops.iter().cloned().collect();
+        let outcome = engine.apply(&batch)?;
+        let e = outcome.effect;
+        println!(
+            "  batch of {}: rows +{}/-{}  cells ~{}  fds +{}/-{}  edges +{}/-{}  components {}",
+            batch.len(),
+            e.rows_inserted,
+            e.rows_deleted,
+            e.cells_updated,
+            e.fds_added,
+            e.fds_removed,
+            e.edges_added,
+            e.edges_removed,
+            e.components_dirtied,
+        );
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nlive session after replay: {} tuples, {} FDs, {} conflict edges",
+        engine.problem().instance().len(),
+        engine.problem().fd_count(),
+        engine.problem().conflict_graph().edge_count()
+    );
+    println!(
+        "  conflict graph builds : {} (rebuilds avoided: {})",
+        stats.conflict_graph_builds, stats.graph_rebuild_avoided
+    );
+    println!(
+        "  incremental edge delta: +{} / -{}  ({} components dirtied)",
+        stats.edges_added, stats.edges_removed, stats.components_dirtied
+    );
+
+    let budget = engine.delta_p_original();
+    println!("\npost-mutation spectrum (δP reference {budget}):");
+    let spectrum = engine.spectrum()?;
+    for point in &spectrum.points {
+        println!(
+            "  τ ∈ [{:>4}, {:>4}]  FD cost {:>10.1}  cell changes {:>5}   {}",
+            point.tau_range.0,
+            point.tau_range.1,
+            point.repair.dist_c,
+            point.repair.data_changes(),
+            point.repair.modified_fds.display_with(&schema)
+        );
+    }
+
+    if options.verify {
+        let fresh = RepairEngine::builder(
+            engine.problem().instance().clone(),
+            engine.problem().sigma().clone(),
+        )
+        .weight(options.weight)
+        .parallelism(options.threads)
+        .max_expansions(options.max_expansions)
+        .seed(options.seed)
+        .build()?;
+        let fresh_spectrum = fresh.spectrum()?;
+        if spectrum.bit_identical(&fresh_spectrum) {
+            println!(
+                "\nverify: OK — incremental session is bit-identical to a fresh rebuild \
+                 ({} spectrum points)",
+                spectrum.len()
+            );
+        } else {
+            return Err(EngineError::Mutation(
+                "verification failed: incremental session diverged from a fresh rebuild".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("apply") {
+        return match parse_apply_args(&args[1..]) {
+            Ok(options) => match run_apply(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse_args(&args) {
         Ok(options) => match run(&options) {
             Ok(()) => ExitCode::SUCCESS,
@@ -421,6 +675,85 @@ mod tests {
         let err = run(&options).unwrap_err();
         assert!(matches!(err, EngineError::Fd(_)), "got {err:?}");
         std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn apply_arg_parsing() {
+        let o = parse_apply_args(&args(&[
+            "d.csv", "--fd", "A->B", "--log", "m.json", "--verify", "--batch", "--weight", "count",
+        ]))
+        .unwrap();
+        assert_eq!(o.input, "d.csv");
+        assert_eq!(o.log, "m.json");
+        assert!(o.verify);
+        assert!(!o.per_op);
+        assert_eq!(o.weight, WeightKind::AttrCount);
+        // --log is mandatory, as is an input and at least one FD.
+        assert!(parse_apply_args(&args(&["d.csv", "--fd", "A->B"])).is_err());
+        assert!(parse_apply_args(&args(&["d.csv", "--log", "m.json"])).is_err());
+        assert!(parse_apply_args(&args(&["--fd", "A->B", "--log", "m.json"])).is_err());
+        assert!(parse_apply_args(&args(&["d.csv", "--fd", "A->B", "--log"])).is_err());
+    }
+
+    #[test]
+    fn apply_replays_a_log_and_verifies() {
+        let dir = std::env::temp_dir().join("rtclean_test_apply");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let log = dir.join("mutations.json");
+        std::fs::write(&input, "A,B,C\n1,1,1\n1,2,1\n2,5,3\n2,5,4\n").unwrap();
+        std::fs::write(
+            &log,
+            r#"[
+              {"op": "insert", "rows": [[1, 3, 9], [7, 7, 7]]},
+              {"op": "update", "row": 0, "attr": "B", "value": 2},
+              {"op": "delete", "rows": [3]},
+              {"op": "add_fd", "fd": "C->B"},
+              {"op": "remove_fd", "index": 0}
+            ]"#,
+        )
+        .unwrap();
+        for per_op in [true, false] {
+            let options = ApplyOptions {
+                input: input.to_string_lossy().to_string(),
+                fd_specs: vec!["A->B".to_string()],
+                log: log.to_string_lossy().to_string(),
+                weight: WeightKind::AttrCount,
+                seed: 3,
+                max_expansions: 100_000,
+                threads: Parallelism::Serial,
+                per_op,
+                verify: true,
+            };
+            run_apply(&options).unwrap();
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&log).ok();
+    }
+
+    #[test]
+    fn apply_rejects_invalid_logs_without_mutating() {
+        let dir = std::env::temp_dir().join("rtclean_test_apply_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let log = dir.join("bad.json");
+        std::fs::write(&input, "A,B\n1,1\n1,2\n").unwrap();
+        std::fs::write(&log, r#"[{"op": "delete", "rows": [99]}]"#).unwrap();
+        let options = ApplyOptions {
+            input: input.to_string_lossy().to_string(),
+            fd_specs: vec!["A->B".to_string()],
+            log: log.to_string_lossy().to_string(),
+            weight: WeightKind::AttrCount,
+            seed: 0,
+            max_expansions: 10_000,
+            threads: Parallelism::Serial,
+            per_op: true,
+            verify: false,
+        };
+        let err = run_apply(&options).unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "got {err:?}");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&log).ok();
     }
 
     #[test]

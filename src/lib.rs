@@ -25,8 +25,8 @@
 //! * [`core`] — the repair algorithms themselves (τ-constrained repairs, A*
 //!   FD modification, near-optimal data repair, Range-Repair);
 //! * [`baseline`] — the unified-cost comparator;
-//! * [`datagen`] — census-like workload generation, error injection and
-//!   repair-quality metrics.
+//! * [`datagen`] — census-like workload generation, error injection,
+//!   repair-quality metrics and seeded mutation streams.
 //!
 //! ## Quick start
 //!
@@ -89,8 +89,8 @@ pub use rt_relation as relation;
 /// types.
 pub mod prelude {
     pub use rt_engine::{
-        EngineError, EngineStats, RepairEngine, RepairEngineBuilder, RepairPoint, RepairStream,
-        Spectrum,
+        EngineError, EngineStats, MutationBatch, MutationEffect, MutationOp, MutationOutcome,
+        RepairEngine, RepairEngineBuilder, RepairPoint, RepairStream, Spectrum,
     };
 
     pub use rt_baseline::{unified_cost_repair, UnifiedCostConfig, UnifiedRepair};

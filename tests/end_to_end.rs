@@ -269,12 +269,15 @@ fn sampling_and_range_repair_agree_through_the_facade() {
     }
 }
 
-/// The deprecated free-function surface must keep producing exactly what
-/// the engine produces, so existing user code stays correct while it
-/// migrates.
+/// The engine must stay a thin session over the `rt-core` primitives it
+/// wraps (`repair_data_fds_with`, `RangeSearch`): both spellings produce
+/// bit-identical repairs, so code driving the primitives directly stays
+/// correct.
 #[test]
-#[allow(deprecated)]
-fn deprecated_free_functions_match_the_engine() {
+fn core_primitives_match_the_engine() {
+    use relative_trust::core::repair::repair_data_fds_with;
+    use relative_trust::core::{RangeSearch, SearchAlgorithm};
+
     let (instance, fds) = employee_example();
     let problem = RepairProblem::new(&instance, &fds);
     let engine = RepairEngine::builder(instance.clone(), fds.clone())
@@ -283,8 +286,9 @@ fn deprecated_free_functions_match_the_engine() {
     let hi = engine.delta_p_original();
     assert_eq!(problem.delta_p_original(), hi);
 
+    let config = SearchConfig::default();
     for tau in 0..=hi {
-        let old = repair_data_fds(&problem, tau).unwrap();
+        let old = repair_data_fds_with(&problem, tau, &config, SearchAlgorithm::AStar, 0).unwrap();
         let new = engine.repair_at(tau).unwrap();
         assert_eq!(old.state, new.state, "τ={tau}");
         assert_eq!(old.modified_fds, new.modified_fds, "τ={tau}");
@@ -292,8 +296,9 @@ fn deprecated_free_functions_match_the_engine() {
         assert_eq!(old.changed_cells, new.changed_cells, "τ={tau}");
     }
 
-    let old_spectrum =
-        find_repairs_range(&problem, 0, hi, &SearchConfig::default()).materialize(&problem, 0);
+    let old_spectrum = RangeSearch::new(&problem, 0, hi, &config)
+        .run_to_end()
+        .materialize(&problem, 0);
     let new_spectrum = engine.spectrum().unwrap();
     assert_eq!(old_spectrum.len(), new_spectrum.len());
     for (old, new) in old_spectrum.iter().zip(new_spectrum.repairs()) {

@@ -86,21 +86,30 @@ fn builder_rejects_degenerate_heuristic_configs() {
 }
 
 // ---------------------------------------------------------------------------
-// Equivalence with the deprecated free functions
+// Equivalence with the rt-core primitives
 // ---------------------------------------------------------------------------
 
 #[test]
-#[allow(deprecated)]
-fn repair_at_relative_matches_free_function_bit_for_bit() {
+fn repair_at_relative_matches_core_primitive_bit_for_bit() {
+    use relative_trust::core::repair::repair_data_fds_with;
+    use relative_trust::core::SearchAlgorithm;
+
     let (instance, fds) = figure2();
-    // `repair_data_fds_relative` uses the DistinctCount default weighting,
-    // seed 0 and the default search config — the engine's defaults.
+    // The primitive with the DistinctCount default weighting, seed 0 and
+    // the default search config — the engine's defaults.
     let problem = RepairProblem::new(&instance, &fds);
     let engine = RepairEngine::builder(instance.clone(), fds.clone())
         .build()
         .unwrap();
     for tau_r in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let old = repair_data_fds_relative(&problem, tau_r).unwrap();
+        let old = repair_data_fds_with(
+            &problem,
+            problem.absolute_tau(tau_r),
+            &SearchConfig::default(),
+            SearchAlgorithm::AStar,
+            0,
+        )
+        .unwrap();
         let new = engine.repair_at_relative(tau_r).unwrap();
         assert_eq!(old.tau, new.tau, "τ_r={tau_r}");
         assert_eq!(old.state, new.state, "τ_r={tau_r}");
@@ -113,18 +122,19 @@ fn repair_at_relative_matches_free_function_bit_for_bit() {
 }
 
 /// The headline acceptance check: a full `sweep` produces repairs
-/// bit-identical to the old `find_repairs_range` + `materialize`, and the
+/// bit-identical to a direct `RangeSearch` + `materialize`, and the
 /// engine's telemetry shows conflict-graph construction ran exactly once
 /// across the whole sweep.
 #[test]
-#[allow(deprecated)]
-fn sweep_matches_find_repairs_range_with_one_graph_build() {
+fn sweep_matches_range_search_with_one_graph_build() {
+    use relative_trust::core::RangeSearch;
+
     let (instance, fds) = figure2();
     let problem = RepairProblem::with_weight(&instance, &fds, WeightKind::AttrCount);
     let engine = figure2_engine();
     let hi = engine.delta_p_original();
 
-    let old_outcome = find_repairs_range(&problem, 0, hi, &SearchConfig::default());
+    let old_outcome = RangeSearch::new(&problem, 0, hi, &SearchConfig::default()).run_to_end();
     let old_materialized = old_outcome.materialize(&problem, 0);
 
     let new_points: Vec<RepairPoint> = engine.sweep(0..=hi).collect::<Result<Vec<_>, _>>().unwrap();
