@@ -1,0 +1,92 @@
+//! Microbenches of the dictionary-encoding layer (PR 4): dictionary build
+//! (the one-off interning pass an instance pays at construction), stripped
+//! partition refinement over code columns, and code-keyed conflict-graph
+//! blocking.
+//!
+//! NOTE: the CI container is single-core and offline, so wall-clock numbers
+//! recorded there are not meaningful — the gated evidence for this layer is
+//! `bench_gate`'s deterministic work counters (`key_bytes_hashed`,
+//! `key_allocs`, `value_compares`; see `ci/bench_baseline.json` and
+//! `BENCH_pr4.json`). These benches exist so multi-core hardware can
+//! measure the wall-clock side later.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::workloads::{Workload, WorkloadSpec};
+use rt_constraints::{AttrSet, ConflictGraph, PartitionStore, StrippedPartition};
+use rt_relation::{AttrId, Instance, Tuple};
+
+fn workload(tuples: usize) -> Workload {
+    Workload::build(&WorkloadSpec {
+        tuples,
+        attributes: 10,
+        fd_count: 2,
+        lhs_size: 3,
+        data_error_rate: 0.01,
+        fd_error_rate: 0.4,
+        seed: 31,
+    })
+}
+
+/// Re-encoding an instance from raw tuples: the full dictionary build.
+fn bench_dict_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_dict_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 1000, 2000] {
+        let instance = workload(tuples).dirty_instance().clone();
+        let schema = instance.schema().clone();
+        let rows: Vec<Tuple> = instance.tuples().map(|(_, t)| t.clone()).collect();
+        group.bench_with_input(BenchmarkId::new("from_tuples", tuples), &tuples, |b, _| {
+            b.iter(|| Instance::from_tuples(schema.clone(), rows.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Single-attribute partitions plus TANE-style refinement to 3-attribute
+/// sets, through the cached store and directly.
+fn bench_partition_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_partition_refine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 1000, 2000] {
+        let instance = workload(tuples).dirty_instance().clone();
+        let attrs = AttrSet::from_attrs([AttrId(0), AttrId(1), AttrId(2)]);
+        group.bench_with_input(BenchmarkId::new("store", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                let mut store = PartitionStore::new(instance.schema().arity());
+                store.partition(&instance, attrs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct", tuples), &tuples, |b, _| {
+            b.iter(|| StrippedPartition::compute(&instance, attrs))
+        });
+    }
+    group.finish();
+}
+
+/// Code-keyed conflict-graph blocking (the phase-1 hot path of every
+/// engine build).
+fn bench_conflict_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_conflict_blocking");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 1000, 2000] {
+        let w = workload(tuples);
+        group.bench_with_input(BenchmarkId::new("build", tuples), &tuples, |b, _| {
+            b.iter(|| ConflictGraph::build(w.dirty_instance(), w.dirty_fds()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dict_build,
+    bench_partition_refinement,
+    bench_conflict_blocking
+);
+criterion_main!(benches);

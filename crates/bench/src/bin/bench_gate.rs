@@ -32,8 +32,20 @@ fn spectrum_signature(s: &Spectrum) -> (usize, usize) {
     (s.len(), cells)
 }
 
+/// Pushes the equality-work counters accumulated since `work::reset()` under
+/// the given scenario prefix. These are the counters the dictionary-encoding
+/// layer is meant to shrink: bytes hashed and heap allocations spent building
+/// equality keys, and `Value`-level comparisons in hot paths.
+fn push_work_counters(metrics: &mut Metrics, prefix: &str) {
+    let w = rt_relation::work::snapshot();
+    metrics.push((format!("{prefix}.key_bytes_hashed"), w.key_bytes_hashed));
+    metrics.push((format!("{prefix}.key_allocs"), w.key_allocs));
+    metrics.push((format!("{prefix}.value_compares"), w.value_compares));
+}
+
 /// Scenario 1: a full spectrum sweep on a fixed-seed workload.
 fn measure_spectrum(metrics: &mut Metrics) {
+    rt_relation::work::reset();
     let workload = Workload::build(&WorkloadSpec {
         tuples: 160,
         attributes: 10,
@@ -58,11 +70,13 @@ fn measure_spectrum(metrics: &mut Metrics) {
     ));
     metrics.push(m("points", points as u64));
     metrics.push(m("cells_changed", cells as u64));
+    push_work_counters(metrics, "spectrum");
 }
 
 /// Scenario 2: a live mutation stream replayed against one engine session,
 /// verified bit-identical to a fresh rebuild at the end.
 fn measure_mutations(metrics: &mut Metrics) {
+    rt_relation::work::reset();
     let workload = Workload::build(&WorkloadSpec {
         tuples: 120,
         attributes: 8,
@@ -104,6 +118,11 @@ fn measure_mutations(metrics: &mut Metrics) {
     let stats = engine.stats();
     assert_eq!(stats.conflict_graph_builds, 1, "engine invariant violated");
     assert_eq!(stats.graph_rebuild_avoided, ops.len());
+    // Snapshot the equality-work counters *before* the fresh-rebuild
+    // verification below: the gate measures the incremental session, not the
+    // gate's own cross-check.
+    let mut work_metrics = Metrics::new();
+    push_work_counters(&mut work_metrics, "mutations");
 
     // Hard equivalence gate: the incremental session must be bit-identical
     // to a fresh engine on the mutated inputs.
@@ -140,6 +159,7 @@ fn measure_mutations(metrics: &mut Metrics) {
     metrics.push(m("components_dirtied", stats.components_dirtied as u64));
     metrics.push(m("points", points as u64));
     metrics.push(m("cells_changed", cells as u64));
+    metrics.extend(work_metrics);
 }
 
 fn measure() -> Metrics {

@@ -15,7 +15,7 @@
 
 use crate::attrset::AttrSet;
 use crate::fd::{Fd, FdSet};
-use crate::partition::StrippedPartition;
+use crate::partition::{PartitionStore, StrippedPartition};
 use rt_relation::{AttrId, Instance};
 use std::collections::HashMap;
 
@@ -53,14 +53,14 @@ pub fn discover_fds(instance: &Instance, config: &DiscoveryConfig) -> FdSet {
     let mut found: Vec<Fd> = Vec::new();
     // For minimality pruning: rhs -> list of already-found LHSs.
     let mut found_lhs_by_rhs: HashMap<AttrId, Vec<AttrSet>> = HashMap::new();
-    // Partition cache for candidate LHSs of the current level.
+    // Single-attribute partitions are cached in the store (one columnar
+    // pass per attribute); multi-attribute candidates refine them TANE-style
+    // and are cached per level in `partitions`.
+    let mut store = PartitionStore::new(arity);
     let mut partitions: HashMap<AttrSet, StrippedPartition> = HashMap::new();
     partitions.insert(AttrSet::EMPTY, StrippedPartition::universal(instance.len()));
     for &a in &all_attrs {
-        partitions.insert(
-            AttrSet::singleton(a),
-            StrippedPartition::compute(instance, AttrSet::singleton(a)),
-        );
+        partitions.insert(AttrSet::singleton(a), store.single(instance, a).clone());
     }
 
     // Level 0: constant columns (∅ → A).
@@ -82,7 +82,7 @@ pub fn discover_fds(instance: &Instance, config: &DiscoveryConfig) -> FdSet {
             let lhs_partition = match partitions.get(&lhs) {
                 Some(p) => p.clone(),
                 None => {
-                    let p = StrippedPartition::compute(instance, lhs);
+                    let p = store.partition(instance, lhs);
                     partitions.insert(lhs, p.clone());
                     p
                 }
@@ -141,7 +141,7 @@ pub fn discover_fds(instance: &Instance, config: &DiscoveryConfig) -> FdSet {
             let base = lhs.without(greatest);
             let p = match partitions.get(&base) {
                 Some(bp) => bp.refine(instance, AttrSet::singleton(greatest)),
-                None => StrippedPartition::compute(instance, lhs),
+                None => store.partition(instance, lhs),
             };
             partitions.insert(lhs, p);
         }

@@ -17,23 +17,26 @@
 
 use crate::fd::FdSet;
 use crate::violations::ConflictEdge;
-use rt_relation::{AttrId, Instance, Value};
+use rt_relation::{CodeKey, Instance};
 use std::collections::{BTreeSet, HashMap};
 
 /// The LHS equivalence partitions of every FD in a set, maintained
 /// incrementally.
 ///
-/// For FD `X → A`, rows are grouped by their `X`-projection under plain
-/// value equality — the same grouping [`crate::ConflictGraph::build`] uses
-/// (for [`Value`], equality and the V-instance `matches` relation coincide,
-/// so the classes are exactly the "agree on `X`" classes of the paper).
+/// For FD `X → A`, rows are grouped by their `X`-projection, keyed on
+/// packed dictionary codes ([`rt_relation::Instance::codes`]) — the same
+/// `Value::matches`-faithful grouping [`crate::ConflictGraph::build`] uses,
+/// so the classes are exactly the "agree on `X`" classes of the paper,
+/// without allocating or hashing a `Vec<Value>` per probe. Codes are
+/// append-only in the instance's dictionaries, so stored keys stay valid
+/// across every mutation.
 /// Unlike [`crate::StrippedPartition`], singleton classes are kept: a row
 /// alone in its class today may receive a peer from the next insert.
 #[derive(Debug, Clone, Default)]
 pub struct FdPartitionIndex {
-    /// `per_fd[i]` maps the LHS projection of FD `i` to the sorted rows
-    /// sharing it.
-    per_fd: Vec<HashMap<Vec<Value>, Vec<usize>>>,
+    /// `per_fd[i]` maps the (code-keyed) LHS projection of FD `i` to the
+    /// sorted rows sharing it.
+    per_fd: Vec<HashMap<CodeKey, Vec<usize>>>,
 }
 
 impl FdPartitionIndex {
@@ -41,20 +44,28 @@ impl FdPartitionIndex {
     /// pass a mutable problem pays on its first mutation.
     pub fn build(instance: &Instance, fds: &FdSet) -> Self {
         let mut per_fd = Vec::with_capacity(fds.len());
-        for (_, fd) in fds.iter() {
-            per_fd.push(Self::partition_for(instance, fd.lhs.to_vec()));
+        for (fd_idx, _) in fds.iter() {
+            per_fd.push(Self::partition_for(instance, fds, fd_idx));
         }
         FdPartitionIndex { per_fd }
     }
 
     fn partition_for(
         instance: &Instance,
-        lhs_attrs: Vec<AttrId>,
-    ) -> HashMap<Vec<Value>, Vec<usize>> {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(instance.len());
-        for (row, tuple) in instance.tuples() {
-            let key: Vec<Value> = lhs_attrs.iter().map(|a| tuple.get(*a).clone()).collect();
-            map.entry(key).or_default().push(row);
+        fds: &FdSet,
+        fd_idx: usize,
+    ) -> HashMap<CodeKey, Vec<usize>> {
+        let cols: Vec<&[rt_relation::Code]> = fds
+            .get(fd_idx)
+            .lhs
+            .iter()
+            .map(|a| instance.codes(a))
+            .collect();
+        let mut map: HashMap<CodeKey, Vec<usize>> = HashMap::with_capacity(instance.len());
+        for row in 0..instance.len() {
+            map.entry(CodeKey::from_cols(&cols, row))
+                .or_default()
+                .push(row);
         }
         map
     }
@@ -64,13 +75,8 @@ impl FdPartitionIndex {
         self.per_fd.len()
     }
 
-    fn key_of(&self, instance: &Instance, fds: &FdSet, fd_idx: usize, row: usize) -> Vec<Value> {
-        let tuple = instance.tuple_unchecked(row);
-        fds.get(fd_idx)
-            .lhs
-            .iter()
-            .map(|a| tuple.get(a).clone())
-            .collect()
+    fn key_of(&self, instance: &Instance, fds: &FdSet, fd_idx: usize, row: usize) -> CodeKey {
+        CodeKey::from_codes(fds.get(fd_idx).lhs.iter().map(|a| instance.code_at(row, a)))
     }
 
     /// Registers `row` (whose tuple must already be present in `instance`)
@@ -122,9 +128,8 @@ impl FdPartitionIndex {
     /// Appends the partition of a newly added FD (one linear pass over the
     /// data for that FD only).
     pub fn push_fd(&mut self, instance: &Instance, fds: &FdSet) {
-        let fd = fds.get(self.per_fd.len());
-        self.per_fd
-            .push(Self::partition_for(instance, fd.lhs.to_vec()));
+        let fd_idx = self.per_fd.len();
+        self.per_fd.push(Self::partition_for(instance, fds, fd_idx));
     }
 
     /// Drops the partition of the FD at `fd_idx` (later FDs shift down, in
@@ -171,14 +176,14 @@ pub fn incident_conflict_edges(
     debug_assert_eq!(index.fd_count(), fds.len());
     let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
     for &row in dirty_rows {
-        let tuple = instance.tuple_unchecked(row);
         for (fd_idx, fd) in fds.iter() {
+            let rhs_col = instance.codes(fd.rhs);
+            let rhs_code = rhs_col[row];
             for &peer in index.class_of(instance, fds, fd_idx, row) {
                 if peer == row {
                     continue;
                 }
-                let other = instance.tuple_unchecked(peer);
-                if !tuple.get(fd.rhs).matches(other.get(fd.rhs)) {
+                if rhs_code != rhs_col[peer] {
                     pairs.insert((row.min(peer), row.max(peer)));
                 }
             }
@@ -186,15 +191,7 @@ pub fn incident_conflict_edges(
     }
     pairs
         .into_iter()
-        .map(|(u, v)| {
-            let tu = instance.tuple_unchecked(u);
-            let tv = instance.tuple_unchecked(v);
-            ConflictEdge {
-                rows: (u, v),
-                violated_fds: fds.violated_by(tu, tv),
-                difference_set: crate::AttrSet::from_attrs(tu.differing_attrs(tv)),
-            }
-        })
+        .map(|pair| crate::violations::labelled_edge(instance, fds, pair))
         .collect()
 }
 
@@ -202,7 +199,7 @@ pub fn incident_conflict_edges(
 mod tests {
     use super::*;
     use crate::violations::ConflictGraph;
-    use rt_relation::{CellRef, Schema};
+    use rt_relation::{AttrId, CellRef, Schema, Value};
 
     fn figure2() -> (Instance, FdSet) {
         let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();

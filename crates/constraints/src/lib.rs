@@ -35,6 +35,6 @@ pub use attrset::AttrSet;
 pub use discovery::{discover_fds, DiscoveryConfig};
 pub use fd::{Fd, FdSet};
 pub use incremental::{incident_conflict_edges, FdPartitionIndex};
-pub use partition::StrippedPartition;
+pub use partition::{PartitionStore, StrippedPartition};
 pub use violations::{ConflictGraph, ConflictGraphDeltaSummary, DifferenceSet, DifferenceSetIndex};
 pub use weights::{AttrCountWeight, DistinctCountWeight, EntropyWeight, Weight};

@@ -8,41 +8,68 @@
 //!
 //! A *stripped* partition drops singleton classes, since a tuple alone in its
 //! class can neither violate an FD nor refine another partition.
+//!
+//! Partitions are computed on the instance's dictionary codes
+//! ([`rt_relation::Instance::codes`]): grouping by packed code keys is
+//! `Value::matches`-faithful, so the classes are identical to value-level
+//! grouping at a fraction of the hashing cost.
+//!
+//! # Determinism contract
+//!
+//! Classes are ordered by their **first (smallest) row index**, and rows
+//! within a class are ascending. This is the same convention the
+//! conflict-graph blocking uses for its classes and sub-classes, and —
+//! because classes are disjoint — it coincides with lexicographic order of
+//! the class vectors. Both [`StrippedPartition::compute`] and
+//! [`StrippedPartition::refine`] guarantee it, `PartialEq` relies on it,
+//! and consumers may rely on it across releases.
 
 use crate::attrset::AttrSet;
-use rt_relation::{Instance, Value};
+use rt_relation::{Code, CodeKey, Instance};
 use std::collections::HashMap;
 
 /// A (stripped) partition of tuple indices by their projection on some
 /// attribute set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrippedPartition {
-    /// Equivalence classes with at least two members; each class is a sorted
-    /// vector of row indices.
+    /// Equivalence classes with at least two members; each class is an
+    /// ascending vector of row indices, and classes are ordered by first
+    /// row (see the module-level determinism contract).
     classes: Vec<Vec<usize>>,
     /// Number of rows the partition was computed over.
     row_count: usize,
+}
+
+/// Orders classes by first row. Rows are appended to classes in ascending
+/// row order during grouping, so each class is already sorted and — classes
+/// being disjoint — this single cheap-key sort replaces the old per-class
+/// sorts plus full lexicographic `Vec<Vec<usize>>` sort while producing the
+/// exact same order.
+fn sort_classes_by_first_row(classes: &mut [Vec<usize>]) {
+    classes.sort_unstable_by_key(|c| c[0]);
 }
 
 impl StrippedPartition {
     /// Computes the stripped partition of `instance` under `attrs`.
     ///
     /// Rows whose projection contains a V-instance variable form singleton
-    /// classes by construction (a variable equals nothing but itself), so
-    /// they are compared by exact value: two rows sharing the *same* variable
-    /// in a cell do land in the same class, matching [`Value::matches`].
+    /// classes by construction (a variable equals nothing but itself) unless
+    /// they share the *same* variable in a cell, matching [`Value::matches`]
+    /// — dictionary codes encode exactly this semantics.
+    ///
+    /// [`Value::matches`]: rt_relation::Value::matches
     pub fn compute(instance: &Instance, attrs: AttrSet) -> Self {
         let attr_vec = attrs.to_vec();
-        let mut groups: HashMap<Vec<&Value>, Vec<usize>> = HashMap::with_capacity(instance.len());
-        for (row, tuple) in instance.tuples() {
-            let key: Vec<&Value> = attr_vec.iter().map(|a| tuple.get(*a)).collect();
-            groups.entry(key).or_default().push(row);
+        let cols: Vec<&[Code]> = attr_vec.iter().map(|a| instance.codes(*a)).collect();
+        let mut groups: HashMap<CodeKey, Vec<usize>> = HashMap::with_capacity(instance.len());
+        for row in 0..instance.len() {
+            groups
+                .entry(CodeKey::from_cols(&cols, row))
+                .or_default()
+                .push(row);
         }
         let mut classes: Vec<Vec<usize>> = groups.into_values().filter(|c| c.len() > 1).collect();
-        for c in &mut classes {
-            c.sort_unstable();
-        }
-        classes.sort_unstable();
+        sort_classes_by_first_row(&mut classes);
         StrippedPartition {
             classes,
             row_count: instance.len(),
@@ -94,20 +121,19 @@ impl StrippedPartition {
     /// existing classes need to be re-grouped.
     pub fn refine(&self, instance: &Instance, extra: AttrSet) -> StrippedPartition {
         let attr_vec = extra.to_vec();
+        let cols: Vec<&[Code]> = attr_vec.iter().map(|a| instance.codes(*a)).collect();
         let mut classes = Vec::new();
         for class in &self.classes {
-            let mut groups: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+            let mut groups: HashMap<CodeKey, Vec<usize>> = HashMap::new();
             for &row in class {
-                let tuple = instance.tuple_unchecked(row);
-                let key: Vec<&Value> = attr_vec.iter().map(|a| tuple.get(*a)).collect();
-                groups.entry(key).or_default().push(row);
+                groups
+                    .entry(CodeKey::from_cols(&cols, row))
+                    .or_default()
+                    .push(row);
             }
             classes.extend(groups.into_values().filter(|c| c.len() > 1));
         }
-        for c in &mut classes {
-            c.sort_unstable();
-        }
-        classes.sort_unstable();
+        sort_classes_by_first_row(&mut classes);
         StrippedPartition {
             classes,
             row_count: self.row_count,
@@ -123,6 +149,70 @@ impl StrippedPartition {
     pub fn refines_without_split(&self, refined: &StrippedPartition) -> bool {
         (self.covered_rows() - self.class_count())
             == (refined.covered_rows() - refined.class_count())
+    }
+}
+
+/// A cache of single-attribute stripped partitions with TANE-style
+/// refinement for multi-attribute sets.
+///
+/// Level-wise FD discovery (and any other consumer asking for many
+/// partitions of the same instance) repeatedly needs `π_X` for assorted
+/// attribute sets `X`. The store computes each **single-attribute**
+/// partition exactly once — one code-columnar pass per attribute, lazily —
+/// and answers a multi-attribute request by refining the partition of the
+/// set's smallest attribute with the remaining attributes, touching only
+/// rows inside non-singleton classes (the TANE observation: singletons can
+/// never split further).
+///
+/// Results are bit-identical to [`StrippedPartition::compute`] on the same
+/// attribute set (covered by this module's tests); the store is purely a
+/// work saver.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionStore {
+    /// Lazily computed single-attribute partitions, indexed by attribute.
+    singles: Vec<Option<StrippedPartition>>,
+}
+
+impl PartitionStore {
+    /// Creates an empty store for a schema of `arity` attributes.
+    pub fn new(arity: usize) -> Self {
+        PartitionStore {
+            singles: vec![None; arity],
+        }
+    }
+
+    /// Number of single-attribute partitions computed so far.
+    pub fn cached_singles(&self) -> usize {
+        self.singles.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The cached partition of one attribute (computed on first use).
+    pub fn single(&mut self, instance: &Instance, attr: rt_relation::AttrId) -> &StrippedPartition {
+        let slot = &mut self.singles[attr.index()];
+        if slot.is_none() {
+            *slot = Some(StrippedPartition::compute(
+                instance,
+                AttrSet::singleton(attr),
+            ));
+        }
+        slot.as_ref().expect("filled above")
+    }
+
+    /// The stripped partition of an arbitrary attribute set: universal for
+    /// `∅`, the cached single for one attribute, and the cached single of
+    /// the smallest attribute refined by the rest for larger sets.
+    pub fn partition(&mut self, instance: &Instance, attrs: AttrSet) -> StrippedPartition {
+        let mut iter = attrs.iter();
+        let Some(first) = iter.next() else {
+            return StrippedPartition::universal(instance.len());
+        };
+        let rest = attrs.without(first);
+        let base = self.single(instance, first).clone();
+        if rest.is_empty() {
+            base
+        } else {
+            base.refine(instance, rest)
+        }
     }
 }
 

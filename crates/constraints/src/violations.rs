@@ -139,6 +139,30 @@ impl ConflictGraphDeltaSummary {
     }
 }
 
+/// Builds a fully labelled conflict edge for a row pair from the code
+/// columns alone: the difference set is read off the per-attribute codes,
+/// and the violated FDs follow from it (`X → A` is violated by the pair iff
+/// the pair agrees on `X` and differs on `A`, i.e. `X ∩ diff = ∅ ∧ A ∈
+/// diff` — the same predicate [`ConflictEdge::violates`] uses, and exactly
+/// equivalent to the value-level [`FdSet::violated_by`]).
+pub(crate) fn labelled_edge(
+    instance: &Instance,
+    fds: &FdSet,
+    pair: (usize, usize),
+) -> ConflictEdge {
+    let diff = AttrSet::from_attrs(instance.differing_attrs_coded(pair.0, pair.1));
+    let violated_fds = fds
+        .iter()
+        .filter(|(_, fd)| fd.lhs.is_disjoint_from(diff) && diff.contains(fd.rhs))
+        .map(|(i, _)| i)
+        .collect();
+    ConflictEdge {
+        rows: pair,
+        violated_fds,
+        difference_set: diff,
+    }
+}
+
 /// The conflict graph of an instance with respect to an FD set, enriched with
 /// difference sets so questions about *relaxations* of that FD set can be
 /// answered without touching the data again.
@@ -179,29 +203,33 @@ impl ConflictGraph {
     /// sorted and deduplicated, the result is bit-identical for every
     /// `Parallelism` setting (covered by the workspace determinism tests).
     pub fn build_with(instance: &Instance, fds: &FdSet, par: Parallelism) -> Self {
-        use rt_relation::Value;
+        use rt_relation::{Code, CodeKey};
 
-        // Phase 1: blocking. A block is the list of RHS sub-classes of one
-        // LHS class of one FD; sub-classes are kept in first-row order so the
-        // block list itself is deterministic.
+        // Phase 1: blocking, entirely on dictionary codes. A block is the
+        // list of RHS sub-classes of one LHS class of one FD; sub-classes are
+        // kept in first-row order so the block list itself is deterministic.
+        // Grouping by packed code keys is `Value::matches`-faithful (equal
+        // codes ⟺ matching cells), so the blocks — and hence the edges —
+        // are bit-identical to value-level blocking.
         let mut blocks: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
         for (fd_idx, fd) in fds.iter() {
-            let lhs_attrs = fd.lhs.to_vec();
-            let mut by_lhs: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
-            for (row, tuple) in instance.tuples() {
-                let key: Vec<&Value> = lhs_attrs.iter().map(|a| tuple.get(*a)).collect();
-                by_lhs.entry(key).or_default().push(row);
+            let lhs_cols: Vec<&[Code]> = fd.lhs.iter().map(|a| instance.codes(a)).collect();
+            let rhs_col = instance.codes(fd.rhs);
+            let mut by_lhs: HashMap<CodeKey, Vec<usize>> = HashMap::new();
+            for row in 0..instance.len() {
+                by_lhs
+                    .entry(CodeKey::from_cols(&lhs_cols, row))
+                    .or_default()
+                    .push(row);
             }
             let mut classes: Vec<Vec<usize>> =
                 by_lhs.into_values().filter(|c| c.len() >= 2).collect();
             classes.sort_by_key(|c| c[0]);
             for class in classes {
-                let mut by_rhs: HashMap<&Value, Vec<usize>> = HashMap::new();
+                let mut by_rhs: HashMap<Code, Vec<usize>> = HashMap::new();
                 for &row in &class {
-                    by_rhs
-                        .entry(instance.tuple_unchecked(row).get(fd.rhs))
-                        .or_default()
-                        .push(row);
+                    rt_relation::work::count_key_hash(4);
+                    by_rhs.entry(rhs_col[row]).or_default().push(row);
                 }
                 if by_rhs.len() < 2 {
                     continue;
@@ -247,11 +275,7 @@ impl ConflictGraph {
             let mut violated = violated.clone();
             violated.sort_unstable();
             violated.dedup();
-            let diff = AttrSet::from_attrs(
-                instance
-                    .tuple_unchecked(*u)
-                    .differing_attrs(instance.tuple_unchecked(*v)),
-            );
+            let diff = AttrSet::from_attrs(instance.differing_attrs_coded(*u, *v));
             ConflictEdge {
                 rows: (*u, *v),
                 violated_fds: violated,
@@ -444,25 +468,26 @@ impl ConflictGraph {
         fds: &FdSet,
         fd_idx: usize,
     ) -> ConflictGraphDeltaSummary {
-        use rt_relation::Value;
+        use rt_relation::{Code, CodeKey};
         let fd = fds.get(fd_idx);
-        let lhs_attrs = fd.lhs.to_vec();
-        let mut by_lhs: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
-        for (row, tuple) in instance.tuples() {
-            let key: Vec<&Value> = lhs_attrs.iter().map(|a| tuple.get(*a)).collect();
-            by_lhs.entry(key).or_default().push(row);
+        let lhs_cols: Vec<&[Code]> = fd.lhs.iter().map(|a| instance.codes(a)).collect();
+        let rhs_col = instance.codes(fd.rhs);
+        let mut by_lhs: HashMap<CodeKey, Vec<usize>> = HashMap::new();
+        for row in 0..instance.len() {
+            by_lhs
+                .entry(CodeKey::from_cols(&lhs_cols, row))
+                .or_default()
+                .push(row);
         }
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for class in by_lhs.into_values() {
             if class.len() < 2 {
                 continue;
             }
-            let mut by_rhs: HashMap<&Value, Vec<usize>> = HashMap::new();
+            let mut by_rhs: HashMap<Code, Vec<usize>> = HashMap::new();
             for &row in &class {
-                by_rhs
-                    .entry(instance.tuple_unchecked(row).get(fd.rhs))
-                    .or_default()
-                    .push(row);
+                rt_relation::work::count_key_hash(4);
+                by_rhs.entry(rhs_col[row]).or_default().push(row);
             }
             if by_rhs.len() < 2 {
                 continue;
@@ -493,13 +518,7 @@ impl ConflictGraph {
                     }
                 }
                 Err(_) => {
-                    let tu = instance.tuple_unchecked(pair.0);
-                    let tv = instance.tuple_unchecked(pair.1);
-                    fresh.push(ConflictEdge {
-                        rows: pair,
-                        violated_fds: fds.violated_by(tu, tv),
-                        difference_set: AttrSet::from_attrs(tu.differing_attrs(tv)),
-                    });
+                    fresh.push(labelled_edge(instance, fds, pair));
                     summary.edges_added += 1;
                 }
             }

@@ -25,7 +25,9 @@ use rand::SeedableRng;
 use rt_constraints::{ConflictGraph, FdSet};
 use rt_graph::{approx_vertex_cover, approx_vertex_cover_with, UndirectedGraph};
 use rt_par::{par_map_coarse, Parallelism};
-use rt_relation::{AttrId, CellRef, Instance, Tuple, Value, VarId};
+use rt_relation::{
+    AttrId, CellRef, Code, CodeKey, Instance, Tuple, Value, VarId, OVERLAY_CODE_BASE,
+};
 use std::collections::{BTreeSet, HashMap};
 
 /// Outcome of a data repair.
@@ -46,14 +48,18 @@ impl DataRepairOutcome {
     }
 }
 
-/// Per-FD hash index of the *clean* tuples: LHS projection → RHS value.
+/// Per-FD hash index of the *clean* tuples: packed LHS code key → (RHS code,
+/// RHS value).
 ///
 /// Because the clean set satisfies `Σ'`, each LHS key maps to exactly one RHS
 /// value, so [`find_assignment`] can detect violations in `O(|Σ'|)` lookups
 /// instead of scanning all clean tuples (this matches the complexity analysis
-/// in Section 6 of the paper).
+/// in Section 6 of the paper). Keys and the forced-RHS test are dictionary
+/// codes under the unit's encoding (instance dictionaries plus the
+/// [`UnitEncoder`] overlay for scratch variables); the value is kept
+/// alongside its code because a forced repair writes it into the candidate.
 struct CleanIndex {
-    per_fd: Vec<HashMap<Vec<Value>, Value>>,
+    per_fd: Vec<HashMap<CodeKey, (Code, Value)>>,
 }
 
 impl CleanIndex {
@@ -63,19 +69,42 @@ impl CleanIndex {
         }
     }
 
-    fn insert_tuple(&mut self, fds: &FdSet, tuple: &Tuple) {
+    /// Indexes an instance row straight from its code columns — no value
+    /// hashing, no key allocation.
+    fn insert_row(&mut self, instance: &Instance, fds: &FdSet, row: usize) {
         for (idx, fd) in fds.iter() {
-            let key: Vec<Value> = fd.lhs.iter().map(|a| tuple.get(a).clone()).collect();
-            self.per_fd[idx].insert(key, tuple.get(fd.rhs).clone());
+            let key = CodeKey::from_codes(fd.lhs.iter().map(|a| instance.code_at(row, a)));
+            self.per_fd[idx].insert(
+                key,
+                (
+                    instance.code_at(row, fd.rhs),
+                    instance.tuple_unchecked(row).get(fd.rhs).clone(),
+                ),
+            );
         }
     }
 
-    /// The RHS value the clean tuples force for the given candidate tuple and
-    /// FD, if any clean tuple shares its LHS projection.
-    fn forced_rhs(&self, fds: &FdSet, fd_idx: usize, candidate: &Tuple) -> Option<&Value> {
+    /// Indexes a repaired tuple given its encoded cells.
+    fn insert_coded(&mut self, fds: &FdSet, tuple: &Tuple, codes: &[Code]) {
+        for (idx, fd) in fds.iter() {
+            let key = CodeKey::from_codes(fd.lhs.iter().map(|a| codes[a.index()]));
+            self.per_fd[idx].insert(key, (codes[fd.rhs.index()], tuple.get(fd.rhs).clone()));
+        }
+    }
+
+    /// The RHS the clean tuples force for the given candidate codes and FD,
+    /// if any clean tuple shares the candidate's LHS projection.
+    fn forced_rhs(
+        &self,
+        fds: &FdSet,
+        fd_idx: usize,
+        cand_codes: &[Code],
+    ) -> Option<&(Code, Value)> {
         let fd = fds.get(fd_idx);
-        // A fresh variable in the LHS can never match a stored key.
-        let key: Vec<Value> = fd.lhs.iter().map(|a| candidate.get(a).clone()).collect();
+        // A fresh scratch variable in the LHS carries an overlay code no
+        // clean tuple can share, so it never matches a stored key — exactly
+        // the V-instance semantics.
+        let key = CodeKey::from_codes(fd.lhs.iter().map(|a| cand_codes[a.index()]));
         self.per_fd[fd_idx].get(&key)
     }
 }
@@ -99,14 +128,53 @@ impl<'a> ScopedIndex<'a> {
         }
     }
 
-    fn insert_tuple(&mut self, fds: &FdSet, tuple: &Tuple) {
-        self.local.insert_tuple(fds, tuple);
+    fn insert_coded(&mut self, fds: &FdSet, tuple: &Tuple, codes: &[Code]) {
+        self.local.insert_coded(fds, tuple, codes);
     }
 
-    fn forced_rhs(&self, fds: &FdSet, fd_idx: usize, candidate: &Tuple) -> Option<&Value> {
+    fn forced_rhs(
+        &self,
+        fds: &FdSet,
+        fd_idx: usize,
+        cand_codes: &[Code],
+    ) -> Option<&(Code, Value)> {
         self.local
-            .forced_rhs(fds, fd_idx, candidate)
-            .or_else(|| self.base.forced_rhs(fds, fd_idx, candidate))
+            .forced_rhs(fds, fd_idx, cand_codes)
+            .or_else(|| self.base.forced_rhs(fds, fd_idx, cand_codes))
+    }
+}
+
+/// Hands out private codes from the reserved overlay range
+/// ([`OVERLAY_CODE_BASE`]) for the unit's scratch variables.
+///
+/// No hashing or interning is needed: a scratch variable is — by
+/// construction of [`VarAlloc::scratch_base`] — never present in the
+/// instance dictionaries, every [`VarAlloc::fresh`] variable is distinct,
+/// and each one is encoded exactly once (at creation; afterwards its code
+/// travels with it through the candidate/working code slots). A bare
+/// per-attribute counter therefore extends the instance encoding
+/// injectively, so **code equality keeps coinciding with
+/// [`Value::matches`]** inside the unit; and because each unit owns its
+/// allocator, units stay independent and the component-parallel repair
+/// remains deterministic.
+struct ScratchCodes {
+    /// Per-attribute next overlay code.
+    next: Vec<Code>,
+}
+
+impl ScratchCodes {
+    fn new(arity: usize) -> Self {
+        ScratchCodes {
+            next: vec![OVERLAY_CODE_BASE; arity],
+        }
+    }
+
+    /// The code of the next fresh scratch variable of `attr`.
+    fn fresh_code(&mut self, attr: AttrId) -> Code {
+        let slot = &mut self.next[attr.index()];
+        let code = *slot;
+        *slot = code.checked_add(1).expect("overlay code range exhausted");
+        code
     }
 }
 
@@ -159,32 +227,40 @@ impl VarAlloc {
 /// fresh V-instance variables.
 fn find_assignment(
     tuple: &Tuple,
+    tuple_codes: &[Code],
     fixed: &BTreeSet<AttrId>,
     fds: &FdSet,
     index: &ScopedIndex<'_>,
     vars: &mut VarAlloc,
-) -> Option<Tuple> {
+    scratch: &mut ScratchCodes,
+) -> Option<(Tuple, Vec<Code>)> {
     let arity = tuple.arity();
     let mut fixed = fixed.clone();
     let mut candidate = Tuple::nulls(arity);
+    let mut cand_codes = vec![0 as Code; arity];
     for i in 0..arity {
         let attr = AttrId(i as u16);
         if fixed.contains(&attr) {
             candidate.set(attr, tuple.get(attr).clone());
+            cand_codes[i] = tuple_codes[i];
         } else {
+            cand_codes[i] = scratch.fresh_code(attr);
             candidate.set(attr, vars.fresh(attr));
         }
     }
     // Iterate to a fixpoint; each round either returns, or fixes one more
-    // attribute, so at most |Σ'| + 1 rounds run.
+    // attribute, so at most |Σ'| + 1 rounds run. Consistency against the
+    // clean tuples is checked on codes only (code equality ≡ value
+    // `matches` under the unit's encoding).
     loop {
         let mut changed = false;
         for (fd_idx, fd) in fds.iter() {
-            if let Some(forced) = index.forced_rhs(fds, fd_idx, &candidate) {
-                if !candidate.get(fd.rhs).matches(forced) {
+            if let Some((forced_code, forced)) = index.forced_rhs(fds, fd_idx, &cand_codes) {
+                if cand_codes[fd.rhs.index()] != *forced_code {
                     if fixed.contains(&fd.rhs) {
                         return None;
                     }
+                    cand_codes[fd.rhs.index()] = *forced_code;
                     candidate.set(fd.rhs, forced.clone());
                     fixed.insert(fd.rhs);
                     changed = true;
@@ -192,7 +268,7 @@ fn find_assignment(
             }
         }
         if !changed {
-            return Some(candidate);
+            return Some((candidate, cand_codes));
         }
     }
 }
@@ -352,9 +428,9 @@ pub fn repair_data_with_cover_and_graph(
 fn build_clean_index(instance: &Instance, fds: &FdSet, cover_rows: &[usize]) -> CleanIndex {
     let cover_set: BTreeSet<usize> = cover_rows.iter().copied().collect();
     let mut index = CleanIndex::new(fds);
-    for (row, tuple) in instance.tuples() {
+    for row in 0..instance.len() {
         if !cover_set.contains(&row) {
-            index.insert_tuple(fds, tuple);
+            index.insert_row(instance, fds, row);
         }
     }
     index
@@ -375,6 +451,7 @@ fn repair_unit(
     let all_attrs: Vec<AttrId> = instance.schema().attr_ids().collect();
     let mut index = ScopedIndex::new(base_index, fds);
     let mut vars = VarAlloc::new(scratch_base.to_vec());
+    let mut scratch = ScratchCodes::new(instance.schema().arity());
 
     // Process covered tuples in random order.
     let mut order: Vec<usize> = rows.to_vec();
@@ -382,8 +459,13 @@ fn repair_unit(
 
     let mut out = Vec::with_capacity(order.len());
     for &row in &order {
-        let original = instance.tuple_unchecked(row).clone();
-        let mut working = original.clone();
+        let mut working = instance.tuple_unchecked(row).clone();
+        // The working tuple starts as the instance row, so its codes start
+        // as the row's code column entries; both are kept in lock-step.
+        let mut working_codes: Vec<Code> = all_attrs
+            .iter()
+            .map(|&a| instance.code_at(row, a))
+            .collect();
 
         // Random attribute order; the first attribute is only "anchored"
         // (it can never be changed — Theorem 3's |R|-1 bound).
@@ -392,19 +474,37 @@ fn repair_unit(
         let mut fixed: BTreeSet<AttrId> = BTreeSet::new();
         fixed.insert(attr_order[0]);
 
-        let mut last_valid = find_assignment(&working, &fixed, fds, &index, &mut vars)
-            .expect("an assignment always exists when a single attribute is fixed");
+        let (mut last_valid, mut last_valid_codes) = find_assignment(
+            &working,
+            &working_codes,
+            &fixed,
+            fds,
+            &index,
+            &mut vars,
+            &mut scratch,
+        )
+        .expect("an assignment always exists when a single attribute is fixed");
 
         for &attr in &attr_order[1..] {
             fixed.insert(attr);
-            match find_assignment(&working, &fixed, fds, &index, &mut vars) {
-                Some(assignment) => {
+            match find_assignment(
+                &working,
+                &working_codes,
+                &fixed,
+                fds,
+                &index,
+                &mut vars,
+                &mut scratch,
+            ) {
+                Some((assignment, codes)) => {
                     last_valid = assignment;
+                    last_valid_codes = codes;
                 }
                 None => {
                     // Keeping `attr` as-is is impossible: overwrite it with
                     // the value the previous valid assignment gave it.
                     working.set(attr, last_valid.get(attr).clone());
+                    working_codes[attr.index()] = last_valid_codes[attr.index()];
                     // `working[attr]` now equals `last_valid[attr]`, so
                     // `last_valid` remains a valid assignment for the grown
                     // fixed set.
@@ -415,7 +515,7 @@ fn repair_unit(
         // All attributes fixed: `working` equals the last valid assignment
         // and is consistent with every clean tuple. It joins the unit's
         // clean set.
-        index.insert_tuple(fds, &working);
+        index.insert_coded(fds, &working, &working_codes);
         out.push((row, working));
     }
     out

@@ -148,6 +148,7 @@ impl RepairEngineBuilder {
         let stats = EngineStats {
             conflict_graph_builds: 1,
             build_elapsed: start.elapsed(),
+            dict_entries: problem.instance().dict_entries(),
             ..Default::default()
         };
         let search_config = SearchConfig {

@@ -121,6 +121,10 @@ impl RepairEngine {
             stats.edges_removed += effect.edges_removed;
             stats.components_dirtied += effect.components_dirtied;
             stats.graph_rebuild_avoided += 1;
+            // The dictionaries were maintained in-place by the mutated
+            // instance (append-only; untouched rows were not re-encoded) —
+            // refresh the footprint figure.
+            stats.dict_entries = self.problem.instance().dict_entries();
         }
         let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
         let sweep_cache_retained = if effect.search_state_invalidated {

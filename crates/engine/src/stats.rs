@@ -55,6 +55,12 @@ pub struct EngineStats {
     /// Sweeps answered (partially or fully) from a retained
     /// [`rt_core::SweepCheckpoint`] instead of a fresh traversal.
     pub sweep_cache_hits: usize,
+    /// Current footprint of the dictionary-encoding layer: total interned
+    /// entries (constants + V-instance variables) across the live
+    /// instance's per-attribute dictionaries. Set at build time and
+    /// refreshed after every applied mutation batch; dictionaries are
+    /// append-only, so within a session this only grows.
+    pub dict_entries: usize,
 }
 
 impl EngineStats {

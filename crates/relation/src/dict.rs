@@ -1,0 +1,326 @@
+//! Per-attribute dictionary encoding of cell values.
+//!
+//! Every algorithm in this workspace compares cells **for equality only**
+//! (FD semantics are equality based, and for [`Value`] the V-instance
+//! `matches` relation coincides with plain equality — see
+//! [`Value::matches`]). That makes each column a candidate for classic
+//! dictionary encoding: intern the distinct values of attribute `A` once,
+//! hand out dense `u32` [`Code`]s, and let every hot path — conflict-graph
+//! blocking, stripped partitions, partition indexes, clean-tuple lookups —
+//! hash and compare 4-byte codes instead of heap-allocated `Vec<Value>` keys.
+//!
+//! # Code layout
+//!
+//! ```text
+//! 0 .. 2^31                constants, dense in interning order
+//! 2^31 .. 0xC000_0000      V-instance variables, dense in interning order
+//! 0xC000_0000 .. 2^32      reserved for external overlay encoders
+//! ```
+//!
+//! Variables live in a reserved range ([`VAR_CODE_BASE`]) so a code is
+//! `Value::matches`-faithful by construction: two cells match **iff** their
+//! codes are equal (distinct constants, distinct variables and
+//! constant-vs-variable pairs all receive distinct codes; the same constant
+//! or the same variable always receives the same code). The top range
+//! ([`OVERLAY_CODE_BASE`]) is never handed out by [`AttrDict`]; scoped
+//! encoders (e.g. the data-repair units, which see scratch variables that
+//! are not part of the instance) allocate private codes there without
+//! colliding with instance codes.
+//!
+//! A dictionary is **append-only**: interning never re-assigns or frees a
+//! code, so codes stored by long-lived consumers (partition indexes, clean
+//! indexes) stay valid across row deletions and cell updates. Codes are
+//! meaningful only *within* the dictionary (and its clones) that issued
+//! them; comparing codes across independently built instances is a bug —
+//! equal data interned in different orders yields different codes.
+
+use crate::value::{Value, VarId};
+use crate::work;
+use std::collections::HashMap;
+
+/// Dense per-attribute value code. See the module docs for the layout.
+pub type Code = u32;
+
+/// First code of the reserved V-instance-variable range.
+pub const VAR_CODE_BASE: Code = 1 << 31;
+
+/// First code of the range reserved for external overlay encoders. Never
+/// issued by [`AttrDict`]; see [`crate::Instance::codes`] consumers that
+/// need to encode values outside the instance (scratch variables).
+pub const OVERLAY_CODE_BASE: Code = 0xC000_0000;
+
+/// Interner of one attribute's values: constants to `0..`, V-instance
+/// variables to `VAR_CODE_BASE..`.
+#[derive(Debug, Clone, Default)]
+pub struct AttrDict {
+    constants: HashMap<Value, Code>,
+    const_values: Vec<Value>,
+    vars: HashMap<VarId, Code>,
+    var_ids: Vec<VarId>,
+}
+
+impl AttrDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        AttrDict::default()
+    }
+
+    /// Interns a value, returning its (new or existing) code.
+    ///
+    /// Panics if a code range overflows — 2^31 distinct constants or 2^30
+    /// distinct variables in one column, far beyond anything this workspace
+    /// can hold in memory.
+    pub fn intern(&mut self, value: &Value) -> Code {
+        match value {
+            Value::Var(vid) => {
+                work::count_key_hash(value.hash_cost());
+                if let Some(&code) = self.vars.get(vid) {
+                    return code;
+                }
+                let idx = self.var_ids.len() as Code;
+                assert!(
+                    VAR_CODE_BASE + idx < OVERLAY_CODE_BASE,
+                    "variable code range exhausted"
+                );
+                let code = VAR_CODE_BASE + idx;
+                self.vars.insert(*vid, code);
+                self.var_ids.push(*vid);
+                code
+            }
+            _ => {
+                work::count_key_hash(value.hash_cost());
+                if let Some(&code) = self.constants.get(value) {
+                    return code;
+                }
+                let code = self.const_values.len() as Code;
+                assert!(code < VAR_CODE_BASE, "constant code range exhausted");
+                self.constants.insert(value.clone(), code);
+                self.const_values.push(value.clone());
+                code
+            }
+        }
+    }
+
+    /// Read-only probe: the code of `value` if it has been interned.
+    pub fn lookup(&self, value: &Value) -> Option<Code> {
+        work::count_key_hash(value.hash_cost());
+        match value {
+            Value::Var(vid) => self.vars.get(vid).copied(),
+            _ => self.constants.get(value).copied(),
+        }
+    }
+
+    /// Decodes a code back to its value (owned; variables are rebuilt from
+    /// the stored [`VarId`]).
+    ///
+    /// Panics on a code this dictionary never issued (including overlay
+    /// codes).
+    pub fn decode(&self, code: Code) -> Value {
+        if Self::is_var_code(code) {
+            Value::Var(self.var_ids[(code - VAR_CODE_BASE) as usize])
+        } else {
+            self.const_values[code as usize].clone()
+        }
+    }
+
+    /// Compares two codes by the **order of their decoded values** (the
+    /// derived `Ord` of [`Value`]: `Null < Int < Str < Var`). Lets
+    /// consumers that need value order (e.g. the entropy summation) keep
+    /// bit-identical behaviour without materializing values.
+    pub fn cmp_codes(&self, a: Code, b: Code) -> std::cmp::Ordering {
+        match (Self::is_var_code(a), Self::is_var_code(b)) {
+            (false, false) => self.const_values[a as usize].cmp(&self.const_values[b as usize]),
+            (true, true) => self.var_ids[(a - VAR_CODE_BASE) as usize]
+                .cmp(&self.var_ids[(b - VAR_CODE_BASE) as usize]),
+            // Any constant sorts before any variable (enum variant order).
+            (false, true) => std::cmp::Ordering::Less,
+            (true, false) => std::cmp::Ordering::Greater,
+        }
+    }
+
+    /// `true` when the code lies in the reserved variable range.
+    pub fn is_var_code(code: Code) -> bool {
+        code >= VAR_CODE_BASE
+    }
+
+    /// Number of interned entries (constants + variables).
+    pub fn len(&self) -> usize {
+        self.const_values.len() + self.var_ids.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of interned constants.
+    pub fn constant_count(&self) -> usize {
+        self.const_values.len()
+    }
+
+    /// Number of interned variables.
+    pub fn var_count(&self) -> usize {
+        self.var_ids.len()
+    }
+}
+
+/// How many codes a [`CodeKey`] can hold without spilling to the heap.
+pub const CODE_KEY_INLINE: usize = 4;
+
+/// A packed multi-attribute equality key: up to [`CODE_KEY_INLINE`] codes in
+/// one `u128`, wider keys in a boxed slice.
+///
+/// Two keys built over the **same attribute list** are equal iff the rows
+/// agree (code-wise) on every listed attribute. Keys of different lengths
+/// are never equal (the length is part of the key), so maps mixing arities
+/// stay sound. Construction records the accounting costs used by the
+/// benchmark gate: 4 bytes hashed per code, one key allocation when the key
+/// spills.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodeKey {
+    /// Up to four codes, packed little-end first into a `u128`.
+    Inline {
+        /// Number of packed codes.
+        len: u8,
+        /// `codes[i]` at bits `32*i..32*i+32`; unused slots are zero.
+        packed: u128,
+    },
+    /// Five or more codes.
+    Spill(Box<[Code]>),
+}
+
+impl CodeKey {
+    /// Builds the key of `row` over pre-fetched code columns.
+    #[inline]
+    pub fn from_cols(cols: &[&[Code]], row: usize) -> CodeKey {
+        Self::from_codes(cols.iter().map(|c| c[row]))
+    }
+
+    /// Builds a key from a code iterator; stays allocation-free up to
+    /// [`CODE_KEY_INLINE`] codes.
+    #[inline]
+    pub fn from_codes<I: IntoIterator<Item = Code>>(codes: I) -> CodeKey {
+        let mut iter = codes.into_iter();
+        let mut buf = [0 as Code; CODE_KEY_INLINE];
+        let mut len = 0usize;
+        for c in iter.by_ref() {
+            if len == CODE_KEY_INLINE {
+                // Wider than the inline capacity: spill to the heap.
+                let mut spilled: Vec<Code> = buf.to_vec();
+                spilled.push(c);
+                spilled.extend(iter);
+                work::count_key_alloc();
+                work::count_key_hash(4 * spilled.len());
+                return CodeKey::Spill(spilled.into_boxed_slice());
+            }
+            buf[len] = c;
+            len += 1;
+        }
+        work::count_key_hash(4 * len);
+        let mut packed = 0u128;
+        for (i, &c) in buf[..len].iter().enumerate() {
+            packed |= (c as u128) << (32 * i);
+        }
+        CodeKey::Inline {
+            len: len as u8,
+            packed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut d = AttrDict::new();
+        let a = d.intern(&Value::str("a"));
+        let b = d.intern(&Value::str("b"));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(d.intern(&Value::str("a")), a);
+        assert_eq!(d.constant_count(), 2);
+        assert_eq!(d.decode(a), Value::str("a"));
+        assert_eq!(d.lookup(&Value::str("b")), Some(b));
+        assert_eq!(d.lookup(&Value::str("zzz")), None);
+    }
+
+    #[test]
+    fn variables_land_in_the_reserved_range() {
+        let mut d = AttrDict::new();
+        let c = d.intern(&Value::int(7));
+        let v1 = d.intern(&Value::Var(VarId::new(0, 1)));
+        let v2 = d.intern(&Value::Var(VarId::new(0, 2)));
+        assert!(!AttrDict::is_var_code(c));
+        assert!(AttrDict::is_var_code(v1));
+        assert_eq!(v1, VAR_CODE_BASE);
+        assert_eq!(v2, VAR_CODE_BASE + 1);
+        assert_ne!(v1, v2);
+        assert_eq!(d.intern(&Value::Var(VarId::new(0, 1))), v1);
+        assert_eq!(d.decode(v2), Value::Var(VarId::new(0, 2)));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.var_count(), 2);
+    }
+
+    #[test]
+    fn codes_are_matches_faithful() {
+        // Equal codes ⟺ Value::matches, across every kind pairing.
+        let mut d = AttrDict::new();
+        let vals = [
+            Value::Null,
+            Value::int(1),
+            Value::int(2),
+            Value::str("1"),
+            Value::Var(VarId::new(0, 0)),
+            Value::Var(VarId::new(0, 1)),
+        ];
+        let codes: Vec<Code> = vals.iter().map(|v| d.intern(v)).collect();
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(
+                    codes[i] == codes[j],
+                    a.matches(b),
+                    "code faithfulness broken for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_codes_follows_value_order() {
+        let mut d = AttrDict::new();
+        // Intern out of value order on purpose.
+        let s = d.intern(&Value::str("x"));
+        let n = d.intern(&Value::Null);
+        let i = d.intern(&Value::int(5));
+        let v = d.intern(&Value::Var(VarId::new(0, 0)));
+        use std::cmp::Ordering::*;
+        assert_eq!(d.cmp_codes(n, i), Less);
+        assert_eq!(d.cmp_codes(i, s), Less);
+        assert_eq!(d.cmp_codes(s, v), Less);
+        assert_eq!(d.cmp_codes(v, s), Greater);
+        assert_eq!(d.cmp_codes(i, i), Equal);
+    }
+
+    #[test]
+    fn code_keys_pack_and_spill() {
+        let k1 = CodeKey::from_codes([1u32, 2, 3]);
+        let k2 = CodeKey::from_codes([1u32, 2, 3]);
+        let k3 = CodeKey::from_codes([1u32, 2, 4]);
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+        // Length is part of the key: (1, 0) != (1).
+        let short = CodeKey::from_codes([1u32]);
+        let padded = CodeKey::from_codes([1u32, 0]);
+        assert_ne!(short, padded);
+        // Wide keys spill but stay comparable.
+        let wide = CodeKey::from_codes([9u32, 8, 7, 6, 5]);
+        let wide2 = CodeKey::from_codes([9u32, 8, 7, 6, 5]);
+        assert_eq!(wide, wide2);
+        assert!(matches!(wide, CodeKey::Spill(_)));
+        // Column-based construction matches iterator-based construction.
+        let cols: Vec<&[Code]> = vec![&[1, 9], &[2, 9], &[3, 9]];
+        assert_eq!(CodeKey::from_cols(&cols, 0), k1);
+    }
+}

@@ -10,6 +10,7 @@
 //! "distinct variables are never equal" semantics simply by never reusing an
 //! id.
 
+use crate::dict::{AttrDict, Code, CodeKey};
 use crate::error::RelationError;
 use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
@@ -69,12 +70,39 @@ impl InstanceDiff {
 }
 
 /// A (V-)instance of a relation schema.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides the row store, an instance maintains a per-attribute
+/// **dictionary encoding** of its cells: every column value is interned into
+/// an [`AttrDict`] and the resulting [`Code`]s are kept in columnar arrays,
+/// updated in lock-step by every mutation ([`Instance::push`],
+/// [`Instance::set_cell`], [`Instance::remove_rows`]) so untouched rows are
+/// never re-encoded. Equality hot paths read the codes via
+/// [`Instance::codes`] and compare/hash `u32`s instead of values; the
+/// encoding is `Value::matches`-faithful (equal codes ⟺ matching cells), so
+/// results are bit-identical to value-level comparison.
+#[derive(Debug, Clone)]
 pub struct Instance {
     schema: Schema,
     tuples: Vec<Tuple>,
     /// Next fresh-variable counter, one per attribute.
     var_counters: Vec<u32>,
+    /// Per-attribute value interners (append-only).
+    dicts: Vec<AttrDict>,
+    /// Columnar code views: `codes[attr][row]` is the code of
+    /// `tuples[row][attr]` under `dicts[attr]`.
+    codes: Vec<Vec<Code>>,
+}
+
+/// Two instances are equal when their logical content (schema, tuples,
+/// variable counters) is equal; the dictionaries are an encoding detail and
+/// deliberately excluded — equal data interned in different orders carries
+/// different codes.
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.tuples == other.tuples
+            && self.var_counters == other.var_counters
+    }
 }
 
 impl Instance {
@@ -85,6 +113,8 @@ impl Instance {
             schema,
             tuples: Vec::new(),
             var_counters: vec![0; arity],
+            dicts: (0..arity).map(|_| AttrDict::new()).collect(),
+            codes: vec![Vec::new(); arity],
         }
     }
 
@@ -122,6 +152,10 @@ impl Instance {
                 tuple: tuple.arity(),
                 schema: self.schema.arity(),
             });
+        }
+        for (attr, value) in tuple.cells() {
+            let code = self.dicts[attr.index()].intern(value);
+            self.codes[attr.index()].push(code);
         }
         self.tuples.push(tuple);
         Ok(())
@@ -183,6 +217,7 @@ impl Instance {
                 row: cell.row,
                 rows,
             })?;
+        self.codes[cell.attr.index()][cell.row] = self.dicts[cell.attr.index()].intern(&value);
         t.set(cell.attr, value);
         Ok(())
     }
@@ -217,6 +252,10 @@ impl Instance {
         }
         let mut keep = doomed.iter().map(|d| !d);
         self.tuples.retain(|_| keep.next().unwrap());
+        for col in &mut self.codes {
+            let mut keep = doomed.iter().map(|d| !d);
+            col.retain(|_| keep.next().unwrap());
+        }
         Ok(removed)
     }
 
@@ -232,11 +271,47 @@ impl Instance {
         Value::Var(VarId::new(attr.0, id))
     }
 
+    /// The columnar code view of attribute `attr`: `codes(a)[row]` is the
+    /// dictionary code of `tuple(row)[a]`. Two cells of the column match
+    /// (under [`Value::matches`]) iff their codes are equal.
+    pub fn codes(&self, attr: AttrId) -> &[Code] {
+        &self.codes[attr.index()]
+    }
+
+    /// The code of a single cell (panics on out-of-range indices).
+    pub fn code_at(&self, row: usize, attr: AttrId) -> Code {
+        self.codes[attr.index()][row]
+    }
+
+    /// The value dictionary of attribute `attr`.
+    pub fn dict(&self, attr: AttrId) -> &AttrDict {
+        &self.dicts[attr.index()]
+    }
+
+    /// Total number of dictionary entries (interned constants + variables)
+    /// across all attributes — the footprint of the encoding layer.
+    pub fn dict_entries(&self) -> usize {
+        self.dicts.iter().map(AttrDict::len).sum()
+    }
+
+    /// Attributes on which rows `u` and `v` differ (under V-instance
+    /// semantics), computed from the code columns — the code-level
+    /// equivalent of [`Tuple::differing_attrs`] for in-instance rows.
+    pub fn differing_attrs_coded(&self, u: usize, v: usize) -> Vec<AttrId> {
+        self.codes
+            .iter()
+            .enumerate()
+            .filter(|(_, col)| col[u] != col[v])
+            .map(|(i, _)| AttrId(i as u16))
+            .collect()
+    }
+
     /// Number of distinct values (constants and variables) in a column.
     pub fn distinct_count(&self, attr: AttrId) -> usize {
-        let mut seen: HashSet<&Value> = HashSet::with_capacity(self.tuples.len());
-        for t in &self.tuples {
-            seen.insert(t.get(attr));
+        let mut seen: HashSet<Code> = HashSet::with_capacity(self.tuples.len());
+        for &code in &self.codes[attr.index()] {
+            crate::work::count_key_hash(4);
+            seen.insert(code);
         }
         seen.len()
     }
@@ -249,9 +324,10 @@ impl Instance {
         if attrs.is_empty() {
             return usize::from(!self.tuples.is_empty());
         }
-        let mut seen: HashSet<Vec<&Value>> = HashSet::with_capacity(self.tuples.len());
-        for t in &self.tuples {
-            seen.insert(attrs.iter().map(|a| t.get(*a)).collect());
+        let cols: Vec<&[Code]> = attrs.iter().map(|a| self.codes(*a)).collect();
+        let mut seen: HashSet<CodeKey> = HashSet::with_capacity(self.tuples.len());
+        for row in 0..self.tuples.len() {
+            seen.insert(CodeKey::from_cols(&cols, row));
         }
         seen.len()
     }
@@ -263,16 +339,19 @@ impl Instance {
         if self.tuples.is_empty() {
             return 0.0;
         }
-        let mut counts: HashMap<&Value, usize> = HashMap::new();
-        for t in &self.tuples {
-            *counts.entry(t.get(attr)).or_insert(0) += 1;
+        let mut counts: HashMap<Code, usize> = HashMap::new();
+        for &code in &self.codes[attr.index()] {
+            crate::work::count_key_hash(4);
+            *counts.entry(code).or_insert(0) += 1;
         }
-        // Sum in value order, not HashMap order: float addition is not
-        // associative, and two builds over equal instances must produce
+        // Sum in *value* order, not HashMap or code order: float addition is
+        // not associative, and two builds over equal instances must produce
         // bit-identical entropies (the incremental engine compares weight
-        // fingerprints across rebuilds).
-        let mut counts: Vec<(&Value, usize)> = counts.into_iter().collect();
-        counts.sort_unstable_by_key(|(a, _)| *a);
+        // fingerprints across rebuilds) even though their dictionaries may
+        // have interned the values in different orders.
+        let dict = &self.dicts[attr.index()];
+        let mut counts: Vec<(Code, usize)> = counts.into_iter().collect();
+        counts.sort_unstable_by(|(a, _), (b, _)| dict.cmp_codes(*a, *b));
         let n = self.tuples.len() as f64;
         counts
             .into_iter()
@@ -333,6 +412,9 @@ impl Instance {
     pub fn truncate(&self, n: usize) -> Instance {
         let mut copy = self.clone();
         copy.tuples.truncate(n);
+        for col in &mut copy.codes {
+            col.truncate(n);
+        }
         copy
     }
 

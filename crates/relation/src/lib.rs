@@ -14,6 +14,14 @@
 //! * [`Tuple`] and [`Instance`] — a simple row store with cell addressing,
 //!   instance diffing (`Δ_d(I, I')`, the set of changed cells) and
 //!   V-instance-aware equality.
+//! * [`dict`] — per-attribute dictionary encoding: [`AttrDict`] interns
+//!   column values to dense `u32` [`Code`]s (variables in a reserved
+//!   range, so code equality coincides with [`Value::matches`]), the
+//!   instance maintains columnar code views incrementally under every
+//!   mutation, and [`CodeKey`] packs multi-attribute equality keys.
+//! * [`work`] — deterministic equality-work counters
+//!   (`key_bytes_hashed`, `key_allocs`, `value_compares`) consumed by the
+//!   offline benchmark gate.
 //! * [`csv`] — minimal CSV reading/writing used by the examples.
 //!
 //! The crate is deliberately free of any constraint logic; functional
@@ -21,12 +29,15 @@
 //! `rt-constraints`.
 
 pub mod csv;
+pub mod dict;
 pub mod error;
 pub mod instance;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod work;
 
+pub use dict::{AttrDict, Code, CodeKey, CODE_KEY_INLINE, OVERLAY_CODE_BASE, VAR_CODE_BASE};
 pub use error::RelationError;
 pub use instance::{CellRef, Instance, InstanceDiff};
 pub use schema::{AttrId, Schema};

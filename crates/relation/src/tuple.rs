@@ -61,7 +61,10 @@ impl Tuple {
     /// `true` iff the two tuples agree (under V-instance semantics,
     /// [`Value::matches`]) on every attribute in `attrs`.
     pub fn agree_on<I: IntoIterator<Item = AttrId>>(&self, other: &Tuple, attrs: I) -> bool {
-        attrs.into_iter().all(|a| self.get(a).matches(other.get(a)))
+        attrs.into_iter().all(|a| {
+            crate::work::count_value_compares(1);
+            self.get(a).matches(other.get(a))
+        })
     }
 
     /// Attributes on which the two tuples differ (under V-instance
@@ -69,6 +72,7 @@ impl Tuple {
     /// Section 5.2 of the paper.
     pub fn differing_attrs(&self, other: &Tuple) -> Vec<AttrId> {
         debug_assert_eq!(self.arity(), other.arity());
+        crate::work::count_value_compares(self.arity());
         self.cells
             .iter()
             .zip(other.cells.iter())

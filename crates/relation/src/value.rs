@@ -90,6 +90,21 @@ impl Value {
         }
     }
 
+    /// Accounting cost, in bytes, of feeding this value to a hasher — the
+    /// convention the [`crate::work`] counters use for `key_bytes_hashed`.
+    ///
+    /// Strings cost their length; fixed-size constants cost their payload
+    /// size (`Int` 8, `Var` 6 = `u16 + u32`, `Null` 1). This is a stable
+    /// bookkeeping convention, not a promise about any particular hasher.
+    pub fn hash_cost(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Var(_) => 6,
+        }
+    }
+
     /// Convenience constructor for string values.
     pub fn str(s: impl Into<String>) -> Self {
         Value::Str(s.into())
