@@ -43,6 +43,12 @@ if [ "$quick" -eq 0 ]; then
     echo "==> cargo doc --no-deps -q (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
+    # Every workspace crate carries a runnable example in its crate-level
+    # docs; run them explicitly so a broken example fails fast here rather
+    # than hiding inside the main test sweep.
+    echo "==> cargo test --doc -q (crate-level doc examples)"
+    cargo test --doc -q
+
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --all-targets -- -D warnings
 fi
@@ -50,11 +56,15 @@ fi
 if [ "$bench" -eq 1 ]; then
     # Deterministic work-metric regression gate: counts A* expansions,
     # heuristic nodes, conflict-graph builds, incremental edge deltas and
-    # cells changed on fixed-seed workloads (this container has one core
-    # and no network, so wall-clock numbers would be noise — work counters
-    # are exact). --selftest additionally proves the gate trips when any
-    # counter is artificially inflated. Re-baseline intentional changes
-    # with: cargo run --release -p rt-bench --bin bench_gate -- --out ci/bench_baseline.json
+    # cells changed on fixed-seed workloads, plus the typed-CSV-load
+    # counters (the encoded path is hard-asserted at key_allocs == 0) and
+    # one bounded sweep + mutation stream per catalog scenario
+    # (hospital/census/sensors/orders), each verified incremental ≡
+    # rebuild bit-identically (this container has one core and no network,
+    # so wall-clock numbers would be noise — work counters are exact).
+    # --selftest additionally proves the gate trips when any counter is
+    # artificially inflated. Re-baseline intentional changes with:
+    # cargo run --release -p rt-bench --bin bench_gate -- --out ci/bench_baseline.json
     echo "==> bench gate (deterministic work counters vs ci/bench_baseline.json)"
     cargo run --release -q -p rt-bench --bin bench_gate -- \
         --out ci/BENCH_smoke.json \

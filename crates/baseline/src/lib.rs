@@ -23,6 +23,30 @@
 //! repair of `rt-core` (Algorithm 4), so the two systems differ only in how
 //! they decide *what* to repair, which is the comparison Figure 8 makes.
 
+//!
+//! ```
+//! use rt_baseline::{unified_cost_repair, UnifiedCostConfig};
+//! use rt_constraints::{AttrCountWeight, FdSet};
+//! use rt_relation::{Instance, Schema};
+//!
+//! let schema = Schema::new("R", vec!["A", "B", "C"]).unwrap();
+//! let instance = Instance::from_int_rows(
+//!     schema.clone(),
+//!     &[vec![1, 1, 7], vec![1, 2, 8], vec![2, 5, 9]],
+//! )
+//! .unwrap();
+//! let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+//!
+//! // One unified cost, one repair: no trust spectrum to explore.
+//! let repair = unified_cost_repair(
+//!     &instance,
+//!     &fds,
+//!     &AttrCountWeight,
+//!     &UnifiedCostConfig::default(),
+//! );
+//! assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+//! ```
+
 pub mod unified;
 
 pub use unified::{

@@ -162,10 +162,141 @@ fn measure_mutations(metrics: &mut Metrics) {
     metrics.extend(work_metrics);
 }
 
+/// Scenario 3: the typed CSV bulk load against the legacy value-path
+/// reader, on the bundled hospital fixture. The headline property is a
+/// hard assert, not just a gated counter: the encoded path builds **zero**
+/// equality keys (`key_allocs == 0`) where the value path allocates one
+/// per string cell.
+fn measure_csv_load(metrics: &mut Metrics) {
+    use rt_scenarios::HOSPITAL_CSV;
+
+    rt_relation::work::reset();
+    let legacy = rt_relation::csv::read_instance("hospital", HOSPITAL_CSV.as_bytes())
+        .expect("fixture parses on the legacy path");
+    let w = rt_relation::work::snapshot();
+    metrics.push(("csv_load.value_key_allocs".into(), w.key_allocs));
+    metrics.push(("csv_load.value_key_bytes".into(), w.key_bytes_hashed));
+
+    rt_relation::work::reset();
+    let typed = rt_io::read_instance(HOSPITAL_CSV.as_bytes(), &rt_io::CsvOptions::csv())
+        .expect("fixture parses on the typed path");
+    let w = rt_relation::work::snapshot();
+    assert_eq!(
+        w.key_allocs, 0,
+        "the encoded CSV load path must not build equality keys"
+    );
+    assert_eq!(typed.instance.len(), legacy.len());
+    metrics.push(("csv_load.encoded_key_allocs".into(), w.key_allocs));
+    metrics.push(("csv_load.encoded_key_bytes".into(), w.key_bytes_hashed));
+    metrics.push(("csv_load.rows".into(), typed.instance.len() as u64));
+}
+
+/// How many spectrum points the catalog-scenario gate materializes per
+/// sweep. A full τ-sweep down to `τ = 0` forces the deepest FD searches
+/// and can take minutes per scenario; the sweep is lazy and the prefix is
+/// where production sessions live (trust the constraints first), so the
+/// gate pins the first few points — deterministic, bounded, and still
+/// exercising the whole pipeline.
+const SCENARIO_SWEEP_POINTS: usize = 3;
+
+/// Materializes the first [`SCENARIO_SWEEP_POINTS`] points of an engine's
+/// τ-sweep as a comparable `Spectrum` (the stats field is excluded from
+/// `bit_identical`, so a default suffices).
+fn sweep_prefix(engine: &RepairEngine, label: &str) -> Spectrum {
+    let mut points = Vec::new();
+    for point in engine
+        .sweep(0..=engine.delta_p_original())
+        .take(SCENARIO_SWEEP_POINTS)
+    {
+        points.push(point.unwrap_or_else(|e| panic!("{label}: sweep failed: {e}")));
+    }
+    Spectrum {
+        points,
+        search_stats: Default::default(),
+    }
+}
+
+/// Scenarios 4..: every catalog workload end to end — build (typed load or
+/// seeded generation + injection), a bounded prefix of the τ-sweep, a
+/// short live mutation stream, and the hard incremental ≡ rebuild
+/// bit-identity assert on the post-mutation prefix.
+fn measure_catalog_scenario(metrics: &mut Metrics, name: &str) {
+    use rt_scenarios::ScenarioConfig;
+
+    rt_relation::work::reset();
+    let scenario =
+        rt_scenarios::build(name, &ScenarioConfig::default()).expect("catalog scenario builds");
+    let mut engine = RepairEngine::builder(scenario.dirty.clone(), scenario.dirty_fds.clone())
+        .weight(WeightKind::DistinctCount)
+        .parallelism(Parallelism::Serial)
+        .max_expansions(400_000)
+        .seed(17)
+        .build()
+        .expect("scenario engine builds");
+    let edge_count = engine.problem().conflict_graph().edge_count();
+    let before = sweep_prefix(&engine, name);
+
+    let ops = generate_mutation_stream(
+        engine.problem().instance(),
+        engine.problem().sigma(),
+        &MutationStreamConfig {
+            ops: 6,
+            fd_edit_weight: 0,
+            fresh_value_rate: 0.4,
+            seed: 23,
+            ..Default::default()
+        },
+    );
+    for op in &ops {
+        engine
+            .apply(&MutationBatch::new().push(op.clone()))
+            .expect("scenario mutation stream applies cleanly");
+    }
+    let after = sweep_prefix(&engine, name);
+    let stats = engine.stats();
+    assert_eq!(stats.conflict_graph_builds, 1, "engine invariant violated");
+
+    // Snapshot before the fresh-rebuild cross-check: the gate measures the
+    // scenario, not its own verification.
+    let w = rt_relation::work::snapshot();
+
+    let fresh = RepairEngine::builder(
+        engine.problem().instance().clone(),
+        engine.problem().sigma().clone(),
+    )
+    .weight(WeightKind::DistinctCount)
+    .parallelism(Parallelism::Serial)
+    .max_expansions(400_000)
+    .seed(17)
+    .build()
+    .expect("fresh scenario engine builds");
+    assert!(
+        after.bit_identical(&sweep_prefix(&fresh, name)),
+        "scenario `{name}`: incremental engine diverged from a fresh rebuild"
+    );
+
+    let (points, cells) = spectrum_signature(&before);
+    let m = |k: &str, v: u64| (format!("scenario.{name}.{k}"), v);
+    metrics.push(m("conflict_edges", edge_count as u64));
+    metrics.push(m("states_expanded", stats.states_expanded as u64));
+    metrics.push(m("heuristic_nodes", stats.heuristic_nodes as u64));
+    metrics.push(m("points", points as u64));
+    metrics.push(m("cells_changed", cells as u64));
+    metrics.push(m("edges_added", stats.edges_added as u64));
+    metrics.push(m("edges_removed", stats.edges_removed as u64));
+    metrics.push(m("key_bytes_hashed", w.key_bytes_hashed));
+    metrics.push(m("key_allocs", w.key_allocs));
+    metrics.push(m("value_compares", w.value_compares));
+}
+
 fn measure() -> Metrics {
     let mut metrics = Metrics::new();
     measure_spectrum(&mut metrics);
     measure_mutations(&mut metrics);
+    measure_csv_load(&mut metrics);
+    for name in rt_scenarios::SCENARIO_NAMES {
+        measure_catalog_scenario(&mut metrics, name);
+    }
     metrics
 }
 

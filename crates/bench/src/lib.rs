@@ -23,6 +23,17 @@
 //! suite completes in minutes; every driver accepts a [`Scale`] to run the
 //! paper-sized configuration instead.
 
+//!
+//! ```
+//! use rt_bench::{Scale, Workload, WorkloadSpec};
+//!
+//! // Declarative workload: clean generation + Section 8.1 perturbation.
+//! let spec = WorkloadSpec { tuples: Scale::Smoke.tuples(800), ..Default::default() };
+//! let workload = Workload::build(&spec);
+//! assert_eq!(workload.dirty_instance().len(), 200);
+//! assert!(!workload.dirty_fds().holds_on(workload.dirty_instance()));
+//! ```
+
 pub mod experiments;
 pub mod json;
 pub mod report;

@@ -23,6 +23,22 @@
 //! * [`discovery`] — level-wise exact FD discovery used to set up the
 //!   experiments (the paper mines FDs with small LHSs from the clean data).
 
+//!
+//! ```
+//! use rt_constraints::{ConflictGraph, FdSet};
+//! use rt_relation::{Instance, Schema};
+//!
+//! let schema = Schema::new("R", vec!["A", "B"]).unwrap();
+//! let instance =
+//!     Instance::from_int_rows(schema.clone(), &[vec![1, 1], vec![1, 2], vec![2, 5]]).unwrap();
+//! let fds = FdSet::parse(&["A->B"], &schema).unwrap();
+//!
+//! // Rows 0 and 1 agree on A but not B: one conflict edge (Definition 6).
+//! assert!(!fds.holds_on(&instance));
+//! let graph = ConflictGraph::build(&instance, &fds);
+//! assert_eq!(graph.edge_count(), 1);
+//! ```
+
 pub mod attrset;
 pub mod discovery;
 pub mod fd;

@@ -21,6 +21,22 @@
 //! Everything is deterministic given a seed, so experiments and tests are
 //! reproducible.
 
+//!
+//! ```
+//! use rt_datagen::{generate_census_like, perturb, CensusLikeConfig, PerturbConfig};
+//!
+//! let (clean, fds) = generate_census_like(&CensusLikeConfig::single_fd(120, 8, 3));
+//! assert!(fds.holds_on(&clean)); // planted FDs hold exactly
+//!
+//! let truth = perturb(
+//!     &clean,
+//!     &fds,
+//!     &PerturbConfig { data_error_rate: 0.01, fd_error_rate: 0.0, ..Default::default() },
+//! );
+//! assert!(truth.error_count() > 0);
+//! assert!(!fds.holds_on(&truth.dirty)); // every injected error violates an FD
+//! ```
+
 pub mod generator;
 pub mod metrics;
 pub mod mutations;

@@ -229,6 +229,7 @@ fn inject_lhs_violation(
 fn corrupted_value(current: &Value, rng: &mut StdRng) -> Value {
     match current {
         Value::Int(v) => Value::Int(1_000_000 + (v.abs() % 1000) * 7 + rng.gen_range(0..5)),
+        Value::Float(x) => Value::float(1_000_000.5 + (x.get().abs() % 1000.0)),
         Value::Str(s) => Value::Str(format!("{s}_ERR{}", rng.gen_range(0..100))),
         Value::Null => Value::Int(1_000_000 + rng.gen_range(0..1000)),
         Value::Var(_) => Value::Int(1_000_000 + rng.gen_range(0..1000)),

@@ -28,6 +28,16 @@ pub enum EngineError {
         /// Stringified cause (kept `Clone + Eq`).
         message: String,
     },
+    /// An input file was readable but malformed (CSV/TSV syntax, a field
+    /// that does not parse under its column type, a ragged record, …).
+    Parse {
+        /// The file involved.
+        path: String,
+        /// 1-based line the offending record starts on (0 when unknown).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
     /// A mutation batch failed validation against the engine's current
     /// state (out-of-range row, arity mismatch, unknown FD index, …).
     /// Nothing was applied: batches are all-or-nothing.
@@ -61,6 +71,17 @@ impl fmt::Display for EngineError {
             EngineError::Relation(e) => write!(f, "{e}"),
             EngineError::Fd(msg) => write!(f, "invalid functional dependency: {msg}"),
             EngineError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            EngineError::Parse {
+                path,
+                line,
+                message,
+            } => {
+                if *line > 0 {
+                    write!(f, "cannot parse `{path}`: line {line}: {message}")
+                } else {
+                    write!(f, "cannot parse `{path}`: {message}")
+                }
+            }
             EngineError::Mutation(msg) => write!(f, "invalid mutation batch: {msg}"),
             EngineError::BudgetExhausted {
                 tau,
@@ -101,6 +122,14 @@ mod tests {
         let e = EngineError::io("data.csv", "no such file");
         assert!(e.to_string().contains("data.csv"));
         assert!(e.to_string().contains("no such file"));
+
+        let e = EngineError::Parse {
+            path: "data.csv".into(),
+            line: 17,
+            message: "expected 3 fields, found 2".into(),
+        };
+        assert!(e.to_string().contains("line 17"));
+        assert!(e.to_string().contains("data.csv"));
     }
 
     #[test]

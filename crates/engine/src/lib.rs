@@ -83,6 +83,8 @@
 //! assert!(engine.spectrum().is_ok());
 //! ```
 
+#![warn(missing_docs)]
+
 mod builder;
 mod engine;
 mod error;

@@ -12,9 +12,14 @@
 //! ]
 //! ```
 //!
-//! Cell values map JSON-naturally: numbers (integral, within ±2^53 so they
-//! survive the float representation exactly) become `Int`, strings become
-//! `Str`, `null` becomes `Null`. V-instance variables are deliberately not
+//! Cell values map JSON-naturally: integral numbers (within ±2^53 so they
+//! survive the float representation exactly) become `Int`, fractional
+//! numbers become `Float`, strings become `Str`, `null` becomes `Null`.
+//! Integral-valued floats use the reserved string prefix `"float:3"` so
+//! they do not collapse into `Int` on the way back in, and string cells
+//! that happen to start with a reserved prefix are escaped as
+//! `"str:<original>"` — the round trip never changes a cell's type.
+//! V-instance variables are deliberately not
 //! representable — logs describe *input* mutations, and the engine rejects
 //! variable cells at the mutation boundary. Attributes may be named
 //! (schema lookup) or numeric indices; FDs use the usual `"X1,X2->A"` spec
@@ -52,6 +57,19 @@ fn render_value(value: &Value, out: &mut String) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Int(i) => out.push_str(&i.to_string()),
+        // Fractional floats are JSON-natural (the shortest decimal form
+        // round-trips exactly); integral-valued or non-finite floats would
+        // read back as Int (or not parse at all), so they use the reserved
+        // "float:" string prefix instead.
+        Value::Float(x) if x.get().is_finite() && x.get().fract() != 0.0 => {
+            out.push_str(&x.get().to_string())
+        }
+        Value::Float(x) => write_json_str(&format!("float:{}", x.get()), out),
+        // String cells that *look* like a tagged value are escaped with the
+        // "str:" prefix so the round trip never changes their type.
+        Value::Str(s) if s.starts_with("float:") || s.starts_with("str:") => {
+            write_json_str(&format!("str:{s}"), out)
+        }
         Value::Str(s) => write_json_str(s, out),
         // Variables only appear in *repaired* V-instances, never in logged
         // input mutations; render defensively as a tagged string.
@@ -140,10 +158,22 @@ fn decode_value(v: &JsonValue) -> Result<Value, String> {
         JsonValue::Num(n) if n.fract() == 0.0 && n.abs() < MAX_EXACT_INT as f64 => {
             Ok(Value::int(*n as i64))
         }
+        JsonValue::Num(n) if n.fract() != 0.0 => Ok(Value::float(*n)),
         JsonValue::Num(n) => Err(format!(
-            "cell value {n} is not an integer exactly representable in JSON (|v| < 2^53)"
+            "cell value {n} is not exactly representable in JSON (integers need |v| < 2^53; \
+             use the \"float:{n}\" spelling for an integral float)"
         )),
-        JsonValue::Str(s) => Ok(Value::str(s.clone())),
+        JsonValue::Str(s) => {
+            if let Some(rest) = s.strip_prefix("str:") {
+                Ok(Value::str(rest))
+            } else if let Some(rest) = s.strip_prefix("float:") {
+                rest.parse::<f64>()
+                    .map(Value::float)
+                    .map_err(|_| format!("bad float literal in `{s}`"))
+            } else {
+                Ok(Value::str(s.clone()))
+            }
+        }
         other => Err(format!("unsupported cell value {other:?}")),
     }
 }
@@ -287,6 +317,39 @@ mod tests {
         let text = render_mutation_log(&ops, &s);
         let parsed = parse_mutation_log(&text, &s).unwrap();
         assert_eq!(parsed, ops);
+    }
+
+    #[test]
+    fn round_trips_floats_and_reserved_prefixes_without_type_flips() {
+        let s = schema();
+        let ops = vec![MutationOp::InsertTuples(vec![
+            // Fractional float (JSON number), integral float (tagged),
+            // negative zero and a huge integral float (both tagged).
+            Tuple::new(vec![
+                Value::float(1.5),
+                Value::float(3.0),
+                Value::float(-0.0),
+            ]),
+            // Strings that *look* like tagged values must stay strings.
+            Tuple::new(vec![
+                Value::str("float:3"),
+                Value::str("str:float:9"),
+                Value::str("float:not-a-number"),
+            ]),
+        ])];
+        let text = render_mutation_log(&ops, &s);
+        let parsed = parse_mutation_log(&text, &s).unwrap();
+        assert_eq!(parsed, ops);
+        // And the explicit tagged spelling decodes as a float.
+        let log = r#"[{"op": "update", "row": 0, "attr": "A", "value": "float:3"}]"#;
+        let parsed = parse_mutation_log(log, &s).unwrap();
+        assert_eq!(
+            parsed,
+            vec![MutationOp::UpdateCell(
+                CellRef::new(0, AttrId(0)),
+                Value::float(3.0)
+            )]
+        );
     }
 
     #[test]

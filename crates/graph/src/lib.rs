@@ -24,6 +24,22 @@
 //!   computes the components in parallel (`rt-par`) with bit-identical
 //!   results for every thread count.
 
+//!
+//! ```
+//! use rt_graph::{approx_vertex_cover, UndirectedGraph};
+//!
+//! // A triangle plus a pendant edge: any vertex cover needs two vertices.
+//! let mut g = UndirectedGraph::with_vertices(4);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     g.add_edge(u, v);
+//! }
+//! let cover = approx_vertex_cover(&g);
+//! assert!(cover.vertices.len() >= 2 && cover.vertices.len() <= 4);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     assert!(cover.contains(u) || cover.contains(v));
+//! }
+//! ```
+
 pub mod graph;
 pub mod vertex_cover;
 

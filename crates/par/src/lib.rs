@@ -16,6 +16,15 @@
 //! The primitives deliberately mirror a tiny slice of rayon's API surface
 //! (`par_map` ≈ `par_iter().map().collect()`), so swapping rayon in later is
 //! a local change to this crate.
+//!
+//! ```
+//! use rt_par::{par_map, Parallelism};
+//!
+//! let squares = par_map(Parallelism::Fixed(4), &[1, 2, 3, 4], |&x| x * x);
+//! // Results come back in input order for every thread count.
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! assert_eq!(squares, par_map(Parallelism::Serial, &[1, 2, 3, 4], |&x| x * x));
+//! ```
 
 use std::num::NonZeroUsize;
 

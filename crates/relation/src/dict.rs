@@ -67,10 +67,27 @@ impl AttrDict {
 
     /// Interns a value, returning its (new or existing) code.
     ///
+    /// Probing with a heap-carrying value ([`Value::Str`]) counts one
+    /// `key_alloc`: the caller had to materialize an owned string to build
+    /// the probe key. Bulk ingestion avoids that cost by probing with the
+    /// raw field text instead (see `Instance::encoded_loader`), which is
+    /// what keeps the encoded CSV load path at `key_allocs == 0`.
+    ///
     /// Panics if a code range overflows — 2^31 distinct constants or 2^30
     /// distinct variables in one column, far beyond anything this workspace
     /// can hold in memory.
     pub fn intern(&mut self, value: &Value) -> Code {
+        if matches!(value, Value::Str(_)) {
+            work::count_key_alloc();
+        }
+        self.intern_uncounted(value)
+    }
+
+    /// [`AttrDict::intern`] without the `key_alloc` accounting, for callers
+    /// that probed by raw text and only fall through here on the *first*
+    /// occurrence of a value (the allocation they make is permanent storage,
+    /// not a transient probe key).
+    pub(crate) fn intern_uncounted(&mut self, value: &Value) -> Code {
         match value {
             Value::Var(vid) => {
                 work::count_key_hash(value.hash_cost());

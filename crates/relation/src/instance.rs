@@ -82,15 +82,15 @@ impl InstanceDiff {
 /// results are bit-identical to value-level comparison.
 #[derive(Debug, Clone)]
 pub struct Instance {
-    schema: Schema,
-    tuples: Vec<Tuple>,
+    pub(crate) schema: Schema,
+    pub(crate) tuples: Vec<Tuple>,
     /// Next fresh-variable counter, one per attribute.
-    var_counters: Vec<u32>,
+    pub(crate) var_counters: Vec<u32>,
     /// Per-attribute value interners (append-only).
-    dicts: Vec<AttrDict>,
+    pub(crate) dicts: Vec<AttrDict>,
     /// Columnar code views: `codes[attr][row]` is the code of
     /// `tuples[row][attr]` under `dicts[attr]`.
-    codes: Vec<Vec<Code>>,
+    pub(crate) codes: Vec<Vec<Code>>,
 }
 
 /// Two instances are equal when their logical content (schema, tuples,

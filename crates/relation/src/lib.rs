@@ -22,16 +22,39 @@
 //! * [`work`] — deterministic equality-work counters
 //!   (`key_bytes_hashed`, `key_allocs`, `value_compares`) consumed by the
 //!   offline benchmark gate.
-//! * [`csv`] — minimal CSV reading/writing used by the examples.
+//! * [`load`] — typed bulk ingestion: [`ColumnType`] and the
+//!   [`EncodedLoader`] behind `Instance::encoded_loader`, which parses raw
+//!   text fields **directly into dictionary codes** so bulk loads never
+//!   build per-cell `Value` probe keys (the `rt-io` CSV reader drives it).
+//! * [`csv`] — minimal untyped CSV reading/writing used by the examples.
 //!
 //! The crate is deliberately free of any constraint logic; functional
 //! dependencies, violation detection and conflict graphs live in
 //! `rt-constraints`.
+//!
+//! ```
+//! use rt_relation::{ColumnType, Instance, Schema, Value, AttrId, CellRef};
+//!
+//! let schema = Schema::new("readings", vec!["sensor", "value"]).unwrap();
+//! let mut instance = Instance::new(schema);
+//! let mut loader = instance
+//!     .encoded_loader(vec![ColumnType::Str, ColumnType::Float])
+//!     .unwrap();
+//! loader.push_row(&[Some("s1"), Some("20.5")]).unwrap();
+//! loader.push_row(&[Some("s1"), None]).unwrap();
+//! drop(loader);
+//! assert_eq!(instance.len(), 2);
+//! assert_eq!(*instance.cell(CellRef::new(0, AttrId(1))).unwrap(), Value::float(20.5));
+//! assert_eq!(*instance.cell(CellRef::new(1, AttrId(1))).unwrap(), Value::Null);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod csv;
 pub mod dict;
 pub mod error;
 pub mod instance;
+pub mod load;
 pub mod schema;
 pub mod tuple;
 pub mod value;
@@ -40,9 +63,10 @@ pub mod work;
 pub use dict::{AttrDict, Code, CodeKey, CODE_KEY_INLINE, OVERLAY_CODE_BASE, VAR_CODE_BASE};
 pub use error::RelationError;
 pub use instance::{CellRef, Instance, InstanceDiff};
+pub use load::{ColumnType, EncodedLoader};
 pub use schema::{AttrId, Schema};
 pub use tuple::Tuple;
-pub use value::{Value, VarId};
+pub use value::{FloatBits, Value, VarId};
 
 /// Convenience result alias used throughout the relational substrate.
 pub type Result<T> = std::result::Result<T, RelationError>;

@@ -41,6 +41,64 @@ impl fmt::Display for VarId {
     }
 }
 
+/// An `f64` by bit pattern, so float cells stay `Eq + Hash + Ord`.
+///
+/// FD semantics only ever compare cells for equality, and equality of bit
+/// patterns is exactly the equality the dictionary encoding needs: two
+/// float cells match iff their bits are equal (`-0.0` and `+0.0` are
+/// therefore *distinct* domain constants, as are NaNs with different
+/// payloads — the typed CSV reader never produces non-finite floats, so in
+/// practice every column value is a plain finite number). Ordering uses
+/// [`f64::total_cmp`], which is consistent with bit equality and gives the
+/// deterministic value order the entropy summation relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatBits(u64);
+
+impl FloatBits {
+    /// Wraps a float by bit pattern.
+    pub fn new(value: f64) -> Self {
+        FloatBits(value.to_bits())
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl PartialOrd for FloatBits {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FloatBits {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.get().total_cmp(&other.get())
+    }
+}
+
+impl fmt::Display for FloatBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.get();
+        // `{}` on f64 prints the shortest decimal that round-trips, but
+        // renders integral floats without a decimal point ("3"), which a
+        // typed CSV round-trip would re-infer as Int. Force a float shape
+        // for every finite integral value (the `.1` expansion prints the
+        // exact decimal digits, so it still round-trips at any magnitude).
+        if v.is_finite() && v.fract() == 0.0 {
+            write!(f, "{v:.1}")
+        } else {
+            write!(f, "{v}")
+        }
+    }
+}
+
 /// A single cell value.
 ///
 /// `Value` is intentionally small: the paper's algorithms only ever compare
@@ -54,6 +112,8 @@ pub enum Value {
     Null,
     /// Integer constant.
     Int(i64),
+    /// Float constant, compared by bit pattern (see [`FloatBits`]).
+    Float(FloatBits),
     /// String constant.
     Str(String),
     /// V-instance variable (Definition 1).
@@ -100,6 +160,7 @@ impl Value {
         match self {
             Value::Null => 1,
             Value::Int(_) => 8,
+            Value::Float(_) => 8,
             Value::Str(s) => s.len(),
             Value::Var(_) => 6,
         }
@@ -115,8 +176,18 @@ impl Value {
         Value::Int(i)
     }
 
+    /// Convenience constructor for float values (stored by bit pattern).
+    pub fn float(f: f64) -> Self {
+        Value::Float(FloatBits::new(f))
+    }
+
     /// Parses a raw CSV field into a value: empty string becomes `Null`,
     /// an integer literal becomes `Int`, anything else `Str`.
+    ///
+    /// This is the *untyped* legacy parse used by [`crate::csv`]; it never
+    /// produces [`Value::Float`] (a float literal stays `Str`). The typed
+    /// ingestion layer (`rt-io`) infers column types instead and parses
+    /// floats explicitly.
     pub fn parse(field: &str) -> Self {
         let trimmed = field.trim();
         if trimmed.is_empty() {
@@ -134,6 +205,7 @@ impl fmt::Display for Value {
         match self {
             Value::Null => write!(f, ""),
             Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s}"),
             Value::Var(v) => write!(f, "{v}"),
         }
@@ -143,6 +215,12 @@ impl fmt::Display for Value {
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
     }
 }
 
@@ -197,6 +275,39 @@ mod tests {
         assert_eq!(Value::parse("-7"), Value::Int(-7));
         assert_eq!(Value::parse("42k"), Value::Str("42k".into()));
         assert_eq!(Value::parse(" hello "), Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn floats_compare_by_bit_pattern() {
+        assert!(Value::float(1.5).matches(&Value::float(1.5)));
+        assert!(!Value::float(1.5).matches(&Value::float(2.5)));
+        // -0.0 and +0.0 have different bit patterns: distinct constants.
+        assert!(!Value::float(0.0).matches(&Value::float(-0.0)));
+        // A float never equals the "same" integer: they are different kinds.
+        assert!(!Value::float(3.0).matches(&Value::int(3)));
+        // total_cmp ordering is deterministic and consistent with equality.
+        assert!(FloatBits::new(-1.0) < FloatBits::new(1.0));
+        assert_eq!(
+            FloatBits::new(2.5).cmp(&FloatBits::new(2.5)),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn float_display_keeps_the_float_shape() {
+        assert_eq!(Value::float(2.5).to_string(), "2.5");
+        // Integral floats render with a decimal point, so a typed CSV
+        // round-trip re-infers the column as Float, not Int.
+        assert_eq!(Value::float(3.0).to_string(), "3.0");
+        assert_eq!(Value::float(-0.125).to_string(), "-0.125");
+        // Large integral floats keep the float shape too (and the digits
+        // re-parse to the same f64 bits).
+        let big = Value::float(1e15);
+        assert_eq!(big.to_string(), "1000000000000000.0");
+        assert_eq!(
+            big.to_string().parse::<f64>().unwrap().to_bits(),
+            1e15f64.to_bits()
+        );
     }
 
     #[test]

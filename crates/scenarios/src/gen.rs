@@ -1,0 +1,168 @@
+//! Clean-instance generators for the sensor and orders scenarios.
+//!
+//! Both generators follow the same recipe as `rt-datagen`'s census
+//! generator: rows revolve around repeated *entities* (devices, customers,
+//! SKUs) whose dependent attributes are deterministic functions of the
+//! entity, so the planted FDs hold exactly on the clean data and the
+//! redundancy gives the error injector pairs to violate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt_constraints::FdSet;
+use rt_relation::{Instance, Schema, Tuple, Value};
+
+/// Deterministic small hash used to derive dependent attributes from their
+/// keys (same construction as the census generator's `mix_to_category`).
+fn mix(values: &[i64], salt: u64, cardinality: usize) -> usize {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ salt;
+    for &v in values {
+        h ^= v as u64;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    (h % cardinality.max(1) as u64) as usize
+}
+
+/// Sensor readings: repeated devices reporting repeated metrics, with a
+/// float `reading` column. Planted FDs: `device_id → site` and
+/// `metric → unit`.
+pub fn sensor_readings(rows: usize, seed: u64) -> (Instance, FdSet) {
+    const METRICS: [(&str, &str); 4] = [
+        ("temperature", "celsius"),
+        ("humidity", "percent"),
+        ("pressure", "kilopascal"),
+        ("vibration", "mm_per_s"),
+    ];
+    let schema = Schema::new(
+        "sensor_readings",
+        vec!["device_id", "site", "metric", "unit", "reading", "hour"],
+    )
+    .expect("valid schema");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let devices = (rows / 8).max(2);
+    let sites = (devices / 3).max(2);
+    let mut instance = Instance::new(schema.clone());
+    for _ in 0..rows {
+        let d = rng.gen_range(0..devices) as i64;
+        let site = mix(&[d], 0xDE5, sites);
+        let m = rng.gen_range(0..METRICS.len());
+        let (metric, unit) = METRICS[m];
+        // One decimal place keeps readings float-typed and printable.
+        let reading = (rng.gen_range(0..4000) as f64) / 10.0 - 50.0;
+        instance
+            .push(Tuple::new(vec![
+                Value::str(format!("dev-{d:03}")),
+                Value::str(format!("site-{site}")),
+                Value::str(metric),
+                Value::str(unit),
+                Value::float(reading),
+                Value::int(rng.gen_range(0..24)),
+            ]))
+            .expect("arity matches");
+    }
+    let fds = FdSet::parse(&["device_id->site", "metric->unit"], &schema).expect("valid FDs");
+    debug_assert!(fds.holds_on(&instance));
+    (instance, fds)
+}
+
+/// Denormalized orders joining customer and product reference data into one
+/// relation. Planted FDs: `customer_id → {customer_city, segment}`,
+/// `sku → {product_name, unit_price}` and the composite
+/// `sku, warehouse → ship_mode` (the FD-corruption channel drops one of
+/// its LHS attributes, yielding a genuinely inaccurate constraint:
+/// `ship_mode` is determined only by the *pair*, so the weakened FD is
+/// false on the clean data).
+pub fn orders(rows: usize, seed: u64) -> (Instance, FdSet) {
+    const CITIES: [&str; 8] = [
+        "Waterloo", "Toronto", "Doha", "Boston", "Chicago", "Austin", "Raleigh", "Denver",
+    ];
+    const SEGMENTS: [&str; 3] = ["consumer", "corporate", "home_office"];
+    const CATEGORIES: [&str; 5] = ["paper", "binders", "chairs", "phones", "storage"];
+    const WAREHOUSES: [&str; 3] = ["east", "central", "west"];
+    const MODES: [&str; 4] = ["ground", "two_day", "overnight", "freight"];
+    let schema = Schema::new(
+        "orders",
+        vec![
+            "order_id",
+            "customer_id",
+            "customer_city",
+            "segment",
+            "sku",
+            "product_name",
+            "unit_price",
+            "quantity",
+            "warehouse",
+            "ship_mode",
+        ],
+    )
+    .expect("valid schema");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let customers = (rows / 6).max(2);
+    let skus = (rows / 9).max(2);
+    let mut instance = Instance::new(schema.clone());
+    for order in 0..rows {
+        let c = rng.gen_range(0..customers) as i64;
+        let s = rng.gen_range(0..skus) as i64;
+        let w = rng.gen_range(0..WAREHOUSES.len());
+        let category = CATEGORIES[mix(&[s], 0xCA7, CATEGORIES.len())];
+        instance
+            .push(Tuple::new(vec![
+                Value::int(100_000 + order as i64),
+                Value::str(format!("cust-{c:04}")),
+                Value::str(CITIES[mix(&[c], 0xC17, CITIES.len())]),
+                Value::str(SEGMENTS[mix(&[c], 0x5E6, SEGMENTS.len())]),
+                Value::str(format!("SKU-{s:03}")),
+                Value::str(format!("{category} item {s}")),
+                Value::float((mix(&[s], 0x981C, 8000) as f64) / 100.0 + 1.99),
+                Value::int(rng.gen_range(1..12)),
+                Value::str(WAREHOUSES[w]),
+                Value::str(MODES[mix(&[s, w as i64], 0x5417, MODES.len())]),
+            ]))
+            .expect("arity matches");
+    }
+    let fds = FdSet::parse(
+        &[
+            "customer_id->customer_city",
+            "customer_id->segment",
+            "sku->product_name",
+            "sku->unit_price",
+            "sku,warehouse->ship_mode",
+        ],
+        &schema,
+    )
+    .expect("valid FDs");
+    debug_assert!(fds.holds_on(&instance));
+    (instance, fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_relation::AttrId;
+
+    #[test]
+    fn sensor_fds_hold_and_readings_are_floats() {
+        let (inst, fds) = sensor_readings(200, 42);
+        assert_eq!(inst.len(), 200);
+        assert!(fds.holds_on(&inst));
+        let has_float = (0..inst.len())
+            .any(|r| matches!(inst.tuple(r).unwrap().get(AttrId(4)), Value::Float(_)));
+        assert!(has_float);
+        // Deterministic per seed.
+        assert_eq!(inst, sensor_readings(200, 42).0);
+        assert_ne!(inst, sensor_readings(200, 43).0);
+    }
+
+    #[test]
+    fn order_fds_hold_including_the_composite() {
+        let (inst, fds) = orders(240, 7);
+        assert_eq!(inst.len(), 240);
+        assert_eq!(fds.len(), 5);
+        assert!(fds.holds_on(&inst));
+        // Dropping either LHS attribute from the composite FD makes it
+        // false on the clean data (ship_mode is a function of the *pair*)
+        // — that is the scenario's inaccurate constraint.
+        let composite = fds.get(4);
+        assert_eq!(composite.lhs.len(), 2);
+    }
+}

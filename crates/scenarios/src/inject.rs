@@ -1,0 +1,302 @@
+//! The seeded error injector shared by every scenario.
+//!
+//! Starting from a clean `(I, Σ)`, the injector produces the *dirty* pair a
+//! scenario hands to the repair engine, using four independent error
+//! channels (all deterministic per seed):
+//!
+//! * **typos** — character-level edits (drop / duplicate / transpose /
+//!   substitute) on string cells, the classic data-entry error;
+//! * **value swaps** — two rows exchange their values of one attribute
+//!   (e.g. readings attached to the wrong device);
+//! * **attribute-level corruption** — a cell is overwritten with a
+//!   *different* value drawn from the same column's domain, so the error is
+//!   plausible rather than an obvious outlier;
+//! * **FD corruption** — LHS attributes are dropped from multi-attribute
+//!   FDs (the paper's Section 8.1 perturbation: the removed attributes are
+//!   what a perfect FD repair re-appends).
+//!
+//! Rates are fractions of cells (typos, corruption), rows (swaps) and LHS
+//! attributes (FD drops). The injector records exactly what it did in an
+//! [`InjectionReport`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt_constraints::{AttrSet, Fd, FdSet};
+use rt_relation::{AttrId, CellRef, Instance, Value};
+
+/// Error-channel rates and the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSpec {
+    /// Fraction of cells receiving a character-level typo (string cells
+    /// only).
+    pub typo_rate: f64,
+    /// Fraction of rows participating in a value swap.
+    pub swap_rate: f64,
+    /// Fraction of cells overwritten with another in-domain value.
+    pub corrupt_rate: f64,
+    /// Probability that each LHS attribute of a multi-attribute FD is
+    /// dropped (at least one attribute always survives).
+    pub fd_drop_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ErrorSpec {
+    fn default() -> Self {
+        ErrorSpec {
+            typo_rate: 0.01,
+            swap_rate: 0.01,
+            corrupt_rate: 0.005,
+            fd_drop_rate: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// What the injector actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Cells that received a typo.
+    pub typos: usize,
+    /// Value swaps performed (each touches two cells).
+    pub swaps: usize,
+    /// Cells overwritten with another domain value.
+    pub corruptions: usize,
+    /// LHS attributes dropped across all FDs.
+    pub fd_attrs_dropped: usize,
+    /// Per FD (aligned with the dirty FD set): the dropped attributes.
+    pub dropped_per_fd: Vec<AttrSet>,
+}
+
+impl InjectionReport {
+    /// Total cells the data channels modified.
+    pub fn cells_changed(&self) -> usize {
+        self.typos + 2 * self.swaps + self.corruptions
+    }
+}
+
+/// Applies one character-level typo. Returns `None` when the input is too
+/// short to edit into something different.
+fn typo(s: &str, rng: &mut StdRng) -> Option<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    let i = rng.gen_range(0..chars.len());
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..4u32) {
+        0 if chars.len() > 1 => {
+            out.remove(i);
+        }
+        1 => out.insert(i, chars[i]),
+        2 if chars.len() > 1 => {
+            let j = if i + 1 < chars.len() { i + 1 } else { i - 1 };
+            out.swap(i, j);
+        }
+        _ => {
+            let c = chars[i];
+            out[i] = match c {
+                'a'..='y' | 'A'..='Y' | '0'..='8' => char::from_u32(c as u32 + 1).unwrap(),
+                _ => 'x',
+            };
+        }
+    }
+    let result: String = out.into_iter().collect();
+    if result == s {
+        None
+    } else {
+        Some(result)
+    }
+}
+
+/// Injects errors into a clean `(instance, fds)` pair; see the
+/// [module docs](self) for the four channels.
+pub fn inject(
+    clean: &Instance,
+    clean_fds: &FdSet,
+    spec: &ErrorSpec,
+) -> (Instance, FdSet, InjectionReport) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut dirty = clean.clone();
+    let mut report = InjectionReport::default();
+    let rows = clean.len();
+    let arity = clean.schema().arity();
+    let cells = clean.cell_count();
+
+    // --- FD corruption ---------------------------------------------------
+    let mut dirty_fds = Vec::with_capacity(clean_fds.len());
+    for (_, fd) in clean_fds.iter() {
+        let lhs: Vec<AttrId> = fd.lhs.iter().collect();
+        let mut dropped = AttrSet::new();
+        if lhs.len() > 1 && spec.fd_drop_rate > 0.0 {
+            for &a in &lhs {
+                if dropped.len() + 1 < lhs.len() && rng.gen_range(0.0..1.0) < spec.fd_drop_rate {
+                    dropped.insert(a);
+                }
+            }
+        }
+        report.fd_attrs_dropped += dropped.len();
+        report.dropped_per_fd.push(dropped);
+        dirty_fds.push(Fd::new(fd.lhs.difference(dropped), fd.rhs));
+    }
+    let dirty_fds = FdSet::from_fds(dirty_fds);
+
+    if rows == 0 || arity == 0 {
+        return (dirty, dirty_fds, report);
+    }
+
+    // --- typos ------------------------------------------------------------
+    let target_typos = (cells as f64 * spec.typo_rate.clamp(0.0, 1.0)).round() as usize;
+    let mut attempts = 0;
+    while report.typos < target_typos && attempts < target_typos * 30 + 30 {
+        attempts += 1;
+        let cell = CellRef::new(
+            rng.gen_range(0..rows),
+            AttrId(rng.gen_range(0..arity) as u16),
+        );
+        if let Ok(Value::Str(s)) = dirty.cell(cell).cloned() {
+            if let Some(t) = typo(&s, &mut rng) {
+                dirty.set_cell(cell, Value::Str(t)).expect("cell in range");
+                report.typos += 1;
+            }
+        }
+    }
+
+    // --- value swaps -------------------------------------------------------
+    let target_swaps = (rows as f64 * spec.swap_rate.clamp(0.0, 1.0)).round() as usize;
+    let mut attempts = 0;
+    while report.swaps < target_swaps && attempts < target_swaps * 30 + 30 {
+        attempts += 1;
+        let attr = AttrId(rng.gen_range(0..arity) as u16);
+        let (r1, r2) = (rng.gen_range(0..rows), rng.gen_range(0..rows));
+        if r1 == r2 {
+            continue;
+        }
+        let a = dirty.cell(CellRef::new(r1, attr)).cloned().unwrap();
+        let b = dirty.cell(CellRef::new(r2, attr)).cloned().unwrap();
+        if a.matches(&b) || a.is_var() || b.is_var() {
+            continue;
+        }
+        dirty.set_cell(CellRef::new(r1, attr), b).unwrap();
+        dirty.set_cell(CellRef::new(r2, attr), a).unwrap();
+        report.swaps += 1;
+    }
+
+    // --- attribute-level corruption ---------------------------------------
+    let target_corrupt = (cells as f64 * spec.corrupt_rate.clamp(0.0, 1.0)).round() as usize;
+    let mut attempts = 0;
+    while report.corruptions < target_corrupt && attempts < target_corrupt * 30 + 30 {
+        attempts += 1;
+        let attr = AttrId(rng.gen_range(0..arity) as u16);
+        let row = rng.gen_range(0..rows);
+        let donor = rng.gen_range(0..rows);
+        let current = dirty.cell(CellRef::new(row, attr)).cloned().unwrap();
+        let replacement = dirty.cell(CellRef::new(donor, attr)).cloned().unwrap();
+        if current.matches(&replacement) || replacement.is_var() || current.is_var() {
+            continue;
+        }
+        dirty
+            .set_cell(CellRef::new(row, attr), replacement)
+            .unwrap();
+        report.corruptions += 1;
+    }
+
+    (dirty, dirty_fds, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_relation::{Schema, Tuple};
+
+    fn clean() -> (Instance, FdSet) {
+        let schema = Schema::new("t", vec!["id", "name", "site", "v"]).unwrap();
+        let mut inst = Instance::new(schema.clone());
+        for i in 0..40 {
+            let d = i % 8;
+            inst.push(Tuple::new(vec![
+                Value::str(format!("dev-{d}")),
+                Value::str(format!("sensor number {d}")),
+                Value::str(format!("site-{}", d % 3)),
+                Value::int(i as i64),
+            ]))
+            .unwrap();
+        }
+        let fds = FdSet::parse(&["id->name", "id,name->site"], &schema).unwrap();
+        assert!(fds.holds_on(&inst));
+        (inst, fds)
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_counted() {
+        let (inst, fds) = clean();
+        let spec = ErrorSpec {
+            typo_rate: 0.02,
+            swap_rate: 0.05,
+            corrupt_rate: 0.02,
+            fd_drop_rate: 0.0,
+            seed: 11,
+        };
+        let (d1, f1, r1) = inject(&inst, &fds, &spec);
+        let (d2, f2, r2) = inject(&inst, &fds, &spec);
+        assert_eq!(d1, d2);
+        assert_eq!(f1, f2);
+        assert_eq!(r1, r2);
+        assert!(r1.typos > 0 && r1.swaps > 0 && r1.corruptions > 0);
+        // The diff against the clean instance is bounded by the report
+        // (channels may overwrite each other's cells, never exceed).
+        let diff = inst.diff(&d1).unwrap();
+        assert!(diff.distance() > 0);
+        assert!(diff.distance() <= r1.cells_changed());
+        assert!(!fds.holds_on(&d1), "injected errors must violate the FDs");
+    }
+
+    #[test]
+    fn fd_corruption_drops_lhs_attrs_but_never_empties() {
+        let (inst, fds) = clean();
+        let spec = ErrorSpec {
+            typo_rate: 0.0,
+            swap_rate: 0.0,
+            corrupt_rate: 0.0,
+            fd_drop_rate: 1.0,
+            seed: 3,
+        };
+        let (dirty, dirty_fds, report) = inject(&inst, &fds, &spec);
+        assert_eq!(dirty, inst);
+        assert_eq!(dirty_fds.len(), fds.len());
+        // The single-attribute FD is untouchable; the composite one loses
+        // all but one attribute at rate 1.0.
+        assert_eq!(report.fd_attrs_dropped, 1);
+        assert!(!dirty_fds.get(1).lhs.is_empty());
+        assert!(report.dropped_per_fd[1].is_disjoint_from(dirty_fds.get(1).lhs));
+    }
+
+    #[test]
+    fn typos_change_strings() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in ["a", "ab", "hospital name", "x"] {
+            for _ in 0..20 {
+                if let Some(t) = typo(s, &mut rng) {
+                    assert_ne!(t, s);
+                }
+            }
+        }
+        assert_eq!(typo("", &mut rng), None);
+    }
+
+    #[test]
+    fn zero_rates_are_a_no_op() {
+        let (inst, fds) = clean();
+        let spec = ErrorSpec {
+            typo_rate: 0.0,
+            swap_rate: 0.0,
+            corrupt_rate: 0.0,
+            fd_drop_rate: 0.0,
+            seed: 7,
+        };
+        let (dirty, dirty_fds, report) = inject(&inst, &fds, &spec);
+        assert_eq!(dirty, inst);
+        assert_eq!(dirty_fds, fds);
+        assert_eq!(report.cells_changed(), 0);
+    }
+}

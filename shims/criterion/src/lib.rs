@@ -14,6 +14,14 @@
 //!
 //! Filtering works like criterion's: `cargo bench -- <substring>` runs only
 //! benchmarks whose `group/id` name contains the substring.
+//!
+//! ```
+//! use criterion::{black_box, BenchmarkId};
+//!
+//! // `black_box` defeats constant folding exactly like the real crate.
+//! assert_eq!(black_box(2 + 2), 4);
+//! assert_eq!(BenchmarkId::new("encode", 128).to_string(), "encode/128");
+//! ```
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;

@@ -11,6 +11,18 @@
 //! randomized repair orderings, *not* cryptographic. Streams differ from the
 //! real `StdRng` (ChaCha12), so seeds produce different (but still fully
 //! deterministic and reproducible) sequences.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let a: i64 = rng.gen_range(0..100);
+//! assert!((0..100).contains(&a));
+//! // Same seed, same stream: fully reproducible.
+//! let mut again = StdRng::seed_from_u64(7);
+//! assert_eq!(again.gen_range(0..100), a);
+//! ```
 
 use std::ops::Range;
 

@@ -1,13 +1,17 @@
 //! `rtclean` — command-line front end for relative-trust repair.
 //!
-//! Reads a CSV file and a set of functional dependencies, and either
+//! Reads a CSV/TSV file (typed ingestion: column types are inferred and
+//! the data is parsed directly into dictionary codes) and a set of
+//! functional dependencies, and either
 //!
 //! * produces one repair for a chosen trust level (`--tau` / `--tau-r`), or
 //! * enumerates the whole spectrum of non-dominated repairs (`--spectrum`),
 //!   or
 //! * replays a JSON mutation log against a live engine (`apply`), keeping
 //!   the prepared state maintained incrementally — the conflict graph is
-//!   never rebuilt.
+//!   never rebuilt, or
+//! * builds and repairs a named workload from the scenario catalog
+//!   (`scenario`).
 //!
 //! Examples:
 //!
@@ -17,10 +21,115 @@
 //!         --output repaired.csv
 //! rtclean apply employees.csv --fd "Surname,GivenName->Income" \
 //!         --log mutations.json --verify
+//! rtclean scenario list
+//! rtclean scenario hospital --seed 3
 //! ```
 
 use relative_trust::prelude::*;
 use std::process::ExitCode;
+
+/// Engine-configuration options shared by every subcommand
+/// (`--weight`, `--seed`, `--max-expansions`, `--threads`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EngineOpts {
+    weight: WeightKind,
+    seed: u64,
+    max_expansions: usize,
+    threads: Parallelism,
+}
+
+impl EngineOpts {
+    fn new(default_seed: u64) -> Self {
+        EngineOpts {
+            weight: WeightKind::DistinctCount,
+            seed: default_seed,
+            max_expansions: 500_000,
+            threads: Parallelism::Auto,
+        }
+    }
+}
+
+/// Reads the value following `args[*i]`, advancing `i` past it.
+fn take_value(args: &[String], i: &mut usize) -> Result<String, String> {
+    let flag = args[*i].clone();
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("missing value after `{flag}`"))
+}
+
+/// Tries to consume `args[*i]` as one of the shared engine options.
+/// Returns `Ok(true)` when consumed (with `i` advanced past any value) —
+/// the single implementation all three subcommand parsers delegate to.
+fn consume_engine_option(
+    args: &[String],
+    i: &mut usize,
+    opts: &mut EngineOpts,
+) -> Result<bool, String> {
+    match args[*i].as_str() {
+        "--weight" => {
+            let v = take_value(args, i)?;
+            opts.weight = match v.as_str() {
+                "distinct" => WeightKind::DistinctCount,
+                "count" => WeightKind::AttrCount,
+                "entropy" => WeightKind::Entropy,
+                other => return Err(format!("unknown --weight `{other}`")),
+            };
+        }
+        "--seed" => {
+            let v = take_value(args, i)?;
+            opts.seed = v
+                .parse()
+                .map_err(|_| format!("invalid --seed value `{v}`"))?;
+        }
+        "--max-expansions" => {
+            let v = take_value(args, i)?;
+            opts.max_expansions = v
+                .parse()
+                .map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
+        }
+        "--threads" => {
+            let v = take_value(args, i)?;
+            opts.threads = Parallelism::parse(&v).map_err(|e| format!("--threads: {e}"))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Tries to consume `args[*i]` as one of the repair-selection options
+/// shared by the CSV and scenario front ends
+/// (`--tau`, `--tau-r`, `--spectrum`, `--output`).
+fn consume_mode_option(
+    args: &[String],
+    i: &mut usize,
+    mode: &mut Option<Mode>,
+    output: &mut Option<String>,
+) -> Result<bool, String> {
+    match args[*i].as_str() {
+        "--tau" => {
+            let v = take_value(args, i)?;
+            let n = v
+                .parse::<usize>()
+                .map_err(|_| format!("invalid --tau value `{v}`"))?;
+            *mode = Some(Mode::Tau(n));
+        }
+        "--tau-r" => {
+            let v = take_value(args, i)?;
+            let f = v
+                .parse::<f64>()
+                .map_err(|_| format!("invalid --tau-r value `{v}`"))?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("--tau-r must be in [0,1], got {f}"));
+            }
+            *mode = Some(Mode::TauRelative(f));
+        }
+        "--spectrum" => *mode = Some(Mode::Spectrum),
+        "--output" => *output = Some(take_value(args, i)?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,11 +137,9 @@ struct Options {
     input: String,
     fd_specs: Vec<String>,
     mode: Mode,
-    weight: WeightKind,
     output: Option<String>,
-    seed: u64,
-    max_expansions: usize,
-    threads: Parallelism,
+    tsv: bool,
+    engine: EngineOpts,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,12 +155,27 @@ enum Mode {
 const USAGE: &str = "\
 usage: rtclean <input.csv> --fd \"X1,X2->A\" [--fd ...] [options]
        rtclean apply <input.csv> --fd \"X1,X2->A\" [--fd ...] --log <mutations.json> [options]
+       rtclean scenario list
+       rtclean scenario <name> [--seed N] [--rows N] [options]
+
+Input files load through the typed ingestion layer: column types
+(int/float/str) are inferred, a configurable null policy applies per cell,
+and the data is parsed directly into dictionary codes. Use --tsv for
+tab-separated input.
 
 `rtclean apply` replays a JSON mutation log (inserts / deletes / cell
 updates / FD edits) against a live engine session, maintaining the prepared
 state incrementally, then reports the session and prints the post-mutation
 spectrum. With --verify it additionally rebuilds an engine from scratch on
 the mutated inputs and checks the outputs are bit-identical.
+
+`rtclean scenario <name>` builds a named workload from the scenario
+catalog (seeded generation or a bundled fixture + seeded error injection)
+and repairs it; `rtclean scenario list` prints the catalog.
+
+scenario options:
+  --seed <N>           scenario seed (generation + injection; default: 17)
+  --rows <N>           override the scenario's default size
 
 apply options:
   --log <file>         JSON mutation log to replay (required)
@@ -64,6 +186,7 @@ apply options:
 options:
   --fd <spec>          functional dependency, e.g. \"Surname,GivenName->Income\"
                        (repeat the flag for several FDs; at least one required)
+  --tsv                treat the input as tab-separated
   --tau <N>            allow at most N cell changes (single repair)
   --tau-r <F>          relative trust in [0,1]; 0 = trust the data (default: --spectrum)
   --spectrum           enumerate all non-dominated repairs
@@ -81,68 +204,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut input: Option<String> = None;
     let mut fd_specs = Vec::new();
     let mut mode: Option<Mode> = None;
-    let mut weight = WeightKind::DistinctCount;
     let mut output = None;
-    let mut seed = 0u64;
-    let mut max_expansions = 500_000usize;
-    let mut threads = Parallelism::Auto;
+    let mut tsv = false;
+    let mut engine = EngineOpts::new(0);
 
     let mut i = 0;
     while i < args.len() {
-        let arg = &args[i];
-        let take_value = |i: &mut usize| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("missing value after `{arg}`"))
-        };
-        match arg.as_str() {
+        if consume_engine_option(args, &mut i, &mut engine)?
+            || consume_mode_option(args, &mut i, &mut mode, &mut output)?
+        {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
-            "--fd" => fd_specs.push(take_value(&mut i)?),
-            "--tau" => {
-                let v = take_value(&mut i)?;
-                let n = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("invalid --tau value `{v}`"))?;
-                mode = Some(Mode::Tau(n));
-            }
-            "--tau-r" => {
-                let v = take_value(&mut i)?;
-                let f = v
-                    .parse::<f64>()
-                    .map_err(|_| format!("invalid --tau-r value `{v}`"))?;
-                if !(0.0..=1.0).contains(&f) {
-                    return Err(format!("--tau-r must be in [0,1], got {f}"));
-                }
-                mode = Some(Mode::TauRelative(f));
-            }
-            "--spectrum" => mode = Some(Mode::Spectrum),
-            "--weight" => {
-                let v = take_value(&mut i)?;
-                weight = match v.as_str() {
-                    "distinct" => WeightKind::DistinctCount,
-                    "count" => WeightKind::AttrCount,
-                    "entropy" => WeightKind::Entropy,
-                    other => return Err(format!("unknown --weight `{other}`")),
-                };
-            }
-            "--output" => output = Some(take_value(&mut i)?),
-            "--seed" => {
-                let v = take_value(&mut i)?;
-                seed = v
-                    .parse()
-                    .map_err(|_| format!("invalid --seed value `{v}`"))?;
-            }
-            "--max-expansions" => {
-                let v = take_value(&mut i)?;
-                max_expansions = v
-                    .parse()
-                    .map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
-            }
-            "--threads" => {
-                let v = take_value(&mut i)?;
-                threads = Parallelism::parse(&v).map_err(|e| format!("--threads: {e}"))?;
-            }
+            "--fd" => fd_specs.push(take_value(args, &mut i)?),
+            "--tsv" => tsv = true,
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other => {
                 if input.is_some() {
@@ -162,17 +239,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         input,
         fd_specs,
         mode: mode.unwrap_or(Mode::Spectrum),
-        weight,
         output,
-        seed,
-        max_expansions,
-        threads,
+        tsv,
+        engine,
     })
 }
 
-/// Maps a failure from the CSV reader onto the right `EngineError` variant:
-/// file-access problems become `Io` (with the path), parse problems keep
-/// their structured `Relation` form.
+/// Maps a failure from the legacy CSV writer onto the right `EngineError`
+/// variant: file-access problems become `Io` (with the path), parse
+/// problems keep their structured `Relation` form.
 fn file_error(path: &str, e: RelationError) -> EngineError {
     match e {
         RelationError::Io(message) => EngineError::Io {
@@ -183,21 +258,58 @@ fn file_error(path: &str, e: RelationError) -> EngineError {
     }
 }
 
+/// Maps a typed-ingestion failure onto the engine boundary: access
+/// problems become `Io`, syntax/typing problems become `Parse` (with the
+/// line number), substrate problems stay `Relation`.
+fn load_error(path: &str, e: IoError) -> EngineError {
+    match e {
+        IoError::Io(message) => EngineError::Io {
+            path: path.to_string(),
+            message,
+        },
+        IoError::Parse { line, message } => EngineError::Parse {
+            path: path.to_string(),
+            line,
+            message,
+        },
+        IoError::Relation(e) => EngineError::Relation(e),
+    }
+}
+
+/// Loads the input through the typed ingestion layer (inferred column
+/// types, dictionary-direct encoding) and reports what was inferred.
+fn load_input(path: &str, tsv: bool) -> Result<relative_trust::io::LoadReport, EngineError> {
+    let base = if tsv {
+        CsvOptions::tsv()
+    } else {
+        CsvOptions::csv()
+    };
+    let report = relative_trust::io::load_path(path, &base.relation("input"))
+        .map_err(|e| load_error(path, e))?;
+    let types: Vec<String> = report
+        .instance
+        .schema()
+        .attributes()
+        .zip(report.columns.iter())
+        .map(|((_, name), ty)| format!("{name}:{ty}"))
+        .collect();
+    println!(
+        "loaded {} tuples × {} attributes from {path} ({} null cells)",
+        report.instance.len(),
+        report.instance.schema().arity(),
+        report.null_cells,
+    );
+    println!("inferred column types: {}", types.join(", "));
+    Ok(report)
+}
+
 fn run(options: &Options) -> Result<(), EngineError> {
     // File I/O and CSV parsing surface as typed `EngineError`s, never as
     // panics: bad user input exits non-zero with a one-line message.
-    let instance = relative_trust::relation::csv::read_instance_from_path("input", &options.input)
-        .map_err(|e| file_error(&options.input, e))?;
+    let instance = load_input(&options.input, options.tsv)?.instance;
     let schema = instance.schema().clone();
     let specs: Vec<&str> = options.fd_specs.iter().map(String::as_str).collect();
     let fds = FdSet::parse(&specs, &schema).map_err(EngineError::Fd)?;
-
-    println!(
-        "loaded {} tuples × {} attributes from {}",
-        instance.len(),
-        schema.arity(),
-        options.input
-    );
     println!("FDs: {}", fds.display_with(&schema));
     if fds.holds_on(&instance) {
         println!("the data already satisfies the FDs — nothing to repair");
@@ -205,10 +317,10 @@ fn run(options: &Options) -> Result<(), EngineError> {
     }
 
     let engine = RepairEngine::builder(instance.clone(), fds)
-        .weight(options.weight)
-        .parallelism(options.threads)
-        .max_expansions(options.max_expansions)
-        .seed(options.seed)
+        .weight(options.engine.weight)
+        .parallelism(options.engine.threads)
+        .max_expansions(options.engine.max_expansions)
+        .seed(options.engine.seed)
         .build()?;
     let budget = engine.delta_p_original();
     println!(
@@ -217,7 +329,26 @@ fn run(options: &Options) -> Result<(), EngineError> {
         engine.problem().conflict_graph().edge_count()
     );
 
-    match options.mode {
+    report_results(
+        &engine,
+        &instance,
+        &schema,
+        options.mode,
+        options.output.as_deref(),
+    )
+}
+
+/// Shared reporting tail of the CSV and scenario front ends: the lazy
+/// spectrum sweep, or one materialized repair (optionally written out).
+fn report_results(
+    engine: &RepairEngine,
+    instance: &Instance,
+    schema: &Schema,
+    mode: Mode,
+    output: Option<&str>,
+) -> Result<(), EngineError> {
+    let budget = engine.delta_p_original();
+    match mode {
         Mode::Spectrum => {
             // The sweep is lazy: each repair is materialized as it is
             // printed, off one shared Range-Repair traversal.
@@ -231,7 +362,7 @@ fn run(options: &Options) -> Result<(), EngineError> {
                     point.tau_range.1,
                     point.repair.dist_c,
                     point.repair.data_changes(),
-                    point.repair.modified_fds.display_with(&schema)
+                    point.repair.modified_fds.display_with(schema)
                 );
             }
             println!("{count} non-dominated repairs.");
@@ -240,7 +371,7 @@ fn run(options: &Options) -> Result<(), EngineError> {
             );
         }
         Mode::Tau(_) | Mode::TauRelative(_) => {
-            let tau = match options.mode {
+            let tau = match mode {
                 Mode::Tau(t) => t.min(budget),
                 Mode::TauRelative(f) => engine.absolute_tau(f),
                 Mode::Spectrum => unreachable!(),
@@ -249,7 +380,7 @@ fn run(options: &Options) -> Result<(), EngineError> {
             println!("repair for τ = {tau}:");
             println!(
                 "  modified FDs : {}",
-                repair.modified_fds.display_with(&schema)
+                repair.modified_fds.display_with(schema)
             );
             println!("  FD distance  : {:.1}", repair.dist_c);
             println!("  cell changes : {}", repair.data_changes());
@@ -272,7 +403,7 @@ fn run(options: &Options) -> Result<(), EngineError> {
             if repair.changed_cells.len() > 25 {
                 println!("    ... and {} more", repair.changed_cells.len() - 25);
             }
-            if let Some(path) = &options.output {
+            if let Some(path) = output {
                 relative_trust::relation::csv::write_instance_to_path(
                     &repair.repaired_instance,
                     path,
@@ -291,68 +422,37 @@ struct ApplyOptions {
     input: String,
     fd_specs: Vec<String>,
     log: String,
-    weight: WeightKind,
-    seed: u64,
-    max_expansions: usize,
-    threads: Parallelism,
+    tsv: bool,
     /// One engine batch per log entry (streaming replay) vs one atomic
     /// batch for the whole log.
     per_op: bool,
     verify: bool,
+    engine: EngineOpts,
 }
 
 fn parse_apply_args(args: &[String]) -> Result<ApplyOptions, String> {
     let mut input: Option<String> = None;
     let mut fd_specs = Vec::new();
     let mut log: Option<String> = None;
-    let mut weight = WeightKind::DistinctCount;
-    let mut seed = 0u64;
-    let mut max_expansions = 500_000usize;
-    let mut threads = Parallelism::Auto;
+    let mut tsv = false;
     let mut per_op = true;
     let mut verify = false;
+    let mut engine = EngineOpts::new(0);
 
     let mut i = 0;
     while i < args.len() {
-        let arg = &args[i];
-        let take_value = |i: &mut usize| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("missing value after `{arg}`"))
-        };
-        match arg.as_str() {
+        if consume_engine_option(args, &mut i, &mut engine)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
-            "--fd" => fd_specs.push(take_value(&mut i)?),
-            "--log" => log = Some(take_value(&mut i)?),
+            "--fd" => fd_specs.push(take_value(args, &mut i)?),
+            "--log" => log = Some(take_value(args, &mut i)?),
+            "--tsv" => tsv = true,
             "--per-op" => per_op = true,
             "--batch" => per_op = false,
             "--verify" => verify = true,
-            "--weight" => {
-                let v = take_value(&mut i)?;
-                weight = match v.as_str() {
-                    "distinct" => WeightKind::DistinctCount,
-                    "count" => WeightKind::AttrCount,
-                    "entropy" => WeightKind::Entropy,
-                    other => return Err(format!("unknown --weight `{other}`")),
-                };
-            }
-            "--seed" => {
-                let v = take_value(&mut i)?;
-                seed = v
-                    .parse()
-                    .map_err(|_| format!("invalid --seed value `{v}`"))?;
-            }
-            "--max-expansions" => {
-                let v = take_value(&mut i)?;
-                max_expansions = v
-                    .parse()
-                    .map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
-            }
-            "--threads" => {
-                let v = take_value(&mut i)?;
-                threads = Parallelism::parse(&v).map_err(|e| format!("--threads: {e}"))?;
-            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other => {
                 if input.is_some() {
@@ -372,18 +472,15 @@ fn parse_apply_args(args: &[String]) -> Result<ApplyOptions, String> {
             fd_specs
         },
         log: log.ok_or_else(|| "apply requires --log <mutations.json>".to_string())?,
-        weight,
-        seed,
-        max_expansions,
-        threads,
+        tsv,
         per_op,
         verify,
+        engine,
     })
 }
 
 fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
-    let instance = relative_trust::relation::csv::read_instance_from_path("input", &options.input)
-        .map_err(|e| file_error(&options.input, e))?;
+    let instance = load_input(&options.input, options.tsv)?.instance;
     let schema = instance.schema().clone();
     let specs: Vec<&str> = options.fd_specs.iter().map(String::as_str).collect();
     let fds = FdSet::parse(&specs, &schema).map_err(EngineError::Fd)?;
@@ -393,20 +490,13 @@ fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
     let ops = relative_trust::engine::parse_mutation_log(&log_text, &schema)
         .map_err(EngineError::Mutation)?;
 
-    println!(
-        "loaded {} tuples × {} attributes from {}; {} log entries from {}",
-        instance.len(),
-        schema.arity(),
-        options.input,
-        ops.len(),
-        options.log
-    );
+    println!("{} log entries from {}", ops.len(), options.log);
 
     let mut engine = RepairEngine::builder(instance, fds)
-        .weight(options.weight)
-        .parallelism(options.threads)
-        .max_expansions(options.max_expansions)
-        .seed(options.seed)
+        .weight(options.engine.weight)
+        .parallelism(options.engine.threads)
+        .max_expansions(options.engine.max_expansions)
+        .seed(options.engine.seed)
         .build()?;
 
     if options.per_op {
@@ -484,10 +574,10 @@ fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
             engine.problem().instance().clone(),
             engine.problem().sigma().clone(),
         )
-        .weight(options.weight)
-        .parallelism(options.threads)
-        .max_expansions(options.max_expansions)
-        .seed(options.seed)
+        .weight(options.engine.weight)
+        .parallelism(options.engine.threads)
+        .max_expansions(options.engine.max_expansions)
+        .seed(options.engine.seed)
         .build()?;
         let fresh_spectrum = fresh.spectrum()?;
         if spectrum.bit_identical(&fresh_spectrum) {
@@ -505,8 +595,131 @@ fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Options of the `scenario` subcommand. The engine seed doubles as the
+/// scenario seed (generation + injection), so one `--seed` controls the
+/// whole run.
+#[derive(Debug, Clone, PartialEq)]
+struct ScenarioOptions {
+    name: String,
+    rows: Option<usize>,
+    mode: Mode,
+    output: Option<String>,
+    engine: EngineOpts,
+}
+
+fn parse_scenario_args(args: &[String]) -> Result<ScenarioOptions, String> {
+    let mut name: Option<String> = None;
+    let mut rows: Option<usize> = None;
+    let mut mode: Option<Mode> = None;
+    let mut output = None;
+    let mut engine = EngineOpts::new(17);
+
+    let mut i = 0;
+    while i < args.len() {
+        if consume_engine_option(args, &mut i, &mut engine)?
+            || consume_mode_option(args, &mut i, &mut mode, &mut output)?
+        {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--rows" => {
+                let v = take_value(args, &mut i)?;
+                rows = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --rows value `{v}`"))?,
+                );
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => {
+                if name.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                name = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    Ok(ScenarioOptions {
+        name: name.ok_or_else(|| USAGE.to_string())?,
+        rows,
+        mode: mode.unwrap_or(Mode::Spectrum),
+        output,
+        engine,
+    })
+}
+
+fn run_scenario(options: &ScenarioOptions) -> Result<(), EngineError> {
+    if options.name == "list" {
+        println!("available scenarios:");
+        for info in relative_trust::scenarios::catalog() {
+            println!("  {:<10} {}", info.name, info.description);
+        }
+        println!("\nrun one with: rtclean scenario <name> [--seed N] [--rows N]");
+        return Ok(());
+    }
+    let scenario = relative_trust::scenarios::build(
+        &options.name,
+        &ScenarioConfig {
+            seed: options.engine.seed,
+            rows: options.rows,
+        },
+    )
+    .map_err(EngineError::InvalidConfig)?;
+    let schema = scenario.dirty.schema().clone();
+    println!("scenario `{}`: {}", scenario.name, scenario.description);
+    println!(
+        "  {} tuples × {} attributes (seed {})",
+        scenario.dirty.len(),
+        schema.arity(),
+        options.engine.seed
+    );
+    println!("  FDs: {}", scenario.dirty_fds.display_with(&schema));
+    let r = &scenario.report;
+    println!(
+        "  injected errors: {} typos, {} swaps, {} corruptions, {} FD attrs dropped",
+        r.typos, r.swaps, r.corruptions, r.fd_attrs_dropped
+    );
+
+    let engine = RepairEngine::builder(scenario.dirty.clone(), scenario.dirty_fds.clone())
+        .weight(options.engine.weight)
+        .parallelism(options.engine.threads)
+        .max_expansions(options.engine.max_expansions)
+        .seed(options.engine.seed)
+        .build()?;
+    println!(
+        "  {} conflicting tuple pairs; δP reference {}\n",
+        engine.problem().conflict_graph().edge_count(),
+        engine.delta_p_original()
+    );
+    report_results(
+        &engine,
+        &scenario.dirty,
+        &schema,
+        options.mode,
+        options.output.as_deref(),
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("scenario") {
+        return match parse_scenario_args(&args[1..]) {
+            Ok(options) => match run_scenario(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("apply") {
         return match parse_apply_args(&args[1..]) {
             Ok(options) => match run_apply(&options) {
@@ -551,8 +764,8 @@ mod tests {
         assert_eq!(o.input, "data.csv");
         assert_eq!(o.fd_specs, vec!["A->B".to_string()]);
         assert_eq!(o.mode, Mode::Spectrum);
-        assert_eq!(o.weight, WeightKind::DistinctCount);
-        assert_eq!(o.seed, 0);
+        assert_eq!(o.engine.weight, WeightKind::DistinctCount);
+        assert_eq!(o.engine.seed, 0);
     }
 
     #[test]
@@ -577,10 +790,10 @@ mod tests {
         .unwrap();
         assert_eq!(o.fd_specs.len(), 2);
         assert_eq!(o.mode, Mode::TauRelative(0.25));
-        assert_eq!(o.weight, WeightKind::Entropy);
+        assert_eq!(o.engine.weight, WeightKind::Entropy);
         assert_eq!(o.output.as_deref(), Some("out.csv"));
-        assert_eq!(o.seed, 9);
-        assert_eq!(o.max_expansions, 1234);
+        assert_eq!(o.engine.seed, 9);
+        assert_eq!(o.engine.max_expansions, 1234);
     }
 
     #[test]
@@ -604,11 +817,11 @@ mod tests {
     #[test]
     fn threads_flag_parses_all_spellings() {
         let o = parse_args(&args(&["d.csv", "--fd", "A->B"])).unwrap();
-        assert_eq!(o.threads, Parallelism::Auto);
+        assert_eq!(o.engine.threads, Parallelism::Auto);
         let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "serial"])).unwrap();
-        assert_eq!(o.threads, Parallelism::Serial);
+        assert_eq!(o.engine.threads, Parallelism::Serial);
         let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "4"])).unwrap();
-        assert_eq!(o.threads, Parallelism::Fixed(4));
+        assert_eq!(o.engine.threads, Parallelism::Fixed(4));
         assert!(parse_args(&args(&["d.csv", "--fd", "A->B", "--threads", "x"])).is_err());
     }
 
@@ -618,11 +831,14 @@ mod tests {
             input: "/nonexistent/definitely_missing.csv".to_string(),
             fd_specs: vec!["A->B".to_string()],
             mode: Mode::Tau(1),
-            weight: WeightKind::AttrCount,
             output: None,
-            seed: 0,
-            max_expansions: 1000,
-            threads: Parallelism::Serial,
+            tsv: false,
+            engine: EngineOpts {
+                weight: WeightKind::AttrCount,
+                seed: 0,
+                max_expansions: 1000,
+                threads: Parallelism::Serial,
+            },
         };
         let err = run(&options).unwrap_err();
         assert!(matches!(err, EngineError::Io { .. }), "got {err:?}");
@@ -640,19 +856,23 @@ mod tests {
             input: input.to_string_lossy().to_string(),
             fd_specs: vec!["A->B".to_string()],
             mode: Mode::Tau(1),
-            weight: WeightKind::AttrCount,
             output: None,
-            seed: 0,
-            max_expansions: 1000,
-            threads: Parallelism::Serial,
+            tsv: false,
+            engine: EngineOpts {
+                weight: WeightKind::AttrCount,
+                seed: 0,
+                max_expansions: 1000,
+                threads: Parallelism::Serial,
+            },
         };
         let err = run(&options).unwrap_err();
         // A parse failure is not an access failure: it surfaces as the
-        // structured Relation error, not Io.
+        // structured Parse error with the offending line, not Io.
         assert!(
-            matches!(err, EngineError::Relation(RelationError::Csv(_))),
+            matches!(err, EngineError::Parse { line: 3, .. }),
             "got {err:?}"
         );
+        assert!(err.to_string().contains("line 3"));
         std::fs::remove_file(&input).ok();
     }
 
@@ -666,11 +886,14 @@ mod tests {
             input: input.to_string_lossy().to_string(),
             fd_specs: vec!["A->Nope".to_string()],
             mode: Mode::Spectrum,
-            weight: WeightKind::AttrCount,
             output: None,
-            seed: 0,
-            max_expansions: 1000,
-            threads: Parallelism::Serial,
+            tsv: false,
+            engine: EngineOpts {
+                weight: WeightKind::AttrCount,
+                seed: 0,
+                max_expansions: 1000,
+                threads: Parallelism::Serial,
+            },
         };
         let err = run(&options).unwrap_err();
         assert!(matches!(err, EngineError::Fd(_)), "got {err:?}");
@@ -687,7 +910,14 @@ mod tests {
         assert_eq!(o.log, "m.json");
         assert!(o.verify);
         assert!(!o.per_op);
-        assert_eq!(o.weight, WeightKind::AttrCount);
+        assert_eq!(o.engine.weight, WeightKind::AttrCount);
+        // apply accepts --tsv like the main form (the usage text promises
+        // it for input files generally).
+        let o = parse_apply_args(&args(&[
+            "d.tsv", "--fd", "A->B", "--log", "m.json", "--tsv",
+        ]))
+        .unwrap();
+        assert!(o.tsv);
         // --log is mandatory, as is an input and at least one FD.
         assert!(parse_apply_args(&args(&["d.csv", "--fd", "A->B"])).is_err());
         assert!(parse_apply_args(&args(&["d.csv", "--log", "m.json"])).is_err());
@@ -718,12 +948,15 @@ mod tests {
                 input: input.to_string_lossy().to_string(),
                 fd_specs: vec!["A->B".to_string()],
                 log: log.to_string_lossy().to_string(),
-                weight: WeightKind::AttrCount,
-                seed: 3,
-                max_expansions: 100_000,
-                threads: Parallelism::Serial,
+                tsv: false,
                 per_op,
                 verify: true,
+                engine: EngineOpts {
+                    weight: WeightKind::AttrCount,
+                    seed: 3,
+                    max_expansions: 100_000,
+                    threads: Parallelism::Serial,
+                },
             };
             run_apply(&options).unwrap();
         }
@@ -743,17 +976,95 @@ mod tests {
             input: input.to_string_lossy().to_string(),
             fd_specs: vec!["A->B".to_string()],
             log: log.to_string_lossy().to_string(),
-            weight: WeightKind::AttrCount,
-            seed: 0,
-            max_expansions: 10_000,
-            threads: Parallelism::Serial,
+            tsv: false,
             per_op: true,
             verify: false,
+            engine: EngineOpts {
+                weight: WeightKind::AttrCount,
+                seed: 0,
+                max_expansions: 10_000,
+                threads: Parallelism::Serial,
+            },
         };
         let err = run_apply(&options).unwrap_err();
         assert!(matches!(err, EngineError::Mutation(_)), "got {err:?}");
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&log).ok();
+    }
+
+    #[test]
+    fn scenario_arg_parsing() {
+        let o = parse_scenario_args(&args(&[
+            "hospital",
+            "--seed",
+            "9",
+            "--rows",
+            "25",
+            "--tau",
+            "2",
+            "--weight",
+            "count",
+            "--threads",
+            "serial",
+        ]))
+        .unwrap();
+        assert_eq!(o.name, "hospital");
+        assert_eq!(o.engine.seed, 9);
+        assert_eq!(o.rows, Some(25));
+        assert_eq!(o.mode, Mode::Tau(2));
+        assert_eq!(o.engine.weight, WeightKind::AttrCount);
+        // Defaults: catalog seed, scenario-default rows, spectrum mode.
+        let o = parse_scenario_args(&args(&["sensors"])).unwrap();
+        assert_eq!(o.engine.seed, 17);
+        assert_eq!(o.rows, None);
+        assert_eq!(o.mode, Mode::Spectrum);
+        assert!(parse_scenario_args(&args(&[])).is_err());
+        assert!(parse_scenario_args(&args(&["sensors", "--rows", "x"])).is_err());
+        assert!(parse_scenario_args(&args(&["sensors", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn scenario_list_and_unknown_names() {
+        let list = ScenarioOptions {
+            name: "list".to_string(),
+            rows: None,
+            mode: Mode::Spectrum,
+            output: None,
+            engine: EngineOpts {
+                weight: WeightKind::DistinctCount,
+                seed: 17,
+                max_expansions: 1000,
+                threads: Parallelism::Serial,
+            },
+        };
+        run_scenario(&list).unwrap();
+        let err = run_scenario(&ScenarioOptions {
+            name: "nope".to_string(),
+            ..list
+        })
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)), "got {err:?}");
+        assert!(err.to_string().contains("hospital"));
+    }
+
+    #[test]
+    fn scenario_end_to_end_single_repair() {
+        // τ far above δP: the search accepts the unmodified FDs immediately
+        // and only the data-repair half runs, keeping this test fast in
+        // debug builds.
+        let options = ScenarioOptions {
+            name: "hospital".to_string(),
+            rows: Some(30),
+            mode: Mode::Tau(100_000),
+            output: None,
+            engine: EngineOpts {
+                weight: WeightKind::AttrCount,
+                seed: 3,
+                max_expansions: 200_000,
+                threads: Parallelism::Serial,
+            },
+        };
+        run_scenario(&options).unwrap();
     }
 
     #[test]
@@ -768,11 +1079,14 @@ mod tests {
             input: input.to_string_lossy().to_string(),
             fd_specs: vec!["A->B".to_string()],
             mode: Mode::Tau(2),
-            weight: WeightKind::AttrCount,
             output: Some(output.to_string_lossy().to_string()),
-            seed: 1,
-            max_expansions: 10_000,
-            threads: Parallelism::Fixed(2),
+            tsv: false,
+            engine: EngineOpts {
+                weight: WeightKind::AttrCount,
+                seed: 1,
+                max_expansions: 10_000,
+                threads: Parallelism::Fixed(2),
+            },
         };
         run(&options).unwrap();
         let repaired =

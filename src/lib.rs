@@ -15,6 +15,11 @@
 //!   its fluent builder, the lazy [`prelude::RepairStream`] sweep and the
 //!   unified [`prelude::EngineError`];
 //! * [`relation`] — schemas, tuples, instances and V-instances;
+//! * [`io`] — typed, streaming CSV/TSV ingestion that parses directly into
+//!   dictionary codes (`rt_io::load_path`, `Instance::from_csv` via
+//!   [`prelude::InstanceCsvExt`]);
+//! * [`scenarios`] — the catalog of named, seeded end-to-end workloads
+//!   behind `rtclean scenario <name>`;
 //! * [`par`] — the parallel execution layer: the [`prelude::Parallelism`]
 //!   config and deterministic fork/join maps every other crate fans out
 //!   with (results are bit-identical for every thread count);
@@ -81,8 +86,10 @@ pub use rt_core as core;
 pub use rt_datagen as datagen;
 pub use rt_engine as engine;
 pub use rt_graph as graph;
+pub use rt_io as io;
 pub use rt_par as par;
 pub use rt_relation as relation;
+pub use rt_scenarios as scenarios;
 
 /// The most commonly used items, re-exported flat. Engine first: new code
 /// should only need [`RepairEngine`](prelude::RepairEngine) plus the data
@@ -106,7 +113,11 @@ pub mod prelude {
         RepairQuality,
     };
     pub use rt_graph::{approx_vertex_cover, UndirectedGraph};
-    pub use rt_relation::{AttrId, CellRef, Instance, RelationError, Schema, Tuple, Value};
+    pub use rt_io::{CsvOptions, InstanceCsvExt, IoError, LoadReport};
+    pub use rt_relation::{
+        AttrId, CellRef, ColumnType, Instance, RelationError, Schema, Tuple, Value,
+    };
+    pub use rt_scenarios::{Scenario, ScenarioConfig};
 
     // The deprecated free-function surface, kept importable so existing
     // code keeps compiling (each use still warns with a pointer to its

@@ -1,0 +1,158 @@
+//! Edge-case coverage for the typed CSV/TSV ingestion layer, driven
+//! through the public facade the way a user would: quoted delimiters,
+//! CRLF endings, ragged rows, null-token policy, and type-inference
+//! conflicts falling back to `Str`.
+
+use relative_trust::io::{infer_schema, load_path, read_instance, CsvOptions, IoError};
+use relative_trust::prelude::*;
+
+#[test]
+fn quoted_delimiters_quotes_and_newlines_stay_literal() {
+    let csv = "name,note\n\
+               \"Doe, Jane\",\"says \"\"hi\"\"\"\n\
+               plain,\"two\nlines\"\n";
+    let report = read_instance(csv.as_bytes(), &CsvOptions::csv()).unwrap();
+    let inst = &report.instance;
+    assert_eq!(inst.len(), 2);
+    assert_eq!(
+        *inst.cell(CellRef::new(0, AttrId(0))).unwrap(),
+        Value::str("Doe, Jane")
+    );
+    assert_eq!(
+        *inst.cell(CellRef::new(0, AttrId(1))).unwrap(),
+        Value::str("says \"hi\"")
+    );
+    assert_eq!(
+        *inst.cell(CellRef::new(1, AttrId(1))).unwrap(),
+        Value::str("two\nlines")
+    );
+}
+
+#[test]
+fn crlf_input_parses_like_lf_input() {
+    let lf = "a,b\n1,x\n2,y\n";
+    let crlf = "a,b\r\n1,x\r\n2,y\r\n";
+    let from_lf = read_instance(lf.as_bytes(), &CsvOptions::csv()).unwrap();
+    let from_crlf = read_instance(crlf.as_bytes(), &CsvOptions::csv()).unwrap();
+    assert_eq!(from_lf.instance, from_crlf.instance);
+    assert_eq!(from_lf.columns, from_crlf.columns);
+}
+
+#[test]
+fn ragged_rows_are_errors_with_line_numbers() {
+    let csv = "a,b,c\n1,2,3\n4,5\n";
+    let err = read_instance(csv.as_bytes(), &CsvOptions::csv()).unwrap_err();
+    match err {
+        IoError::Parse { line, message } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("expected 3 fields, found 2"), "{message}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+    // Too many fields is just as ragged as too few.
+    let err = read_instance("a,b\n1,2,3\n".as_bytes(), &CsvOptions::csv()).unwrap_err();
+    assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err:?}");
+}
+
+#[test]
+fn null_tokens_apply_per_cell_and_quoting_escapes_them() {
+    let csv = "a,b\nNULL,1\nNA,2\n\"NULL\",3\n,4\n";
+    let report = read_instance(csv.as_bytes(), &CsvOptions::csv()).unwrap();
+    let inst = &report.instance;
+    // Unquoted NULL / NA / empty all hit the default null policy...
+    assert!(inst.cell(CellRef::new(0, AttrId(0))).unwrap().is_null());
+    assert!(inst.cell(CellRef::new(1, AttrId(0))).unwrap().is_null());
+    assert!(inst.cell(CellRef::new(3, AttrId(0))).unwrap().is_null());
+    // ...but a *quoted* "NULL" is a literal string.
+    assert_eq!(
+        *inst.cell(CellRef::new(2, AttrId(0))).unwrap(),
+        Value::str("NULL")
+    );
+    assert_eq!(report.null_cells, 3);
+
+    // A custom token list replaces the default policy entirely.
+    let custom = CsvOptions::csv().nulls(["-"]);
+    let report = read_instance("a\n-\nNULL\n".as_bytes(), &custom).unwrap();
+    assert!(report
+        .instance
+        .cell(CellRef::new(0, AttrId(0)))
+        .unwrap()
+        .is_null());
+    assert_eq!(
+        *report.instance.cell(CellRef::new(1, AttrId(0))).unwrap(),
+        Value::str("NULL")
+    );
+}
+
+#[test]
+fn type_inference_conflicts_fall_back_to_str() {
+    // Column a: ints until a stray word → Str (and "7" loads as the
+    // string "7", not the integer 7). Column b: ints then a float → Float.
+    // Column c: all ints → Int. Column d: only nulls → Str.
+    let csv = "a,b,c,d\n7,1,10,NULL\n8,2.5,11,\nword,3,12,NA\n";
+    let schema = infer_schema(csv.as_bytes(), &CsvOptions::csv()).unwrap();
+    assert_eq!(
+        schema.columns,
+        vec![
+            ColumnType::Str,
+            ColumnType::Float,
+            ColumnType::Int,
+            ColumnType::Str
+        ]
+    );
+    let report = read_instance(csv.as_bytes(), &CsvOptions::csv()).unwrap();
+    let inst = &report.instance;
+    assert_eq!(
+        *inst.cell(CellRef::new(0, AttrId(0))).unwrap(),
+        Value::str("7")
+    );
+    assert_eq!(
+        *inst.cell(CellRef::new(0, AttrId(1))).unwrap(),
+        Value::float(1.0)
+    );
+    assert_eq!(
+        *inst.cell(CellRef::new(0, AttrId(2))).unwrap(),
+        Value::Int(10)
+    );
+    // Non-finite spellings never become floats.
+    let schema = infer_schema("x\n1.5\ninf\n".as_bytes(), &CsvOptions::csv()).unwrap();
+    assert_eq!(schema.columns, vec![ColumnType::Str]);
+}
+
+#[test]
+fn tsv_dialect_and_instance_from_csv_round_trip() {
+    let dir = std::env::temp_dir().join("rt_csv_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.tsv");
+    std::fs::write(&path, "id\tscore\n1\t2.5\n2\t3.5\n").unwrap();
+    // The `Instance::from_csv` spelling comes from the extension trait.
+    let inst = Instance::from_csv(&path, &CsvOptions::tsv()).unwrap();
+    assert_eq!(inst.len(), 2);
+    assert_eq!(
+        *inst.cell(CellRef::new(1, AttrId(1))).unwrap(),
+        Value::float(3.5)
+    );
+    // load_path (two streaming passes) agrees with the buffered reader.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let buffered = read_instance(text.as_bytes(), &CsvOptions::tsv()).unwrap();
+    let streamed = load_path(&path, &CsvOptions::tsv()).unwrap();
+    assert_eq!(buffered.instance, streamed.instance);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn typed_load_feeds_the_engine_end_to_end() {
+    // The whole point of the ingestion layer: a loaded instance drops
+    // straight into a repair session.
+    let csv = "dept,manager\nsales,kim\nsales,lee\nops,pat\n";
+    let report = read_instance(csv.as_bytes(), &CsvOptions::csv()).unwrap();
+    let schema = report.instance.schema().clone();
+    let fds = FdSet::parse(&["dept->manager"], &schema).unwrap();
+    let engine = RepairEngine::builder(report.instance, fds)
+        .weight(WeightKind::AttrCount)
+        .parallelism(Parallelism::Serial)
+        .build()
+        .unwrap();
+    let repair = engine.repair_at(engine.delta_p_original()).unwrap();
+    assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
+}
