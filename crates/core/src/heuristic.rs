@@ -24,6 +24,8 @@ use crate::problem::{DiffSetGroup, RepairProblem};
 use crate::state::RepairState;
 use rt_constraints::AttrSet;
 use rt_graph::{approx_vertex_cover, UndirectedGraph};
+use rt_par::{par_map_indexed, Parallelism};
+use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs of the heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -52,15 +54,45 @@ pub struct HeuristicValue {
     pub lower_bound: Option<f64>,
     /// Number of recursion nodes spent.
     pub nodes: usize,
+    /// Whether the structural enumeration was served from a [`HeuristicCache`]
+    /// (in which case `nodes` is 0: no new recursion work was done).
+    pub cache_hit: bool,
 }
 
-/// Computes `gc(state)` for the given cell budget `τ`.
-pub fn goal_cost_estimate(
+/// Full record of one structural enumeration run at a fixed `(S, τ)`.
+struct EnumerationRun {
+    /// The minimal candidate goal states, in discovery order (what the
+    /// uncached oracle consumes).
+    best: Vec<RepairState>,
+    /// Every `push_minimal` call in order, as component-wise attribute
+    /// *additions* relative to the evaluated state, each annotated with its
+    /// path threshold: the largest `|cover| · α` of any leave-unresolved
+    /// branch on the path from the root (0 when the path resolves
+    /// everything). A later, tighter `τ'` visits exactly the pushes with
+    /// threshold `≤ τ'` — in the same order — as long as this run was not
+    /// budget-truncated.
+    pushes: Vec<(Vec<AttrSet>, usize)>,
+    /// Recursion nodes spent.
+    nodes: usize,
+    /// `true` when the node budget cut the enumeration short (the visit
+    /// order beyond the cut depends on `τ`, so truncated runs only answer
+    /// their own `τ`).
+    truncated: bool,
+    /// `true` when some leave-unresolved branch was infeasible at this `τ`
+    /// (so a *larger* `τ` would explore a strictly bigger tree).
+    skipped_any: bool,
+}
+
+/// Runs the structural half of `gc(S)`: difference-set selection plus the
+/// cheapest-resolution enumeration. The costing half — `dist_c` over the
+/// candidates — is left to the caller, which is what makes the structural
+/// half cacheable across states.
+fn enumerate_goal_candidates(
     problem: &RepairProblem,
     state: &RepairState,
     tau: usize,
     config: &HeuristicConfig,
-) -> HeuristicValue {
+) -> EnumerationRun {
     let relaxed = problem.relaxed_fds(state);
     // Difference sets still violated by the state's relaxation.
     let violated: Vec<&DiffSetGroup> = problem
@@ -74,10 +106,13 @@ pub fn goal_cost_estimate(
         .collect();
     if violated.is_empty() {
         // The state itself is a goal (no violations at all): its own cost is
-        // the exact answer.
-        return HeuristicValue {
-            lower_bound: Some(problem.dist_c(state)),
+        // the exact answer, at every τ.
+        return EnumerationRun {
+            best: vec![state.clone()],
+            pushes: vec![(vec![AttrSet::EMPTY; problem.fd_count()], 0)],
             nodes: 0,
+            truncated: false,
+            skipped_any: false,
         };
     }
     // Select Ds: heaviest difference sets first, preferring small overlap
@@ -86,23 +121,352 @@ pub fn goal_cost_estimate(
 
     let mut ctx = Context {
         problem,
-        root_state: state,
         tau,
         budget: config.node_budget,
         nodes: 0,
         best: Vec::new(),
+        raw: Vec::new(),
+        truncated: false,
+        skipped_any: false,
     };
     let empty = UndirectedGraph::with_vertices(problem.conflict_graph().row_count());
-    ctx.recurse(state.clone(), empty, &selected);
+    ctx.recurse(state.clone(), empty, 0, &selected);
+    let pushes = ctx
+        .raw
+        .iter()
+        .map(|(s, t)| {
+            let adds: Vec<AttrSet> = s
+                .extensions()
+                .iter()
+                .zip(state.extensions())
+                .map(|(ext, base)| ext.difference(*base))
+                .collect();
+            (adds, *t)
+        })
+        .collect();
+    EnumerationRun {
+        best: ctx.best,
+        pushes,
+        nodes: ctx.nodes,
+        truncated: ctx.truncated,
+        skipped_any: ctx.skipped_any,
+    }
+}
 
-    let lower_bound = ctx
+/// Computes `gc(state)` for the given cell budget `τ`.
+pub fn goal_cost_estimate(
+    problem: &RepairProblem,
+    state: &RepairState,
+    tau: usize,
+    config: &HeuristicConfig,
+) -> HeuristicValue {
+    let run = enumerate_goal_candidates(problem, state, tau, config);
+    let lower_bound = run
         .best
         .iter()
         .map(|s| problem.dist_c(s))
         .min_by(|a, b| a.total_cmp(b));
     HeuristicValue {
         lower_bound,
-        nodes: ctx.nodes,
+        nodes: run.nodes,
+        cache_hit: false,
+    }
+}
+
+/// Cache key for the structural half of `gc(S)`.
+///
+/// The enumeration in [`enumerate_goal_candidates`] reads the state only
+/// through (a) which difference-set groups the relaxed Σ still violates —
+/// that alone determines the `Ds` selection — and (b) the *violation
+/// matrix* restricted to the **selected** groups: the (selected group, FD)
+/// pairs where `lhsⱼ ∪ extⱼ(S)` is disjoint from the group's attributes
+/// and the group contains `rhsⱼ`. Every decision after selection — per-
+/// branch violated FDs, cover feasibility, candidate attribute choices, the
+/// still-violated filter after an extension, budget spend, and minimality —
+/// is a function of that restriction alone (plus problem-fixed data:
+/// groups, Σ RHS/LHS, α, row count), because every attribute the recursion
+/// adds comes from a selected group the base extension is disjoint from.
+/// Two states with the same selection and the same restricted matrix
+/// therefore produce the same recursion and the same candidate *additions*
+/// relative to themselves — states that differ only in non-selected groups
+/// collapse onto one entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Indices (into `problem.diff_groups()`) of the selected groups, in
+    /// selection order.
+    selection: Vec<u32>,
+    /// Bitset over `selection_slot * fd_count + fd_index`.
+    violation: Vec<u64>,
+}
+
+/// Cached structural enumeration for one key: the raw push sequence of the
+/// recorded run (additions + path thresholds), plus the run's `τ` and
+/// completion flags that decide which other `τ` values it can answer.
+#[derive(Debug, Clone)]
+struct StructuralEntry {
+    tau: usize,
+    truncated: bool,
+    skipped_any: bool,
+    nodes: usize,
+    pushes: Vec<(Vec<AttrSet>, usize)>,
+}
+
+impl StructuralEntry {
+    /// Can this recorded run answer a query at `tau` exactly?
+    ///
+    /// * its own `τ` — trivially (same run);
+    /// * any *smaller* `τ`, provided the run was not budget-truncated: the
+    ///   tighter tree is exactly the recorded pushes with threshold `≤ τ`,
+    ///   in the same order (`τ` only ever gates leave-unresolved branches,
+    ///   whose thresholds are recorded);
+    /// * any *larger* `τ` too when additionally no branch was skipped (the
+    ///   recorded tree is already the `τ = ∞` tree).
+    fn serves(&self, tau: usize) -> bool {
+        tau == self.tau || (!self.truncated && (tau < self.tau || !self.skipped_any))
+    }
+}
+
+/// Minimal candidate additions for one `(key, τ)`, derived from a
+/// [`StructuralEntry`] by threshold-filtering its pushes and replaying the
+/// minimality filter.
+#[derive(Debug, Clone)]
+struct DerivedEntry {
+    additions: Vec<Vec<AttrSet>>,
+}
+
+/// `a` extends `b`, component-wise, on addition vectors (equivalent to
+/// [`RepairState::extends`] on `base ∪ a` vs `base ∪ b`, because additions
+/// are always disjoint from the base extensions).
+fn adds_extend(a: &[AttrSet], b: &[AttrSet]) -> bool {
+    a.len() == b.len() && b.iter().zip(a).all(|(x, y)| x.is_subset_of(*y))
+}
+
+/// Memo table for the structural half of `gc(S)`, keyed on the selected
+/// difference-set groups plus the violation matrix restricted to them.
+///
+/// A miss runs the exact legacy enumeration on the actual state, recording
+/// every candidate push with its leave-unresolved path threshold; a hit
+/// replays the stored additions onto the new state and re-costs them with
+/// the weight function. One recorded run answers **every tighter `τ`** (the
+/// sweep only ever tightens `τ`) by threshold-filtering its pushes — see
+/// `StructuralEntry::serves` — so neither the τ-refresh loop nor the
+/// post-goal child evaluations repeat enumeration work. Because the stored
+/// order is the discovery order and `min_by(total_cmp)` picks the first of
+/// equals, hit and miss paths produce bit-identical lower bounds.
+///
+/// The cache holds only resolution *structure* — no weights — so it stays
+/// valid across weight refreshes; it must be dropped whenever the
+/// difference-set groups themselves change (see
+/// `MutationEffect::diff_groups_changed`).
+#[derive(Debug, Default)]
+pub struct HeuristicCache {
+    structural: HashMap<CacheKey, StructuralEntry>,
+    derived: HashMap<(CacheKey, usize), DerivedEntry>,
+    hits: usize,
+    nodes_spent: usize,
+}
+
+impl HeuristicCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct structural entries stored.
+    pub fn len(&self) -> usize {
+        self.structural.len()
+    }
+
+    /// `true` when no entry has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.structural.is_empty()
+    }
+
+    /// Number of evaluations served without running the enumeration.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Total recursion nodes spent on misses — the cache's side of the
+    /// `SearchStats::heuristic_nodes` ledger.
+    pub fn nodes_spent(&self) -> usize {
+        self.nodes_spent
+    }
+
+    fn key_for(
+        &self,
+        problem: &RepairProblem,
+        state: &RepairState,
+        config: &HeuristicConfig,
+    ) -> CacheKey {
+        let groups = problem.diff_groups();
+        let fd_count = problem.fd_count();
+        let violates = |group: &DiffSetGroup, j: usize, fd: &rt_constraints::Fd| {
+            group.attrs.contains(fd.rhs)
+                && fd.lhs.is_disjoint_from(group.attrs)
+                && state.extensions()[j].is_disjoint_from(group.attrs)
+        };
+        // Mirror of the run's own selection: violated groups in group order,
+        // then the greedy heaviest-first pick.
+        let violated: Vec<&DiffSetGroup> = groups
+            .iter()
+            .filter(|g| problem.sigma().iter().any(|(j, fd)| violates(g, j, fd)))
+            .collect();
+        let selected = select_diff_sets(&violated, config.max_diff_sets);
+        let selection: Vec<u32> = selected
+            .iter()
+            .map(|s| {
+                groups
+                    .iter()
+                    .position(|g| std::ptr::eq(g, *s))
+                    .expect("selected group comes from the problem's groups") as u32
+            })
+            .collect();
+        let mut violation = vec![0u64; (selection.len() * fd_count).div_ceil(64).max(1)];
+        for (slot, group) in selected.iter().enumerate() {
+            for (j, fd) in problem.sigma().iter() {
+                if violates(group, j, fd) {
+                    let bit = slot * fd_count + j;
+                    violation[bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+        }
+        CacheKey {
+            selection,
+            violation,
+        }
+    }
+
+    /// Threshold-filters a recorded run at `tau` and replays the online
+    /// minimality filter, reproducing exactly the candidate set (and order)
+    /// a fresh enumeration at `tau` would build.
+    fn derive(entry: &StructuralEntry, tau: usize) -> DerivedEntry {
+        let mut additions: Vec<Vec<AttrSet>> = Vec::new();
+        for (adds, threshold) in &entry.pushes {
+            if *threshold > tau {
+                continue;
+            }
+            if additions.iter().any(|b| adds_extend(adds, b)) {
+                continue;
+            }
+            additions.retain(|b| !adds_extend(b, adds));
+            additions.push(adds.clone());
+        }
+        DerivedEntry { additions }
+    }
+
+    /// Evaluates `gc` for one state. Equivalent to
+    /// [`goal_cost_estimate`] value-for-value, but served from the cache
+    /// when the projected key is already known at a `τ` it can answer.
+    pub fn evaluate(
+        &mut self,
+        problem: &RepairProblem,
+        state: &RepairState,
+        tau: usize,
+        config: &HeuristicConfig,
+    ) -> HeuristicValue {
+        self.evaluate_many(problem, &[state], tau, config, Parallelism::Serial)
+            .pop()
+            .expect("one input yields one output")
+    }
+
+    /// Evaluates `gc` for a batch of states at the same `τ`.
+    ///
+    /// Keys are computed serially; the first occurrence of each key whose
+    /// recorded run cannot answer `τ` re-runs the enumeration (those
+    /// representatives run in parallel under `par` — the enumeration is
+    /// pure) and replaces the entry; inserts and per-state costing are
+    /// serial again. Results and accounting are therefore identical for
+    /// every [`Parallelism`] mode. Nodes are charged only to the first
+    /// occurrence of each such key; every other evaluation reports
+    /// `nodes: 0, cache_hit: true`.
+    pub fn evaluate_many(
+        &mut self,
+        problem: &RepairProblem,
+        states: &[&RepairState],
+        tau: usize,
+        config: &HeuristicConfig,
+        par: Parallelism,
+    ) -> Vec<HeuristicValue> {
+        let keys: Vec<CacheKey> = states
+            .iter()
+            .map(|s| self.key_for(problem, s, config))
+            .collect();
+        // First occurrence of each key that cannot answer `τ` from its
+        // recorded run (missing, truncated at a different τ, or recorded at
+        // a smaller τ with skipped branches).
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut will_run: HashSet<&CacheKey> = HashSet::new();
+            for (i, key) in keys.iter().enumerate() {
+                let served = will_run.contains(key)
+                    || self.structural.get(key).is_some_and(|e| e.serves(tau));
+                if !served {
+                    will_run.insert(key);
+                    miss_idx.push(i);
+                }
+            }
+        }
+        let computed: Vec<StructuralEntry> = par_map_indexed(par, miss_idx.len(), |m| {
+            let state = states[miss_idx[m]];
+            let run = enumerate_goal_candidates(problem, state, tau, config);
+            StructuralEntry {
+                tau,
+                truncated: run.truncated,
+                skipped_any: run.skipped_any,
+                nodes: run.nodes,
+                pushes: run.pushes,
+            }
+        });
+        for (&i, entry) in miss_idx.iter().zip(computed) {
+            self.nodes_spent += entry.nodes;
+            self.structural.insert(keys[i].clone(), entry);
+        }
+        let mut charged = miss_idx.into_iter().peekable();
+        states
+            .iter()
+            .zip(&keys)
+            .enumerate()
+            .map(|(i, (state, key))| {
+                let is_miss = charged.peek() == Some(&i);
+                if is_miss {
+                    charged.next();
+                } else {
+                    self.hits += 1;
+                }
+                let miss_nodes = if is_miss {
+                    self.structural.get(key).expect("inserted above").nodes
+                } else {
+                    0
+                };
+                let derived_key = (key.clone(), tau);
+                if !self.derived.contains_key(&derived_key) {
+                    let entry = self.structural.get(key).expect("present for every key");
+                    debug_assert!(entry.serves(tau));
+                    self.derived
+                        .insert(derived_key.clone(), Self::derive(entry, tau));
+                }
+                let derived = self.derived.get(&derived_key).expect("inserted above");
+                let lower_bound = derived
+                    .additions
+                    .iter()
+                    .map(|adds| {
+                        let ext: Vec<AttrSet> = state
+                            .extensions()
+                            .iter()
+                            .zip(adds)
+                            .map(|(base, add)| base.union(*add))
+                            .collect();
+                        problem.weight().extension_cost(&ext)
+                    })
+                    .min_by(|a, b| a.total_cmp(b));
+                HeuristicValue {
+                    lower_bound,
+                    nodes: miss_nodes,
+                    cache_hit: !is_miss,
+                }
+            })
+            .collect()
     }
 }
 
@@ -133,12 +497,18 @@ fn select_diff_sets<'a>(violated: &[&'a DiffSetGroup], max: usize) -> Vec<&'a Di
 
 struct Context<'a> {
     problem: &'a RepairProblem,
-    #[allow(dead_code)]
-    root_state: &'a RepairState,
     tau: usize,
     budget: usize,
     nodes: usize,
     best: Vec<RepairState>,
+    /// Every `push_minimal` call in order, with its path threshold (the
+    /// largest leave-unresolved `|cover| · α` on the path) — the raw
+    /// material for [`HeuristicCache`]'s τ-derivable entries.
+    raw: Vec<(RepairState, usize)>,
+    /// Set when the node budget cut the enumeration short.
+    truncated: bool,
+    /// Set when some leave-unresolved branch was infeasible at this `τ`.
+    skipped_any: bool,
 }
 
 impl<'a> Context<'a> {
@@ -147,22 +517,26 @@ impl<'a> Context<'a> {
     /// * `current` — the state built so far (extends the root state);
     /// * `unresolved` — accumulated edges of difference sets we chose *not*
     ///   to resolve (their vertex cover must stay within the budget);
+    /// * `path_threshold` — largest `|cover| · α` of any leave-unresolved
+    ///   decision on the path so far (0 if none);
     /// * `remaining` — difference sets still to be decided.
     fn recurse(
         &mut self,
         current: RepairState,
         unresolved: UndirectedGraph,
+        path_threshold: usize,
         remaining: &[&DiffSetGroup],
     ) {
         self.nodes += 1;
         if remaining.is_empty() {
-            self.push_minimal(current);
+            self.push_minimal(current, path_threshold);
             return;
         }
         if self.nodes >= self.budget {
             // Budget exhausted: optimistically assume the rest resolves for
             // free. `current` is a lower-bound witness.
-            self.push_minimal(current);
+            self.truncated = true;
+            self.push_minimal(current, path_threshold);
             return;
         }
         let d = remaining[0];
@@ -177,7 +551,7 @@ impl<'a> Context<'a> {
             .map(|(j, _)| j)
             .collect();
         if violated_fds.is_empty() {
-            self.recurse(current, unresolved, rest);
+            self.recurse(current, unresolved, path_threshold, rest);
             return;
         }
 
@@ -188,8 +562,11 @@ impl<'a> Context<'a> {
             with_d.add_edge(u, v);
         }
         let cover = approx_vertex_cover(&with_d);
-        if cover.len() * self.problem.alpha() <= self.tau {
-            self.recurse(current.clone(), with_d, rest);
+        let threshold = cover.len() * self.problem.alpha();
+        if threshold <= self.tau {
+            self.recurse(current.clone(), with_d, path_threshold.max(threshold), rest);
+        } else {
+            self.skipped_any = true;
         }
         // Candidate attributes per violated FD: any attribute of `d` other
         // than that FD's RHS (all such attributes are outside the current
@@ -226,8 +603,9 @@ impl<'a> Context<'a> {
                         .any(|(_, fd)| fd.lhs.is_disjoint_from(g.attrs) && g.attrs.contains(fd.rhs))
                 })
                 .collect();
-            self.recurse(extended, unresolved.clone(), &still);
+            self.recurse(extended, unresolved.clone(), path_threshold, &still);
             if self.nodes >= self.budget {
+                self.truncated = true;
                 return;
             }
             // Advance the mixed-radix assignment.
@@ -248,7 +626,10 @@ impl<'a> Context<'a> {
 
     /// Inserts a candidate goal state, dropping any state that extends
     /// another candidate (only minimal states matter for the minimum cost).
-    fn push_minimal(&mut self, candidate: RepairState) {
+    /// The raw push (and its path threshold) is recorded regardless, so a
+    /// cached run can replay this filter for tighter `τ` values.
+    fn push_minimal(&mut self, candidate: RepairState, path_threshold: usize) {
+        self.raw.push((candidate.clone(), path_threshold));
         if self.best.iter().any(|s| candidate.extends(s)) {
             return;
         }

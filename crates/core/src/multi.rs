@@ -10,11 +10,15 @@
 //! the range, `τ` is tightened to `δ_P − 1`, heuristic values are refreshed,
 //! and the traversal simply continues until the range is exhausted.
 
-use crate::heuristic::goal_cost_estimate;
+use crate::heuristic::HeuristicCache;
 use crate::problem::RepairProblem;
 use crate::repair::Repair;
-use crate::search::{run_search, FdRepair, SearchAlgorithm, SearchConfig, SearchStats};
+use crate::search::{
+    charge_heuristic, evaluate_heuristic_batch, run_search, FdRepair, SearchAlgorithm,
+    SearchConfig, SearchStats,
+};
 use crate::state::RepairState;
+use rt_constraints::AttrSet;
 use rt_par::{par_map_coarse, par_map_indexed, Parallelism};
 use std::time::Instant;
 
@@ -77,6 +81,18 @@ impl MultiRepairOutcome {
     }
 }
 
+/// Dominance skip masks for the traversal — empty (and free) unless the
+/// config opts into pruning: computing the masks costs per-attribute
+/// projection scans (`Weight::strict_gain_within`), which the default
+/// configuration should not pay for.
+fn dominance_masks(problem: &RepairProblem, config: &SearchConfig) -> Vec<AttrSet> {
+    if config.dominance_pruning {
+        problem.conflict_irrelevant_attrs()
+    } else {
+        Vec::new()
+    }
+}
+
 /// Open-list entry for the range search; priorities are recomputed whenever
 /// `τ` tightens, so we keep plain vectors and rescan (the open list is small
 /// compared to the cost of the heuristic itself).
@@ -111,6 +127,7 @@ pub struct SweepCheckpoint {
     stats: SearchStats,
     exhausted: bool,
     found: Vec<RangedFdRepair>,
+    cache: HeuristicCache,
 }
 
 impl SweepCheckpoint {
@@ -132,6 +149,16 @@ impl SweepCheckpoint {
     /// `true` when the suspended sweep had already finished its range.
     pub fn is_exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Takes the heuristic cache the suspended sweep accumulated.
+    ///
+    /// The cache stores only resolution *structure* (no weights, no open
+    /// list), so it can be salvaged even when the checkpoint itself must be
+    /// dropped — e.g. after a weight-only mutation that invalidates the
+    /// search's priorities but leaves the difference-set groups unchanged.
+    pub fn into_heuristic_cache(self) -> HeuristicCache {
+        self.cache
     }
 }
 
@@ -173,6 +200,12 @@ pub struct RangeSearch<'p> {
     /// `found.len()` only right after a resume, while the already-found
     /// prefix replays without search work.
     replay_idx: usize,
+    /// Memo table for the structural half of `gc(S)`; rides along in
+    /// [`SweepCheckpoint`] so suspend/resume keeps warm entries.
+    cache: HeuristicCache,
+    /// Per-FD conflict-irrelevant attributes — the dominance-pruning skip
+    /// masks (recomputed from the problem; never checkpointed).
+    irrelevant: Vec<AttrSet>,
 }
 
 impl<'p> RangeSearch<'p> {
@@ -183,6 +216,21 @@ impl<'p> RangeSearch<'p> {
         tau_low: usize,
         tau_high: usize,
         config: &SearchConfig,
+    ) -> Self {
+        Self::new_with_cache(problem, tau_low, tau_high, config, HeuristicCache::new())
+    }
+
+    /// [`RangeSearch::new`] seeded with a pre-warmed heuristic cache (e.g.
+    /// salvaged from a dropped checkpoint via
+    /// [`SweepCheckpoint::into_heuristic_cache`]). The cache must have been
+    /// built against a problem with the same difference-set groups and `α`;
+    /// results are bit-identical to starting cold either way.
+    pub fn new_with_cache(
+        problem: &'p RepairProblem,
+        tau_low: usize,
+        tau_high: usize,
+        config: &SearchConfig,
+        cache: HeuristicCache,
     ) -> Self {
         // The root is the only state generated up front.
         let stats = SearchStats {
@@ -205,6 +253,8 @@ impl<'p> RangeSearch<'p> {
             exhausted: false,
             found: Vec::new(),
             replay_idx: 0,
+            cache,
+            irrelevant: dominance_masks(problem, config),
         }
     }
 
@@ -220,6 +270,7 @@ impl<'p> RangeSearch<'p> {
             stats: self.stats,
             exhausted: self.exhausted,
             found: self.found,
+            cache: self.cache,
         }
     }
 
@@ -245,6 +296,8 @@ impl<'p> RangeSearch<'p> {
             exhausted: checkpoint.exhausted,
             found: checkpoint.found,
             replay_idx: 0,
+            cache: checkpoint.cache,
+            irrelevant: dominance_masks(problem, config),
         }
     }
 
@@ -289,7 +342,7 @@ impl<'p> RangeSearch<'p> {
         }
         let start = Instant::now();
         let problem = self.problem;
-        let config = &self.config;
+        let config = self.config;
         let produced = loop {
             if self.open.is_empty() || self.tau < self.tau_low {
                 self.exhausted = true;
@@ -300,7 +353,12 @@ impl<'p> RangeSearch<'p> {
                 self.exhausted = true;
                 break None;
             }
-            // Pop the entry with the smallest priority (ties: smaller cost).
+            // Pop the entry with the smallest priority (ties: smaller cost,
+            // then insertion order). The shift-`remove` keeps the scan order
+            // equal to insertion order, so a `(priority, cost)` tie resolves
+            // the same way no matter which other entries have been popped —
+            // or dominance-pruned — before it; `swap_remove` would let the
+            // list *layout* pick tie winners and make pruning observable.
             let best_idx = self
                 .open
                 .iter()
@@ -312,7 +370,7 @@ impl<'p> RangeSearch<'p> {
                 })
                 .map(|(i, _)| i)
                 .expect("open list is non-empty");
-            let entry = self.open.swap_remove(best_idx);
+            let entry = self.open.remove(best_idx);
             self.stats.states_expanded += 1;
             let state = entry.state;
 
@@ -343,25 +401,23 @@ impl<'p> RangeSearch<'p> {
                 // threads and surviving entries keep their original order.
                 if self.tau >= 0 {
                     let new_tau = self.tau as usize;
-                    let open = &mut self.open;
-                    let refreshed: Vec<(Option<f64>, usize)> =
-                        par_map_indexed(config.parallelism, open.len(), |i| {
-                            let h = goal_cost_estimate(
-                                problem,
-                                &open[i].state,
-                                new_tau,
-                                &config.heuristic,
-                            );
-                            (h.lower_bound, h.nodes)
-                        });
+                    let states: Vec<&RepairState> = self.open.iter().map(|e| &e.state).collect();
+                    let refreshed = evaluate_heuristic_batch(
+                        &mut self.cache,
+                        config.heuristic_cache,
+                        problem,
+                        &states,
+                        new_tau,
+                        &config,
+                    );
+                    drop(states);
+                    charge_heuristic(&mut self.stats, &refreshed);
                     let mut keep = refreshed.iter();
-                    let stats = &mut self.stats;
-                    open.retain_mut(|e| {
-                        let (lb, nodes) = keep.next().expect("one refresh result per entry");
-                        stats.heuristic_nodes += nodes;
-                        match lb {
+                    self.open.retain_mut(|e| {
+                        let value = keep.next().expect("one refresh result per entry");
+                        match value.lower_bound {
                             Some(lb) => {
-                                e.priority = *lb;
+                                e.priority = lb;
                                 true
                             }
                             None => false,
@@ -381,16 +437,28 @@ impl<'p> RangeSearch<'p> {
             // children are where strictly cheaper-data / costlier-FD repairs
             // live). Like the refresh, the child estimates are independent.
             let new_tau = self.tau.max(0) as usize;
-            let children = state.children(problem.sigma(), problem.arity());
-            let estimates: Vec<(f64, Option<f64>, usize)> =
-                par_map_indexed(config.parallelism, children.len(), |i| {
-                    let cost = problem.dist_c(&children[i]);
-                    let h = goal_cost_estimate(problem, &children[i], new_tau, &config.heuristic);
-                    (cost, h.lower_bound, h.nodes)
-                });
-            for (child, (cost, lb, nodes)) in children.into_iter().zip(estimates) {
-                self.stats.heuristic_nodes += nodes;
-                if let Some(lb) = lb {
+            let (children, pruned) = if config.dominance_pruning {
+                state.children_filtered(problem.sigma(), problem.arity(), &self.irrelevant)
+            } else {
+                (state.children(problem.sigma(), problem.arity()), 0)
+            };
+            self.stats.dominance_pruned += pruned;
+            let costs: Vec<f64> = par_map_indexed(config.parallelism, children.len(), |i| {
+                problem.dist_c(&children[i])
+            });
+            let child_refs: Vec<&RepairState> = children.iter().collect();
+            let values = evaluate_heuristic_batch(
+                &mut self.cache,
+                config.heuristic_cache,
+                problem,
+                &child_refs,
+                new_tau,
+                &config,
+            );
+            drop(child_refs);
+            charge_heuristic(&mut self.stats, &values);
+            for ((child, cost), value) in children.into_iter().zip(costs).zip(values) {
+                if let Some(lb) = value.lower_bound {
                     self.stats.states_generated += 1;
                     self.open.push(RangeEntry {
                         state: child,
@@ -404,6 +472,7 @@ impl<'p> RangeSearch<'p> {
                 break found;
             }
         };
+        self.stats.heuristic_cache_entries = self.cache.len();
         self.stats.elapsed += start.elapsed();
         if let Some(repair) = &produced {
             self.found.push(repair.clone());
@@ -481,6 +550,13 @@ pub fn sampling_search(
         stats.states_expanded += outcome.stats.states_expanded;
         stats.states_generated += outcome.stats.states_generated;
         stats.heuristic_nodes += outcome.stats.heuristic_nodes;
+        stats.heuristic_cache_hits += outcome.stats.heuristic_cache_hits;
+        // Each per-τ search has its own cache; report the largest (the
+        // field is a gauge, not a counter).
+        stats.heuristic_cache_entries = stats
+            .heuristic_cache_entries
+            .max(outcome.stats.heuristic_cache_entries);
+        stats.dominance_pruned += outcome.stats.dominance_pruned;
         stats.truncated |= outcome.stats.truncated;
         if let Some(repair) = outcome.repair {
             let duplicate = repairs.iter().any(|r| r.repair.state == repair.state);
@@ -691,6 +767,25 @@ mod tests {
         assert_eq!(replayed.repairs.len(), first.repairs.len());
         // No new search work at all.
         assert_eq!(replayed.stats.states_expanded, expanded_before);
+    }
+
+    #[test]
+    fn heuristic_accounting_matches_the_cache_ledger() {
+        // `heuristic_nodes` must equal the sum of per-call
+        // `HeuristicValue::nodes` — which, with the cache on, is exactly the
+        // cache's own ledger of enumeration work (hits charge 0 nodes). Both
+        // charge sites (τ-refresh and child expansion) go through the single
+        // `charge_heuristic` path, so the two ledgers cannot drift.
+        let problem = figure2_problem();
+        let config = SearchConfig::default();
+        let mut search = RangeSearch::new(&problem, 0, problem.delta_p_original(), &config);
+        while search.next_repair().is_some() {}
+        let stats = search.stats();
+        let cache = search.suspend().into_heuristic_cache();
+        assert!(stats.heuristic_nodes > 0);
+        assert_eq!(stats.heuristic_nodes, cache.nodes_spent());
+        assert_eq!(stats.heuristic_cache_hits, cache.hits());
+        assert_eq!(stats.heuristic_cache_entries, cache.len());
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct MutationEffect {
     /// before (e.g. conflict-free inserts under a data-independent
     /// weighting).
     pub search_state_invalidated: bool,
+    /// `true` when the difference-set groups (or `α`, or the FD set) may
+    /// differ from before — the signal for dropping *structural* heuristic
+    /// caches keyed on difference sets. Implied by
+    /// `search_state_invalidated`; a weight-only refresh (e.g. a
+    /// conflict-free insert under a data-dependent weighting) sets the
+    /// latter but not this, so such caches survive it.
+    pub diff_groups_changed: bool,
 }
 
 impl MutationEffect {
@@ -97,6 +104,7 @@ impl MutationEffect {
         self.components_dirtied += other.components_dirtied;
         self.weight_refreshed |= other.weight_refreshed;
         self.search_state_invalidated |= other.search_state_invalidated;
+        self.diff_groups_changed |= other.diff_groups_changed;
     }
 }
 
@@ -140,14 +148,14 @@ impl RepairProblem {
             // prices extensions against the initial instance); they stay
             // the same function, so they do not invalidate.
         }
-        effect.search_state_invalidated = effect.fds_added > 0
+        effect.diff_groups_changed = effect.fds_added > 0
             || effect.fds_removed > 0
             || effect.rows_deleted > 0
             || effect.edges_added > 0
             || effect.edges_removed > 0
             || effect.edges_relabeled > 0
-            || weight_changed
             || self.alpha != alpha_before;
+        effect.search_state_invalidated = effect.diff_groups_changed || weight_changed;
         Ok(effect)
     }
 

@@ -18,7 +18,7 @@
 //! `δ_P(Σ', I) = α · |C2opt(Σ', I)|` fits within the cell budget `τ`,
 //! together with search statistics (expanded/generated states, wall time).
 
-use crate::heuristic::{goal_cost_estimate, HeuristicConfig};
+use crate::heuristic::{goal_cost_estimate, HeuristicCache, HeuristicConfig, HeuristicValue};
 use crate::problem::RepairProblem;
 use crate::state::RepairState;
 use rt_constraints::FdSet;
@@ -50,6 +50,22 @@ pub struct SearchConfig {
     /// the τ-sweep and the data-repair step). Results are bit-identical for
     /// every setting; this only trades wall-clock time for cores.
     pub parallelism: Parallelism,
+    /// Memoize the structural half of `gc(S)` in a
+    /// [`crate::heuristic::HeuristicCache`]. Bit-identical results either
+    /// way; on saves the exponential enumeration whenever a projected
+    /// difference-set key repeats at an answerable `τ`.
+    pub heuristic_cache: bool,
+    /// Skip enqueueing sweep children whose single added attribute is
+    /// conflict-irrelevant for the FD it extends (no difference-set group
+    /// contains both it and that FD's RHS while avoiding its LHS) *and*
+    /// strictly weight-increasing over the FD's extension domain
+    /// (`Weight::strict_gain_within`) — such a child's whole subtree
+    /// repeats the conflict structure of its attribute-free counterpart at
+    /// strictly higher cost, so it can never be a recorded repair; see
+    /// `RepairProblem::conflict_irrelevant_attrs`. Off by default because
+    /// it changes `states_generated`/`states_expanded` accounting; recorded
+    /// spectra stay bit-identical. `RangeSearch` only.
+    pub dominance_pruning: bool,
 }
 
 impl Default for SearchConfig {
@@ -58,6 +74,8 @@ impl Default for SearchConfig {
             max_expansions: 500_000,
             heuristic: HeuristicConfig::default(),
             parallelism: Parallelism::Auto,
+            heuristic_cache: true,
+            dominance_pruning: false,
         }
     }
 }
@@ -69,12 +87,56 @@ pub struct SearchStats {
     pub states_expanded: usize,
     /// States pushed onto the open list.
     pub states_generated: usize,
-    /// Recursion nodes spent inside the heuristic (A* only).
+    /// Recursion nodes spent inside the heuristic (A* only). Cache hits
+    /// charge zero nodes; this counts actual enumeration work.
     pub heuristic_nodes: usize,
+    /// Heuristic evaluations served from the memo cache without running the
+    /// enumeration.
+    pub heuristic_cache_hits: usize,
+    /// Distinct structural entries held by the heuristic cache (projected
+    /// difference-set keys) — a gauge (the current cache size), not a
+    /// cumulative counter.
+    pub heuristic_cache_entries: usize,
+    /// Children skipped by dominance pruning (conflict-irrelevant single
+    /// additions; `RangeSearch` only).
+    pub dominance_pruned: usize,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
     /// `true` when the expansion cap was hit before finding a goal.
     pub truncated: bool,
+}
+
+/// Folds one batch of heuristic evaluations into the stats — the single
+/// accounting path for heuristic work, shared by `run_search` and the
+/// τ-sweep (both its refresh loop and its child expansion). Cache hits
+/// report `nodes == 0`, so `heuristic_nodes` counts enumeration work only.
+pub(crate) fn charge_heuristic(stats: &mut SearchStats, values: &[HeuristicValue]) {
+    for v in values {
+        stats.heuristic_nodes += v.nodes;
+        if v.cache_hit {
+            stats.heuristic_cache_hits += 1;
+        }
+    }
+}
+
+/// Evaluates `gc` for a batch of states, through the cache when enabled or
+/// via the legacy per-state path otherwise. Both paths produce bit-identical
+/// lower bounds; only the `nodes`/`cache_hit` accounting differs.
+pub(crate) fn evaluate_heuristic_batch(
+    cache: &mut HeuristicCache,
+    use_cache: bool,
+    problem: &RepairProblem,
+    states: &[&RepairState],
+    tau: usize,
+    config: &SearchConfig,
+) -> Vec<HeuristicValue> {
+    if use_cache {
+        cache.evaluate_many(problem, states, tau, &config.heuristic, config.parallelism)
+    } else {
+        par_map_indexed(config.parallelism, states.len(), |i| {
+            goal_cost_estimate(problem, states[i], tau, &config.heuristic)
+        })
+    }
 }
 
 /// A minimal FD relaxation found by the search.
@@ -173,6 +235,7 @@ pub fn run_search(
 ) -> FdRepairOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
+    let mut cache = HeuristicCache::new();
     let mut seq = 0u64;
     let mut open: BinaryHeap<OpenEntry> = BinaryHeap::new();
     let root = RepairState::root(problem.fd_count());
@@ -212,21 +275,33 @@ pub fn run_search(
         // heuristic evaluations fan out over worker threads; pushing in
         // child order keeps `seq` (and thus tie-breaking) deterministic.
         let children = state.children(problem.sigma(), problem.arity());
-        let priorities: Vec<(f64, Option<f64>, usize)> =
-            par_map_indexed(config.parallelism, children.len(), |i| {
-                let child = &children[i];
-                let cost = problem.dist_c(child);
-                match algorithm {
-                    SearchAlgorithm::BestFirst => (cost, Some(cost), 0),
-                    SearchAlgorithm::AStar => {
-                        let h = goal_cost_estimate(problem, child, tau, &config.heuristic);
-                        (cost, h.lower_bound, h.nodes)
-                    }
-                }
-            });
-        for (child, (cost, priority, nodes)) in children.into_iter().zip(priorities) {
-            stats.heuristic_nodes += nodes;
-            if let Some(priority) = priority {
+        let costs: Vec<f64> = par_map_indexed(config.parallelism, children.len(), |i| {
+            problem.dist_c(&children[i])
+        });
+        let values: Vec<HeuristicValue> = match algorithm {
+            SearchAlgorithm::BestFirst => costs
+                .iter()
+                .map(|&cost| HeuristicValue {
+                    lower_bound: Some(cost),
+                    nodes: 0,
+                    cache_hit: false,
+                })
+                .collect(),
+            SearchAlgorithm::AStar => {
+                let refs: Vec<&RepairState> = children.iter().collect();
+                evaluate_heuristic_batch(
+                    &mut cache,
+                    config.heuristic_cache,
+                    problem,
+                    &refs,
+                    tau,
+                    config,
+                )
+            }
+        };
+        charge_heuristic(&mut stats, &values);
+        for ((child, cost), value) in children.into_iter().zip(costs).zip(values) {
+            if let Some(priority) = value.lower_bound {
                 seq += 1;
                 stats.states_generated += 1;
                 open.push(OpenEntry {
@@ -239,6 +314,7 @@ pub fn run_search(
         }
     };
 
+    stats.heuristic_cache_entries = cache.len();
     stats.elapsed = start.elapsed();
     FdRepairOutcome {
         repair: outcome_repair,

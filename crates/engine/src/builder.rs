@@ -41,6 +41,8 @@ pub struct RepairEngineBuilder {
     algorithm: SearchAlgorithm,
     max_expansions: usize,
     heuristic: HeuristicConfig,
+    heuristic_cache: bool,
+    dominance_pruning: bool,
     seed: u64,
 }
 
@@ -55,6 +57,8 @@ impl RepairEngineBuilder {
             algorithm: SearchAlgorithm::AStar,
             max_expansions: defaults.max_expansions,
             heuristic: defaults.heuristic,
+            heuristic_cache: defaults.heuristic_cache,
+            dominance_pruning: defaults.dominance_pruning,
             seed: 0,
         }
     }
@@ -91,6 +95,26 @@ impl RepairEngineBuilder {
     /// [`HeuristicConfig::default`]).
     pub fn heuristic(mut self, heuristic: HeuristicConfig) -> Self {
         self.heuristic = heuristic;
+        self
+    }
+
+    /// Memoize the structural half of the A* heuristic `gc(S)` across
+    /// states and `τ` values (default: `true`). Results are bit-identical
+    /// either way; `false` forces the legacy per-state enumeration (the
+    /// oracle path the equivalence tests compare against).
+    pub fn heuristic_cache(mut self, enabled: bool) -> Self {
+        self.heuristic_cache = enabled;
+        self
+    }
+
+    /// Skip sweep children whose single added attribute is
+    /// conflict-irrelevant for the extended FD and strictly
+    /// weight-increasing — states that provably cannot become recorded
+    /// repairs (default: `false`). Recorded spectra are bit-identical
+    /// either way; expansion/generation counters differ, so the default
+    /// keeps the paper-faithful accounting.
+    pub fn dominance_pruning(mut self, enabled: bool) -> Self {
+        self.dominance_pruning = enabled;
         self
     }
 
@@ -155,6 +179,8 @@ impl RepairEngineBuilder {
             max_expansions: self.max_expansions,
             heuristic: self.heuristic,
             parallelism: self.parallelism,
+            heuristic_cache: self.heuristic_cache,
+            dominance_pruning: self.dominance_pruning,
         };
         Ok(RepairEngine::from_parts(
             problem,

@@ -57,6 +57,14 @@ pub struct RepairEngine {
     /// the same range. Mutations drop it exactly when they invalidate
     /// FD-level search state (`MutationEffect::search_state_invalidated`).
     sweep_cache: Mutex<Option<SweepCheckpoint>>,
+    /// A heuristic memo table salvaged from a dropped checkpoint. When a
+    /// mutation invalidates the sweep (stale priorities) but provably leaves
+    /// the difference-set groups unchanged
+    /// (`!MutationEffect::diff_groups_changed` — e.g. a weight-only refresh
+    /// after a conflict-free insert), the checkpoint's cache is still valid;
+    /// it is kept here and seeds the next fresh sweep. Dropped whenever the
+    /// groups actually change.
+    warm_heuristic: Mutex<Option<rt_core::HeuristicCache>>,
 }
 
 impl RepairEngine {
@@ -85,6 +93,7 @@ impl RepairEngine {
             seed,
             stats: Mutex::new(stats),
             sweep_cache: Mutex::new(None),
+            warm_heuristic: Mutex::new(None),
         }
     }
 
@@ -128,7 +137,21 @@ impl RepairEngine {
         }
         let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
         let sweep_cache_retained = if effect.search_state_invalidated {
-            *cache = None;
+            let stale = cache.take();
+            let mut warm = self
+                .warm_heuristic
+                .lock()
+                .expect("warm heuristic lock poisoned");
+            if effect.diff_groups_changed {
+                // The difference sets themselves changed: structural cache
+                // entries are meaningless against the new groups.
+                *warm = None;
+            } else if let Some(cp) = stale {
+                // Weight-only invalidation: the checkpoint's priorities are
+                // stale, but its heuristic cache stores pure resolution
+                // structure — salvage it for the next sweep.
+                *warm = Some(cp.into_heuristic_cache());
+            }
             false
         } else {
             cache.is_some()
@@ -305,8 +328,21 @@ impl RepairEngine {
                 RepairStream::new(self, search, tau_high, absorbed)
             }
             None => {
-                let search =
-                    RangeSearch::new(&self.problem, tau_low, tau_high, &self.search_config);
+                // Seed a fresh sweep with any salvaged heuristic cache (a
+                // no-op empty cache otherwise); bit-identical either way.
+                let warm = self
+                    .warm_heuristic
+                    .lock()
+                    .expect("warm heuristic lock poisoned")
+                    .take()
+                    .unwrap_or_default();
+                let search = RangeSearch::new_with_cache(
+                    &self.problem,
+                    tau_low,
+                    tau_high,
+                    &self.search_config,
+                    warm,
+                );
                 RepairStream::new(self, search, tau_high, SearchStats::default())
             }
         }

@@ -31,7 +31,17 @@ pub struct EngineStats {
     /// States pushed onto FD-search open lists, across all queries.
     pub states_generated: usize,
     /// Recursion nodes spent inside the A* heuristic, across all queries.
+    /// Cache hits charge zero nodes, so this counts actual enumeration work.
     pub heuristic_nodes: usize,
+    /// Heuristic evaluations served from the memo cache
+    /// ([`rt_core::HeuristicCache`]) without running the enumeration,
+    /// across all queries.
+    pub heuristic_cache_hits: usize,
+    /// Largest heuristic-cache size (distinct `(V, τ)` entries) observed in
+    /// any search — a gauge, not a cumulative counter.
+    pub heuristic_cache_entries: usize,
+    /// Sweep children skipped by dominance pruning, across all queries.
+    pub dominance_pruned: usize,
     /// Wall-clock time spent inside FD searches, across all queries.
     pub search_elapsed: Duration,
     /// `true` when any query hit the expansion cap.
@@ -69,6 +79,11 @@ impl EngineStats {
         self.states_expanded += stats.states_expanded;
         self.states_generated += stats.states_generated;
         self.heuristic_nodes += stats.heuristic_nodes;
+        self.heuristic_cache_hits += stats.heuristic_cache_hits;
+        self.heuristic_cache_entries = self
+            .heuristic_cache_entries
+            .max(stats.heuristic_cache_entries);
+        self.dominance_pruned += stats.dominance_pruned;
         self.search_elapsed += stats.elapsed;
         self.truncated |= stats.truncated;
     }

@@ -105,8 +105,9 @@ pub mod prelude {
         discover_fds, AttrSet, ConflictGraph, DiscoveryConfig, Fd, FdSet, Weight,
     };
     pub use rt_core::{
-        repair_data, sampling_search, Parallelism, RangeSearch, Repair, RepairProblem, RepairState,
-        SearchAlgorithm, SearchConfig, SearchStats, WeightKind,
+        goal_cost_estimate, repair_data, sampling_search, HeuristicCache, HeuristicConfig,
+        Parallelism, RangeSearch, Repair, RepairProblem, RepairState, SearchAlgorithm,
+        SearchConfig, SearchStats, WeightKind,
     };
     pub use rt_datagen::{
         evaluate_repair, generate_census_like, perturb, CensusLikeConfig, PerturbConfig,

@@ -286,6 +286,77 @@ fn sweep_checkpoint_survives_neutral_mutations() {
     assert_spectra_identical(&second, &fresh.spectrum().unwrap(), "cache survival");
 }
 
+/// The heuristic memo table rides the sweep checkpoint across conflict-free
+/// mutations: a *partially* drained sweep, suspended by dropping its
+/// stream, resumes after a neutral insert — the replayed prefix does zero
+/// additional heuristic work, the live continuation hits the warm cache,
+/// and the finished spectrum still matches a cold rebuild bit for bit.
+#[test]
+fn resumed_sweep_after_neutral_insert_reuses_the_heuristic_cache() {
+    // A seeded random instance whose spectrum has several points past the
+    // first, so the continuation does real heuristic work after the resume
+    // (the tiny handcrafted fixtures finish before ever re-querying gc).
+    let mut rng = StdRng::seed_from_u64(0xCAFE + 1);
+    let instance = random_instance(&mut rng);
+    let arity = instance.schema().arity();
+    let fds = random_fds(&mut rng, arity);
+    let mut engine = build(instance, fds, WeightKind::AttrCount, 1);
+    let range = 0..=engine.delta_p_original();
+
+    // Take only the first point, then drop the stream: the traversal (open
+    // list *and* heuristic memo table) suspends into the engine.
+    let first = {
+        let mut stream = engine.sweep(range.clone());
+        stream.next().expect("range is non-empty").unwrap()
+    };
+    let nodes_after_prefix = engine.stats().heuristic_nodes;
+    let hits_after_prefix = engine.stats().heuristic_cache_hits;
+    assert!(nodes_after_prefix > 0, "prefix did no heuristic work");
+
+    // Value 7 occurs nowhere, so the row shares no LHS class with any
+    // existing tuple: conflict-free, and the checkpoint survives.
+    let row: Vec<Value> = (0..arity).map(|_| Value::int(7)).collect();
+    let outcome = engine
+        .insert_tuples(vec![relative_trust::relation::Tuple::new(row)])
+        .unwrap();
+    assert_eq!(outcome.effect.edges_added, 0);
+    assert!(!outcome.effect.search_state_invalidated);
+    assert!(outcome.sweep_cache_retained);
+
+    // Re-taking the prefix replays the recorded repair: no search, no
+    // heuristic recursion, not even a cache probe.
+    let replayed = {
+        let mut stream = engine.sweep(range.clone());
+        stream.next().expect("replay is non-empty").unwrap()
+    };
+    assert_eq!(replayed.tau_range, first.tau_range);
+    assert_eq!(replayed.repair.state, first.repair.state);
+    assert_eq!(
+        engine.stats().heuristic_nodes,
+        nodes_after_prefix,
+        "replaying the prefix re-ran the heuristic"
+    );
+
+    // Finishing the sweep resumes the live traversal; the suspended memo
+    // table serves its repeat evaluations.
+    let finished = engine.spectrum().unwrap();
+    assert!(
+        finished.len() > 1,
+        "fixture too small to exercise the resume"
+    );
+    assert!(
+        engine.stats().heuristic_cache_hits > hits_after_prefix,
+        "the resumed traversal never hit the warm heuristic cache"
+    );
+    let fresh = build(
+        engine.problem().instance().clone(),
+        engine.problem().sigma().clone(),
+        WeightKind::AttrCount,
+        1,
+    );
+    assert_spectra_identical(&finished, &fresh.spectrum().unwrap(), "warm resume");
+}
+
 /// The complement: a mutation that *does* change FD-level search state
 /// (here: a new conflict edge) resets the checkpoint, and the next sweep
 /// does fresh work instead of replaying a stale prefix.
