@@ -4,8 +4,8 @@
 # Mirrors the tier-1 verify command (build + test) and adds the
 # documentation, lint and work-metric gates the repo holds itself to:
 #
-#   ./ci.sh          # build + tests + fmt + doc + clippy
-#   ./ci.sh --quick  # build + tests only (skip doc + clippy)
+#   ./ci.sh          # build + tests + fmt + doc + clippy + rt-lint
+#   ./ci.sh --quick  # build + tests + rt-lint only (skip doc + clippy)
 #   ./ci.sh --bench  # everything above + deterministic work-metric gate
 #
 # The workspace is fully vendored (path deps + local shims); no crates.io
@@ -52,6 +52,16 @@ if [ "$quick" -eq 0 ]; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --all-targets -- -D warnings
 fi
+
+# Repo-specific determinism lints (rt-lint): the workspace must be clean
+# (every finding fixed or carrying a justified `// rtlint: allow(...)`),
+# and the selftest proves each catalog lint still trips on its fixture —
+# a lint that silently stopped firing is as bad as a violation.
+echo "==> rt-lint --deny-warnings (workspace determinism lints)"
+cargo run --release -q -p rt-lint -- --deny-warnings
+
+echo "==> rt-lint --selftest (every lint trips on its fixture)"
+cargo run --release -q -p rt-lint -- --selftest
 
 if [ "$bench" -eq 1 ]; then
     # Deterministic work-metric regression gate: counts A* expansions,

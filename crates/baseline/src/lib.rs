@@ -47,6 +47,9 @@
 //! assert!(repair.modified_fds.holds_on(&repair.repaired_instance));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod unified;
 
 pub use unified::{

@@ -305,6 +305,7 @@ fn measure_search(
 fn perf_config() -> SearchConfig {
     SearchConfig {
         max_expansions: 10_000,
+        timing: true,
         ..Default::default()
     }
 }

@@ -34,6 +34,9 @@
 //! assert!(!workload.dirty_fds().holds_on(workload.dirty_instance()));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod json;
 pub mod report;

@@ -151,6 +151,7 @@ impl Workload {
             .weight(WeightKind::DistinctCount)
             .parallelism(parallelism)
             .max_expansions(max_expansions)
+            .timing(true)
             .seed(self.spec.seed)
             .build()
             .expect("workload always yields a valid engine configuration")

@@ -117,6 +117,7 @@ impl FdPartitionIndex {
             return;
         }
         for map in &mut self.per_fd {
+            // rtlint: allow(D001) -- each class is renumbered in place, independently; no output depends on visit order
             for class in map.values_mut() {
                 for row in class.iter_mut() {
                     *row -= removed.partition_point(|&d| d < *row);

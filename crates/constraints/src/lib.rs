@@ -39,6 +39,9 @@
 //! assert_eq!(graph.edge_count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod attrset;
 pub mod discovery;
 pub mod fd;

@@ -131,6 +131,7 @@ impl StrippedPartition {
                     .or_default()
                     .push(row);
             }
+            // rtlint: allow(D001) -- sort_classes_by_first_row below restores a canonical order
             classes.extend(groups.into_values().filter(|c| c.len() > 1));
         }
         sort_classes_by_first_row(&mut classes);

@@ -480,6 +480,7 @@ impl ConflictGraph {
                 .push(row);
         }
         let mut pairs: Vec<(usize, usize)> = Vec::new();
+        // rtlint: allow(D001) -- pairs are sorted and deduplicated after the loop, erasing visit order
         for class in by_lhs.into_values() {
             if class.len() < 2 {
                 continue;
@@ -492,6 +493,7 @@ impl ConflictGraph {
             if by_rhs.len() < 2 {
                 continue;
             }
+            // rtlint: allow(D001) -- cross-products land in `pairs`, sorted and deduplicated below
             let sub_classes: Vec<Vec<usize>> = by_rhs.into_values().collect();
             for i in 0..sub_classes.len() {
                 for j in (i + 1)..sub_classes.len() {

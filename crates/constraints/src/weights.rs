@@ -164,6 +164,7 @@ impl Weight for EntropyWeight {
     fn fingerprint(&self) -> Option<u64> {
         // The precomputed entropy vector fully determines the function.
         use std::hash::{Hash, Hasher};
+        // rtlint: allow(D004) -- cold cache-key path; fixed-key SipHash is deterministic and never touches row data
         let mut h = std::collections::hash_map::DefaultHasher::new();
         for e in &self.entropies {
             e.to_bits().hash(&mut h);

@@ -62,6 +62,9 @@
 //! assert!(repair.data_changes() <= 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod data_repair;
 pub mod heuristic;
 pub mod multi;
@@ -81,7 +84,7 @@ pub use problem::{RepairProblem, WeightKind};
 pub use repair::Repair;
 pub use rt_par::Parallelism;
 pub use search::{
-    run_search, FdRepair, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats,
+    run_search, FdRepair, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats, Stopwatch,
 };
 pub use state::RepairState;
 

@@ -15,12 +15,11 @@ use crate::problem::RepairProblem;
 use crate::repair::Repair;
 use crate::search::{
     charge_heuristic, evaluate_heuristic_batch, run_search, FdRepair, SearchAlgorithm,
-    SearchConfig, SearchStats,
+    SearchConfig, SearchStats, Stopwatch,
 };
 use crate::state::RepairState;
 use rt_constraints::AttrSet;
 use rt_par::{par_map_coarse, par_map_indexed, Parallelism};
-use std::time::Instant;
 
 /// An FD repair annotated with the relative-trust interval it covers: every
 /// `τ` in `tau_range` (inclusive bounds) yields exactly this repair.
@@ -340,7 +339,7 @@ impl<'p> RangeSearch<'p> {
         if self.exhausted {
             return None;
         }
-        let start = Instant::now();
+        let start = Stopwatch::start_if(self.config.timing);
         let problem = self.problem;
         let config = self.config;
         let produced = loop {
@@ -526,7 +525,7 @@ pub fn sampling_search(
     step: usize,
     config: &SearchConfig,
 ) -> MultiRepairOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start_if(config.timing);
     let step = step.max(1);
     let mut stats = SearchStats::default();
     let mut repairs: Vec<RangedFdRepair> = Vec::new();

@@ -66,6 +66,12 @@ pub struct SearchConfig {
     /// it changes `states_generated`/`states_expanded` accounting; recorded
     /// spectra stay bit-identical. `RangeSearch` only.
     pub dominance_pruning: bool,
+    /// Read the wall clock around searches and report it in
+    /// [`SearchStats::elapsed`]. Off by default: tests and gates compare
+    /// counters, and a search that never looks at a clock cannot leak
+    /// wall-clock nondeterminism into anything. The bench layer opts in.
+    /// When off, `elapsed` stays zero.
+    pub timing: bool,
 }
 
 impl Default for SearchConfig {
@@ -76,7 +82,28 @@ impl Default for SearchConfig {
             parallelism: Parallelism::Auto,
             heuristic_cache: true,
             dominance_pruning: false,
+            timing: false,
         }
+    }
+}
+
+/// The workspace's single opt-in wall-clock read: a stopwatch that only
+/// ticks when explicitly enabled (`SearchConfig::timing`, the engine
+/// builder's `timing(true)`). Disabled, it reads nothing and reports
+/// `Duration::ZERO`, so the default pipeline is clock-free end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Starts the stopwatch when `enabled`, otherwise returns an inert one.
+    pub fn start_if(enabled: bool) -> Stopwatch {
+        // rtlint: allow(D003) -- the one sanctioned wall-clock read; explicit opt-in, feeds telemetry only
+        Stopwatch(enabled.then(Instant::now))
+    }
+
+    /// Elapsed time since start, or `Duration::ZERO` when inert.
+    pub fn elapsed(&self) -> Duration {
+        self.0.map(|s| s.elapsed()).unwrap_or_default()
     }
 }
 
@@ -233,7 +260,7 @@ pub fn run_search(
     config: &SearchConfig,
     algorithm: SearchAlgorithm,
 ) -> FdRepairOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start_if(config.timing);
     let mut stats = SearchStats::default();
     let mut cache = HeuristicCache::new();
     let mut seq = 0u64;

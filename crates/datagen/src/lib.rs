@@ -37,6 +37,9 @@
 //! assert!(!fds.holds_on(&truth.dirty)); // every injected error violates an FD
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod generator;
 pub mod metrics;
 pub mod mutations;

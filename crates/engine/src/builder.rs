@@ -5,9 +5,8 @@ use crate::error::EngineError;
 use crate::stats::EngineStats;
 use rt_constraints::FdSet;
 use rt_core::heuristic::HeuristicConfig;
-use rt_core::{Parallelism, RepairProblem, SearchAlgorithm, SearchConfig, WeightKind};
+use rt_core::{Parallelism, RepairProblem, SearchAlgorithm, SearchConfig, Stopwatch, WeightKind};
 use rt_relation::Instance;
-use std::time::Instant;
 
 /// Builder returned by [`RepairEngine::builder`].
 ///
@@ -43,6 +42,7 @@ pub struct RepairEngineBuilder {
     heuristic: HeuristicConfig,
     heuristic_cache: bool,
     dominance_pruning: bool,
+    timing: bool,
     seed: u64,
 }
 
@@ -59,6 +59,7 @@ impl RepairEngineBuilder {
             heuristic: defaults.heuristic,
             heuristic_cache: defaults.heuristic_cache,
             dominance_pruning: defaults.dominance_pruning,
+            timing: defaults.timing,
             seed: 0,
         }
     }
@@ -118,6 +119,16 @@ impl RepairEngineBuilder {
         self
     }
 
+    /// Read the wall clock around the build and every search, reporting it
+    /// in [`EngineStats::build_elapsed`] / [`rt_core::SearchStats::elapsed`]
+    /// (default: `false`). Off, the whole pipeline is clock-free and the
+    /// elapsed figures stay zero; the bench layer turns this on. Results
+    /// are bit-identical either way — timing is telemetry, never an input.
+    pub fn timing(mut self, enabled: bool) -> Self {
+        self.timing = enabled;
+        self
+    }
+
     /// Seed for the randomized data-repair step (default: 0). Two engines
     /// built with the same seed produce identical repaired instances.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -162,7 +173,7 @@ impl RepairEngineBuilder {
             }
         }
 
-        let start = Instant::now();
+        let start = Stopwatch::start_if(self.timing);
         let problem = RepairProblem::with_weight_par(
             &self.instance,
             &self.fds,
@@ -181,6 +192,7 @@ impl RepairEngineBuilder {
             parallelism: self.parallelism,
             heuristic_cache: self.heuristic_cache,
             dominance_pruning: self.dominance_pruning,
+            timing: self.timing,
         };
         Ok(RepairEngine::from_parts(
             problem,

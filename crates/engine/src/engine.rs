@@ -15,7 +15,16 @@ use rt_core::{
 };
 use rt_relation::{CellRef, Instance, Tuple, Value};
 use std::ops::RangeInclusive;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Acquires an engine-internal mutex. All engine locks are leaf locks held
+/// for a few statements of bookkeeping; the only way `lock()` fails is
+/// poisoning, i.e. another thread already panicked mid-update, and then the
+/// guarded telemetry is unrecoverable anyway.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // rtlint: allow(D006) -- poisoning means a prior panic corrupted the guarded state; propagating is the only sound move
+    m.lock().expect("engine internal lock poisoned")
+}
 
 /// A long-lived repair session over one fixed `(I, Σ)`.
 ///
@@ -109,7 +118,7 @@ impl RepairEngine {
     pub fn apply(&mut self, batch: &MutationBatch) -> Result<MutationOutcome, EngineError> {
         if batch.is_empty() {
             return Ok(MutationOutcome {
-                sweep_cache_retained: self.sweep_cache.lock().unwrap().is_some(),
+                sweep_cache_retained: lock(&self.sweep_cache).is_some(),
                 ..Default::default()
             });
         }
@@ -124,7 +133,7 @@ impl RepairEngine {
             .apply_mutations(batch.ops())
             .map_err(EngineError::Mutation)?;
         {
-            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            let mut stats = lock(&self.stats);
             stats.mutation_batches += 1;
             stats.edges_added += effect.edges_added;
             stats.edges_removed += effect.edges_removed;
@@ -135,13 +144,10 @@ impl RepairEngine {
             // refresh the footprint figure.
             stats.dict_entries = self.problem.instance().dict_entries();
         }
-        let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
+        let mut cache = lock(&self.sweep_cache);
         let sweep_cache_retained = if effect.search_state_invalidated {
             let stale = cache.take();
-            let mut warm = self
-                .warm_heuristic
-                .lock()
-                .expect("warm heuristic lock poisoned");
+            let mut warm = lock(&self.warm_heuristic);
             if effect.diff_groups_changed {
                 // The difference sets themselves changed: structural cache
                 // entries are meaningless against the new groups.
@@ -194,7 +200,7 @@ impl RepairEngine {
     }
 
     pub(crate) fn stash_sweep(&self, checkpoint: SweepCheckpoint) {
-        *self.sweep_cache.lock().expect("sweep cache lock poisoned") = Some(checkpoint);
+        *lock(&self.sweep_cache) = Some(checkpoint);
     }
 
     /// The prepared repair problem (instance, FDs, conflict graph, weights).
@@ -226,27 +232,21 @@ impl RepairEngine {
 
     /// Cumulative telemetry over every query this engine has served.
     pub fn stats(&self) -> EngineStats {
-        *self.stats.lock().expect("engine stats lock poisoned")
+        *lock(&self.stats)
     }
 
     pub(crate) fn absorb_search_stats(&self, stats: &SearchStats) {
-        self.stats
-            .lock()
-            .expect("engine stats lock poisoned")
-            .absorb(stats);
+        lock(&self.stats).absorb(stats);
     }
 
     pub(crate) fn note_point_materialized(&self) {
-        self.stats
-            .lock()
-            .expect("engine stats lock poisoned")
-            .points_materialized += 1;
+        lock(&self.stats).points_materialized += 1;
     }
 
     fn run_fd_search(&self, tau: usize) -> Result<(FdRepair, SearchStats), EngineError> {
         let outcome = run_search(&self.problem, tau, &self.search_config, self.algorithm);
         {
-            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            let mut stats = lock(&self.stats);
             stats.absorb(&outcome.stats);
             stats.repair_queries += 1;
         }
@@ -299,7 +299,7 @@ impl RepairEngine {
     pub fn sweep(&self, range: RangeInclusive<usize>) -> RepairStream<'_> {
         let (tau_low, tau_high) = (*range.start(), *range.end());
         let checkpoint = {
-            let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
+            let mut cache = lock(&self.sweep_cache);
             match cache.take() {
                 Some(cp) if cp.range() == (tau_low, tau_high) => Some(cp),
                 other => {
@@ -313,7 +313,7 @@ impl RepairEngine {
             }
         };
         {
-            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            let mut stats = lock(&self.stats);
             stats.sweeps_started += 1;
             if checkpoint.is_some() {
                 stats.sweep_cache_hits += 1;
@@ -330,12 +330,7 @@ impl RepairEngine {
             None => {
                 // Seed a fresh sweep with any salvaged heuristic cache (a
                 // no-op empty cache otherwise); bit-identical either way.
-                let warm = self
-                    .warm_heuristic
-                    .lock()
-                    .expect("warm heuristic lock poisoned")
-                    .take()
-                    .unwrap_or_default();
+                let warm = lock(&self.warm_heuristic).take().unwrap_or_default();
                 let search = RangeSearch::new_with_cache(
                     &self.problem,
                     tau_low,
@@ -368,7 +363,7 @@ impl RepairEngine {
         let outcome =
             rt_core::sampling_search(&self.problem, tau_low, tau_high, step, &self.search_config);
         {
-            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            let mut stats = lock(&self.stats);
             stats.absorb(&outcome.stats);
             stats.sweeps_started += 1;
             stats.points_materialized += outcome.repairs.len();

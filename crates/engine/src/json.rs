@@ -238,6 +238,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Copy one UTF-8 scalar (possibly multi-byte).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                // rtlint: allow(D006) -- the Some(_) arm guarantees at least one byte, so the str is non-empty
                 let c = rest.chars().next().expect("non-empty by construction");
                 out.push(c);
                 *pos += c.len_utf8();

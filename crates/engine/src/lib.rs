@@ -83,6 +83,7 @@
 //! assert!(engine.spectrum().is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;

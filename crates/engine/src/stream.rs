@@ -110,6 +110,7 @@ impl<'e> RepairStream<'e> {
     }
 
     fn search(&self) -> &RangeSearch<'e> {
+        // rtlint: allow(D006) -- the Option is only taken in Drop; every method sees Some
         self.search.as_ref().expect("search present until drop")
     }
 
@@ -164,6 +165,7 @@ impl Iterator for RepairStream<'_> {
         let ranged = self
             .search
             .as_mut()
+            // rtlint: allow(D006) -- the Option is only taken in Drop; every method sees Some
             .expect("search present until drop")
             .next_repair();
         match ranged {

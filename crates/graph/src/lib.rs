@@ -40,6 +40,9 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod graph;
 pub mod vertex_cover;
 

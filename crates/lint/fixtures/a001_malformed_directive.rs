@@ -1,0 +1,5 @@
+// rtlint-fixture: crates/io/src/fixture.rs
+//! A001: a comment that claims to be a directive but does not parse.
+
+// rtlint: allow(D01) -- the id is too short to be a lint id
+pub fn nothing() {}

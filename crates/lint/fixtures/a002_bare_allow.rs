@@ -1,0 +1,9 @@
+// rtlint-fixture: crates/io/src/fixture.rs
+//! A002: an allow with no justification. It still suppresses the D003
+//! underneath — but the run fails until someone writes down why.
+
+pub fn stamp() -> u64 {
+    // rtlint: allow(D003)
+    let _t = std::time::Instant::now();
+    0
+}

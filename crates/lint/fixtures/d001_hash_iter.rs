@@ -1,0 +1,12 @@
+// rtlint-fixture: crates/core/src/fixture.rs
+//! D001: iterating a hash map in hash order and leaking that order.
+
+use std::collections::HashMap;
+
+pub fn leak_order(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_k, v) in map.iter() {
+        out.push(*v);
+    }
+    out
+}

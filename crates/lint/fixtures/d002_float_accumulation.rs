@@ -1,0 +1,13 @@
+// rtlint-fixture: crates/core/src/fixture.rs
+//! D002: accumulating an f64 in hash order (the PR 3 `column_entropy` bug).
+
+use std::collections::HashMap;
+
+pub fn entropy_like(map: &HashMap<u32, usize>) -> f64 {
+    let mut total: f64 = 0.0;
+    // rtlint: allow(D001) -- fixture isolates the float-accumulation lint
+    for (_k, n) in map.iter() {
+        total += *n as f64;
+    }
+    total
+}

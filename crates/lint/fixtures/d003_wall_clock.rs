@@ -1,0 +1,8 @@
+// rtlint-fixture: crates/core/src/fixture.rs
+//! D003: reading the wall clock inside a determinism-critical crate.
+
+pub fn how_long(f: impl FnOnce()) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed()
+}

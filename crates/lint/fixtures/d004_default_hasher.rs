@@ -1,0 +1,12 @@
+// rtlint-fixture: crates/relation/src/fixture.rs
+//! D004: hashing through DefaultHasher, invisible to the work counters.
+
+use std::hash::{Hash, Hasher};
+
+pub fn fingerprint(xs: &[u64]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for x in xs {
+        x.hash(&mut h);
+    }
+    h.finish()
+}

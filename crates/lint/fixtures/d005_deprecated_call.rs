@@ -1,0 +1,7 @@
+// rtlint-fixture: crates/scenarios/src/fixture.rs
+//! D005: calling a deprecated pre-engine free function outside the compat
+//! modules.
+
+pub fn old_api(problem: &rt_core::RepairProblem) {
+    let _ = rt_core::repair_data_fds(problem, 2);
+}

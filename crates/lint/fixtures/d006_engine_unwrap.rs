@@ -1,0 +1,6 @@
+// rtlint-fixture: crates/engine/src/fixture.rs
+//! D006: a panic behind the typed-EngineError boundary.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

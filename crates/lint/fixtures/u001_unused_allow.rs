@@ -1,0 +1,8 @@
+// rtlint-fixture: crates/io/src/fixture.rs
+//! U001: a justified allow that suppresses nothing — stale opt-outs must
+//! be flushed out when the code they excused changes.
+
+// rtlint: allow(D003) -- nothing below reads a clock anymore
+pub fn fine() -> u32 {
+    7
+}

@@ -1,0 +1,151 @@
+//! The `rtlint:` inline directive grammar.
+//!
+//! A finding is suppressed by an *allow* comment that names the lint and
+//! justifies itself:
+//!
+//! ```text
+//! // rtlint: allow(D001) -- counting per key; the fold is commutative
+//! for k in map.keys() { … }
+//! ```
+//!
+//! Grammar: `rtlint: allow(<ID>[, <ID>…]) -- <justification>`. The
+//! directive covers **its own line** (for trailing comments) and **the next
+//! line that contains code**, so a stack of directives above one statement
+//! all reach it. The directive is itself linted:
+//!
+//! * a comment that says `rtlint:` but does not parse is **A001**;
+//! * an allow with no `-- justification` (or an empty one) is **A002** —
+//!   it still suppresses, but the run fails until it is justified;
+//! * an allow that suppressed nothing is **U001**, so stale opt-outs are
+//!   flushed out when the code they excused changes.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed (or malformed) `rtlint:` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Lint IDs this directive allows (empty when malformed).
+    pub ids: Vec<String>,
+    /// The justification text after `--`, if any.
+    pub justification: Option<String>,
+    /// `true` when the comment mentioned `rtlint:` but did not parse.
+    pub malformed: bool,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// Lines this directive covers: its own and the next code line.
+    pub covers: Vec<u32>,
+    /// Set by the lint driver when the directive suppresses a finding.
+    pub used: bool,
+}
+
+/// Extracts every `rtlint:` directive from a token stream. `covers` is
+/// resolved here: the comment's own line plus the first following line that
+/// holds a non-comment token.
+pub fn collect_directives(tokens: &[Token]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() || !tok.text.contains("rtlint:") {
+            continue;
+        }
+        // Directives live in plain comments only; doc comments (`///`,
+        // `//!`, `/**`) merely *talk about* the grammar.
+        if tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || tok.text.starts_with("/**")
+            || tok.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let mut d = parse_directive(&tok.text, tok.line, tok.col);
+        let next_code_line = tokens[i + 1..]
+            .iter()
+            .find(|t| !t.is_comment())
+            .map(|t| t.line);
+        d.covers.push(tok.line);
+        if let Some(l) = next_code_line {
+            if l != tok.line {
+                d.covers.push(l);
+            }
+        }
+        out.push(d);
+    }
+    out
+}
+
+fn parse_directive(comment: &str, line: u32, col: u32) -> Directive {
+    let malformed = Directive {
+        ids: Vec::new(),
+        justification: None,
+        malformed: true,
+        line,
+        col,
+        covers: Vec::new(),
+        used: false,
+    };
+    let Some(rest) = comment.split("rtlint:").nth(1) else {
+        return malformed;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return malformed;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return malformed;
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed;
+    };
+    let ids: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if ids.is_empty() || !ids.iter().all(|id| is_lint_id(id)) {
+        return malformed;
+    }
+    let tail = rest[close + 1..].trim_start();
+    // Block comments may close the directive: strip a trailing `*/`.
+    let tail = tail.strip_suffix("*/").unwrap_or(tail).trim();
+    let justification = tail
+        .strip_prefix("--")
+        .map(|j| j.trim().to_string())
+        .filter(|j| !j.is_empty());
+    if !tail.is_empty() && justification.is_none() {
+        // Trailing garbage that is not a `--` justification.
+        return malformed;
+    }
+    Directive {
+        ids,
+        justification,
+        malformed: false,
+        line,
+        col,
+        covers: Vec::new(),
+        used: false,
+    }
+}
+
+fn is_lint_id(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_uppercase())
+        && s.len() == 4
+        && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// The virtual path a fixture pretends to live at, from a
+/// `// rtlint-fixture: <path>` header comment. Lets the fixture tree test
+/// path-scoped lints without living inside the scoped crates.
+pub fn fixture_path(tokens: &[Token]) -> Option<String> {
+    tokens
+        .iter()
+        .take_while(|t| t.kind == TokKind::LineComment)
+        .find_map(|t| {
+            t.text
+                .split("rtlint-fixture:")
+                .nth(1)
+                .map(|p| p.trim().to_string())
+        })
+}

@@ -1,0 +1,478 @@
+//! A small hand-rolled Rust lexer — just enough tokenization for the
+//! determinism lints.
+//!
+//! The lexer understands the parts of the language a text-level lint must
+//! not get wrong: line and (nested) block comments, string literals in all
+//! four spellings (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`), character literals
+//! vs lifetimes (`'x'` vs `'static`), raw identifiers (`r#type`), numeric
+//! literals and multi-character operators (`+=`, `::`, `->`, …). It does
+//! *not* parse: the lint passes work directly on the token stream with
+//! spans, which is exactly the altitude the heuristics need — nothing
+//! inside a string or a comment can ever trip a code lint, and nothing in
+//! code is ever mistaken for an `rtlint:` directive.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Character or byte literal (`'x'`, `'\n'`, `b'\0'`).
+    Char,
+    /// Any string-ish literal: `"…"`, raw, byte, raw byte.
+    Str,
+    /// Numeric literal (integers, floats, any radix, with suffix).
+    Num,
+    /// Operator or delimiter; multi-character operators are one token.
+    Punct,
+    /// `// …` (including `///` and `//!`), text kept verbatim.
+    LineComment,
+    /// `/* … */` with nesting, text kept verbatim.
+    BlockComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text (raw identifiers are stripped to the bare name).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for identifier tokens with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` for punctuation tokens with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// `true` for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so the greedy match wins.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns count
+    /// characters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. The lexer is total: unrecognized bytes become
+/// single-character [`TokKind::Punct`] tokens, and an unterminated literal
+/// or comment simply runs to end of file — a lint pass must never abort on
+/// the code it is judging.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        let start = cur.pos;
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if b == b'/' && cur.peek(1) == Some(b'/') {
+            while let Some(c) = cur.peek(0) {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.push(token(src, start, cur.pos, TokKind::LineComment, line, col));
+            continue;
+        }
+        if b == b'/' && cur.peek(1) == Some(b'*') {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.push(token(src, start, cur.pos, TokKind::BlockComment, line, col));
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings: r" r#" r#ident b" b' br" br#".
+        if b == b'r' || b == b'b' {
+            if let Some(len) = raw_or_byte_prefix(&cur) {
+                let kind = consume_prefixed_literal(&mut cur, len);
+                out.push(token(src, start, cur.pos, kind, line, col));
+                continue;
+            }
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(b) {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.push(token(src, start, cur.pos, TokKind::Ident, line, col));
+            continue;
+        }
+
+        // Numbers (loose: radix prefixes, `_` separators, fraction only when
+        // followed by a digit so `0..n` and `x.1.iter()` stay punctuated,
+        // exponents, type suffixes).
+        if b.is_ascii_digit() {
+            while cur
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                cur.bump();
+            }
+            if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                cur.bump();
+                while cur
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    cur.bump();
+                }
+                // Signed exponent: 1.5e-3.
+                if matches!(src.as_bytes()[cur.pos - 1], b'e' | b'E')
+                    && matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+                {
+                    cur.bump();
+                    while cur.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                        cur.bump();
+                    }
+                }
+            }
+            out.push(token(src, start, cur.pos, TokKind::Num, line, col));
+            continue;
+        }
+
+        // Strings.
+        if b == b'"' {
+            cur.bump();
+            consume_quoted(&mut cur, b'"');
+            out.push(token(src, start, cur.pos, TokKind::Str, line, col));
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if b == b'\'' {
+            if is_lifetime(&cur) {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.push(token(src, start, cur.pos, TokKind::Lifetime, line, col));
+            } else {
+                cur.bump();
+                consume_quoted(&mut cur, b'\'');
+                out.push(token(src, start, cur.pos, TokKind::Char, line, col));
+            }
+            continue;
+        }
+
+        // Multi-character operators, greedily.
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| cur.starts_with(op)) {
+            cur.bump_n(op.len());
+            out.push(Token {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Single-character punctuation (and anything unrecognized).
+        cur.bump();
+        out.push(token(src, start, cur.pos, TokKind::Punct, line, col));
+    }
+
+    out
+}
+
+fn token(src: &str, start: usize, end: usize, kind: TokKind, line: u32, col: u32) -> Token {
+    let mut text = &src[start..end];
+    if kind == TokKind::Ident {
+        // Strip the raw-identifier prefix so `r#type` compares as `type`.
+        text = text.strip_prefix("r#").unwrap_or(text);
+    }
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+        col,
+    }
+}
+
+/// At a `r`/`b`: if a raw/byte literal or raw identifier starts here,
+/// returns the prefix length to skip before the opening quote (or, for raw
+/// identifiers, `None`-like handling falls through to ident lexing).
+fn raw_or_byte_prefix(cur: &Cursor) -> Option<usize> {
+    let b0 = cur.peek(0)?;
+    match (b0, cur.peek(1), cur.peek(2)) {
+        (b'r', Some(b'"'), _) => Some(1),
+        (b'r', Some(b'#'), Some(c)) if c == b'"' || c == b'#' => Some(1),
+        (b'b', Some(b'"'), _) => Some(1),
+        (b'b', Some(b'\''), _) => Some(1),
+        (b'b', Some(b'r'), Some(b'"')) => Some(2),
+        (b'b', Some(b'r'), Some(b'#')) => Some(2),
+        _ => None,
+    }
+}
+
+/// Consumes a literal after its `r`/`b`/`br` prefix of `prefix_len` bytes.
+fn consume_prefixed_literal(cur: &mut Cursor, prefix_len: usize) -> TokKind {
+    let raw = cur.peek(0) == Some(b'r') || cur.peek(1) == Some(b'r');
+    cur.bump_n(prefix_len);
+    if raw {
+        // r##"…"## with any number of hashes (r#ident was excluded above).
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek(0) == Some(b'"') {
+            cur.bump();
+            'scan: while let Some(c) = cur.bump() {
+                if c == b'"' {
+                    for k in 0..hashes {
+                        if cur.peek(k) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    cur.bump_n(hashes);
+                    break;
+                }
+            }
+        }
+        TokKind::Str
+    } else if cur.peek(0) == Some(b'\'') {
+        cur.bump();
+        consume_quoted(cur, b'\'');
+        TokKind::Char
+    } else {
+        // b"…"
+        cur.bump();
+        consume_quoted(cur, b'"');
+        TokKind::Str
+    }
+}
+
+/// Consumes a `\`-escaped literal body up to (and including) `close`.
+fn consume_quoted(cur: &mut Cursor, close: u8) {
+    while let Some(c) = cur.bump() {
+        if c == b'\\' {
+            cur.bump();
+        } else if c == close {
+            break;
+        }
+    }
+}
+
+/// At a `'`: lifetime iff the next character starts an identifier and the
+/// quote does not close after exactly one character (so `'a'` is a char
+/// literal but `'a` and `'static` are lifetimes).
+fn is_lifetime(cur: &Cursor) -> bool {
+    match cur.peek(1) {
+        Some(c) if is_ident_start(c) => cur.peek(2) != Some(b'\''),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lexed(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn texts_of(src: &str, kind: TokKind) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        // The inner `"#` must not close the r##"…"## literal early, and the
+        // HashMap mention inside must never surface as an identifier.
+        let src = r####"let s = r##"a "# HashMap "##; map.iter()"####;
+        let strs = texts_of(src, TokKind::Str);
+        assert_eq!(strs, vec![r####"r##"a "# HashMap "##"####.to_string()]);
+        let idents = texts_of(src, TokKind::Ident);
+        assert!(!idents.contains(&"HashMap".to_string()));
+        assert!(idents.contains(&"iter".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_strings() {
+        assert_eq!(
+            lexed(r##"b"x" br#"y"# b'z'"##)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect::<Vec<_>>(),
+            vec![TokKind::Str, TokKind::Str, TokKind::Char]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner */ still a comment */ b";
+        let toks = lexed(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokKind::Ident, "a".to_string()));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokKind::Ident, "b".to_string()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'static str) { let c = 'a'; let nl = '\\n'; }";
+        let lifetimes = texts_of(src, TokKind::Lifetime);
+        assert_eq!(lifetimes, vec!["'a".to_string(), "'static".to_string()]);
+        let chars = texts_of(src, TokKind::Char);
+        assert_eq!(chars, vec!["'a'".to_string(), "'\\n'".to_string()]);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_the_prefix() {
+        let toks = lexed("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "type".to_string())));
+    }
+
+    #[test]
+    fn multi_line_attributes_lex_with_positions() {
+        let src = "#[deprecated(\n    since = \"0.2.0\",\n    note = \"gone\"\n)]\nfn f() {}";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].text, "#");
+        assert_eq!(toks[1].text, "[");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 5);
+        // Strings inside the attribute stay strings.
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let ops = lexed("a += b; c ..= d; e :: f -> g => h");
+        let puncts: Vec<String> = ops
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t)
+            .collect();
+        assert!(puncts.contains(&"+=".to_string()));
+        assert!(puncts.contains(&"..=".to_string()));
+        assert!(puncts.contains(&"::".to_string()));
+        assert!(puncts.contains(&"->".to_string()));
+        assert!(puncts.contains(&"=>".to_string()));
+    }
+
+    #[test]
+    fn numbers_keep_ranges_punctuated() {
+        // `0..n` must not lex `0.` as a float.
+        let toks = lexed("for i in 0..n {}");
+        assert!(toks.contains(&(TokKind::Num, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, "..".to_string())));
+        // While real fractions and exponents stay one token.
+        let toks = lexed("let x = 1.5e-3;");
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3".to_string())));
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        // `τ` is two bytes but one column.
+        let toks = tokenize("let τ = x;");
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (1, 9));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        // The lexer is total: garbage in, tokens out.
+        for src in ["\"unterminated", "/* open", "r#\"open", "'"] {
+            let _ = tokenize(src);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! `rt-lint` — the workspace's offline determinism lint pass.
+//!
+//! Every layer of this repository holds one standing invariant: results are
+//! **bit-identical** across serial vs parallel runs, incremental vs rebuilt
+//! engines, and cached vs uncached heuristics. The test suite proves the
+//! invariant on the paths it exercises; `rt-lint` mechanically enforces the
+//! *coding discipline* that keeps unexercised paths honest — no hash-order
+//! iteration feeding results, no float reductions in hash order, no
+//! wall-clock reads outside the bench layer, no panics behind the typed
+//! error boundary. The container is offline (no dylint/clippy plugins), so
+//! the pass is self-contained: a small hand-rolled lexer
+//! ([`lexer`]) and token-level heuristics ([`lints`]), with a justified
+//! inline opt-out grammar ([`directives`]) that is itself linted.
+//!
+//! ```
+//! use rt_lint::lints::lint_file;
+//!
+//! let src = "fn f() { let t = std::time::Instant::now(); }\n";
+//! let findings = lint_file("crates/core/src/demo.rs", src);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].id, "D003");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directives;
+pub mod lexer;
+pub mod lints;
+
+use lints::{lint_file, Finding, CATALOG};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects the `.rs` files under each of `paths` (files are taken as-is),
+/// sorted, skipping `target/`, `.git/` and the lint fixtures tree (which
+/// violates on purpose).
+pub fn collect_rs_files(paths: &[PathBuf]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for p in paths {
+        if p.is_file() {
+            out.push(p.clone());
+        } else {
+            walk(p, &mut out);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            if name == "fixtures" && dir.ends_with("crates/lint") {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The enclosing cargo workspace root: the nearest ancestor of `start`
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+/// Lints every file in `files`, reporting paths relative to `root` (both
+/// for readability and for the path-scoped lints). Unreadable files are
+/// skipped — the compiler owns that failure mode.
+pub fn run(root: &Path, files: &[PathBuf]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let Ok(src) = fs::read_to_string(file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&rel, &src));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.id).cmp(&(b.file.as_str(), b.line, b.col, b.id))
+    });
+    findings
+}
+
+/// Renders findings as a JSON array (stable field order, sorted input).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"id\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+             \"snippet\": {}, \"message\": {}, \"hint\": {}}}{}\n",
+            json_str(f.id),
+            json_str(f.severity.label()),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.snippet),
+            json_str(&f.message),
+            json_str(&f.hint),
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders findings for humans: `file:line:col: severity[ID]: message`,
+/// the offending line, and the fix hint.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&format!(
+            "{}:{}:{}: {}[{}]: {}\n    | {}\n    = hint: {}\n",
+            f.file,
+            f.line,
+            f.col,
+            f.severity.label(),
+            f.id,
+            f.message,
+            f.snippet,
+            f.hint
+        ));
+    }
+    s
+}
+
+/// The `--list` catalog dump.
+pub fn render_catalog() -> String {
+    let mut s = String::from(
+        "rt-lint catalog (inline opt-out: `// rtlint: allow(<ID>) -- <justification>`)\n",
+    );
+    for l in CATALOG {
+        s.push_str(&format!(
+            "  {}  {:7}  {}\n         scope: {}\n",
+            l.id,
+            l.severity.label(),
+            l.summary,
+            l.scope
+        ));
+    }
+    s
+}
+
+/// Outcome of a [`selftest`] run.
+#[derive(Debug)]
+pub struct SelftestReport {
+    /// Per-fixture lines (`d001_hash_iter.rs: D001 x2 … ok`).
+    pub lines: Vec<String>,
+    /// Fixtures that tripped the wrong lint set.
+    pub failures: Vec<String>,
+}
+
+/// Proves every lint fires: lints each file in `fixtures_dir` (named
+/// `<id>_<what>.rs`) and asserts it trips **exactly** the lint its name
+/// declares, and that the fixture tree covers the whole catalog.
+pub fn selftest(fixtures_dir: &Path) -> SelftestReport {
+    let mut report = SelftestReport {
+        lines: Vec::new(),
+        failures: Vec::new(),
+    };
+    let files = collect_rs_files(&[fixtures_dir.to_path_buf()]);
+    if files.is_empty() {
+        report.failures.push(format!(
+            "no fixtures found under {}",
+            fixtures_dir.display()
+        ));
+        return report;
+    }
+    let mut covered: Vec<&'static str> = Vec::new();
+    for file in &files {
+        let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let expected = name.split('_').next().unwrap_or("").to_uppercase();
+        let Ok(src) = fs::read_to_string(file) else {
+            report.failures.push(format!("unreadable fixture {name}"));
+            continue;
+        };
+        let findings = lint_file(&format!("crates/lint/fixtures/{name}"), &src);
+        let mut ids: Vec<&str> = findings.iter().map(|f| f.id).collect();
+        ids.sort();
+        ids.dedup();
+        if ids == [expected.as_str()] {
+            if let Some(info) = CATALOG.iter().find(|l| l.id == expected) {
+                covered.push(info.id);
+            }
+            report.lines.push(format!(
+                "{name}: trips exactly {expected} ({} finding{}) .. ok",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            ));
+        } else {
+            report.failures.push(format!(
+                "{name}: expected exactly [{expected}], got {ids:?}"
+            ));
+        }
+    }
+    for l in CATALOG {
+        if !covered.contains(&l.id) {
+            report
+                .failures
+                .push(format!("lint {} has no passing fixture", l.id));
+        }
+    }
+    report
+}

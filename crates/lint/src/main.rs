@@ -1,0 +1,114 @@
+//! The `rt-lint` CLI.
+//!
+//! ```text
+//! rt-lint [--json] [--deny-warnings] [paths...]   lint the workspace (or paths)
+//! rt-lint --list                                  print the lint catalog
+//! rt-lint --selftest                              prove every lint trips on its fixture
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings fail the run (any error, or any warning
+//! under `--deny-warnings`, or a selftest failure), 2 usage/environment
+//! error.
+
+#![forbid(unsafe_code)]
+
+use rt_lint::lints::Severity;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut list = false;
+    let mut run_selftest = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--list" => list = true,
+            "--selftest" => run_selftest = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: rt-lint [--json] [--deny-warnings] [--list] [--selftest] [paths...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("rt-lint: unknown flag {flag} (try --help)");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    if list {
+        print!("{}", rt_lint::render_catalog());
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rt-lint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = rt_lint::workspace_root(&cwd) else {
+        eprintln!(
+            "rt-lint: no enclosing cargo workspace found from {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    if run_selftest {
+        let report = rt_lint::selftest(&root.join("crates/lint/fixtures"));
+        for line in &report.lines {
+            println!("selftest: {line}");
+        }
+        for failure in &report.failures {
+            eprintln!("selftest FAILED: {failure}");
+        }
+        return if report.failures.is_empty() {
+            println!(
+                "selftest: every lint in the catalog trips on its fixture ({} fixtures)",
+                report.lines.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    if paths.is_empty() {
+        paths.push(root.clone());
+    }
+    let files = rt_lint::collect_rs_files(&paths);
+    let findings = rt_lint::run(&root, &files);
+
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+
+    if json {
+        print!("{}", rt_lint::render_json(&findings));
+    } else {
+        print!("{}", rt_lint::render_human(&findings));
+        println!(
+            "rt-lint: {} file{} scanned, {errors} error{}, {warnings} warning{}",
+            files.len(),
+            if files.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -26,6 +26,9 @@
 //! assert_eq!(squares, par_map(Parallelism::Serial, &[1, 2, 3, 4], |&x| x * x));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::num::NonZeroUsize;
 
 /// How many worker threads the parallel primitives may use.

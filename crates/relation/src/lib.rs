@@ -48,6 +48,7 @@
 //! assert_eq!(*instance.cell(CellRef::new(1, AttrId(1))).unwrap(), Value::Null);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;

@@ -27,6 +27,7 @@
 //! assert!(!scenario.dirty_fds.holds_on(&scenario.dirty));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

@@ -23,6 +23,9 @@
 //! assert_eq!(BenchmarkId::new("encode", 128).to_string(), "encode/128");
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

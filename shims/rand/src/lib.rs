@@ -24,6 +24,9 @@
 //! assert_eq!(again.gen_range(0..100), a);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::Range;
 
 /// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].

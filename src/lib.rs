@@ -80,6 +80,9 @@
 //! .parallelism(..).seed(..).build()?`. Failures that used to be `Option`s
 //! or panics surface as the typed [`prelude::EngineError`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use rt_baseline as baseline;
 pub use rt_constraints as constraints;
 pub use rt_core as core;
