@@ -36,6 +36,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The service-layer contract is load-bearing enough to name: everything a
+# client sees over a socket must be bit-identical to an in-process engine.
+# `cargo test -q` above already ran these; rerunning the one suite is cheap
+# and keeps the wire ≡ in-process gate visible in every CI mode.
+echo "==> cargo test --test protocol_roundtrip (wire results ≡ in-process, bit for bit)"
+cargo test -q --test protocol_roundtrip
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo fmt --check"
     cargo fmt --check
@@ -70,8 +77,12 @@ if [ "$bench" -eq 1 ]; then
     # counters (the encoded path is hard-asserted at key_allocs == 0) and
     # one bounded sweep + mutation stream per catalog scenario
     # (hospital/census/sensors/orders), each verified incremental ≡
-    # rebuild bit-identically (this container has one core and no network,
-    # so wall-clock numbers would be noise — work counters are exact).
+    # rebuild bit-identically, and a serve.multi_session scenario driving
+    # interleaved sessions over loopback TCP through an LRU eviction with
+    # the wire spectrum hard-asserted bit-identical to an in-process twin
+    # (this container has one core and no network, so wall-clock numbers
+    # would be noise — work counters are exact; the server's idle clock is
+    # a logical request counter, so even the serve counters are exact).
     # --selftest additionally proves the gate trips when any counter is
     # artificially inflated. Re-baseline intentional changes with:
     # cargo run --release -p rt-bench --bin bench_gate -- --out ci/bench_baseline.json

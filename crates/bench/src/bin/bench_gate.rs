@@ -348,6 +348,128 @@ fn measure_catalog_scenario(metrics: &mut Metrics, name: &str) {
     metrics.push(m("value_compares", w.value_compares));
 }
 
+/// Scenario: the service layer end to end — several named sessions
+/// interleaved over one loopback TCP connection, with `max_sessions` low
+/// enough to force an LRU eviction mid-run. The driving client is a single
+/// thread issuing a fixed request sequence, and the server's idleness
+/// clock is logical (a request counter), so every gated counter is exact.
+/// The headline property is a hard assert: the post-mutation spectrum that
+/// crosses the wire is bit-identical to an in-process engine fed the same
+/// CSV text and mutation log.
+fn measure_serve(metrics: &mut Metrics) {
+    use rt_client::Client;
+    use rt_engine::decode_mutation_log;
+    use rt_proto::EngineOpts;
+    use rt_server::{Server, ServerConfig};
+
+    let config = ServerConfig {
+        max_sessions: 2,
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_tcp_with("127.0.0.1:0", config).expect("loopback bind");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let worker = std::thread::spawn(move || server.run());
+    let client = Client::connect(&addr.to_string()).expect("loopback connect");
+
+    let mut opts = EngineOpts::new(7);
+    opts.threads = Parallelism::Serial;
+
+    // Two interleaved sessions on distinct workloads...
+    let hospital_text = rt_scenarios::HOSPITAL_CSV;
+    let hospital_fds = ["zip->city", "provider_id->hospital_name"];
+    let small_text = "A,B,C\n1,1,2\n1,2,2\n2,5,3\n2,5,4\n3,7,4\n";
+    let mut s1 = client.create_session("s1", opts).expect("s1 creates");
+    let mut s2 = client.create_session("s2", opts).expect("s2 creates");
+    s1.load_csv(small_text, false, &["A->B", "C->A"])
+        .expect("s1 loads");
+    s2.load_csv(hospital_text, false, &hospital_fds)
+        .expect("s2 loads");
+    let s1_spectrum = s1.spectrum().expect("s1 spectrum");
+    let s2_spectrum = s2.spectrum().expect("s2 spectrum");
+
+    // ...a third session evicts the LRU one (s1: s2 was used after it)...
+    let mut s3 = client.create_session("s3", opts).expect("s3 creates");
+    s3.load_csv("X,Y\n1,1\n1,2\n", false, &["X->Y"])
+        .expect("s3 loads");
+    s3.spectrum().expect("s3 spectrum");
+
+    // ...and a mutation batch against the surviving hospital session.
+    let ops_text = r#"[
+        {"op": "update", "row": 3, "attr": "city", "value": "Mobile"},
+        {"op": "insert", "rows": [
+            [77001, "Bayou City Medical", "1 Main St", "Houston", "TX", 77001,
+             "Harris", 7135550100, "AMI-1", "Aspirin at arrival", "Heart Attack", 88.5, 10]
+        ]}
+    ]"#;
+    let (wire_effect, _) = s2.apply_text(ops_text).expect("wire mutation applies");
+    let wire_after = s2.spectrum().expect("post-mutation wire spectrum");
+    let wire_stats = s2.stats().expect("s2 stats");
+    assert_eq!(
+        wire_stats.conflict_graph_builds, 1,
+        "a wire session must build its conflict graph exactly once"
+    );
+
+    // Hard bit-identity gate: in-process twin of s2, same text, same log.
+    // The server loads wire text under the fixed relation name "input";
+    // the twin must match for the instances to compare bit-identical.
+    let report = rt_io::read_instance(
+        hospital_text.as_bytes(),
+        &rt_io::CsvOptions::csv().relation("input"),
+    )
+    .expect("hospital fixture parses");
+    let schema = report.instance.schema().clone();
+    let sigma = rt_constraints::FdSet::parse(&hospital_fds, &schema).expect("hospital FDs parse");
+    let mut twin = opts
+        .configure(RepairEngine::builder(report.instance, sigma))
+        .build()
+        .expect("twin engine builds");
+    twin.spectrum().expect("twin pre-mutation spectrum");
+    let doc = json::parse(ops_text).expect("mutation log parses");
+    let decoded = decode_mutation_log(&doc, &schema).expect("mutation log decodes");
+    let local_outcome = twin
+        .apply(&decoded.into_iter().collect::<MutationBatch>())
+        .expect("twin mutation applies");
+    assert_eq!(
+        wire_effect, local_outcome.effect,
+        "wire and in-process mutation effects diverged"
+    );
+    assert!(
+        wire_after.bit_identical(&twin.spectrum().expect("twin post-mutation spectrum")),
+        "serve: wire spectrum diverged from the in-process engine"
+    );
+
+    let counters = client.server_stats().expect("server counters");
+    let lookup = |name: &str| -> u64 {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("server counter `{name}` missing"))
+            .1
+    };
+    assert!(lookup("sessions_evicted") >= 1, "no eviction happened");
+
+    let (s2_points, s2_cells) = spectrum_signature(&wire_after);
+    let (s1_points, s1_cells) = spectrum_signature(&s1_spectrum);
+    let m = |k: &str, v: u64| (format!("serve.multi_session.{k}"), v);
+    metrics.push(m("frames_decoded", lookup("frames_decoded")));
+    metrics.push(m("requests_served", lookup("requests_served")));
+    metrics.push(m("sessions_created", lookup("sessions_created")));
+    metrics.push(m("sessions_evicted", lookup("sessions_evicted")));
+    metrics.push(m("states_expanded", wire_stats.states_expanded as u64));
+    metrics.push(m(
+        "points",
+        (s1_points + s2_points + s2_spectrum.len()) as u64,
+    ));
+    metrics.push(m("cells_changed", (s1_cells + s2_cells) as u64));
+
+    client.shutdown().expect("graceful shutdown");
+    worker
+        .join()
+        .expect("server thread joins")
+        .expect("server run succeeds");
+}
+
 fn measure() -> Metrics {
     let mut metrics = Metrics::new();
     measure_spectrum(&mut metrics);
@@ -356,6 +478,7 @@ fn measure() -> Metrics {
     for name in rt_scenarios::SCENARIO_NAMES {
         measure_catalog_scenario(&mut metrics, name);
     }
+    measure_serve(&mut metrics);
     metrics
 }
 

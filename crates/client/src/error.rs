@@ -1,0 +1,61 @@
+//! The driver's error type.
+
+use rt_engine::EngineError;
+use rt_proto::FrameError;
+
+/// Everything a driver call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure (connect, read, write, oversized…).
+    Frame(FrameError),
+    /// The server rejected the request at the protocol level
+    /// (`unknown_session`, `memory_limit`, `malformed`, …).
+    Protocol {
+        /// Stable machine-readable code.
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The engine inside the session failed; the exact [`EngineError`]
+    /// round-tripped losslessly over the wire.
+    Engine(EngineError),
+    /// The server answered with a well-formed frame of the wrong kind.
+    Unexpected {
+        /// The response kind the caller was waiting for.
+        expected: &'static str,
+        /// The kind that actually arrived.
+        got: String,
+    },
+    /// The response frame did not decode.
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol { code, message } => {
+                write!(f, "server refused ({code}): {message}")
+            }
+            ClientError::Engine(e) => write!(f, "engine: {e}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected `{expected}` response, got `{got}`")
+            }
+            ClientError::Decode(msg) => write!(f, "bad response frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e.to_string()))
+    }
+}

@@ -1,0 +1,177 @@
+//! # rt-client
+//!
+//! Driver for the relative-trust repair service, in the style of a
+//! database driver: [`Client::connect`] opens one connection,
+//! [`Client::create_session`] yields a [`Session`], and the session's
+//! typed methods speak the `rt-proto` wire protocol underneath.
+//!
+//! ```no_run
+//! use rt_client::Client;
+//! use rt_proto::EngineOpts;
+//!
+//! let client = Client::connect("127.0.0.1:7171").unwrap();
+//! let mut session = client
+//!     .create_session("demo", EngineOpts::new(0))
+//!     .unwrap();
+//! session
+//!     .load_csv("A,B\n1,1\n1,2\n", false, &["A->B"])
+//!     .unwrap();
+//! let spectrum = session.spectrum().unwrap();
+//! assert!(!spectrum.is_empty());
+//! ```
+//!
+//! Repairs arrive bit-identical to what an in-process engine would
+//! produce: the codec ships raw `f64` bits and fresh-variable counters, so
+//! `Spectrum::bit_identical` holds across the wire (the protocol
+//! round-trip tests assert exactly that).
+//!
+//! The connection is shared behind a mutex; a request and its response are
+//! paired under one lock hold, so independent sessions may share a
+//! [`Client`] from multiple threads without interleaving frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod session;
+
+pub use error::ClientError;
+pub use session::Session;
+
+use rt_proto::{read_frame, write_frame, Request, Response};
+use rt_relation::Schema;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The stream types the driver can speak over.
+trait Transport: Read + Write + Send {}
+impl Transport for TcpStream {}
+#[cfg(unix)]
+impl Transport for std::os::unix::net::UnixStream {}
+
+pub(crate) struct Conn {
+    reader: BufReader<Box<dyn Transport>>,
+}
+
+impl Conn {
+    /// Sends `request` and reads its reply under one lock hold.
+    fn round_trip(
+        &mut self,
+        request: &Request,
+        schema: Option<&Schema>,
+    ) -> Result<Response, ClientError> {
+        write_frame(self.reader.get_mut(), &request.encode())?;
+        let payload = read_frame(&mut self.reader)?;
+        let response = Response::decode(&payload, schema).map_err(ClientError::Decode)?;
+        if let Response::Error(frame) = response {
+            return Err(match frame.engine {
+                Some(err) => ClientError::Engine(err),
+                None => ClientError::Protocol {
+                    code: frame.code,
+                    message: frame.message,
+                },
+            });
+        }
+        Ok(response)
+    }
+}
+
+/// One connection to a repair server. Cheap to clone; clones share the
+/// underlying socket.
+#[derive(Clone)]
+pub struct Client {
+    conn: Arc<Mutex<Conn>>,
+}
+
+impl Client {
+    /// Connects to `target`: `"host:port"` for TCP, or `"unix:/path"` for
+    /// a Unix-domain socket.
+    pub fn connect(target: &str) -> Result<Client, ClientError> {
+        let stream: Box<dyn Transport> = match target.strip_prefix("unix:") {
+            Some(_path) => {
+                #[cfg(unix)]
+                {
+                    Box::new(std::os::unix::net::UnixStream::connect(_path)?)
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(ClientError::Protocol {
+                        code: "unsupported".to_string(),
+                        message: "unix sockets are not available on this platform".to_string(),
+                    });
+                }
+            }
+            None => Box::new(TcpStream::connect(target)?),
+        };
+        Ok(Client {
+            conn: Arc::new(Mutex::new(Conn {
+                reader: BufReader::new(stream),
+            })),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Conn> {
+        self.conn.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Sends one raw request and returns the raw response — the escape
+    /// hatch the `rtclean connect` REPL is built on. `schema` is needed to
+    /// decode responses that carry repairs.
+    pub fn request(
+        &self,
+        request: &Request,
+        schema: Option<&Schema>,
+    ) -> Result<Response, ClientError> {
+        self.lock().round_trip(request, schema)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping, None)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Server-wide counters, in the server's stable order.
+    pub fn server_stats(&self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.request(&Request::ServerStats, None)? {
+            Response::ServerStats(counters) => Ok(counters),
+            other => Err(unexpected("server_stats", &other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns once it acknowledges.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown, None)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+
+    /// Creates a named session and returns its handle.
+    pub fn create_session(
+        &self,
+        name: &str,
+        opts: rt_proto::EngineOpts,
+    ) -> Result<Session, ClientError> {
+        match self.request(
+            &Request::CreateSession {
+                name: name.to_string(),
+                opts,
+            },
+            None,
+        )? {
+            Response::Created { session } => Ok(Session::new(self.clone(), session)),
+            other => Err(unexpected("created", &other)),
+        }
+    }
+}
+
+pub(crate) fn unexpected(expected: &'static str, got: &Response) -> ClientError {
+    ClientError::Unexpected {
+        expected,
+        got: got.kind().to_string(),
+    }
+}

@@ -1,0 +1,175 @@
+//! A named session on the server, driven through typed methods.
+
+use crate::{unexpected, Client, ClientError};
+use rt_core::{MutationEffect, Repair, SearchStats};
+use rt_engine::json::{self, JsonValue};
+use rt_engine::{EngineStats, RepairPoint, Spectrum};
+use rt_proto::{LoadSummary, Request, Response, TauSpec};
+use rt_relation::Schema;
+
+/// One named repair session. Obtained from [`Client::create_session`];
+/// methods mirror the in-process `RepairEngine` query API.
+///
+/// The session remembers the schema reported by the `loaded` response and
+/// uses it to decode every later repair-carrying frame, so the decoded
+/// instances are full-fidelity (dictionary codes, variables, counters).
+pub struct Session {
+    client: Client,
+    name: String,
+    schema: Option<Schema>,
+}
+
+impl Session {
+    pub(crate) fn new(client: Client, name: String) -> Session {
+        Session {
+            client,
+            name,
+            schema: None,
+        }
+    }
+
+    /// The session's server-side name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema of the loaded instance (`None` before `load_csv`).
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    fn ask(&self, request: Request) -> Result<Response, ClientError> {
+        self.client.request(&request, self.schema.as_ref())
+    }
+
+    /// Loads CSV (or TSV) text plus FD specs, building the session's
+    /// engine server-side. Returns what the loader learned.
+    pub fn load_csv(
+        &mut self,
+        text: &str,
+        tsv: bool,
+        fds: &[&str],
+    ) -> Result<LoadSummary, ClientError> {
+        let response = self.ask(Request::LoadCsv {
+            session: self.name.clone(),
+            text: text.to_string(),
+            tsv,
+            fds: fds.iter().map(|s| s.to_string()).collect(),
+        })?;
+        match response {
+            Response::Loaded(summary) => {
+                self.schema = Some(summary.schema().map_err(ClientError::Decode)?);
+                Ok(summary)
+            }
+            other => Err(unexpected("loaded", &other)),
+        }
+    }
+
+    /// Applies a mutation log (the `rt_engine::mutation_log` JSON array)
+    /// as one atomic batch. Returns the structural effect and whether the
+    /// server's sweep checkpoint survived.
+    pub fn apply(&mut self, ops: JsonValue) -> Result<(MutationEffect, bool), ClientError> {
+        let response = self.ask(Request::Apply {
+            session: self.name.clone(),
+            ops,
+        })?;
+        match response {
+            Response::Applied {
+                effect,
+                sweep_cache_retained,
+            } => Ok((effect, sweep_cache_retained)),
+            other => Err(unexpected("applied", &other)),
+        }
+    }
+
+    /// Like [`Session::apply`], parsing the log from JSON text first.
+    pub fn apply_text(&mut self, text: &str) -> Result<(MutationEffect, bool), ClientError> {
+        let ops = json::parse(text).map_err(ClientError::Decode)?;
+        self.apply(ops)
+    }
+
+    /// One repair at an absolute cell budget `τ`.
+    pub fn repair_at(&mut self, tau: usize) -> Result<Repair, ClientError> {
+        self.repair(TauSpec::Absolute(tau))
+    }
+
+    /// One repair at a relative trust level `f ∈ [0, 1]`.
+    pub fn repair_at_relative(&mut self, f: f64) -> Result<Repair, ClientError> {
+        self.repair(TauSpec::Relative(f))
+    }
+
+    fn repair(&mut self, tau: TauSpec) -> Result<Repair, ClientError> {
+        let response = self.ask(Request::RepairAt {
+            session: self.name.clone(),
+            tau,
+        })?;
+        match response {
+            Response::Repaired(repair) => Ok(*repair),
+            other => Err(unexpected("repair", &other)),
+        }
+    }
+
+    /// One page of the sweep over `lo..=hi`: skip `offset` points, return
+    /// at most `limit` (`limit == 0` means unbounded). The second return
+    /// is `true` when the range is exhausted after this page.
+    pub fn sweep_page(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        offset: usize,
+        limit: usize,
+    ) -> Result<(Vec<RepairPoint>, bool), ClientError> {
+        let response = self.ask(Request::SweepPage {
+            session: self.name.clone(),
+            lo,
+            hi,
+            offset,
+            limit,
+        })?;
+        match response {
+            Response::SweepPage { points, done } => Ok((points, done)),
+            other => Err(unexpected("sweep_page", &other)),
+        }
+    }
+
+    /// The full spectrum, reassembled client-side. Search statistics
+    /// describe server-side work and are not transported: the returned
+    /// spectrum carries zeroed stats, which is exactly what
+    /// `Spectrum::bit_identical` ignores.
+    pub fn spectrum(&mut self) -> Result<Spectrum, ClientError> {
+        let response = self.ask(Request::Spectrum {
+            session: self.name.clone(),
+        })?;
+        match response {
+            Response::Spectrum { points } => Ok(Spectrum {
+                points,
+                search_stats: SearchStats::default(),
+            }),
+            other => Err(unexpected("spectrum", &other)),
+        }
+    }
+
+    /// The session's cumulative engine statistics.
+    pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
+        let response = self.ask(Request::Stats {
+            session: self.name.clone(),
+        })?;
+        match response {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Closes the session server-side, consuming the handle. Dropping a
+    /// [`Session`] without calling this leaves the session resident until
+    /// the server evicts it.
+    pub fn close(self) -> Result<(), ClientError> {
+        let response = self.ask(Request::Close {
+            session: self.name.clone(),
+        })?;
+        match response {
+            Response::Closed { .. } => Ok(()),
+            other => Err(unexpected("closed", &other)),
+        }
+    }
+}

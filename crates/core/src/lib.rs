@@ -35,8 +35,9 @@
 //!   maintenance + edge-level conflict-graph patching) instead of rebuilt.
 //!
 //! The historical free-function conveniences (`repair_data_fds`,
-//! `find_repairs_range`, `modify_fds_astar`, …) are deprecated wrappers
-//! around these primitives; new code should go through the engine.
+//! `find_repairs_range`, `modify_fds_astar`, …) are gone — `rt-lint` D005
+//! fails the build if one is reintroduced. New code should go through the
+//! engine (or, for one-shot use, these fully parameterized primitives).
 //!
 //! ```
 //! use rt_relation::{Instance, Schema};
@@ -87,13 +88,3 @@ pub use search::{
     run_search, FdRepair, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats, Stopwatch,
 };
 pub use state::RepairState;
-
-// Deprecated free-function surface, kept for source compatibility. The
-// `allow` silences the deprecation warnings the re-exports themselves
-// would otherwise trigger.
-#[allow(deprecated)]
-pub use multi::{find_repairs_range, find_repairs_sampling};
-#[allow(deprecated)]
-pub use repair::{repair_data_fds, repair_data_fds_relative};
-#[allow(deprecated)]
-pub use search::{modify_fds_astar, modify_fds_best_first};

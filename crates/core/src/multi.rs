@@ -173,15 +173,14 @@ impl std::fmt::Debug for SweepCheckpoint {
 }
 
 /// A resumable Range-Repair traversal (Algorithm 6, `Find_Repairs_FDs`):
-/// the query-state cache behind both [`find_repairs_range`] and the
-/// engine's streaming sweep.
+/// the query-state cache behind the engine's streaming sweep.
 ///
 /// The search keeps its open list, its current budget `τ` and its
 /// cumulative statistics between calls to [`RangeSearch::next_repair`], so
 /// adjacent `τ` values share vertex-cover and heuristic work instead of
 /// re-expanding the same prefix of the state space. Draining the search
 /// yields exactly the repairs (in the same order, bit for bit) that a
-/// one-shot [`find_repairs_range`] call over the same range produces.
+/// one-shot [`RangeSearch::run_to_end`] over the same range produces.
 pub struct RangeSearch<'p> {
     problem: &'p RepairProblem,
     config: SearchConfig,
@@ -493,22 +492,6 @@ impl<'p> RangeSearch<'p> {
     }
 }
 
-/// Algorithm 6 (`Find_Repairs_FDs`): all distinct FD repairs whose `δ_P`
-/// falls inside `[tau_low, tau_high]`, in a single search pass.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session with rt_engine::RepairEngine and call `sweep`/`spectrum`, \
-            or drive a RangeSearch directly"
-)]
-pub fn find_repairs_range(
-    problem: &RepairProblem,
-    tau_low: usize,
-    tau_high: usize,
-    config: &SearchConfig,
-) -> MultiRepairOutcome {
-    RangeSearch::new(problem, tau_low, tau_high, config).run_to_end()
-}
-
 /// The naive comparator ("Sampling-Repair"): run the single-τ A* search at
 /// every `τ` in `{tau_low, tau_low + step, ...} ∪ {tau_high}` and keep the
 /// distinct results.
@@ -570,22 +553,6 @@ pub fn sampling_search(
 
     stats.elapsed = start.elapsed();
     MultiRepairOutcome { repairs, stats }
-}
-
-/// Deprecated spelling of [`sampling_search`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session with rt_engine::RepairEngine and call `sampling_spectrum`, \
-            or call sampling_search"
-)]
-pub fn find_repairs_sampling(
-    problem: &RepairProblem,
-    tau_low: usize,
-    tau_high: usize,
-    step: usize,
-    config: &SearchConfig,
-) -> MultiRepairOutcome {
-    sampling_search(problem, tau_low, tau_high, step, config)
 }
 
 #[cfg(test)]

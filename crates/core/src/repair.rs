@@ -1,6 +1,7 @@
 //! Algorithm 1: one τ-constrained repair of both the data and the FDs.
 //!
-//! `repair_data_fds` glues the two halves together: first the FD-modification
+//! [`repair_data_fds_with`] glues the two halves together: first the
+//! FD-modification
 //! search (Section 5) finds the cheapest relaxation `Σ'` whose
 //! `δ_P(Σ', I) ≤ τ`, then the data-repair algorithm (Section 6) materializes
 //! an instance `I' |= Σ'` by changing at most `δ_P(Σ', I)` cells. The result
@@ -52,46 +53,13 @@ impl Repair {
     }
 }
 
-/// Algorithm 1 (`Repair_Data_FDs`) with the A* FD search and a fixed
-/// random seed for the data-repair step.
+/// Algorithm 1 (`Repair_Data_FDs`), fully parameterized — the primitive
+/// `rt_engine::RepairEngine::repair_at` delegates to.
 ///
 /// Returns `None` when no repair within the budget exists (which can only
 /// happen when the search is truncated by its expansion cap — with an
 /// unbounded search a repair always exists because fully relaxed FDs need no
 /// data changes).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session with rt_engine::RepairEngine and call `repair_at`"
-)]
-pub fn repair_data_fds(problem: &RepairProblem, tau: usize) -> Option<Repair> {
-    repair_data_fds_with(
-        problem,
-        tau,
-        &SearchConfig::default(),
-        SearchAlgorithm::AStar,
-        0,
-    )
-}
-
-/// Algorithm 1 with the budget expressed as *relative* trust
-/// `τ_r ∈ [0, 1]`, the form used throughout the paper's experiments
-/// (`τ = ⌈τ_r · δ_P(Σ, I)⌉`).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session with rt_engine::RepairEngine and call `repair_at_relative`"
-)]
-pub fn repair_data_fds_relative(problem: &RepairProblem, tau_r: f64) -> Option<Repair> {
-    repair_data_fds_with(
-        problem,
-        problem.absolute_tau(tau_r),
-        &SearchConfig::default(),
-        SearchAlgorithm::AStar,
-        0,
-    )
-}
-
-/// Fully parameterized variant of Algorithm 1 — the primitive
-/// `rt_engine::RepairEngine::repair_at` delegates to.
 pub fn repair_data_fds_with(
     problem: &RepairProblem,
     tau: usize,

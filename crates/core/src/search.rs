@@ -5,11 +5,11 @@
 //! [`RepairState`]s rooted at "no modification". They differ only in the
 //! priority that orders the open list:
 //!
-//! * **A\*** ([`modify_fds_astar`]) orders states by `gc(S)`, the
+//! * **A\*** ([`SearchAlgorithm::AStar`]) orders states by `gc(S)`, the
 //!   heuristic lower bound on the cost of the cheapest goal descendant
 //!   (computed by [`crate::heuristic`]), and prunes states with no goal
 //!   descendant at all;
-//! * **best-first** ([`modify_fds_best_first`]) orders states by their own
+//! * **best-first** ([`SearchAlgorithm::BestFirst`]) orders states by their own
 //!   cost `dist_c(Σ, Σ')` — correct because the weighting function is
 //!   monotone, but it expands far more states (Figures 9–12 of the paper
 //!   quantify the gap).
@@ -222,38 +222,9 @@ impl Ord for OpenEntry {
     }
 }
 
-/// Runs Algorithm 2: A* search for the cheapest FD relaxation whose
-/// `δ_P(Σ', I) ≤ τ`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session with rt_engine::RepairEngine and call `fd_repair_at`, \
-            or call run_search with SearchAlgorithm::AStar"
-)]
-pub fn modify_fds_astar(
-    problem: &RepairProblem,
-    tau: usize,
-    config: &SearchConfig,
-) -> FdRepairOutcome {
-    run_search(problem, tau, config, SearchAlgorithm::AStar)
-}
-
-/// Runs the best-first baseline: identical traversal ordered by `dist_c`
-/// instead of the heuristic estimate.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session with rt_engine::RepairEngine (SearchAlgorithm::BestFirst) and \
-            call `fd_repair_at`, or call run_search with SearchAlgorithm::BestFirst"
-)]
-pub fn modify_fds_best_first(
-    problem: &RepairProblem,
-    tau: usize,
-    config: &SearchConfig,
-) -> FdRepairOutcome {
-    run_search(problem, tau, config, SearchAlgorithm::BestFirst)
-}
-
-/// Shared search driver — the primitive both deprecated wrappers and the
-/// engine's `fd_repair_at` delegate to.
+/// Shared search driver for Algorithm 2 and the best-first baseline — the
+/// primitive the engine's `fd_repair_at` delegates to, with the traversal
+/// order chosen by `algorithm` (A* heuristic vs. plain `dist_c`).
 pub fn run_search(
     problem: &RepairProblem,
     tau: usize,

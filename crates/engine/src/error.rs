@@ -62,6 +62,24 @@ impl EngineError {
             message: err.to_string(),
         }
     }
+
+    /// The stable wire code of this error variant.
+    ///
+    /// `rt-proto` keys error frames on this string so an `EngineError` can
+    /// round-trip losslessly through `Response::Error`; the codes are part
+    /// of the protocol and must never change meaning. `Display` output, by
+    /// contrast, is free to evolve.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::InvalidConfig(_) => "invalid_config",
+            EngineError::Relation(_) => "relation",
+            EngineError::Fd(_) => "fd",
+            EngineError::Io { .. } => "io",
+            EngineError::Parse { .. } => "parse",
+            EngineError::Mutation(_) => "mutation",
+            EngineError::BudgetExhausted { .. } => "budget_exhausted",
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -130,6 +148,39 @@ mod tests {
         };
         assert!(e.to_string().contains("line 17"));
         assert!(e.to_string().contains("data.csv"));
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        let errors = [
+            EngineError::InvalidConfig("x".into()),
+            EngineError::Relation(RelationError::Csv("x".into())),
+            EngineError::Fd("x".into()),
+            EngineError::io("p", "m"),
+            EngineError::Parse {
+                path: "p".into(),
+                line: 1,
+                message: "m".into(),
+            },
+            EngineError::Mutation("x".into()),
+            EngineError::BudgetExhausted {
+                tau: 1,
+                max_expansions: 2,
+            },
+        ];
+        let codes: Vec<&str> = errors.iter().map(EngineError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "invalid_config",
+                "relation",
+                "fd",
+                "io",
+                "parse",
+                "mutation",
+                "budget_exhausted"
+            ]
+        );
     }
 
     #[test]

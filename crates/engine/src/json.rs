@@ -77,6 +77,70 @@ impl JsonValue {
     }
 }
 
+/// Renders a value as compact single-line JSON.
+///
+/// The inverse of [`parse`] and the writer `rt-proto` frames ride on:
+/// control characters (including newlines) are `\u`-escaped, so the output
+/// never contains a raw line break — one rendered value is always one
+/// line-delimited frame. Numbers print integrally when they are integral
+/// (so `parse ∘ render` is the identity for every value `parse` can
+/// produce, up to f64 precision).
+pub fn render(value: &JsonValue) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 => {
+            out.push_str(&format!("{}", *n as i64));
+        }
+        JsonValue::Num(n) => out.push_str(&n.to_string()),
+        JsonValue::Str(s) => render_str(s, out),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_str(key, out);
+                out.push(':');
+                render_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// Parses a JSON document. Errors carry a byte offset and a short message.
 pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
@@ -292,6 +356,19 @@ mod tests {
         assert!(parse("\"\\ud83d\"").is_err());
         assert!(parse("\"\\ud83d\\u0041\"").is_err());
         assert!(parse("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_and_stays_on_one_line() {
+        let doc = "{\"a\":[1,-2.5,{\"b\":[]},\"x\\ny\",null,true,false],\"c\":\"\\u0001\"}";
+        let v = parse(doc).unwrap();
+        let rendered = render(&v);
+        assert_eq!(rendered, doc);
+        assert!(!rendered.contains('\n'));
+        assert_eq!(parse(&rendered).unwrap(), v);
+        // Integral floats print integrally; fractional ones keep their dot.
+        assert_eq!(render(&JsonValue::Num(3.0)), "3");
+        assert_eq!(render(&JsonValue::Num(-0.5)), "-0.5");
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub use builder::RepairEngineBuilder;
 pub use engine::RepairEngine;
 pub use error::EngineError;
 pub use mutation::{MutationBatch, MutationOutcome};
-pub use mutation_log::{parse_mutation_log, render_mutation_log};
+pub use mutation_log::{decode_mutation_log, parse_mutation_log, render_mutation_log};
 pub use stats::EngineStats;
 pub use stream::{RepairPoint, RepairStream, Spectrum};
 

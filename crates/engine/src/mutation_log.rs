@@ -197,6 +197,17 @@ fn decode_attr(v: &JsonValue, schema: &Schema) -> Result<AttrId, String> {
 /// Parses a JSON mutation log against a schema.
 pub fn parse_mutation_log(text: &str, schema: &Schema) -> Result<Vec<MutationOp>, String> {
     let doc = json::parse(text)?;
+    decode_mutation_log(&doc, schema)
+}
+
+/// Decodes an already-parsed mutation log (the JSON array of op objects)
+/// against a schema.
+///
+/// This is the [`parse_mutation_log`] back half, split out so callers that
+/// receive the log embedded in a larger JSON document — the `rt-proto`
+/// `apply` request carries it as a subtree of the frame — can decode it
+/// without re-rendering to text first.
+pub fn decode_mutation_log(doc: &JsonValue, schema: &Schema) -> Result<Vec<MutationOp>, String> {
     let entries = doc
         .as_array()
         .ok_or("mutation log must be a JSON array of op objects")?;

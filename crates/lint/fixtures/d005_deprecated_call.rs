@@ -1,6 +1,5 @@
 // rtlint-fixture: crates/scenarios/src/fixture.rs
-//! D005: calling a deprecated pre-engine free function outside the compat
-//! modules.
+//! D005: calling a removed pre-engine free function.
 
 pub fn old_api(problem: &rt_core::RepairProblem) {
     let _ = rt_core::repair_data_fds(problem, 2);

@@ -79,8 +79,8 @@ pub const CATALOG: &[LintInfo] = &[
     LintInfo {
         id: "D005",
         severity: Severity::Warning,
-        scope: "everywhere except the rt-core compat modules",
-        summary: "call to a deprecated pre-engine free function",
+        scope: "everywhere",
+        summary: "call to a removed pre-engine free function",
     },
     LintInfo {
         id: "D006",
@@ -148,7 +148,9 @@ const ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
-/// The `#[deprecated]` pre-engine free functions (PR 2); D005 flags calls.
+/// The removed pre-engine free functions (deprecated in PR 2, deleted with
+/// the service layer); D005 flags any call, keeping the surface from
+/// creeping back.
 const DEPRECATED_FNS: &[&str] = &[
     "repair_data_fds",
     "repair_data_fds_relative",
@@ -156,15 +158,6 @@ const DEPRECATED_FNS: &[&str] = &[
     "find_repairs_sampling",
     "modify_fds_astar",
     "modify_fds_best_first",
-];
-
-/// Files allowed to mention the deprecated functions: their definitions and
-/// the compat re-exports.
-const D005_EXEMPT_FILES: &[&str] = &[
-    "crates/core/src/search.rs",
-    "crates/core/src/repair.rs",
-    "crates/core/src/multi.rs",
-    "crates/core/src/lib.rs",
 ];
 
 /// Which workspace crate a repo-relative path belongs to, for lint scoping.
@@ -199,7 +192,6 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
     let ctx = Ctx {
         file: path,
         krate: crate_of(&scope_path).to_string(),
-        scope_path,
         lines,
         test_regions: test_regions(&code),
         hash_bindings: hash_bindings(&code),
@@ -232,8 +224,6 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
 
 struct Ctx<'a> {
     file: &'a str,
-    /// Path used for scoping (fixture virtual path when present).
-    scope_path: String,
     krate: String,
     lines: Vec<&'a str>,
     /// Token-index ranges of `#[cfg(test)] mod`s and `#[test] fn`s.
@@ -780,16 +770,9 @@ fn lint_hasher(ctx: &Ctx, code: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
-/// D005: calls to the deprecated pre-engine free functions.
+/// D005: calls to the removed pre-engine free functions.
 fn lint_deprecated_calls(ctx: &Ctx, code: &[Token], out: &mut Vec<Finding>) {
-    let scope = ctx.scope_path.strip_prefix("./").unwrap_or(&ctx.scope_path);
-    if D005_EXEMPT_FILES.contains(&scope) {
-        return;
-    }
     for i in 0..code.len() {
-        if ctx.in_test(i) {
-            continue;
-        }
         if code[i].kind == TokKind::Ident
             && DEPRECATED_FNS.contains(&code[i].text.as_str())
             && code.get(i + 1).is_some_and(|t| t.is_punct("("))
@@ -797,10 +780,7 @@ fn lint_deprecated_calls(ctx: &Ctx, code: &[Token], out: &mut Vec<Finding>) {
             out.push(ctx.finding(
                 "D005",
                 &code[i],
-                format!(
-                    "call to deprecated free function `{}` outside the compat modules",
-                    code[i].text
-                ),
+                format!("call to removed free function `{}`", code[i].text),
                 "build a session with rt_engine::RepairEngine (or use run_search / \
                  repair_data_fds_with / RangeSearch directly)",
             ));

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::{Condvar, Mutex};
 
 /// How many worker threads the parallel primitives may use.
 ///
@@ -192,6 +193,82 @@ where
     per_chunk.into_iter().flatten().collect()
 }
 
+/// A counting gate bounding how many threads may be inside a section at
+/// once — the blocking complement to the fork/join maps above, used by
+/// `rt-server` to cap concurrent connection handlers.
+///
+/// [`Gate::enter`] blocks until one of the `capacity` slots is free and
+/// returns a [`GatePass`] guard; dropping the guard releases the slot and
+/// wakes one waiter. Admission order among blocked waiters is left to the
+/// OS — the primitive bounds *concurrency*, and callers that need
+/// deterministic results must not depend on admission order (the same rule
+/// the parallel maps follow).
+#[derive(Debug)]
+pub struct Gate {
+    in_use: Mutex<usize>,
+    freed: Condvar,
+    capacity: usize,
+}
+
+impl Gate {
+    /// A gate admitting at most `capacity` concurrent passes (clamped to at
+    /// least 1 — a zero-capacity gate would deadlock its first caller).
+    pub fn new(capacity: usize) -> Gate {
+        Gate {
+            in_use: Mutex::new(0),
+            freed: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum number of concurrently held passes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of passes currently held (a snapshot; may be stale by the
+    /// time the caller looks at it).
+    pub fn in_use(&self) -> usize {
+        *self.in_use.lock().expect("gate lock poisoned")
+    }
+
+    /// Blocks until a slot is free, then occupies it for the lifetime of
+    /// the returned pass.
+    pub fn enter(&self) -> GatePass<'_> {
+        let mut in_use = self.in_use.lock().expect("gate lock poisoned");
+        while *in_use >= self.capacity {
+            in_use = self.freed.wait(in_use).expect("gate lock poisoned");
+        }
+        *in_use += 1;
+        GatePass { gate: self }
+    }
+
+    /// Non-blocking [`Gate::enter`]: `None` when the gate is full.
+    pub fn try_enter(&self) -> Option<GatePass<'_>> {
+        let mut in_use = self.in_use.lock().expect("gate lock poisoned");
+        if *in_use >= self.capacity {
+            return None;
+        }
+        *in_use += 1;
+        Some(GatePass { gate: self })
+    }
+}
+
+/// An occupied [`Gate`] slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct GatePass<'g> {
+    gate: &'g Gate,
+}
+
+impl Drop for GatePass<'_> {
+    fn drop(&mut self) {
+        let mut in_use = self.gate.in_use.lock().expect("gate lock poisoned");
+        *in_use -= 1;
+        drop(in_use);
+        self.gate.freed.notify_one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +321,39 @@ mod tests {
     fn coarse_map_parallelizes_small_fanouts() {
         let results = par_map_coarse(Parallelism::Fixed(4), 4, |i| i * 2);
         assert_eq!(results, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn gate_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let gate = Gate::new(2);
+        assert_eq!(gate.capacity(), 2);
+        assert_eq!(Gate::new(0).capacity(), 1);
+
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _pass = gate.enter();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+        assert_eq!(gate.in_use(), 0);
+    }
+
+    #[test]
+    fn gate_try_enter_fills_and_releases() {
+        let gate = Gate::new(1);
+        let pass = gate.try_enter().unwrap();
+        assert!(gate.try_enter().is_none());
+        drop(pass);
+        assert!(gate.try_enter().is_some());
     }
 }

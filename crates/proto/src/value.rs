@@ -1,0 +1,185 @@
+//! Self-describing wire encoding for relational [`Value`]s, plus small
+//! JSON field-access helpers shared by the codec modules.
+
+use rt_engine::json::JsonValue;
+use rt_relation::{Value, VarId};
+
+/// Exclusive bound on integers that survive a JSON `f64` exactly.
+const MAX_EXACT_INT: i64 = 1 << 53;
+
+/// Encodes a cell value for the wire.
+///
+/// The encoding extends the mutation-log conventions
+/// (`rt_engine::mutation_log`) to *all* value kinds, because wire repairs
+/// carry repaired V-instances: integral floats, huge integers, NaN/∞ and
+/// fresh variables use reserved tagged strings (`"float:…"`, `"int:…"`,
+/// `"var:attr:id"`), string cells that collide with a tag are escaped as
+/// `"str:…"`, and everything else maps JSON-naturally. Decoding with
+/// [`decode_value`] reproduces the value bit-for-bit.
+pub fn encode_value(value: &Value) -> JsonValue {
+    match value {
+        Value::Null => JsonValue::Null,
+        Value::Int(i) if *i > -MAX_EXACT_INT && *i < MAX_EXACT_INT => JsonValue::Num(*i as f64),
+        Value::Int(i) => JsonValue::Str(format!("int:{i}")),
+        Value::Float(x) if x.get().is_finite() && x.get().fract() != 0.0 => JsonValue::Num(x.get()),
+        Value::Float(x) => JsonValue::Str(format!("float:{}", x.get())),
+        Value::Str(s) if is_reserved(s) => JsonValue::Str(format!("str:{s}")),
+        Value::Str(s) => JsonValue::Str(s.clone()),
+        Value::Var(v) => JsonValue::Str(format!("var:{}:{}", v.attr, v.id)),
+    }
+}
+
+fn is_reserved(s: &str) -> bool {
+    s.starts_with("str:")
+        || s.starts_with("float:")
+        || s.starts_with("int:")
+        || s.starts_with("var:")
+}
+
+/// Decodes a wire cell value written by [`encode_value`].
+pub fn decode_value(value: &JsonValue) -> Result<Value, String> {
+    match value {
+        JsonValue::Null => Ok(Value::Null),
+        JsonValue::Num(n) if n.fract() == 0.0 && n.abs() < MAX_EXACT_INT as f64 => {
+            Ok(Value::int(*n as i64))
+        }
+        JsonValue::Num(n) => Ok(Value::float(*n)),
+        JsonValue::Str(s) => {
+            if let Some(rest) = s.strip_prefix("str:") {
+                Ok(Value::str(rest))
+            } else if let Some(rest) = s.strip_prefix("float:") {
+                rest.parse::<f64>()
+                    .map(Value::float)
+                    .map_err(|_| format!("bad float literal `{s}`"))
+            } else if let Some(rest) = s.strip_prefix("int:") {
+                rest.parse::<i64>()
+                    .map(Value::int)
+                    .map_err(|_| format!("bad int literal `{s}`"))
+            } else if let Some(rest) = s.strip_prefix("var:") {
+                let (attr, id) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad variable literal `{s}`"))?;
+                let attr = attr
+                    .parse::<u16>()
+                    .map_err(|_| format!("bad variable literal `{s}`"))?;
+                let id = id
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad variable literal `{s}`"))?;
+                Ok(Value::Var(VarId::new(attr, id)))
+            } else {
+                Ok(Value::str(s.clone()))
+            }
+        }
+        other => Err(format!("unsupported wire cell value {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON field-access helpers used by every codec in this crate. They turn
+// missing/mistyped fields into one-line messages naming the field, which is
+// what a protocol peer needs to debug a rejected frame.
+
+pub(crate) fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+pub(crate) fn num(n: usize) -> JsonValue {
+    JsonValue::Num(n as f64)
+}
+
+pub(crate) fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+pub(crate) fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+pub(crate) fn usize_field(v: &JsonValue, key: &str) -> Result<usize, String> {
+    field(v, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+pub(crate) fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+pub(crate) fn bool_field(v: &JsonValue, key: &str) -> Result<bool, String> {
+    match field(v, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("field `{key}` must be a boolean")),
+    }
+}
+
+pub(crate) fn array_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field `{key}` must be an array"))
+}
+
+/// A `u64` carried as a decimal string (JSON numbers hold only 53 bits).
+pub(crate) fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    str_field(v, key)?
+        .parse::<u64>()
+        .map_err(|_| format!("field `{key}` must be a decimal u64 string"))
+}
+
+pub(crate) fn u64_str(n: u64) -> JsonValue {
+    JsonValue::Str(n.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_relation::Value;
+
+    #[test]
+    fn every_value_kind_round_trips_bit_exactly() {
+        let values = vec![
+            Value::Null,
+            Value::int(0),
+            Value::int(-7),
+            Value::int((1 << 53) - 1),
+            Value::int(1 << 53), // tagged: beyond exact-f64 range
+            Value::int(i64::MIN),
+            Value::float(1.5),
+            Value::float(3.0),  // integral float: tagged
+            Value::float(-0.0), // negative zero: tagged, sign preserved
+            Value::float(f64::INFINITY),
+            Value::float(f64::NEG_INFINITY),
+            Value::float(f64::NAN),
+            Value::str(""),
+            Value::str("plain"),
+            Value::str("float:3"), // collides with a tag: escaped
+            Value::str("str:x"),
+            Value::str("int:9"),
+            Value::str("var:0:1"),
+            Value::Var(VarId::new(3, 41)),
+        ];
+        for v in &values {
+            let decoded = decode_value(&encode_value(v)).unwrap();
+            // FloatBits equality is bit equality, so NaN == NaN here.
+            assert_eq!(&decoded, v, "value {v:?} changed across the wire");
+        }
+    }
+
+    #[test]
+    fn malformed_tags_and_kinds_are_rejected() {
+        assert!(decode_value(&JsonValue::Str("var:3".into())).is_err());
+        assert!(decode_value(&JsonValue::Str("var:a:b".into())).is_err());
+        assert!(decode_value(&JsonValue::Str("int:xyz".into())).is_err());
+        assert!(decode_value(&JsonValue::Str("float:xyz".into())).is_err());
+        assert!(decode_value(&JsonValue::Bool(true)).is_err());
+        assert!(decode_value(&JsonValue::Arr(vec![])).is_err());
+    }
+}

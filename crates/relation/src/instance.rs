@@ -271,6 +271,38 @@ impl Instance {
         Value::Var(VarId::new(attr.0, id))
     }
 
+    /// The per-attribute fresh-variable counters: `var_counters()[a]` is the
+    /// id [`Instance::fresh_var`] would hand out next for attribute `a`.
+    ///
+    /// The counters are part of an instance's logical identity (two equal
+    /// instances must agree on them — see the `PartialEq` impl), so codecs
+    /// that serialize an instance cell-by-cell must carry them alongside the
+    /// tuples and replay them with [`Instance::restore_var_counters`].
+    pub fn var_counters(&self) -> &[u32] {
+        &self.var_counters
+    }
+
+    /// Restores fresh-variable counters captured from
+    /// [`Instance::var_counters`], e.g. when rebuilding an instance from a
+    /// wire or file representation.
+    ///
+    /// Counters may only move forward: lowering one below the ids already
+    /// handed out could let [`Instance::fresh_var`] re-issue a live
+    /// variable, so each counter is clamped to at least its current value.
+    /// Returns an error when `counters` does not match the schema's arity.
+    pub fn restore_var_counters(&mut self, counters: &[u32]) -> Result<()> {
+        if counters.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                tuple: counters.len(),
+                schema: self.schema.arity(),
+            });
+        }
+        for (current, &restored) in self.var_counters.iter_mut().zip(counters) {
+            *current = (*current).max(restored);
+        }
+        Ok(())
+    }
+
     /// The columnar code view of attribute `attr`: `codes(a)[row]` is the
     /// dictionary code of `tuple(row)[a]`. Two cells of the column match
     /// (under [`Value::matches`]) iff their codes are equal.

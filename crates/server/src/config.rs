@@ -1,0 +1,50 @@
+//! Server resource limits.
+
+/// Resource limits and policy knobs of a repair server.
+///
+/// All limits are deterministic: idleness is measured in *logical
+/// operations* (a global request sequence number), never wall-clock time,
+/// and the memory bound is a structural cell count, so a scripted workload
+/// evicts exactly the same sessions on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum concurrently resident sessions. Creating one more evicts
+    /// the least-recently-used idle session; if every session is busy the
+    /// request is refused with code `memory_limit`.
+    pub max_sessions: usize,
+    /// Maximum cells (`rows × arity`) a session's live instance may hold.
+    /// `load_csv` and `apply` requests that would exceed it are refused
+    /// with code `memory_limit` *before* touching the engine.
+    pub max_session_cells: usize,
+    /// Sessions untouched for more than this many global operations are
+    /// reaped on the next `create_session` (counted as evictions).
+    /// `0` disables idle reaping.
+    pub idle_ops: u64,
+    /// Maximum concurrently served connections; further accepts queue on
+    /// a counting gate until a slot frees.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 16,
+            max_session_cells: 4_000_000,
+            idle_ops: 0,
+            max_connections: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ServerConfig::default();
+        assert!(config.max_sessions >= 1);
+        assert!(config.max_connections >= 1);
+        assert_eq!(config.idle_ops, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Server-wide work counters (the `server_stats` response).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters describing the server's lifetime work. Exposed over
+/// the wire by `server_stats` and gated by the `serve.multi_session`
+/// benchmark scenario, so their names are a stable surface.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Frames read and decoded successfully.
+    pub frames_decoded: AtomicU64,
+    /// Frames rejected before dispatch (oversized, truncated, bad UTF-8).
+    pub frames_rejected: AtomicU64,
+    /// Well-formed requests dispatched (including ones that returned a
+    /// typed error).
+    pub requests_served: AtomicU64,
+    /// Sessions created.
+    pub sessions_created: AtomicU64,
+    /// Sessions evicted (LRU capacity eviction or idle reaping).
+    pub sessions_evicted: AtomicU64,
+    /// Sessions closed by request.
+    pub sessions_closed: AtomicU64,
+}
+
+impl Counters {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A stable-order snapshot; `sessions_live` is appended by the caller
+    /// because only the registry knows it.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        [
+            ("frames_decoded", &self.frames_decoded),
+            ("frames_rejected", &self.frames_rejected),
+            ("requests_served", &self.requests_served),
+            ("sessions_created", &self.sessions_created),
+            ("sessions_evicted", &self.sessions_evicted),
+            ("sessions_closed", &self.sessions_closed),
+        ]
+        .into_iter()
+        .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_order_is_stable() {
+        let counters = Counters::default();
+        Counters::bump(&counters.frames_decoded);
+        Counters::bump(&counters.frames_decoded);
+        Counters::bump(&counters.sessions_evicted);
+        let snap = counters.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "frames_decoded",
+                "frames_rejected",
+                "requests_served",
+                "sessions_created",
+                "sessions_evicted",
+                "sessions_closed",
+            ]
+        );
+        assert_eq!(snap[0].1, 2);
+        assert_eq!(snap[4].1, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Request dispatch: one function from [`Request`] to [`Response`].
+
+use crate::registry::SessionState;
+use crate::state::ServerState;
+use rt_engine::{decode_mutation_log, EngineError, FdSet, MutationBatch, MutationOp, RepairEngine};
+use rt_io::{read_instance, CsvOptions, IoError};
+use rt_proto::{ErrorFrame, LoadSummary, Request, Response, TauSpec};
+
+/// Relation name given to instances loaded over the wire (matches the CLI
+/// front end, so spectra are comparable bit-for-bit).
+const WIRE_RELATION: &str = "input";
+
+/// Pseudo-path reported in parse errors for wire-loaded CSV text.
+const WIRE_PATH: &str = "<wire>";
+
+/// Handles one well-formed request. Never panics: every failure becomes a
+/// typed [`Response::Error`].
+pub(crate) fn dispatch(state: &ServerState, request: Request) -> Response {
+    crate::counters::Counters::bump(&state.counters.requests_served);
+    match try_dispatch(state, request) {
+        Ok(response) => response,
+        Err(frame) => Response::Error(frame),
+    }
+}
+
+fn try_dispatch(state: &ServerState, request: Request) -> Result<Response, ErrorFrame> {
+    let op = state.registry.next_op();
+    match request {
+        Request::Ping => Ok(Response::Pong),
+        Request::ServerStats => {
+            let mut counters = state.counters.snapshot();
+            counters.push(("sessions_live".to_string(), state.registry.live() as u64));
+            Ok(Response::ServerStats(counters))
+        }
+        // The connection loop triggers the actual shutdown *after* writing
+        // this response, so the requester still gets its acknowledgement
+        // before every connection is severed.
+        Request::Shutdown => Ok(Response::ShuttingDown),
+        Request::CreateSession { name, opts } => {
+            if state.is_shutting_down() {
+                return Err(ErrorFrame::protocol(
+                    "shutting_down",
+                    "server is shutting down",
+                ));
+            }
+            state
+                .registry
+                .create(&name, opts, op, &state.config, &state.counters)?;
+            Ok(Response::Created { session: name })
+        }
+        Request::Close { session } => {
+            state.registry.close(&session, &state.counters)?;
+            Ok(Response::Closed { session })
+        }
+        Request::LoadCsv {
+            session,
+            text,
+            tsv,
+            fds,
+        } => {
+            let slot = state.registry.get(&session, op)?;
+            let mut guard = slot.lock();
+            if guard.engine.is_some() {
+                return Err(ErrorFrame::protocol(
+                    "already_loaded",
+                    format!("session `{session}` already has an engine"),
+                ));
+            }
+            let options = if tsv {
+                CsvOptions::tsv()
+            } else {
+                CsvOptions::csv()
+            }
+            .relation(WIRE_RELATION);
+            let report = read_instance(text.as_bytes(), &options)
+                .map_err(|e| ErrorFrame::engine(io_to_engine(e)))?;
+            let cells = report.instance.len() * report.instance.schema().arity();
+            if cells > state.config.max_session_cells {
+                return Err(memory_limit(cells, state.config.max_session_cells));
+            }
+            let schema = report.instance.schema().clone();
+            let specs: Vec<&str> = fds.iter().map(String::as_str).collect();
+            let sigma = FdSet::parse(&specs, &schema)
+                .map_err(|e| ErrorFrame::engine(EngineError::Fd(e)))?;
+            let engine = guard
+                .opts
+                .configure(RepairEngine::builder(report.instance, sigma))
+                .build()
+                .map_err(ErrorFrame::engine)?;
+            let summary = LoadSummary {
+                relation: schema.name().to_string(),
+                attributes: (0..schema.arity())
+                    .map(|i| {
+                        schema
+                            .attr_name(rt_relation::AttrId(i as u16))
+                            .unwrap_or("?")
+                            .to_string()
+                    })
+                    .collect(),
+                types: report.columns.iter().map(|c| c.to_string()).collect(),
+                rows: engine.problem().instance().len(),
+                null_cells: report.null_cells,
+                delta_p: engine.delta_p_original(),
+                conflict_edges: engine.problem().conflict_graph().edge_count(),
+            };
+            guard.engine = Some(engine);
+            Ok(Response::Loaded(summary))
+        }
+        Request::Apply { session, ops } => {
+            let slot = state.registry.get(&session, op)?;
+            let mut guard = slot.lock();
+            let engine = loaded(&mut guard, &session)?;
+            let schema = engine.problem().instance().schema().clone();
+            let decoded = decode_mutation_log(&ops, &schema)
+                .map_err(|e| ErrorFrame::engine(EngineError::Mutation(e)))?;
+            let inserted: usize = decoded
+                .iter()
+                .map(|op| match op {
+                    MutationOp::InsertTuples(tuples) => tuples.len(),
+                    _ => 0,
+                })
+                .sum();
+            let cells = (engine.problem().instance().len() + inserted) * schema.arity();
+            if cells > state.config.max_session_cells {
+                return Err(memory_limit(cells, state.config.max_session_cells));
+            }
+            let batch: MutationBatch = decoded.into_iter().collect();
+            let outcome = engine.apply(&batch).map_err(ErrorFrame::engine)?;
+            Ok(Response::Applied {
+                effect: outcome.effect,
+                sweep_cache_retained: outcome.sweep_cache_retained,
+            })
+        }
+        Request::RepairAt { session, tau } => {
+            let slot = state.registry.get(&session, op)?;
+            let mut guard = slot.lock();
+            let engine = loaded(&mut guard, &session)?;
+            let repair = match tau {
+                TauSpec::Absolute(t) => engine.repair_at(t),
+                TauSpec::Relative(f) => engine.repair_at_relative(f),
+            }
+            .map_err(ErrorFrame::engine)?;
+            Ok(Response::Repaired(Box::new(repair)))
+        }
+        Request::SweepPage {
+            session,
+            lo,
+            hi,
+            offset,
+            limit,
+        } => {
+            let slot = state.registry.get(&session, op)?;
+            let mut guard = slot.lock();
+            let engine = loaded(&mut guard, &session)?;
+            let mut points = Vec::new();
+            let mut skipped = 0usize;
+            let mut done = true;
+            for item in engine.sweep(lo..=hi) {
+                let point = item.map_err(ErrorFrame::engine)?;
+                if skipped < offset {
+                    skipped += 1;
+                    continue;
+                }
+                if limit > 0 && points.len() == limit {
+                    done = false;
+                    break;
+                }
+                points.push(point);
+            }
+            Ok(Response::SweepPage { points, done })
+        }
+        Request::Spectrum { session } => {
+            let slot = state.registry.get(&session, op)?;
+            let mut guard = slot.lock();
+            let engine = loaded(&mut guard, &session)?;
+            let spectrum = engine.spectrum().map_err(ErrorFrame::engine)?;
+            Ok(Response::Spectrum {
+                points: spectrum.points,
+            })
+        }
+        Request::Stats { session } => {
+            let slot = state.registry.get(&session, op)?;
+            let mut guard = slot.lock();
+            let engine = loaded(&mut guard, &session)?;
+            Ok(Response::Stats(engine.stats()))
+        }
+    }
+}
+
+fn loaded<'a>(
+    state: &'a mut SessionState,
+    session: &str,
+) -> Result<&'a mut RepairEngine, ErrorFrame> {
+    state.engine.as_mut().ok_or_else(|| {
+        ErrorFrame::protocol(
+            "not_loaded",
+            format!("session `{session}` has no engine yet; send `load_csv` first"),
+        )
+    })
+}
+
+fn memory_limit(cells: usize, cap: usize) -> ErrorFrame {
+    ErrorFrame::protocol(
+        "memory_limit",
+        format!("instance would hold {cells} cells, above the per-session cap of {cap}"),
+    )
+}
+
+fn io_to_engine(err: IoError) -> EngineError {
+    match err {
+        IoError::Io(message) => EngineError::Io {
+            path: WIRE_PATH.to_string(),
+            message,
+        },
+        IoError::Parse { line, message } => EngineError::Parse {
+            path: WIRE_PATH.to_string(),
+            line,
+            message,
+        },
+        IoError::Relation(e) => EngineError::Relation(e),
+    }
+}

@@ -1,0 +1,266 @@
+//! The session table: named engines, LRU eviction, logical idle reaping.
+
+use crate::config::ServerConfig;
+use crate::counters::Counters;
+use rt_engine::RepairEngine;
+use rt_proto::{EngineOpts, ErrorFrame};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One session's mutable state, behind the slot's lock.
+pub(crate) struct SessionState {
+    /// Engine configuration recorded at `create_session`.
+    pub opts: EngineOpts,
+    /// The engine, once `load_csv` has built it.
+    pub engine: Option<RepairEngine>,
+}
+
+/// One named session. The slot is shared (`Arc`) so dispatch can release
+/// the registry lock before doing engine work under the per-session lock.
+pub(crate) struct SessionSlot {
+    /// Per-session state lock: one request at a time per session.
+    pub state: Mutex<SessionState>,
+    /// Global operation number of the last request that touched this
+    /// session — the LRU/idle clock (logical, never wall time).
+    pub last_used: AtomicU64,
+}
+
+impl SessionSlot {
+    fn new(opts: EngineOpts, op: u64) -> Arc<SessionSlot> {
+        Arc::new(SessionSlot {
+            state: Mutex::new(SessionState { opts, engine: None }),
+            last_used: AtomicU64::new(op),
+        })
+    }
+
+    /// Locks the session state, recovering from a poisoned lock (a panic
+    /// in another handler must not wedge the session forever).
+    pub fn lock(&self) -> MutexGuard<'_, SessionState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The named-session table plus the logical clock that orders everything.
+#[derive(Default)]
+pub(crate) struct Registry {
+    slots: Mutex<BTreeMap<String, Arc<SessionSlot>>>,
+    op_seq: AtomicU64,
+}
+
+impl Registry {
+    /// Advances the logical clock; every dispatched request calls this
+    /// exactly once, and the returned number stamps `last_used`.
+    pub fn next_op(&self) -> u64 {
+        self.op_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn slots(&self) -> MutexGuard<'_, BTreeMap<String, Arc<SessionSlot>>> {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Number of resident sessions.
+    pub fn live(&self) -> usize {
+        self.slots().len()
+    }
+
+    /// Looks up a session, stamping its LRU clock.
+    pub fn get(&self, name: &str, op: u64) -> Result<Arc<SessionSlot>, ErrorFrame> {
+        match self.slots().get(name) {
+            Some(slot) => {
+                slot.last_used.store(op, Ordering::Relaxed);
+                Ok(Arc::clone(slot))
+            }
+            None => Err(ErrorFrame::protocol(
+                "unknown_session",
+                format!("no session named `{name}`"),
+            )),
+        }
+    }
+
+    /// Creates a session, reaping idle sessions first and evicting the
+    /// least-recently-used idle session if the table is full.
+    pub fn create(
+        &self,
+        name: &str,
+        opts: EngineOpts,
+        op: u64,
+        config: &ServerConfig,
+        counters: &Counters,
+    ) -> Result<(), ErrorFrame> {
+        let mut slots = self.slots();
+        if slots.contains_key(name) {
+            return Err(ErrorFrame::protocol(
+                "session_exists",
+                format!("session `{name}` already exists"),
+            ));
+        }
+        if config.idle_ops > 0 {
+            let stale: Vec<String> = slots
+                .iter()
+                .filter(|(_, slot)| {
+                    op.saturating_sub(slot.last_used.load(Ordering::Relaxed)) > config.idle_ops
+                        && slot.state.try_lock().is_ok()
+                })
+                .map(|(n, _)| n.clone())
+                .collect();
+            for stale_name in stale {
+                slots.remove(&stale_name);
+                Counters::bump(&counters.sessions_evicted);
+            }
+        }
+        while slots.len() >= config.max_sessions.max(1) {
+            // Evict the least-recently-used session that is not mid-request
+            // (its lock can be taken). Ties break by name: BTreeMap order.
+            let victim = slots
+                .iter()
+                .filter(|(_, slot)| slot.state.try_lock().is_ok())
+                .min_by_key(|(n, slot)| (slot.last_used.load(Ordering::Relaxed), (*n).clone()))
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(victim_name) => {
+                    slots.remove(&victim_name);
+                    Counters::bump(&counters.sessions_evicted);
+                }
+                None => {
+                    return Err(ErrorFrame::protocol(
+                        "memory_limit",
+                        "session table is full and every session is busy",
+                    ));
+                }
+            }
+        }
+        slots.insert(name.to_string(), SessionSlot::new(opts, op));
+        Counters::bump(&counters.sessions_created);
+        Ok(())
+    }
+
+    /// Removes a session by request.
+    pub fn close(&self, name: &str, counters: &Counters) -> Result<(), ErrorFrame> {
+        match self.slots().remove(name) {
+            Some(_) => {
+                Counters::bump(&counters.sessions_closed);
+                Ok(())
+            }
+            None => Err(ErrorFrame::protocol(
+                "unknown_session",
+                format!("no session named `{name}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get_err_code(result: Result<Arc<SessionSlot>, ErrorFrame>) -> String {
+        match result {
+            Ok(_) => panic!("expected a registry error"),
+            Err(frame) => frame.code,
+        }
+    }
+
+    fn config(max_sessions: usize, idle_ops: u64) -> ServerConfig {
+        ServerConfig {
+            max_sessions,
+            idle_ops,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_get_close_round_trip() {
+        let registry = Registry::default();
+        let counters = Counters::default();
+        let cfg = config(4, 0);
+        let op = registry.next_op();
+        registry
+            .create("s1", EngineOpts::new(0), op, &cfg, &counters)
+            .unwrap();
+        assert_eq!(registry.live(), 1);
+        assert!(registry.get("s1", registry.next_op()).is_ok());
+        let dup = registry
+            .create(
+                "s1",
+                EngineOpts::new(0),
+                registry.next_op(),
+                &cfg,
+                &counters,
+            )
+            .unwrap_err();
+        assert_eq!(dup.code, "session_exists");
+        registry.close("s1", &counters).unwrap();
+        let gone = get_err_code(registry.get("s1", registry.next_op()));
+        assert_eq!(gone, "unknown_session");
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let registry = Registry::default();
+        let counters = Counters::default();
+        let cfg = config(2, 0);
+        for name in ["a", "b"] {
+            let op = registry.next_op();
+            registry
+                .create(name, EngineOpts::new(0), op, &cfg, &counters)
+                .unwrap();
+        }
+        // Touch `a` so `b` becomes the LRU victim.
+        registry.get("a", registry.next_op()).unwrap();
+        let op = registry.next_op();
+        registry
+            .create("c", EngineOpts::new(0), op, &cfg, &counters)
+            .unwrap();
+        assert_eq!(registry.live(), 2);
+        assert!(registry.get("a", registry.next_op()).is_ok());
+        assert!(registry.get("c", registry.next_op()).is_ok());
+        assert_eq!(
+            get_err_code(registry.get("b", registry.next_op())),
+            "unknown_session"
+        );
+        assert_eq!(counters.sessions_evicted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn busy_sessions_are_never_evicted() {
+        let registry = Registry::default();
+        let counters = Counters::default();
+        let cfg = config(1, 0);
+        let op = registry.next_op();
+        registry
+            .create("busy", EngineOpts::new(0), op, &cfg, &counters)
+            .unwrap();
+        let slot = registry.get("busy", registry.next_op()).unwrap();
+        let _guard = slot.lock();
+        let op = registry.next_op();
+        let err = registry
+            .create("next", EngineOpts::new(0), op, &cfg, &counters)
+            .unwrap_err();
+        assert_eq!(err.code, "memory_limit");
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_on_create() {
+        let registry = Registry::default();
+        let counters = Counters::default();
+        let cfg = config(8, 3);
+        let op = registry.next_op();
+        registry
+            .create("old", EngineOpts::new(0), op, &cfg, &counters)
+            .unwrap();
+        for _ in 0..5 {
+            registry.next_op();
+        }
+        let op = registry.next_op();
+        registry
+            .create("new", EngineOpts::new(0), op, &cfg, &counters)
+            .unwrap();
+        assert_eq!(registry.live(), 1);
+        assert_eq!(
+            get_err_code(registry.get("old", registry.next_op())),
+            "unknown_session"
+        );
+        assert_eq!(counters.sessions_evicted.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared server state: config, sessions, counters, shutdown latch.
+
+use crate::config::ServerConfig;
+use crate::counters::Counters;
+use crate::registry::Registry;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Where a self-connect can wake the blocking accept loop.
+pub(crate) enum WakeAddr {
+    /// TCP listener address.
+    Tcp(SocketAddr),
+    /// Unix socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+/// A clone of a live connection that [`ServerState::trigger_shutdown`] can
+/// sever so blocked `read_frame` calls return immediately.
+pub(crate) enum ConnHandle {
+    /// TCP connection clone.
+    Tcp(TcpStream),
+    /// Unix connection clone.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl ConnHandle {
+    fn sever(&self) {
+        match self {
+            ConnHandle::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            ConnHandle::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Everything the accept loop, connection handlers and [`crate::ServerHandle`]
+/// share.
+pub(crate) struct ServerState {
+    /// Resource limits.
+    pub config: ServerConfig,
+    /// The session table.
+    pub registry: Registry,
+    /// Work counters.
+    pub counters: Counters,
+    shutting_down: AtomicBool,
+    wake: Mutex<Option<WakeAddr>>,
+    connections: Mutex<Vec<Option<ConnHandle>>>,
+}
+
+impl ServerState {
+    pub fn new(config: ServerConfig) -> ServerState {
+        ServerState {
+            config,
+            registry: Registry::default(),
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            wake: Mutex::new(None),
+            connections: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn set_wake(&self, addr: WakeAddr) {
+        *self.wake.lock().unwrap_or_else(|p| p.into_inner()) = Some(addr);
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Registers a live connection; returns a token for [`Self::deregister`].
+    pub fn register(&self, handle: ConnHandle) -> usize {
+        let mut conns = self.connections.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(idx) = conns.iter().position(Option::is_none) {
+            conns[idx] = Some(handle);
+            idx
+        } else {
+            conns.push(Some(handle));
+            conns.len() - 1
+        }
+    }
+
+    /// Drops the registered clone when the connection's handler exits.
+    pub fn deregister(&self, token: usize) {
+        let mut conns = self.connections.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(slot) = conns.get_mut(token) {
+            *slot = None;
+        }
+    }
+
+    /// Flips the shutdown latch, severs every live connection, and wakes
+    /// the accept loop with a self-connect so `run` can return.
+    pub fn trigger_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        {
+            let conns = self.connections.lock().unwrap_or_else(|p| p.into_inner());
+            for handle in conns.iter().flatten() {
+                handle.sever();
+            }
+        }
+        let wake = self.wake.lock().unwrap_or_else(|p| p.into_inner());
+        match &*wake {
+            Some(WakeAddr::Tcp(addr)) => {
+                let _ = TcpStream::connect(addr);
+            }
+            #[cfg(unix)]
+            Some(WakeAddr::Unix(path)) => {
+                let _ = std::os::unix::net::UnixStream::connect(path);
+            }
+            None => {}
+        }
+    }
+}

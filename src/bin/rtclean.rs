@@ -11,7 +11,9 @@
 //!   the prepared state maintained incrementally — the conflict graph is
 //!   never rebuilt, or
 //! * builds and repairs a named workload from the scenario catalog
-//!   (`scenario`).
+//!   (`scenario`), or
+//! * hosts repair sessions as a service (`serve`) / drives one
+//!   interactively (`connect`).
 //!
 //! Examples:
 //!
@@ -23,31 +25,17 @@
 //!         --log mutations.json --verify
 //! rtclean scenario list
 //! rtclean scenario hospital --seed 3
+//! rtclean serve --listen 127.0.0.1:7171
+//! rtclean connect 127.0.0.1:7171
 //! ```
+//!
+//! Every subcommand shares the `rt-proto` option surface: the engine flags
+//! (`--weight`, `--seed`, `--max-expansions`, `--threads`) parse through
+//! [`EngineOpts::consume_flag`] whether they come from the command line,
+//! the `connect` REPL, or a `create_session` wire request.
 
 use relative_trust::prelude::*;
 use std::process::ExitCode;
-
-/// Engine-configuration options shared by every subcommand
-/// (`--weight`, `--seed`, `--max-expansions`, `--threads`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct EngineOpts {
-    weight: WeightKind,
-    seed: u64,
-    max_expansions: usize,
-    threads: Parallelism,
-}
-
-impl EngineOpts {
-    fn new(default_seed: u64) -> Self {
-        EngineOpts {
-            weight: WeightKind::DistinctCount,
-            seed: default_seed,
-            max_expansions: 500_000,
-            threads: Parallelism::Auto,
-        }
-    }
-}
 
 /// Reads the value following `args[*i]`, advancing `i` past it.
 fn take_value(args: &[String], i: &mut usize) -> Result<String, String> {
@@ -56,45 +44,6 @@ fn take_value(args: &[String], i: &mut usize) -> Result<String, String> {
     args.get(*i)
         .cloned()
         .ok_or_else(|| format!("missing value after `{flag}`"))
-}
-
-/// Tries to consume `args[*i]` as one of the shared engine options.
-/// Returns `Ok(true)` when consumed (with `i` advanced past any value) —
-/// the single implementation all three subcommand parsers delegate to.
-fn consume_engine_option(
-    args: &[String],
-    i: &mut usize,
-    opts: &mut EngineOpts,
-) -> Result<bool, String> {
-    match args[*i].as_str() {
-        "--weight" => {
-            let v = take_value(args, i)?;
-            opts.weight = match v.as_str() {
-                "distinct" => WeightKind::DistinctCount,
-                "count" => WeightKind::AttrCount,
-                "entropy" => WeightKind::Entropy,
-                other => return Err(format!("unknown --weight `{other}`")),
-            };
-        }
-        "--seed" => {
-            let v = take_value(args, i)?;
-            opts.seed = v
-                .parse()
-                .map_err(|_| format!("invalid --seed value `{v}`"))?;
-        }
-        "--max-expansions" => {
-            let v = take_value(args, i)?;
-            opts.max_expansions = v
-                .parse()
-                .map_err(|_| format!("invalid --max-expansions value `{v}`"))?;
-        }
-        "--threads" => {
-            let v = take_value(args, i)?;
-            opts.threads = Parallelism::parse(&v).map_err(|e| format!("--threads: {e}"))?;
-        }
-        _ => return Ok(false),
-    }
-    Ok(true)
 }
 
 /// Tries to consume `args[*i]` as one of the repair-selection options
@@ -112,17 +61,16 @@ fn consume_mode_option(
             let n = v
                 .parse::<usize>()
                 .map_err(|_| format!("invalid --tau value `{v}`"))?;
-            *mode = Some(Mode::Tau(n));
+            *mode = Some(Mode::Repair(TauSpec::Absolute(n)));
         }
         "--tau-r" => {
             let v = take_value(args, i)?;
             let f = v
                 .parse::<f64>()
                 .map_err(|_| format!("invalid --tau-r value `{v}`"))?;
-            if !(0.0..=1.0).contains(&f) {
-                return Err(format!("--tau-r must be in [0,1], got {f}"));
-            }
-            *mode = Some(Mode::TauRelative(f));
+            *mode = Some(Mode::Repair(
+                TauSpec::relative(f).map_err(|e| format!("--tau-r: {e}"))?,
+            ));
         }
         "--spectrum" => *mode = Some(Mode::Spectrum),
         "--output" => *output = Some(take_value(args, i)?),
@@ -144,10 +92,9 @@ struct Options {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
-    /// Single repair with an absolute cell budget.
-    Tau(usize),
-    /// Single repair with a relative trust level in `[0, 1]`.
-    TauRelative(f64),
+    /// Single repair at a budget — the wire's [`TauSpec`], so the CLI and
+    /// the protocol validate trust levels through the same code.
+    Repair(TauSpec),
     /// Enumerate the full spectrum of repairs.
     Spectrum,
 }
@@ -157,6 +104,8 @@ usage: rtclean <input.csv> --fd \"X1,X2->A\" [--fd ...] [options]
        rtclean apply <input.csv> --fd \"X1,X2->A\" [--fd ...] --log <mutations.json> [options]
        rtclean scenario list
        rtclean scenario <name> [--seed N] [--rows N] [options]
+       rtclean serve [--listen <host:port>] [--unix <path>] [serve options]
+       rtclean connect [<host:port> | unix:<path>]
 
 Input files load through the typed ingestion layer: column types
 (int/float/str) are inferred, a configurable null policy applies per cell,
@@ -172,6 +121,20 @@ the mutated inputs and checks the outputs are bit-identical.
 `rtclean scenario <name>` builds a named workload from the scenario
 catalog (seeded generation or a bundled fixture + seeded error injection)
 and repairs it; `rtclean scenario list` prints the catalog.
+
+`rtclean serve` hosts named repair sessions over TCP (and optionally a
+Unix socket) speaking the line-delimited JSON protocol of rt-proto;
+`rtclean connect` opens an interactive REPL against a running server
+(type `help` at the prompt). Results over the wire are bit-identical to
+in-process runs.
+
+serve options:
+  --listen <host:port> TCP listen address (default: 127.0.0.1:7171)
+  --unix <path>        listen on a Unix socket instead of TCP
+  --max-sessions <N>   resident session cap; LRU-evicts beyond it (default: 16)
+  --max-cells <N>      per-session instance cell cap (default: 4000000)
+  --idle-ops <N>       evict sessions idle for N logical ops; 0 = never
+  --max-connections <N> concurrently served connections (default: 8)
 
 scenario options:
   --seed <N>           scenario seed (generation + injection; default: 17)
@@ -210,7 +173,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
     let mut i = 0;
     while i < args.len() {
-        if consume_engine_option(args, &mut i, &mut engine)?
+        if engine.consume_flag(args, &mut i)?
             || consume_mode_option(args, &mut i, &mut mode, &mut output)?
         {
             i += 1;
@@ -316,11 +279,9 @@ fn run(options: &Options) -> Result<(), EngineError> {
         return Ok(());
     }
 
-    let engine = RepairEngine::builder(instance.clone(), fds)
-        .weight(options.engine.weight)
-        .parallelism(options.engine.threads)
-        .max_expansions(options.engine.max_expansions)
-        .seed(options.engine.seed)
+    let engine = options
+        .engine
+        .configure(RepairEngine::builder(instance.clone(), fds))
         .build()?;
     let budget = engine.delta_p_original();
     println!(
@@ -370,11 +331,10 @@ fn report_results(
                 "\nre-run with --tau <N> (or --tau-r <F>) and --output <file> to materialize one."
             );
         }
-        Mode::Tau(_) | Mode::TauRelative(_) => {
-            let tau = match mode {
-                Mode::Tau(t) => t.min(budget),
-                Mode::TauRelative(f) => engine.absolute_tau(f),
-                Mode::Spectrum => unreachable!(),
+        Mode::Repair(spec) => {
+            let tau = match spec {
+                TauSpec::Absolute(t) => t.min(budget),
+                TauSpec::Relative(f) => engine.absolute_tau(f),
             };
             let repair = engine.repair_at(tau)?;
             println!("repair for τ = {tau}:");
@@ -441,7 +401,7 @@ fn parse_apply_args(args: &[String]) -> Result<ApplyOptions, String> {
 
     let mut i = 0;
     while i < args.len() {
-        if consume_engine_option(args, &mut i, &mut engine)? {
+        if engine.consume_flag(args, &mut i)? {
             i += 1;
             continue;
         }
@@ -492,11 +452,9 @@ fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
 
     println!("{} log entries from {}", ops.len(), options.log);
 
-    let mut engine = RepairEngine::builder(instance, fds)
-        .weight(options.engine.weight)
-        .parallelism(options.engine.threads)
-        .max_expansions(options.engine.max_expansions)
-        .seed(options.engine.seed)
+    let mut engine = options
+        .engine
+        .configure(RepairEngine::builder(instance, fds))
         .build()?;
 
     if options.per_op {
@@ -570,15 +528,13 @@ fn run_apply(options: &ApplyOptions) -> Result<(), EngineError> {
     }
 
     if options.verify {
-        let fresh = RepairEngine::builder(
-            engine.problem().instance().clone(),
-            engine.problem().sigma().clone(),
-        )
-        .weight(options.engine.weight)
-        .parallelism(options.engine.threads)
-        .max_expansions(options.engine.max_expansions)
-        .seed(options.engine.seed)
-        .build()?;
+        let fresh = options
+            .engine
+            .configure(RepairEngine::builder(
+                engine.problem().instance().clone(),
+                engine.problem().sigma().clone(),
+            ))
+            .build()?;
         let fresh_spectrum = fresh.spectrum()?;
         if spectrum.bit_identical(&fresh_spectrum) {
             println!(
@@ -616,7 +572,7 @@ fn parse_scenario_args(args: &[String]) -> Result<ScenarioOptions, String> {
 
     let mut i = 0;
     while i < args.len() {
-        if consume_engine_option(args, &mut i, &mut engine)?
+        if engine.consume_flag(args, &mut i)?
             || consume_mode_option(args, &mut i, &mut mode, &mut output)?
         {
             i += 1;
@@ -683,11 +639,12 @@ fn run_scenario(options: &ScenarioOptions) -> Result<(), EngineError> {
         r.typos, r.swaps, r.corruptions, r.fd_attrs_dropped
     );
 
-    let engine = RepairEngine::builder(scenario.dirty.clone(), scenario.dirty_fds.clone())
-        .weight(options.engine.weight)
-        .parallelism(options.engine.threads)
-        .max_expansions(options.engine.max_expansions)
-        .seed(options.engine.seed)
+    let engine = options
+        .engine
+        .configure(RepairEngine::builder(
+            scenario.dirty.clone(),
+            scenario.dirty_fds.clone(),
+        ))
         .build()?;
     println!(
         "  {} conflicting tuple pairs; δP reference {}\n",
@@ -703,8 +660,408 @@ fn run_scenario(options: &ScenarioOptions) -> Result<(), EngineError> {
     )
 }
 
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeOptions {
+    listen: String,
+    unix: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut options = ServeOptions {
+        listen: "127.0.0.1:7171".to_string(),
+        unix: None,
+        config: ServerConfig::default(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--listen" => options.listen = take_value(args, &mut i)?,
+            "--unix" => options.unix = Some(take_value(args, &mut i)?),
+            "--max-sessions" => {
+                let v = take_value(args, &mut i)?;
+                options.config.max_sessions = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-sessions value `{v}`"))?;
+            }
+            "--max-cells" => {
+                let v = take_value(args, &mut i)?;
+                options.config.max_session_cells = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-cells value `{v}`"))?;
+            }
+            "--idle-ops" => {
+                let v = take_value(args, &mut i)?;
+                options.config.idle_ops = v
+                    .parse()
+                    .map_err(|_| format!("invalid --idle-ops value `{v}`"))?;
+            }
+            "--max-connections" => {
+                let v = take_value(args, &mut i)?;
+                options.config.max_connections = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-connections value `{v}`"))?;
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn run_serve(options: &ServeOptions) -> Result<(), String> {
+    let server = match &options.unix {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                Server::bind_unix_with(path, options.config)
+                    .map_err(|e| format!("cannot bind unix socket {path}: {e}"))?
+            }
+            #[cfg(not(unix))]
+            {
+                return Err("unix sockets are not available on this platform".to_string());
+            }
+        }
+        None => Server::bind_tcp_with(&options.listen, options.config)
+            .map_err(|e| format!("cannot bind {}: {e}", options.listen))?,
+    };
+    match server.local_addr() {
+        Some(addr) => println!("rtclean serve: listening on {addr}"),
+        None => println!(
+            "rtclean serve: listening on unix socket {}",
+            options.unix.as_deref().unwrap_or("?")
+        ),
+    }
+    println!("send a `shutdown` request (or `shutdown` in the REPL) to stop");
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+const REPL_HELP: &str = "\
+commands:
+  open <name> [--weight K] [--seed N] [--max-expansions N] [--threads T]
+                         create a session and make it current
+  load <file.csv> --fd <spec> [--fd ...] [--tsv]
+                         load CSV/TSV + FDs, building the session's engine
+  apply <log.json>       replay a JSON mutation log as one atomic batch
+  repair --tau <N> | --tau-r <F>
+                         one repair at an absolute / relative budget
+  sweep <lo> <hi> [<offset> [<limit>]]
+                         one page of the spectrum sweep
+  spectrum               the full spectrum
+  stats                  the session's engine statistics
+  server-stats           server-wide counters
+  close                  close the current session
+  ping                   liveness probe
+  shutdown               stop the server
+  quit | exit            leave the REPL (the session stays resident)";
+
+/// Evaluates one REPL line against the server; returns the text to print.
+/// Every engine/protocol failure comes back as `Err` with the server's
+/// typed message — the REPL never panics on bad input.
+fn repl_eval(client: &Client, session: &mut Option<Session>, line: &str) -> Result<String, String> {
+    let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+    let command = tokens.first().map(String::as_str).unwrap_or("");
+    let need_session = |session: &mut Option<Session>| -> Result<(), String> {
+        if session.is_none() {
+            return Err("no open session — use `open <name>` first".to_string());
+        }
+        Ok(())
+    };
+    match command {
+        "help" => Ok(REPL_HELP.to_string()),
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            Ok("pong".to_string())
+        }
+        "open" => {
+            let name = tokens
+                .get(1)
+                .filter(|t| !t.starts_with("--"))
+                .ok_or("usage: open <name> [engine flags]")?
+                .clone();
+            // The REPL parses engine flags through the same EngineOpts
+            // path as the command line and the wire.
+            let mut opts = EngineOpts::new(0);
+            let mut i = 2;
+            while i < tokens.len() {
+                if !opts.consume_flag(&tokens, &mut i)? {
+                    return Err(format!("unknown open option `{}`", tokens[i]));
+                }
+                i += 1;
+            }
+            let created = client
+                .create_session(&name, opts)
+                .map_err(|e| e.to_string())?;
+            *session = Some(created);
+            Ok(format!("session `{name}` opened"))
+        }
+        "load" => {
+            need_session(session)?;
+            let path = tokens
+                .get(1)
+                .filter(|t| !t.starts_with("--"))
+                .ok_or("usage: load <file.csv> --fd <spec> [--fd ...] [--tsv]")?;
+            let mut fds = Vec::new();
+            let mut tsv = false;
+            let mut i = 2;
+            while i < tokens.len() {
+                match tokens[i].as_str() {
+                    "--fd" => fds.push(take_value(&tokens, &mut i)?),
+                    "--tsv" => tsv = true,
+                    other => return Err(format!("unknown load option `{other}`")),
+                }
+                i += 1;
+            }
+            if fds.is_empty() {
+                return Err("at least one --fd is required".to_string());
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let specs: Vec<&str> = fds.iter().map(String::as_str).collect();
+            let active = session.as_mut().expect("checked above");
+            let summary = active
+                .load_csv(&text, tsv, &specs)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "loaded {} rows × {} attributes ({}; {} null cells)\n\
+                 {} conflict edges; δP reference {}",
+                summary.rows,
+                summary.attributes.len(),
+                summary
+                    .attributes
+                    .iter()
+                    .zip(summary.types.iter())
+                    .map(|(a, t)| format!("{a}:{t}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                summary.null_cells,
+                summary.conflict_edges,
+                summary.delta_p,
+            ))
+        }
+        "apply" => {
+            need_session(session)?;
+            let path = tokens.get(1).ok_or("usage: apply <log.json>")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let active = session.as_mut().expect("checked above");
+            let (effect, retained) = active.apply_text(&text).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "applied: rows +{}/-{}  cells ~{}  fds +{}/-{}  edges +{}/-{}  sweep cache {}",
+                effect.rows_inserted,
+                effect.rows_deleted,
+                effect.cells_updated,
+                effect.fds_added,
+                effect.fds_removed,
+                effect.edges_added,
+                effect.edges_removed,
+                if retained { "kept" } else { "reset" },
+            ))
+        }
+        "repair" => {
+            need_session(session)?;
+            let mut spec: Option<TauSpec> = None;
+            let mut i = 1;
+            while i < tokens.len() {
+                match tokens[i].as_str() {
+                    "--tau" => {
+                        let v = take_value(&tokens, &mut i)?;
+                        spec = Some(TauSpec::Absolute(
+                            v.parse()
+                                .map_err(|_| format!("invalid --tau value `{v}`"))?,
+                        ));
+                    }
+                    "--tau-r" => {
+                        let v = take_value(&tokens, &mut i)?;
+                        let f: f64 = v
+                            .parse()
+                            .map_err(|_| format!("invalid --tau-r value `{v}`"))?;
+                        spec = Some(TauSpec::relative(f).map_err(|e| format!("--tau-r: {e}"))?);
+                    }
+                    other => return Err(format!("unknown repair option `{other}`")),
+                }
+                i += 1;
+            }
+            let spec = spec.ok_or("usage: repair --tau <N> | --tau-r <F>")?;
+            let active = session.as_mut().expect("checked above");
+            let schema = active.schema().cloned();
+            let repair = match spec {
+                TauSpec::Absolute(t) => active.repair_at(t),
+                TauSpec::Relative(f) => active.repair_at_relative(f),
+            }
+            .map_err(|e| e.to_string())?;
+            let fds = match &schema {
+                Some(s) => repair.modified_fds.display_with(s),
+                None => format!("{} FDs", repair.modified_fds.len()),
+            };
+            Ok(format!(
+                "repair for τ = {}:\n  modified FDs : {}\n  FD distance  : {:.1}\n  cell changes : {}",
+                repair.tau,
+                fds,
+                repair.dist_c,
+                repair.data_changes(),
+            ))
+        }
+        "sweep" | "spectrum" => {
+            need_session(session)?;
+            let active = session.as_mut().expect("checked above");
+            let (points, trailer) = if command == "spectrum" {
+                let spectrum = active.spectrum().map_err(|e| e.to_string())?;
+                let n = spectrum.len();
+                (spectrum.points, format!("{n} non-dominated repairs."))
+            } else {
+                let parse_at = |idx: usize, what: &str, default: usize| -> Result<usize, String> {
+                    match tokens.get(idx) {
+                        None => Ok(default),
+                        Some(v) => v.parse().map_err(|_| format!("invalid {what} `{v}`")),
+                    }
+                };
+                let lo = parse_at(1, "lo", 0)?;
+                let hi = match tokens.get(2) {
+                    Some(v) => v.parse().map_err(|_| format!("invalid hi `{v}`"))?,
+                    None => return Err("usage: sweep <lo> <hi> [<offset> [<limit>]]".to_string()),
+                };
+                let offset = parse_at(3, "offset", 0)?;
+                let limit = parse_at(4, "limit", 0)?;
+                let (points, done) = active
+                    .sweep_page(lo, hi, offset, limit)
+                    .map_err(|e| e.to_string())?;
+                let n = points.len();
+                (
+                    points,
+                    format!("{n} points{}", if done { " (range exhausted)" } else { "" }),
+                )
+            };
+            let schema = active.schema().cloned();
+            let mut out = String::new();
+            for point in &points {
+                let fds = match &schema {
+                    Some(s) => point.repair.modified_fds.display_with(s),
+                    None => format!("{} FDs", point.repair.modified_fds.len()),
+                };
+                out.push_str(&format!(
+                    "  τ ∈ [{:>4}, {:>4}]  FD cost {:>10.1}  cell changes {:>5}   {}\n",
+                    point.tau_range.0,
+                    point.tau_range.1,
+                    point.repair.dist_c,
+                    point.repair.data_changes(),
+                    fds,
+                ));
+            }
+            out.push_str(&trailer);
+            Ok(out)
+        }
+        "stats" => {
+            need_session(session)?;
+            let active = session.as_mut().expect("checked above");
+            let stats = active.stats().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "conflict graph builds {} (rebuilds avoided {})\n\
+                 repair queries {}  sweeps {}  points {}\n\
+                 states expanded {}  generated {}  truncated {}",
+                stats.conflict_graph_builds,
+                stats.graph_rebuild_avoided,
+                stats.repair_queries,
+                stats.sweeps_started,
+                stats.points_materialized,
+                stats.states_expanded,
+                stats.states_generated,
+                stats.truncated,
+            ))
+        }
+        "server-stats" => {
+            let counters = client.server_stats().map_err(|e| e.to_string())?;
+            Ok(counters
+                .iter()
+                .map(|(name, value)| format!("  {name:<20} {value}"))
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        "close" => {
+            need_session(session)?;
+            let active = session.take().expect("checked above");
+            let name = active.name().to_string();
+            active.close().map_err(|e| e.to_string())?;
+            Ok(format!("session `{name}` closed"))
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            *session = None;
+            Ok("server is shutting down".to_string())
+        }
+        "" => Ok(String::new()),
+        other => Err(format!("unknown command `{other}` — type `help`")),
+    }
+}
+
+fn run_connect(target: &str) -> Result<(), String> {
+    let client = Client::connect(target).map_err(|e| format!("cannot connect to {target}: {e}"))?;
+    client.ping().map_err(|e| e.to_string())?;
+    println!("connected to {target} — type `help` for commands, `quit` to leave");
+    let mut session: Option<Session> = None;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        use std::io::Write;
+        print!("rt> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
+        let trimmed = line.trim();
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        match repl_eval(&client, &mut session, trimmed) {
+            Ok(output) if output.is_empty() => {}
+            Ok(output) => println!("{output}"),
+            Err(message) => eprintln!("error: {message}"),
+        }
+        if trimmed == "shutdown" {
+            break;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return match parse_serve_args(&args[1..]) {
+            Ok(options) => match run_serve(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("connect") {
+        let target = args.get(1).cloned().unwrap_or("127.0.0.1:7171".to_string());
+        if args.len() > 2 || target.starts_with("--") && target != "--help" {
+            eprintln!("usage: rtclean connect [<host:port> | unix:<path>]");
+            return ExitCode::FAILURE;
+        }
+        if target == "--help" {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        return match run_connect(&target) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("scenario") {
         return match parse_scenario_args(&args[1..]) {
             Ok(options) => match run_scenario(&options) {
@@ -789,7 +1146,7 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(o.fd_specs.len(), 2);
-        assert_eq!(o.mode, Mode::TauRelative(0.25));
+        assert_eq!(o.mode, Mode::Repair(TauSpec::Relative(0.25)));
         assert_eq!(o.engine.weight, WeightKind::Entropy);
         assert_eq!(o.output.as_deref(), Some("out.csv"));
         assert_eq!(o.engine.seed, 9);
@@ -811,7 +1168,7 @@ mod tests {
     #[test]
     fn tau_mode_parses_absolute_budget() {
         let o = parse_args(&args(&["d.csv", "--fd", "A->B", "--tau", "7"])).unwrap();
-        assert_eq!(o.mode, Mode::Tau(7));
+        assert_eq!(o.mode, Mode::Repair(TauSpec::Absolute(7)));
     }
 
     #[test]
@@ -830,7 +1187,7 @@ mod tests {
         let options = Options {
             input: "/nonexistent/definitely_missing.csv".to_string(),
             fd_specs: vec!["A->B".to_string()],
-            mode: Mode::Tau(1),
+            mode: Mode::Repair(TauSpec::Absolute(1)),
             output: None,
             tsv: false,
             engine: EngineOpts {
@@ -855,7 +1212,7 @@ mod tests {
         let options = Options {
             input: input.to_string_lossy().to_string(),
             fd_specs: vec!["A->B".to_string()],
-            mode: Mode::Tau(1),
+            mode: Mode::Repair(TauSpec::Absolute(1)),
             output: None,
             tsv: false,
             engine: EngineOpts {
@@ -1011,7 +1368,7 @@ mod tests {
         assert_eq!(o.name, "hospital");
         assert_eq!(o.engine.seed, 9);
         assert_eq!(o.rows, Some(25));
-        assert_eq!(o.mode, Mode::Tau(2));
+        assert_eq!(o.mode, Mode::Repair(TauSpec::Absolute(2)));
         assert_eq!(o.engine.weight, WeightKind::AttrCount);
         // Defaults: catalog seed, scenario-default rows, spectrum mode.
         let o = parse_scenario_args(&args(&["sensors"])).unwrap();
@@ -1055,7 +1412,7 @@ mod tests {
         let options = ScenarioOptions {
             name: "hospital".to_string(),
             rows: Some(30),
-            mode: Mode::Tau(100_000),
+            mode: Mode::Repair(TauSpec::Absolute(100_000)),
             output: None,
             engine: EngineOpts {
                 weight: WeightKind::AttrCount,
@@ -1078,7 +1435,7 @@ mod tests {
         let options = Options {
             input: input.to_string_lossy().to_string(),
             fd_specs: vec!["A->B".to_string()],
-            mode: Mode::Tau(2),
+            mode: Mode::Repair(TauSpec::Absolute(2)),
             output: Some(output.to_string_lossy().to_string()),
             tsv: false,
             engine: EngineOpts {
@@ -1094,5 +1451,91 @@ mod tests {
         assert_eq!(repaired.len(), 3);
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn serve_args_parse_every_flag() {
+        let options = parse_serve_args(&args(&[
+            "--listen",
+            "0.0.0.0:9000",
+            "--max-sessions",
+            "3",
+            "--max-cells",
+            "1000",
+            "--idle-ops",
+            "50",
+            "--max-connections",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(options.listen, "0.0.0.0:9000");
+        assert_eq!(options.unix, None);
+        assert_eq!(options.config.max_sessions, 3);
+        assert_eq!(options.config.max_session_cells, 1000);
+        assert_eq!(options.config.idle_ops, 50);
+        assert_eq!(options.config.max_connections, 2);
+
+        let defaults = parse_serve_args(&[]).unwrap();
+        assert_eq!(defaults.listen, "127.0.0.1:7171");
+        assert_eq!(defaults.config, ServerConfig::default());
+
+        assert!(parse_serve_args(&args(&["--max-sessions", "x"])).is_err());
+        assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn repl_drives_a_loopback_server_end_to_end() {
+        let server = Server::bind_tcp_with("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let worker = std::thread::spawn(move || server.run());
+
+        let dir = std::env::temp_dir().join("rtclean_repl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("in.csv");
+        std::fs::write(&csv, "A,B\n1,1\n1,2\n2,5\n").unwrap();
+
+        let client = Client::connect(&addr.to_string()).unwrap();
+        let mut session: Option<Session> = None;
+        let eval = |session: &mut Option<Session>, line: &str| repl_eval(&client, session, line);
+
+        assert_eq!(eval(&mut session, "ping").unwrap(), "pong");
+        assert!(eval(&mut session, "repair --tau 1")
+            .unwrap_err()
+            .contains("no open session"));
+        assert!(eval(&mut session, "frobnicate")
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(eval(&mut session, "help").unwrap().contains("spectrum"));
+
+        eval(&mut session, "open s1 --seed 1 --threads serial").unwrap();
+        let loaded = eval(
+            &mut session,
+            &format!("load {} --fd A->B", csv.to_string_lossy()),
+        )
+        .unwrap();
+        assert!(loaded.contains("3 rows"), "got {loaded}");
+        // Bad relative trust is rejected by the shared TauSpec validation.
+        assert!(eval(&mut session, "repair --tau-r 1.5")
+            .unwrap_err()
+            .contains("[0,1]"));
+        let repaired = eval(&mut session, "repair --tau 1").unwrap();
+        assert!(repaired.contains("cell changes"), "got {repaired}");
+        let spectrum = eval(&mut session, "spectrum").unwrap();
+        assert!(spectrum.contains("non-dominated"), "got {spectrum}");
+        let stats = eval(&mut session, "stats").unwrap();
+        assert!(stats.contains("conflict graph builds 1"), "got {stats}");
+        let counters = eval(&mut session, "server-stats").unwrap();
+        assert!(counters.contains("sessions_created"), "got {counters}");
+        assert_eq!(eval(&mut session, "close").unwrap(), "session `s1` closed");
+        assert!(session.is_none());
+
+        assert_eq!(
+            eval(&mut session, "shutdown").unwrap(),
+            "server is shutting down"
+        );
+        worker.join().unwrap().unwrap();
+        assert!(handle.is_shutting_down());
+        std::fs::remove_file(&csv).ok();
     }
 }

@@ -31,7 +31,17 @@
 //!   FD modification, near-optimal data repair, Range-Repair);
 //! * [`baseline`] — the unified-cost comparator;
 //! * [`datagen`] — census-like workload generation, error injection,
-//!   repair-quality metrics and seeded mutation streams.
+//!   repair-quality metrics and seeded mutation streams;
+//! * [`proto`] — the service wire protocol: typed
+//!   [`Request`](prelude::Request) / [`Response`](prelude::Response) frames,
+//!   line-delimited JSON framing, and the one
+//!   [`EngineOpts`](prelude::EngineOpts) option surface shared by the CLI,
+//!   the REPL and the server;
+//! * [`server`] — `rtclean serve`: hosts named engine sessions over
+//!   TCP/Unix sockets with LRU eviction and bounded memory;
+//! * [`client`] — the driver: [`Client`](prelude::Client)`::connect` →
+//!   [`Session`](prelude::Session) → typed methods, bit-identical results
+//!   across the wire.
 //!
 //! ## Quick start
 //!
@@ -60,15 +70,17 @@
 //! ## Migrating from the free functions
 //!
 //! Versions up to 0.1 exposed the algorithms as free functions taking a
-//! `&RepairProblem`. Those functions still exist but are deprecated; each
-//! maps to one engine query:
+//! `&RepairProblem`. That surface is **removed** (and `rt-lint` D005 fails
+//! the build if one is reintroduced); each former function maps to one
+//! engine query:
 //!
-//! | deprecated free function            | engine replacement                          |
+//! | removed free function               | engine replacement                          |
 //! |-------------------------------------|---------------------------------------------|
 //! | `RepairProblem::new(&i, &fds)`      | `RepairEngine::builder(i, fds).build()?`    |
 //! | `repair_data_fds(&p, tau)`          | `engine.repair_at(tau)?`                    |
 //! | `repair_data_fds_relative(&p, t)`   | `engine.repair_at_relative(t)?`             |
 //! | `modify_fds_astar(&p, tau, &cfg)`   | `engine.fd_repair_at(tau)?`                 |
+//! | `modify_fds_best_first(&p, tau, …)` | `engine.fd_repair_at(tau)?`                 |
 //! | `find_repairs_range(&p, lo, hi, …)` | `engine.sweep(lo..=hi)` (lazy) or           |
 //! |                                     | `engine.spectrum()?` (collected)            |
 //! | `find_repairs_sampling(&p, …)`      | `engine.sampling_spectrum(lo..=hi, step)`   |
@@ -79,11 +91,17 @@
 //! `RepairEngine::builder(i, fds).weight(..).algorithm(..).max_expansions(..)
 //! .parallelism(..).seed(..).build()?`. Failures that used to be `Option`s
 //! or panics surface as the typed [`prelude::EngineError`].
+//!
+//! Out of process, the same queries travel over the wire: `rtclean serve`
+//! hosts sessions, and every [`Session`](prelude::Session) method maps
+//! one-to-one onto an engine query (`session.repair_at(tau)` ↔
+//! `engine.repair_at(tau)`), with spectra bit-identical across the two.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use rt_baseline as baseline;
+pub use rt_client as client;
 pub use rt_constraints as constraints;
 pub use rt_core as core;
 pub use rt_datagen as datagen;
@@ -91,8 +109,10 @@ pub use rt_engine as engine;
 pub use rt_graph as graph;
 pub use rt_io as io;
 pub use rt_par as par;
+pub use rt_proto as proto;
 pub use rt_relation as relation;
 pub use rt_scenarios as scenarios;
+pub use rt_server as server;
 
 /// The most commonly used items, re-exported flat. Engine first: new code
 /// should only need [`RepairEngine`](prelude::RepairEngine) plus the data
@@ -123,14 +143,9 @@ pub mod prelude {
     };
     pub use rt_scenarios::{Scenario, ScenarioConfig};
 
-    // The deprecated free-function surface, kept importable so existing
-    // code keeps compiling (each use still warns with a pointer to its
-    // engine replacement).
-    #[allow(deprecated)]
-    pub use rt_core::{
-        find_repairs_range, find_repairs_sampling, modify_fds_astar, modify_fds_best_first,
-        repair_data_fds, repair_data_fds_relative,
-    };
+    pub use rt_client::{Client, ClientError, Session};
+    pub use rt_proto::{EngineOpts, ErrorFrame, FrameError, Request, Response, TauSpec};
+    pub use rt_server::{Server, ServerConfig, ServerHandle};
 }
 
 #[cfg(test)]
