@@ -43,6 +43,13 @@ cargo test -q
 echo "==> cargo test --test protocol_roundtrip (wire results ≡ in-process, bit for bit)"
 cargo test -q --test protocol_roundtrip
 
+# The crash-safety contract is equally load-bearing: a server killed at an
+# armed fault point, restarted on the same data dir, must recover every
+# session to a spectrum bit-identical to an uninterrupted twin, and every
+# injected wire fault must surface as a typed error (no hangs, no panics).
+echo "==> cargo test --test recovery (crash recovery ≡ uninterrupted, chaos faults typed)"
+cargo test -q --test recovery
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo fmt --check"
     cargo fmt --check

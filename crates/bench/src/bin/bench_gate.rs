@@ -470,6 +470,143 @@ fn measure_serve(metrics: &mut Metrics) {
         .expect("server run succeeds");
 }
 
+/// Scenario: crash-safe sessions end to end — load, mutate, snapshot,
+/// crash (an armed fault point kills the server before a rotation's
+/// rename), restart on the same data dir, restore, sweep. The headline
+/// properties are hard asserts: the recovered spectrum is bit-identical to
+/// an uninterrupted in-process twin, recovery replays the WAL instead of
+/// rebuilding (`conflict_graph_builds == 0`), and every durability counter
+/// is exact (the journal is synchronous and the workload is fixed).
+fn measure_recover_restart(metrics: &mut Metrics) {
+    use rt_client::Client;
+    use rt_engine::decode_mutation_log;
+    use rt_proto::EngineOpts;
+    use rt_server::{FaultPoint, Server, ServerConfig};
+
+    let dir = std::env::temp_dir().join(format!("rt-bench-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let mut opts = EngineOpts::new(7);
+    opts.threads = Parallelism::Serial;
+
+    let text = "A,B,C\n1,1,2\n1,2,2\n2,5,3\n2,5,4\n3,7,4\n";
+    let fds = ["A->B", "C->A"];
+    let ops_snapshotted = r#"[{"op": "update", "row": 1, "attr": "B", "value": 1}]"#;
+    let ops_journaled = r#"[{"op": "insert", "rows": [[3, 8, 5]]}]"#;
+
+    // --- First life: load, mutate, rotate, mutate again, crash. ---------
+    let server = Server::bind_tcp_with("127.0.0.1:0", config.clone()).expect("loopback bind");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let handle = server.handle();
+    let worker = std::thread::spawn(move || server.run());
+    let client = Client::connect(&addr.to_string()).expect("loopback connect");
+
+    let mut session = client
+        .create_session("recover", opts)
+        .expect("session creates");
+    session.load_csv(text, false, &fds).expect("session loads");
+    session
+        .apply_text(ops_snapshotted)
+        .expect("first mutation applies");
+    session.snapshot().expect("explicit rotation succeeds");
+    session
+        .apply_text(ops_journaled)
+        .expect("second mutation applies");
+
+    let counters = client.server_stats().expect("server counters");
+    let lookup = |counters: &[(String, u64)], name: &str| -> u64 {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("server counter `{name}` missing"))
+            .1
+    };
+    // Two rotations: the load_csv baseline and the explicit snapshot.
+    let snapshots_written = lookup(&counters, "snapshots_written");
+    assert_eq!(snapshots_written, 2, "rotation count drifted");
+
+    // Crash mid-rotation: the rename never lands, the WAL must carry it.
+    assert!(handle.arm_fault(FaultPoint::BeforeSnapshotRename));
+    assert!(
+        session.snapshot().is_err(),
+        "the armed fault point must kill the rotation"
+    );
+    drop(session);
+    drop(client);
+    worker
+        .join()
+        .expect("server thread joins")
+        .expect("crashed server still returns cleanly");
+
+    // --- Second life: restart on the same dir and recover. --------------
+    let server = Server::bind_tcp_with("127.0.0.1:0", config).expect("loopback rebind");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let worker = std::thread::spawn(move || server.run());
+    let client = Client::connect(&addr.to_string()).expect("loopback reconnect");
+
+    let (mut restored, _summary, replayed) =
+        client.restore_session("recover").expect("session restores");
+    let wire = restored.spectrum().expect("recovered spectrum");
+    let stats = restored.stats().expect("recovered stats");
+    assert_eq!(
+        stats.conflict_graph_builds, 0,
+        "recovery must replay, never rebuild"
+    );
+
+    // Hard bit-identity gate: an uninterrupted twin fed the same text and
+    // the same acknowledged mutation log.
+    let report = rt_io::read_instance(text.as_bytes(), &rt_io::CsvOptions::csv().relation("input"))
+        .expect("fixture parses");
+    let schema = report.instance.schema().clone();
+    let sigma = rt_constraints::FdSet::parse(&fds, &schema).expect("FDs parse");
+    let mut twin = opts
+        .configure(RepairEngine::builder(report.instance, sigma))
+        .build()
+        .expect("twin engine builds");
+    for ops_text in [ops_snapshotted, ops_journaled] {
+        let doc = json::parse(ops_text).expect("mutation log parses");
+        let decoded = decode_mutation_log(&doc, &schema).expect("mutation log decodes");
+        twin.apply(&decoded.into_iter().collect::<MutationBatch>())
+            .expect("twin mutation applies");
+    }
+    assert!(
+        wire.bit_identical(&twin.spectrum().expect("twin spectrum")),
+        "recover.restart: recovered spectrum diverged from the uninterrupted twin"
+    );
+
+    let counters = client.server_stats().expect("server counters");
+    assert_eq!(lookup(&counters, "recovery_failures"), 0);
+
+    let (points, cells) = spectrum_signature(&wire);
+    let m = |k: &str, v: u64| (format!("recover.restart.{k}"), v);
+    metrics.push(m("snapshots_written", snapshots_written));
+    metrics.push(m(
+        "wal_records_replayed",
+        lookup(&counters, "wal_records_replayed"),
+    ));
+    metrics.push(m(
+        "sessions_recovered",
+        lookup(&counters, "sessions_recovered"),
+    ));
+    metrics.push(m("wal_tail_replayed", replayed as u64));
+    metrics.push(m(
+        "conflict_graph_builds",
+        stats.conflict_graph_builds as u64,
+    ));
+    metrics.push(m("points", points as u64));
+    metrics.push(m("cells_changed", cells as u64));
+
+    client.shutdown().expect("graceful shutdown");
+    worker
+        .join()
+        .expect("server thread joins")
+        .expect("server run succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn measure() -> Metrics {
     let mut metrics = Metrics::new();
     measure_spectrum(&mut metrics);
@@ -479,6 +616,7 @@ fn measure() -> Metrics {
         measure_catalog_scenario(&mut metrics, name);
     }
     measure_serve(&mut metrics);
+    measure_recover_restart(&mut metrics);
     metrics
 }
 

@@ -6,10 +6,17 @@ use rt_proto::FrameError;
 /// Everything a driver call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport or framing failure (connect, read, write, oversized…).
+    /// The transport died: connect failed, the peer disconnected (possibly
+    /// mid-frame), or a read/write failed. Always returned immediately —
+    /// a severed connection never hangs or panics the driver. Idempotent
+    /// requests may be retried over a fresh connection (see
+    /// [`crate::RetryPolicy`]); mutations never are.
+    Io(String),
+    /// Protocol-layer framing failure that is *not* a transport loss
+    /// (oversized frame, bad UTF-8).
     Frame(FrameError),
     /// The server rejected the request at the protocol level
-    /// (`unknown_session`, `memory_limit`, `malformed`, …).
+    /// (`unknown_session`, `memory_limit`, `needs_reload`, …).
     Protocol {
         /// Stable machine-readable code.
         code: String,
@@ -28,11 +35,18 @@ pub enum ClientError {
     },
     /// The response frame did not decode.
     Decode(String),
+    /// An idempotent request kept hitting transport failures until the
+    /// retry budget ran out.
+    Exhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClientError::Io(msg) => write!(f, "connection lost: {msg}"),
             ClientError::Frame(e) => write!(f, "transport: {e}"),
             ClientError::Protocol { code, message } => {
                 write!(f, "server refused ({code}): {message}")
@@ -42,6 +56,12 @@ impl std::fmt::Display for ClientError {
                 write!(f, "expected `{expected}` response, got `{got}`")
             }
             ClientError::Decode(msg) => write!(f, "bad response frame: {msg}"),
+            ClientError::Exhausted { attempts } => {
+                write!(
+                    f,
+                    "request failed after {attempts} attempts; retry budget exhausted"
+                )
+            }
         }
     }
 }
@@ -50,12 +70,21 @@ impl std::error::Error for ClientError {}
 
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
-        ClientError::Frame(e)
+        match e {
+            // Transport losses get their own variant so callers (and the
+            // retry layer) can tell "the connection died" apart from "the
+            // peer spoke garbage". A mid-frame disconnect is `Truncated`
+            // at the frame layer — still a dead connection up here.
+            FrameError::Closed => ClientError::Io("peer closed the connection".to_string()),
+            FrameError::Truncated => ClientError::Io("peer disconnected mid-frame".to_string()),
+            FrameError::Io(msg) => ClientError::Io(msg),
+            other => ClientError::Frame(other),
+        }
     }
 }
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Frame(FrameError::Io(e.to_string()))
+        ClientError::Io(e.to_string())
     }
 }

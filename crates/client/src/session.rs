@@ -28,6 +28,16 @@ impl Session {
         }
     }
 
+    /// A handle whose schema is already known (the `restore` path: the
+    /// summary in the server's `restored` response carries it).
+    pub(crate) fn with_schema(client: Client, name: String, schema: Schema) -> Session {
+        Session {
+            client,
+            name,
+            schema: Some(schema),
+        }
+    }
+
     /// The session's server-side name.
     pub fn name(&self) -> &str {
         &self.name
@@ -157,6 +167,19 @@ impl Session {
         match response {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the server to rotate this session's durable snapshot now
+    /// (requires the server to run with `--data-dir`). Returns the size of
+    /// the snapshot blob written.
+    pub fn snapshot(&mut self) -> Result<usize, ClientError> {
+        let response = self.ask(Request::Snapshot {
+            session: self.name.clone(),
+        })?;
+        match response {
+            Response::SnapshotWritten { bytes, .. } => Ok(bytes),
+            other => Err(unexpected("snapshot_written", &other)),
         }
     }
 

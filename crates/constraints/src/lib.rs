@@ -55,5 +55,7 @@ pub use discovery::{discover_fds, DiscoveryConfig};
 pub use fd::{Fd, FdSet};
 pub use incremental::{incident_conflict_edges, FdPartitionIndex};
 pub use partition::{PartitionStore, StrippedPartition};
-pub use violations::{ConflictGraph, ConflictGraphDeltaSummary, DifferenceSet, DifferenceSetIndex};
+pub use violations::{
+    ConflictEdge, ConflictGraph, ConflictGraphDeltaSummary, DifferenceSet, DifferenceSetIndex,
+};
 pub use weights::{AttrCountWeight, DistinctCountWeight, EntropyWeight, Weight};

@@ -266,10 +266,87 @@ pub struct HeuristicCache {
     nodes_spent: usize,
 }
 
+/// One structural cache entry in export form: the key's two components plus
+/// the recorded run, all as plain data a snapshot codec can serialize. The
+/// export carries resolution *structure* only — no weights — exactly like
+/// the live cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntryExport {
+    /// Selected difference-set group indices, in selection order.
+    pub selection: Vec<u32>,
+    /// Violation-matrix bitset restricted to the selection.
+    pub violation: Vec<u64>,
+    /// The `τ` the run was recorded at.
+    pub tau: usize,
+    /// Whether the node budget cut the run short.
+    pub truncated: bool,
+    /// Whether some leave-unresolved branch was infeasible at `tau`.
+    pub skipped_any: bool,
+    /// Recursion nodes the run spent.
+    pub nodes: usize,
+    /// Every recorded push: component-wise additions plus path threshold.
+    pub pushes: Vec<(Vec<AttrSet>, usize)>,
+}
+
 impl HeuristicCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Exports the structural entries as plain data, sorted by key so the
+    /// byte stream a codec produces from the result is deterministic.
+    /// Derived (per-`τ`) entries are not exported: `HeuristicCache::derive`
+    /// is a pure function of a structural entry, so they are rebuilt on
+    /// demand bit-identically.
+    pub fn export_entries(&self) -> Vec<CacheEntryExport> {
+        let mut entries: Vec<CacheEntryExport> = self
+            .structural
+            .iter()
+            .map(|(key, e)| CacheEntryExport {
+                selection: key.selection.clone(),
+                violation: key.violation.clone(),
+                tau: e.tau,
+                truncated: e.truncated,
+                skipped_any: e.skipped_any,
+                nodes: e.nodes,
+                pushes: e.pushes.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.selection
+                .cmp(&b.selection)
+                .then_with(|| a.violation.cmp(&b.violation))
+        });
+        entries
+    }
+
+    /// Rebuilds a cache from exported entries plus the accounting totals
+    /// ([`HeuristicCache::hits`], [`HeuristicCache::nodes_spent`]) captured
+    /// alongside them, preserving the stats ledger across a restore.
+    pub fn from_exported(entries: Vec<CacheEntryExport>, hits: usize, nodes_spent: usize) -> Self {
+        let mut structural = HashMap::with_capacity(entries.len());
+        for e in entries {
+            structural.insert(
+                CacheKey {
+                    selection: e.selection,
+                    violation: e.violation,
+                },
+                StructuralEntry {
+                    tau: e.tau,
+                    truncated: e.truncated,
+                    skipped_any: e.skipped_any,
+                    nodes: e.nodes,
+                    pushes: e.pushes,
+                },
+            );
+        }
+        HeuristicCache {
+            structural,
+            derived: HashMap::new(),
+            hits,
+            nodes_spent,
+        }
     }
 
     /// Number of distinct structural entries stored.
@@ -761,6 +838,35 @@ mod tests {
         let h = goal_cost_estimate(&problem, &root, 2, &tight);
         let lb = h.lower_bound.expect("budget fallback must keep a bound");
         assert!(lb <= exact + 1e-9);
+    }
+
+    #[test]
+    fn cache_export_round_trips_and_replays_identically() {
+        let problem = figure2_problem();
+        let config = HeuristicConfig::default();
+        let mut cache = HeuristicCache::new();
+        let root = RepairState::root(2);
+        let states: Vec<RepairState> = std::iter::once(root.clone())
+            .chain(root.children(problem.sigma(), problem.arity()))
+            .collect();
+        let refs: Vec<&RepairState> = states.iter().collect();
+        let live = cache.evaluate_many(&problem, &refs, 3, &config, Parallelism::Serial);
+        let exported = cache.export_entries();
+        assert!(!exported.is_empty());
+        let mut restored =
+            HeuristicCache::from_exported(exported.clone(), cache.hits(), cache.nodes_spent());
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.hits(), cache.hits());
+        assert_eq!(restored.nodes_spent(), cache.nodes_spent());
+        // The restored cache serves the same τ from its entries: every
+        // evaluation is a hit with the same lower bound.
+        let replayed = restored.evaluate_many(&problem, &refs, 3, &config, Parallelism::Serial);
+        for (a, b) in live.iter().zip(&replayed) {
+            assert_eq!(a.lower_bound, b.lower_bound);
+            assert!(b.cache_hit);
+        }
+        // Export order is deterministic (sorted by key).
+        assert_eq!(restored.export_entries(), exported);
     }
 
     #[test]

@@ -161,6 +161,89 @@ impl SweepCheckpoint {
     }
 }
 
+/// A [`SweepCheckpoint`] flattened into plain data for serialization: every
+/// private field of the checkpoint as owned values a snapshot codec can
+/// write and read back. Round-tripping through
+/// [`SweepCheckpoint::export_parts`] / [`SweepCheckpoint::from_parts`]
+/// preserves the sweep bit-for-bit: a resumed search over the rebuilt
+/// checkpoint produces the same repairs in the same order as one over the
+/// original.
+#[derive(Debug, Clone)]
+pub struct SweepCheckpointParts {
+    /// Open-list entries as `(state, priority, cost)`, in list order.
+    pub open: Vec<(RepairState, f64, f64)>,
+    /// The budget the traversal is currently exploring.
+    pub tau: i64,
+    /// Lower bound of the sweep range.
+    pub tau_low: i64,
+    /// Upper bound of the sweep range.
+    pub tau_high: usize,
+    /// Upper end of the interval the next repair will cover.
+    pub current_upper: usize,
+    /// Cumulative statistics at suspension time.
+    pub stats: SearchStats,
+    /// Whether the sweep had finished its range.
+    pub exhausted: bool,
+    /// Repairs already produced, in production order.
+    pub found: Vec<RangedFdRepair>,
+    /// The heuristic cache's structural entries (sorted export order).
+    pub cache_entries: Vec<crate::heuristic::CacheEntryExport>,
+    /// The cache's hit counter at suspension time.
+    pub cache_hits: usize,
+    /// The cache's nodes-spent ledger at suspension time.
+    pub cache_nodes_spent: usize,
+}
+
+impl SweepCheckpoint {
+    /// Flattens the checkpoint into [`SweepCheckpointParts`].
+    pub fn export_parts(&self) -> SweepCheckpointParts {
+        SweepCheckpointParts {
+            open: self
+                .open
+                .iter()
+                .map(|e| (e.state.clone(), e.priority, e.cost))
+                .collect(),
+            tau: self.tau,
+            tau_low: self.tau_low,
+            tau_high: self.tau_high,
+            current_upper: self.current_upper,
+            stats: self.stats,
+            exhausted: self.exhausted,
+            found: self.found.clone(),
+            cache_entries: self.cache.export_entries(),
+            cache_hits: self.cache.hits(),
+            cache_nodes_spent: self.cache.nodes_spent(),
+        }
+    }
+
+    /// Reassembles a checkpoint from exported parts.
+    pub fn from_parts(parts: SweepCheckpointParts) -> Self {
+        SweepCheckpoint {
+            open: parts
+                .open
+                .into_iter()
+                .map(|(state, priority, cost)| RangeEntry {
+                    state,
+                    priority,
+                    cost,
+                })
+                .collect(),
+            tau: parts.tau,
+            tau_low: parts.tau_low,
+            tau_high: parts.tau_high,
+            current_upper: parts.current_upper,
+            stats: parts.stats,
+            exhausted: parts.exhausted,
+            found: parts.found,
+            cache: HeuristicCache::from_exported(
+                parts.cache_entries,
+                parts.cache_hits,
+                parts.cache_nodes_spent,
+            ),
+        }
+    }
+}
+
 impl std::fmt::Debug for SweepCheckpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SweepCheckpoint")
@@ -711,6 +794,38 @@ mod tests {
             }
             // The replayed prefix costs no additional expansions: total
             // stats equal the uninterrupted sweep's.
+            assert_eq!(
+                resumed.stats.states_expanded,
+                reference.stats.states_expanded
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_parts_round_trip_bit_identically() {
+        let problem = figure2_problem();
+        let config = SearchConfig::default();
+        let hi = problem.delta_p_original();
+        let reference = range_repair(&problem, 0, hi, &config);
+        for cut in 0..=reference.repairs.len() {
+            let mut search = RangeSearch::new(&problem, 0, hi, &config);
+            for _ in 0..cut {
+                search.next_repair().expect("prefix repair exists");
+            }
+            let checkpoint = search.suspend();
+            let rebuilt = SweepCheckpoint::from_parts(checkpoint.export_parts());
+            assert_eq!(rebuilt.range(), checkpoint.range());
+            assert_eq!(rebuilt.found_count(), checkpoint.found_count());
+            assert_eq!(rebuilt.is_exhausted(), checkpoint.is_exhausted());
+            let resumed = RangeSearch::resume(&problem, rebuilt, &config).run_to_end();
+            assert_eq!(resumed.repairs.len(), reference.repairs.len(), "cut={cut}");
+            for (a, b) in reference.repairs.iter().zip(resumed.repairs.iter()) {
+                assert_eq!(a.repair.state, b.repair.state);
+                assert_eq!(a.repair.delta_p, b.repair.delta_p);
+                assert_eq!(a.repair.cover_rows, b.repair.cover_rows);
+                assert_eq!(a.tau_range, b.tau_range);
+                assert_eq!(a.repair.dist_c.to_bits(), b.repair.dist_c.to_bits());
+            }
             assert_eq!(
                 resumed.stats.states_expanded,
                 reference.stats.states_expanded

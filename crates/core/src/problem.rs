@@ -145,6 +145,52 @@ impl RepairProblem {
         out
     }
 
+    /// Reassembles a prepared problem from restored parts — the
+    /// snapshot-restore path. The conflict graph is adopted verbatim (it is
+    /// **not** rebuilt from the data; that is the whole point of a
+    /// snapshot); the difference-set index, weighting function and `α` are
+    /// recomputed from it deterministically, which is bit-identical to what
+    /// the original build produced: grouping reads only the edge multiset,
+    /// and the built-in weights sum in value order regardless of dictionary
+    /// interning order.
+    pub fn from_restored(
+        instance: Instance,
+        sigma: FdSet,
+        conflict: ConflictGraph,
+        weight: WeightKind,
+        rebuild_partitions: bool,
+    ) -> Self {
+        let diff_groups = Self::group_by_difference_set(&conflict);
+        let alpha = Self::compute_alpha(instance.schema().arity(), sigma.len());
+        let incremental =
+            rebuild_partitions.then(|| rt_constraints::FdPartitionIndex::build(&instance, &sigma));
+        let weight_fn = Self::build_weight(&instance, weight);
+        RepairProblem {
+            instance,
+            sigma,
+            conflict,
+            diff_groups,
+            weight: weight_fn,
+            alpha,
+            weight_kind: Some(weight),
+            incremental,
+        }
+    }
+
+    /// Which built-in weighting the problem was constructed with, or `None`
+    /// for a caller-supplied weight function. Snapshots serialize this tag
+    /// and rebuild the weight from it on restore — problems with custom
+    /// weights cannot be snapshotted.
+    pub fn weight_kind(&self) -> Option<WeightKind> {
+        self.weight_kind
+    }
+
+    /// Whether the lazily built per-FD partition index is currently
+    /// materialized (it is, once a mutation has been applied).
+    pub fn has_partition_index(&self) -> bool {
+        self.incremental.is_some()
+    }
+
     /// The (original, unrepaired) instance `I`.
     pub fn instance(&self) -> &Instance {
         &self.instance

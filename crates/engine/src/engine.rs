@@ -106,6 +106,66 @@ impl RepairEngine {
         }
     }
 
+    /// Serializes the engine's full prepared state — dictionaries, code
+    /// columns, FDs, the conflict graph, cumulative stats, a suspended sweep
+    /// checkpoint and any salvaged heuristic cache — into the versioned,
+    /// checksummed [`crate::snapshot`] binary format.
+    ///
+    /// A [`RepairEngine::restore`] of these bytes answers every query
+    /// bit-identically to this engine, without ever rebuilding the conflict
+    /// graph. Only engines using a built-in weighting
+    /// ([`rt_core::WeightKind`]) are snapshottable; an engine built with a
+    /// caller-supplied `Arc<dyn Weight>` returns a typed
+    /// [`EngineError::Snapshot`] because an opaque closure cannot travel
+    /// through a byte format.
+    pub fn snapshot(&self) -> Result<Vec<u8>, EngineError> {
+        let weight = self.problem.weight_kind().ok_or_else(|| {
+            EngineError::Snapshot(
+                "engine uses a caller-supplied weight function, which cannot be serialized".into(),
+            )
+        })?;
+        let sweep = lock(&self.sweep_cache)
+            .as_ref()
+            .map(SweepCheckpoint::export_parts);
+        let warm = lock(&self.warm_heuristic)
+            .as_ref()
+            .map(|c| (c.export_entries(), c.hits(), c.nodes_spent()));
+        let stats = *lock(&self.stats);
+        Ok(crate::snapshot::encode(
+            &self.problem,
+            weight,
+            &self.search_config,
+            self.algorithm,
+            self.seed,
+            &stats,
+            sweep,
+            warm,
+        ))
+    }
+
+    /// Reconstructs an engine from [`RepairEngine::snapshot`] bytes.
+    ///
+    /// The conflict graph is adopted verbatim from the snapshot — never
+    /// rebuilt — so [`EngineStats::conflict_graph_builds`] reads `0` on the
+    /// restored engine. Difference-set groups, the weighting function and
+    /// the normalization constant are recomputed deterministically from the
+    /// restored state, and suspended sweep checkpoints plus salvaged
+    /// heuristic caches come back warm. Truncated, corrupt or
+    /// version-skewed input fails with a typed [`EngineError::Snapshot`],
+    /// never a panic.
+    pub fn restore(bytes: &[u8]) -> Result<RepairEngine, EngineError> {
+        let decoded = crate::snapshot::decode(bytes)?;
+        Ok(RepairEngine {
+            problem: decoded.problem,
+            search_config: decoded.search_config,
+            algorithm: decoded.algorithm,
+            seed: decoded.seed,
+            stats: Mutex::new(decoded.stats),
+            sweep_cache: Mutex::new(decoded.sweep),
+            warm_heuristic: Mutex::new(decoded.warm),
+        })
+    }
+
     /// Applies a validated, all-or-nothing batch of mutations to the live
     /// `(I, Σ)`, incrementally maintaining the prepared state.
     ///

@@ -52,6 +52,11 @@ pub enum EngineError {
         /// The expansion cap that stopped the search.
         max_expansions: usize,
     },
+    /// A snapshot could not be produced or restored: the engine is not
+    /// snapshottable (caller-supplied weight function), or the snapshot
+    /// bytes are truncated, corrupt, or of an unsupported format version.
+    /// Restoring never panics — every defect lands here.
+    Snapshot(String),
 }
 
 impl EngineError {
@@ -78,6 +83,7 @@ impl EngineError {
             EngineError::Parse { .. } => "parse",
             EngineError::Mutation(_) => "mutation",
             EngineError::BudgetExhausted { .. } => "budget_exhausted",
+            EngineError::Snapshot(_) => "snapshot",
         }
     }
 }
@@ -109,6 +115,7 @@ impl fmt::Display for EngineError {
                 "no repair found within τ = {tau}: the search was truncated after \
                  {max_expansions} expansions (raise max_expansions)"
             ),
+            EngineError::Snapshot(msg) => write!(f, "invalid snapshot: {msg}"),
         }
     }
 }
@@ -167,6 +174,7 @@ mod tests {
                 tau: 1,
                 max_expansions: 2,
             },
+            EngineError::Snapshot("x".into()),
         ];
         let codes: Vec<&str> = errors.iter().map(EngineError::code).collect();
         assert_eq!(
@@ -178,7 +186,8 @@ mod tests {
                 "io",
                 "parse",
                 "mutation",
-                "budget_exhausted"
+                "budget_exhausted",
+                "snapshot"
             ]
         );
     }

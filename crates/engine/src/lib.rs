@@ -92,6 +92,7 @@ mod error;
 pub mod json;
 mod mutation;
 pub mod mutation_log;
+pub mod snapshot;
 mod stats;
 mod stream;
 
@@ -100,6 +101,7 @@ pub use engine::RepairEngine;
 pub use error::EngineError;
 pub use mutation::{MutationBatch, MutationOutcome};
 pub use mutation_log::{decode_mutation_log, parse_mutation_log, render_mutation_log};
+pub use snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::EngineStats;
 pub use stream::{RepairPoint, RepairStream, Spectrum};
 

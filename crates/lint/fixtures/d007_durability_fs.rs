@@ -1,0 +1,10 @@
+// rtlint-fixture: crates/server/src/fixture.rs
+//! D007: a snapshot write that skips the atomic-rotation helper.
+
+use std::fs::{self, File};
+use std::path::Path;
+
+pub fn save(path: &Path, tmp: &Path) -> std::io::Result<()> {
+    let _ = File::create(path)?;
+    fs::rename(tmp, path)
+}

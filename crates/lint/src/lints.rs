@@ -89,6 +89,12 @@ pub const CATALOG: &[LintInfo] = &[
         summary: "unwrap()/expect() in rt-engine non-test code",
     },
     LintInfo {
+        id: "D007",
+        severity: Severity::Warning,
+        scope: "crates/server (the durability path)",
+        summary: "direct fs::rename/File::create outside the atomic-rotation helper",
+    },
+    LintInfo {
         id: "A001",
         severity: Severity::Error,
         scope: "everywhere",
@@ -204,6 +210,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
     lint_hasher(&ctx, &code, &mut findings);
     lint_deprecated_calls(&ctx, &code, &mut findings);
     lint_engine_unwrap(&ctx, &code, &mut findings);
+    lint_durability_fs(&ctx, &code, &mut findings);
 
     // Apply the allow directives, then lint the directives themselves.
     findings.retain(|f| {
@@ -813,6 +820,46 @@ fn lint_engine_unwrap(ctx: &Ctx, code: &[Token], out: &mut Vec<Finding>) {
                 ),
                 "return an EngineError (ok_or_else / map_err), or justify with \
                  `// rtlint: allow(D006) -- <why this cannot fail or must panic>`",
+            ));
+        }
+    }
+}
+
+/// D007: snapshot-file mutation in rt-server that skips the
+/// write-temp-then-rename contract. Crash-safety hinges on every durable
+/// file appearing atomically; the only place allowed to create or rename
+/// snapshot files is the store's atomic-rotation helper (which carries the
+/// justified allows).
+fn lint_durability_fs(ctx: &Ctx, code: &[Token], out: &mut Vec<Finding>) {
+    if ctx.krate != "server" {
+        return;
+    }
+    let pair = |i: usize, a: &str, b: &str| {
+        code[i].is_ident(a)
+            && code.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && code.get(i + 2).is_some_and(|t| t.is_ident(b))
+    };
+    for (i, tok) in code.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let call = if pair(i, "fs", "rename") {
+            Some("fs::rename")
+        } else if pair(i, "File", "create") {
+            Some("File::create")
+        } else {
+            None
+        };
+        if let Some(call) = call {
+            out.push(ctx.finding(
+                "D007",
+                tok,
+                format!(
+                    "direct `{call}` in rt-server — durable files must appear via the \
+                     write-temp-fsync-rename rotation"
+                ),
+                "route the write through the SessionStore atomic-rotation helper, or justify \
+                 with `// rtlint: allow(D007) -- <why this site upholds atomicity>`",
             ));
         }
     }

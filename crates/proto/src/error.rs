@@ -72,12 +72,13 @@ impl ErrorFrame {
 pub fn encode_engine_error(err: &EngineError) -> JsonValue {
     let code = JsonValue::Str(err.code().to_string());
     match err {
-        EngineError::InvalidConfig(msg) | EngineError::Fd(msg) | EngineError::Mutation(msg) => {
-            obj(vec![
-                ("code", code),
-                ("message", JsonValue::Str(msg.clone())),
-            ])
-        }
+        EngineError::InvalidConfig(msg)
+        | EngineError::Fd(msg)
+        | EngineError::Mutation(msg)
+        | EngineError::Snapshot(msg) => obj(vec![
+            ("code", code),
+            ("message", JsonValue::Str(msg.clone())),
+        ]),
         EngineError::Relation(e) => {
             obj(vec![("code", code), ("relation", encode_relation_error(e))])
         }
@@ -115,6 +116,7 @@ pub fn decode_engine_error(v: &JsonValue) -> Result<EngineError, String> {
         )),
         "fd" => Ok(EngineError::Fd(str_field(v, "message")?.to_string())),
         "mutation" => Ok(EngineError::Mutation(str_field(v, "message")?.to_string())),
+        "snapshot" => Ok(EngineError::Snapshot(str_field(v, "message")?.to_string())),
         "relation" => Ok(EngineError::Relation(decode_relation_error(field(
             v, "relation",
         )?)?)),
@@ -236,6 +238,7 @@ mod tests {
                 tau: 3,
                 max_expansions: 10_000,
             },
+            EngineError::Snapshot("bad magic".into()),
             EngineError::Relation(RelationError::TooManyAttributes {
                 requested: 70,
                 max: 64,

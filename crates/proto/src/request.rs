@@ -100,6 +100,20 @@ pub enum Request {
         /// Target session.
         session: String,
     },
+    /// Forces a durable snapshot of a session to the server's data
+    /// directory (snapshot rotation: engine blob written atomically, then
+    /// the session's WAL truncated).
+    Snapshot {
+        /// Target session.
+        session: String,
+    },
+    /// Re-opens a session from its durable files, replacing whatever
+    /// in-memory state the server holds for it. This is the recovery path a
+    /// client can trigger by hand — e.g. after a `needs_reload` error.
+    Restore {
+        /// Target session.
+        session: String,
+    },
     /// Server-wide counters (sessions, frames, evictions).
     ServerStats,
     /// Asks the server to shut down gracefully.
@@ -119,9 +133,30 @@ impl Request {
             Request::Spectrum { .. } => "spectrum",
             Request::Stats { .. } => "stats",
             Request::Close { .. } => "close",
+            Request::Snapshot { .. } => "snapshot",
+            Request::Restore { .. } => "restore",
             Request::ServerStats => "server_stats",
             Request::Shutdown => "shutdown",
         }
+    }
+
+    /// Whether this request is safe to retry blindly after a transport
+    /// failure: it either reads state or probes liveness, and re-executing
+    /// it cannot double-apply anything. Mutating requests (`apply`,
+    /// `load_csv`, `create_session`, `close`, `snapshot`, `restore`,
+    /// `shutdown`) are NOT idempotent from the client's point of view —
+    /// the first send may have been applied before the connection died —
+    /// so the client's auto-reconnect must never replay them.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::RepairAt { .. }
+                | Request::SweepPage { .. }
+                | Request::Spectrum { .. }
+                | Request::Stats { .. }
+                | Request::ServerStats
+        )
     }
 
     /// Renders this request as one frame payload (compact JSON, one line).
@@ -173,7 +208,9 @@ impl Request {
             }
             Request::Spectrum { session }
             | Request::Stats { session }
-            | Request::Close { session } => {
+            | Request::Close { session }
+            | Request::Snapshot { session }
+            | Request::Restore { session } => {
                 fields.push(("session", JsonValue::Str(session.clone())));
             }
         }
@@ -236,6 +273,12 @@ impl Request {
             "close" => Ok(Request::Close {
                 session: session(&v)?,
             }),
+            "snapshot" => Ok(Request::Snapshot {
+                session: session(&v)?,
+            }),
+            "restore" => Ok(Request::Restore {
+                session: session(&v)?,
+            }),
             other => Err(format!("unknown request type `{other}`")),
         }
     }
@@ -287,6 +330,12 @@ mod tests {
             Request::Close {
                 session: "s1".into(),
             },
+            Request::Snapshot {
+                session: "s1".into(),
+            },
+            Request::Restore {
+                session: "s1".into(),
+            },
             Request::ServerStats,
             Request::Shutdown,
         ];
@@ -295,6 +344,53 @@ mod tests {
             assert!(!payload.contains('\n'), "frames must be one line");
             assert_eq!(Request::decode(&payload).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn only_read_only_requests_are_idempotent() {
+        // The retry layer keys off this predicate; a mutating request
+        // slipping into the idempotent set would let auto-reconnect
+        // double-apply it.
+        assert!(Request::Ping.is_idempotent());
+        assert!(Request::ServerStats.is_idempotent());
+        let s = || "s".to_string();
+        assert!(Request::RepairAt {
+            session: s(),
+            tau: TauSpec::Absolute(1)
+        }
+        .is_idempotent());
+        assert!(Request::SweepPage {
+            session: s(),
+            lo: 0,
+            hi: 1,
+            offset: 0,
+            limit: 1
+        }
+        .is_idempotent());
+        assert!(Request::Spectrum { session: s() }.is_idempotent());
+        assert!(Request::Stats { session: s() }.is_idempotent());
+
+        assert!(!Request::Shutdown.is_idempotent());
+        assert!(!Request::Close { session: s() }.is_idempotent());
+        assert!(!Request::Snapshot { session: s() }.is_idempotent());
+        assert!(!Request::Restore { session: s() }.is_idempotent());
+        assert!(!Request::CreateSession {
+            name: s(),
+            opts: EngineOpts::new(0)
+        }
+        .is_idempotent());
+        assert!(!Request::LoadCsv {
+            session: s(),
+            text: String::new(),
+            tsv: false,
+            fds: vec![]
+        }
+        .is_idempotent());
+        assert!(!Request::Apply {
+            session: s(),
+            ops: JsonValue::Arr(vec![])
+        }
+        .is_idempotent());
     }
 
     #[test]

@@ -79,6 +79,23 @@ pub enum Response {
         /// The closed session's name.
         session: String,
     },
+    /// A durable snapshot of the session was rotated to disk.
+    SnapshotWritten {
+        /// The session's name, echoed back.
+        session: String,
+        /// Size of the engine snapshot blob, in bytes.
+        bytes: usize,
+    },
+    /// The session was re-opened from its durable files. Carries the same
+    /// schema information as `loaded` (so a freshly connected client can
+    /// decode repairs) plus the number of WAL records replayed on top of
+    /// the snapshot.
+    Restored {
+        /// The load summary of the recovered engine.
+        summary: LoadSummary,
+        /// WAL records replayed on top of the snapshot.
+        replayed: usize,
+    },
     /// Server-wide counters, as stable `(name, value)` pairs.
     ServerStats(Vec<(String, u64)>),
     /// The server acknowledged `shutdown` and will stop accepting.
@@ -100,6 +117,8 @@ impl Response {
             Response::Spectrum { .. } => "spectrum",
             Response::Stats(_) => "stats",
             Response::Closed { .. } => "closed",
+            Response::SnapshotWritten { .. } => "snapshot_written",
+            Response::Restored { .. } => "restored",
             Response::ServerStats(_) => "server_stats",
             Response::ShuttingDown => "shutting_down",
             Response::Error(_) => "error",
@@ -115,31 +134,15 @@ impl Response {
                 fields.push(("session", JsonValue::Str(session.clone())));
             }
             Response::Loaded(summary) => {
-                fields.push(("relation", JsonValue::Str(summary.relation.clone())));
-                fields.push((
-                    "attributes",
-                    JsonValue::Arr(
-                        summary
-                            .attributes
-                            .iter()
-                            .map(|a| JsonValue::Str(a.clone()))
-                            .collect(),
-                    ),
-                ));
-                fields.push((
-                    "types",
-                    JsonValue::Arr(
-                        summary
-                            .types
-                            .iter()
-                            .map(|t| JsonValue::Str(t.clone()))
-                            .collect(),
-                    ),
-                ));
-                fields.push(("rows", num(summary.rows)));
-                fields.push(("null_cells", num(summary.null_cells)));
-                fields.push(("delta_p", num(summary.delta_p)));
-                fields.push(("conflict_edges", num(summary.conflict_edges)));
+                fields.extend(encode_summary_fields(summary));
+            }
+            Response::SnapshotWritten { session, bytes } => {
+                fields.push(("session", JsonValue::Str(session.clone())));
+                fields.push(("bytes", num(*bytes)));
+            }
+            Response::Restored { summary, replayed } => {
+                fields.extend(encode_summary_fields(summary));
+                fields.push(("replayed", num(*replayed)));
             }
             Response::Applied {
                 effect,
@@ -212,27 +215,15 @@ impl Response {
             "closed" => Ok(Response::Closed {
                 session: str_field(&v, "session")?.to_string(),
             }),
-            "loaded" => {
-                let strings = |key: &str| -> Result<Vec<String>, String> {
-                    array_field(&v, key)?
-                        .iter()
-                        .map(|s| {
-                            s.as_str()
-                                .map(str::to_string)
-                                .ok_or_else(|| format!("field `{key}` must contain strings"))
-                        })
-                        .collect()
-                };
-                Ok(Response::Loaded(LoadSummary {
-                    relation: str_field(&v, "relation")?.to_string(),
-                    attributes: strings("attributes")?,
-                    types: strings("types")?,
-                    rows: usize_field(&v, "rows")?,
-                    null_cells: usize_field(&v, "null_cells")?,
-                    delta_p: usize_field(&v, "delta_p")?,
-                    conflict_edges: usize_field(&v, "conflict_edges")?,
-                }))
-            }
+            "loaded" => Ok(Response::Loaded(decode_summary(&v)?)),
+            "snapshot_written" => Ok(Response::SnapshotWritten {
+                session: str_field(&v, "session")?.to_string(),
+                bytes: usize_field(&v, "bytes")?,
+            }),
+            "restored" => Ok(Response::Restored {
+                summary: decode_summary(&v)?,
+                replayed: usize_field(&v, "replayed")?,
+            }),
             "applied" => Ok(Response::Applied {
                 effect: decode_effect(field(&v, "effect")?)?,
                 sweep_cache_retained: bool_field(&v, "sweep_cache_retained")?,
@@ -267,6 +258,58 @@ impl Response {
             other => Err(format!("unknown response type `{other}`")),
         }
     }
+}
+
+fn encode_summary_fields(summary: &LoadSummary) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("relation", JsonValue::Str(summary.relation.clone())),
+        (
+            "attributes",
+            JsonValue::Arr(
+                summary
+                    .attributes
+                    .iter()
+                    .map(|a| JsonValue::Str(a.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "types",
+            JsonValue::Arr(
+                summary
+                    .types
+                    .iter()
+                    .map(|t| JsonValue::Str(t.clone()))
+                    .collect(),
+            ),
+        ),
+        ("rows", num(summary.rows)),
+        ("null_cells", num(summary.null_cells)),
+        ("delta_p", num(summary.delta_p)),
+        ("conflict_edges", num(summary.conflict_edges)),
+    ]
+}
+
+fn decode_summary(v: &JsonValue) -> Result<LoadSummary, String> {
+    let strings = |key: &str| -> Result<Vec<String>, String> {
+        array_field(v, key)?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("field `{key}` must contain strings"))
+            })
+            .collect()
+    };
+    Ok(LoadSummary {
+        relation: str_field(v, "relation")?.to_string(),
+        attributes: strings("attributes")?,
+        types: strings("types")?,
+        rows: usize_field(v, "rows")?,
+        null_cells: usize_field(v, "null_cells")?,
+        delta_p: usize_field(v, "delta_p")?,
+        conflict_edges: usize_field(v, "conflict_edges")?,
+    })
 }
 
 fn encode_effect(e: &MutationEffect) -> JsonValue {
@@ -411,6 +454,22 @@ mod tests {
             Response::Stats(stats),
             Response::Closed {
                 session: "s1".into(),
+            },
+            Response::SnapshotWritten {
+                session: "s1".into(),
+                bytes: 4096,
+            },
+            Response::Restored {
+                summary: LoadSummary {
+                    relation: "input".into(),
+                    attributes: vec!["A".into(), "B".into()],
+                    types: vec!["int".into(), "int".into()],
+                    rows: 7,
+                    null_cells: 0,
+                    delta_p: 3,
+                    conflict_edges: 2,
+                },
+                replayed: 5,
             },
             Response::ServerStats(vec![
                 ("frames_decoded".into(), 41),

@@ -155,6 +155,58 @@ impl AttrDict {
         }
     }
 
+    /// Checked [`AttrDict::decode`]: `None` on a code this dictionary never
+    /// issued (including overlay codes) instead of a panic — the
+    /// snapshot-restore path must fail typed on corrupt input.
+    pub fn try_decode(&self, code: Code) -> Option<Value> {
+        if code >= OVERLAY_CODE_BASE {
+            None
+        } else if Self::is_var_code(code) {
+            self.var_ids
+                .get((code - VAR_CODE_BASE) as usize)
+                .map(|vid| Value::Var(*vid))
+        } else {
+            self.const_values.get(code as usize).cloned()
+        }
+    }
+
+    /// Exports the dictionary as plain vectors: constants in code order
+    /// (`const_values[c]` decodes code `c`) and variable ids in code order
+    /// (`var_ids[i]` decodes code `VAR_CODE_BASE + i`). Together with
+    /// [`AttrDict::from_parts`] this round-trips the dictionary exactly,
+    /// preserving every issued code.
+    pub fn export_parts(&self) -> (Vec<Value>, Vec<VarId>) {
+        (self.const_values.clone(), self.var_ids.clone())
+    }
+
+    /// Rebuilds a dictionary from exported parts, reassigning code `c` to
+    /// `const_values[c]` and code `VAR_CODE_BASE + i` to `var_ids[i]`.
+    /// Fails on duplicate entries (which could never have been issued by a
+    /// real dictionary) or on a `Value::Var` smuggled into the constants.
+    pub fn from_parts(const_values: Vec<Value>, var_ids: Vec<VarId>) -> Result<Self, String> {
+        let mut constants = HashMap::with_capacity(const_values.len());
+        for (i, v) in const_values.iter().enumerate() {
+            if matches!(v, Value::Var(_)) {
+                return Err(format!("constant slot {i} holds a variable: {v:?}"));
+            }
+            if constants.insert(v.clone(), i as Code).is_some() {
+                return Err(format!("duplicate constant in dictionary: {v:?}"));
+            }
+        }
+        let mut vars = HashMap::with_capacity(var_ids.len());
+        for (i, vid) in var_ids.iter().enumerate() {
+            if vars.insert(*vid, VAR_CODE_BASE + i as Code).is_some() {
+                return Err(format!("duplicate variable in dictionary: {vid:?}"));
+            }
+        }
+        Ok(AttrDict {
+            constants,
+            const_values,
+            vars,
+            var_ids,
+        })
+    }
+
     /// `true` when the code lies in the reserved variable range.
     pub fn is_var_code(code: Code) -> bool {
         code >= VAR_CODE_BASE
@@ -318,6 +370,30 @@ mod tests {
         assert_eq!(d.cmp_codes(s, v), Less);
         assert_eq!(d.cmp_codes(v, s), Greater);
         assert_eq!(d.cmp_codes(i, i), Equal);
+    }
+
+    #[test]
+    fn export_and_from_parts_round_trip_codes() {
+        let mut d = AttrDict::new();
+        let s = d.intern(&Value::str("x"));
+        let n = d.intern(&Value::Null);
+        let v = d.intern(&Value::Var(VarId::new(2, 7)));
+        let (consts, vars) = d.export_parts();
+        let rebuilt = AttrDict::from_parts(consts, vars).unwrap();
+        for code in [s, n, v] {
+            assert_eq!(rebuilt.decode(code), d.decode(code));
+            assert_eq!(rebuilt.lookup(&d.decode(code)), Some(code));
+        }
+        assert_eq!(rebuilt.len(), d.len());
+        // try_decode is total: unknown and overlay codes come back as None.
+        assert_eq!(rebuilt.try_decode(s), Some(Value::str("x")));
+        assert_eq!(rebuilt.try_decode(99), None);
+        assert_eq!(rebuilt.try_decode(VAR_CODE_BASE + 9), None);
+        assert_eq!(rebuilt.try_decode(OVERLAY_CODE_BASE), None);
+        // Corrupt parts fail typed.
+        assert!(AttrDict::from_parts(vec![Value::int(1), Value::int(1)], vec![]).is_err());
+        assert!(AttrDict::from_parts(vec![Value::Var(VarId::new(0, 0))], vec![]).is_err());
+        assert!(AttrDict::from_parts(vec![], vec![VarId::new(0, 0), VarId::new(0, 0)]).is_err());
     }
 
     #[test]

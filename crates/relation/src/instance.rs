@@ -161,6 +161,60 @@ impl Instance {
         Ok(())
     }
 
+    /// Rebuilds an instance from its encoded representation: per-attribute
+    /// dictionaries, columnar code arrays and fresh-variable counters — the
+    /// snapshot-restore path. Tuples are decoded cell-by-cell from the code
+    /// columns, so the rebuilt instance carries *exactly* the original codes
+    /// (not merely logically equal ones interned in a different order).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the part counts do not match the schema's arity, the code
+    /// columns have ragged lengths, or any code was never issued by its
+    /// dictionary — corrupt snapshots must fail typed, never panic.
+    pub fn from_encoded_parts(
+        schema: Schema,
+        dicts: Vec<AttrDict>,
+        codes: Vec<Vec<Code>>,
+        var_counters: Vec<u32>,
+    ) -> Result<Self> {
+        let arity = schema.arity();
+        if dicts.len() != arity || codes.len() != arity || var_counters.len() != arity {
+            return Err(RelationError::IncompatibleInstances(format!(
+                "encoded parts do not match arity {arity}: {} dicts, {} code columns, \
+                 {} var counters",
+                dicts.len(),
+                codes.len(),
+                var_counters.len()
+            )));
+        }
+        let rows = codes.first().map_or(0, Vec::len);
+        if codes.iter().any(|col| col.len() != rows) {
+            return Err(RelationError::IncompatibleInstances(
+                "ragged code columns in encoded instance".into(),
+            ));
+        }
+        let mut rows_cells: Vec<Vec<Value>> = vec![Vec::with_capacity(arity); rows];
+        for (attr, (col, dict)) in codes.iter().zip(&dicts).enumerate() {
+            for (cells, &code) in rows_cells.iter_mut().zip(col) {
+                let value = dict.try_decode(code).ok_or_else(|| {
+                    RelationError::IncompatibleInstances(format!(
+                        "code {code} in column {attr} was never issued by its dictionary"
+                    ))
+                })?;
+                cells.push(value);
+            }
+        }
+        let tuples = rows_cells.into_iter().map(Tuple::new).collect();
+        Ok(Instance {
+            schema,
+            tuples,
+            var_counters,
+            dicts,
+            codes,
+        })
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -611,6 +665,47 @@ mod tests {
         let v = inst.fresh_var(AttrId(2));
         inst.set_cell(CellRef::new(0, AttrId(2)), v).unwrap();
         assert_eq!(inst.var_cell_count(), 1);
+    }
+
+    #[test]
+    fn from_encoded_parts_round_trips_exact_codes() {
+        let mut inst = small_instance();
+        let v = inst.fresh_var(AttrId(2));
+        inst.set_cell(CellRef::new(0, AttrId(2)), v).unwrap();
+        let arity = inst.schema().arity();
+        let dicts: Vec<AttrDict> = (0..arity)
+            .map(|a| inst.dict(AttrId(a as u16)).clone())
+            .collect();
+        let codes: Vec<Vec<Code>> = (0..arity)
+            .map(|a| inst.codes(AttrId(a as u16)).to_vec())
+            .collect();
+        let rebuilt = Instance::from_encoded_parts(
+            inst.schema().clone(),
+            dicts,
+            codes,
+            inst.var_counters().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, inst);
+        for a in 0..arity {
+            let attr = AttrId(a as u16);
+            assert_eq!(rebuilt.codes(attr), inst.codes(attr));
+        }
+        // Corrupt inputs fail typed: ragged columns and unissued codes.
+        let bad = Instance::from_encoded_parts(
+            inst.schema().clone(),
+            vec![AttrDict::new(); arity],
+            vec![vec![0], vec![], vec![], vec![]],
+            vec![0; arity],
+        );
+        assert!(bad.is_err());
+        let bad = Instance::from_encoded_parts(
+            inst.schema().clone(),
+            vec![AttrDict::new(); arity],
+            vec![vec![7]; arity],
+            vec![0; arity],
+        );
+        assert!(bad.is_err());
     }
 
     #[test]

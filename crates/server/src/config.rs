@@ -1,12 +1,14 @@
 //! Server resource limits.
 
+use std::path::PathBuf;
+
 /// Resource limits and policy knobs of a repair server.
 ///
 /// All limits are deterministic: idleness is measured in *logical
 /// operations* (a global request sequence number), never wall-clock time,
 /// and the memory bound is a structural cell count, so a scripted workload
 /// evicts exactly the same sessions on every run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Maximum concurrently resident sessions. Creating one more evicts
     /// the least-recently-used idle session; if every session is busy the
@@ -23,6 +25,17 @@ pub struct ServerConfig {
     /// Maximum concurrently served connections; further accepts queue on
     /// a counting gate until a slot frees.
     pub max_connections: usize,
+    /// Directory for durable session state (snapshots + write-ahead logs).
+    /// `None` — the default — runs the server purely in memory, exactly as
+    /// before durability existed. When set, every session is recovered
+    /// from this directory on startup, mutations are journaled, LRU
+    /// eviction snapshots first, and evicted sessions transparently reopen
+    /// on their next request.
+    pub data_dir: Option<PathBuf>,
+    /// `fsync` the WAL after every appended record. Off by default: the
+    /// journal is still written synchronously (a clean process exit loses
+    /// nothing), but an OS-level crash may lose the last few records.
+    pub wal_sync: bool,
 }
 
 impl Default for ServerConfig {
@@ -32,6 +45,8 @@ impl Default for ServerConfig {
             max_session_cells: 4_000_000,
             idle_ops: 0,
             max_connections: 8,
+            data_dir: None,
+            wal_sync: false,
         }
     }
 }
@@ -46,5 +61,7 @@ mod tests {
         assert!(config.max_sessions >= 1);
         assert!(config.max_connections >= 1);
         assert_eq!(config.idle_ops, 0);
+        assert!(config.data_dir.is_none(), "durability must be opt-in");
+        assert!(!config.wal_sync);
     }
 }

@@ -20,6 +20,17 @@ pub struct Counters {
     pub sessions_evicted: AtomicU64,
     /// Sessions closed by request.
     pub sessions_closed: AtomicU64,
+    /// Durable snapshots rotated to disk (explicit `snapshot` requests,
+    /// `load_csv` baselines, and snapshot-before-evict).
+    pub snapshots_written: AtomicU64,
+    /// WAL records replayed on top of snapshots during recovery/reopen.
+    pub wal_records_replayed: AtomicU64,
+    /// Sessions successfully recovered from durable files (startup
+    /// recovery, lazy reopen and explicit `restore`).
+    pub sessions_recovered: AtomicU64,
+    /// Sessions whose durable files could not be recovered; each one is
+    /// parked degraded, answering `needs_reload`.
+    pub recovery_failures: AtomicU64,
 }
 
 impl Counters {
@@ -38,6 +49,10 @@ impl Counters {
             ("sessions_created", &self.sessions_created),
             ("sessions_evicted", &self.sessions_evicted),
             ("sessions_closed", &self.sessions_closed),
+            ("snapshots_written", &self.snapshots_written),
+            ("wal_records_replayed", &self.wal_records_replayed),
+            ("sessions_recovered", &self.sessions_recovered),
+            ("recovery_failures", &self.recovery_failures),
         ]
         .into_iter()
         .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
@@ -55,6 +70,9 @@ mod tests {
         Counters::bump(&counters.frames_decoded);
         Counters::bump(&counters.frames_decoded);
         Counters::bump(&counters.sessions_evicted);
+        Counters::bump(&counters.snapshots_written);
+        Counters::bump(&counters.wal_records_replayed);
+        Counters::bump(&counters.sessions_recovered);
         let snap = counters.snapshot();
         let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
@@ -66,9 +84,15 @@ mod tests {
                 "sessions_created",
                 "sessions_evicted",
                 "sessions_closed",
+                "snapshots_written",
+                "wal_records_replayed",
+                "sessions_recovered",
+                "recovery_failures",
             ]
         );
         assert_eq!(snap[0].1, 2);
         assert_eq!(snap[4].1, 1);
+        assert_eq!(snap[6].1, 1);
+        assert_eq!(snap[9].1, 0);
     }
 }

@@ -1,0 +1,520 @@
+//! Per-session durability: snapshot files, write-ahead mutation logs,
+//! atomic rotation, and the seeded fault-injection hook the crash-recovery
+//! tests drive.
+//!
+//! # File layout
+//!
+//! Each session `name` owns two files inside the server's data directory,
+//! both keyed by the hex encoding of the UTF-8 name (so arbitrary wire
+//! names can never escape the directory or collide):
+//!
+//! ```text
+//! s-<hex(name)>.snap   snapshot envelope + engine blob
+//! s-<hex(name)>.wal    mutation-log journal (JSON lines)
+//! ```
+//!
+//! The snapshot envelope is `RTWS0001` (8 bytes), then `applied_records`
+//! u64 LE, blob length u64 LE, blob CRC-32 u32 LE, and the `rt_engine`
+//! snapshot blob. `applied_records` is the WAL sequence number the blob already
+//! contains, so replay after a crash-between-rename-and-truncate never
+//! double-applies a record.
+//!
+//! Each WAL line is `{"seq": "<n>", "crc": "<crc32>", "ops": [...]}` where
+//! the CRC covers the rendered ops plus the sequence number — a torn tail
+//! line (the usual crash artifact) is detected and dropped, while
+//! corruption *before* the tail fails recovery loudly.
+//!
+//! # Rotation protocol
+//!
+//! `rotate` writes the new envelope to `<snap>.tmp`, fsyncs it, renames it
+//! over the live snapshot, and only then truncates the WAL. A crash at any
+//! point leaves either the old (snapshot, WAL) pair or the new snapshot
+//! with a stale-but-skippable WAL — never a state that replays wrong.
+
+use rt_engine::crc32;
+use rt_engine::json::{self, JsonValue};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic prefix of a session snapshot envelope (wire-session snapshot v1).
+const ENVELOPE_MAGIC: &[u8; 8] = b"RTWS0001";
+
+/// Where an armed fault fires inside the durability path. Tripping a fault
+/// performs the partial write the real crash would leave behind and then
+/// reports [`StoreError::Fault`], which the dispatcher escalates to a full
+/// server shutdown — an in-process stand-in for `kill -9`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Die after writing + fsyncing the temp snapshot, before the rename:
+    /// the live files must still recover to the pre-snapshot state.
+    BeforeSnapshotRename,
+    /// Die halfway through appending a WAL record: recovery must drop the
+    /// torn tail line and replay everything before it.
+    MidWalAppend,
+}
+
+/// A durability-layer failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Real I/O failed; the session should degrade, not the server die.
+    Io(String),
+    /// An armed [`FaultPoint`] fired; the server must now "crash".
+    Fault(FaultPoint),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "durability I/O failure: {msg}"),
+            StoreError::Fault(point) => write!(f, "injected fault fired at {point:?}"),
+        }
+    }
+}
+
+fn io_err(context: &str, err: impl std::fmt::Display) -> StoreError {
+    StoreError::Io(format!("{context}: {err}"))
+}
+
+/// Everything a session's durable files contained at load time.
+pub(crate) struct LoadedSession {
+    /// The engine snapshot blob (validated by CRC, not yet decoded).
+    pub blob: Vec<u8>,
+    /// WAL sequence number already contained in the blob.
+    pub applied_records: u64,
+    /// WAL records with `seq > applied_records`, in order.
+    pub tail: Vec<(u64, JsonValue)>,
+}
+
+/// The per-server durable session store: one directory, two files per
+/// session, plus the fault-injection arm the crash tests pull.
+pub struct SessionStore {
+    dir: PathBuf,
+    wal_sync: bool,
+    fault: Mutex<Option<FaultPoint>>,
+}
+
+impl SessionStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>, wal_sync: bool) -> Result<SessionStore, String> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| format!("cannot create data dir: {e}"))?;
+        Ok(SessionStore {
+            dir,
+            wal_sync,
+            fault: Mutex::new(None),
+        })
+    }
+
+    /// Arms a one-shot fault; the next durability operation that reaches
+    /// `point` performs its partial write and fails with
+    /// [`StoreError::Fault`].
+    pub fn arm_fault(&self, point: FaultPoint) {
+        *self.fault.lock().unwrap_or_else(|p| p.into_inner()) = Some(point);
+    }
+
+    fn take_fault(&self, point: FaultPoint) -> bool {
+        let mut armed = self.fault.lock().unwrap_or_else(|p| p.into_inner());
+        if *armed == Some(point) {
+            *armed = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn file_stem(name: &str) -> String {
+        let mut stem = String::with_capacity(2 + name.len() * 2);
+        stem.push_str("s-");
+        for b in name.as_bytes() {
+            stem.push_str(&format!("{b:02x}"));
+        }
+        stem
+    }
+
+    fn decode_stem(stem: &str) -> Option<String> {
+        let hex = stem.strip_prefix("s-")?;
+        if hex.len() % 2 != 0 {
+            return None;
+        }
+        let bytes: Option<Vec<u8>> = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).ok())
+            .collect();
+        String::from_utf8(bytes?).ok()
+    }
+
+    fn snap_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.snap", Self::file_stem(name)))
+    }
+
+    fn wal_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.wal", Self::file_stem(name)))
+    }
+
+    /// Whether any durable file for `name` exists.
+    pub fn has_session(&self, name: &str) -> bool {
+        self.snap_path(name).exists() || self.wal_path(name).exists()
+    }
+
+    /// Every session name with at least one durable file, sorted (so
+    /// recovery order — and therefore every recovery counter — is
+    /// deterministic).
+    pub fn list_sessions(&self) -> Vec<String> {
+        let mut names = std::collections::BTreeSet::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_session_file = matches!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("snap") | Some("wal")
+            );
+            if !is_session_file {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if let Some(name) = Self::decode_stem(stem) {
+                    names.insert(name);
+                }
+            }
+        }
+        names.into_iter().collect()
+    }
+
+    /// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync,
+    /// rename over the target. This is the ONLY place in the server that
+    /// creates or renames files on the durability path (enforced by
+    /// `rt-lint` D007) — every caller inherits write-temp-then-rename
+    /// atomicity instead of re-implementing it.
+    fn atomic_replace(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        {
+            // rtlint: allow(D007) -- this IS the atomic-rotation helper; the temp file is renamed over the target below
+            let mut file = File::create(&tmp).map_err(|e| io_err("create temp snapshot", e))?;
+            file.write_all(bytes)
+                .map_err(|e| io_err("write temp snapshot", e))?;
+            file.sync_all()
+                .map_err(|e| io_err("fsync temp snapshot", e))?;
+        }
+        if self.take_fault(FaultPoint::BeforeSnapshotRename) {
+            // The "crash" leaves the fsynced temp file orphaned and the
+            // live snapshot + WAL untouched — exactly what a power cut
+            // between fsync and rename leaves on a real disk.
+            return Err(StoreError::Fault(FaultPoint::BeforeSnapshotRename));
+        }
+        // rtlint: allow(D007) -- the rename half of the atomic-rotation helper
+        fs::rename(&tmp, path).map_err(|e| io_err("rename snapshot into place", e))
+    }
+
+    /// Snapshot rotation: durably writes `blob` (which already contains
+    /// every record up to `applied_records`) and only then truncates the
+    /// session's WAL.
+    pub fn rotate(&self, name: &str, blob: &[u8], applied_records: u64) -> Result<(), StoreError> {
+        let mut envelope = Vec::with_capacity(8 + 8 + 8 + 4 + blob.len());
+        envelope.extend_from_slice(ENVELOPE_MAGIC);
+        envelope.extend_from_slice(&applied_records.to_le_bytes());
+        envelope.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        envelope.extend_from_slice(&crc32(blob).to_le_bytes());
+        envelope.extend_from_slice(blob);
+        self.atomic_replace(&self.snap_path(name), &envelope)?;
+        // The snapshot is durable; the journal it subsumes can go. A crash
+        // before this remove leaves a WAL whose every record has
+        // `seq <= applied_records` — replay skips them all.
+        match fs::remove_file(self.wal_path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("truncate WAL after rotation", e)),
+        }
+    }
+
+    /// Appends one mutation record to the session's WAL. The record only
+    /// counts as durable once this returns `Ok`.
+    pub fn append_wal(&self, name: &str, seq: u64, ops: &JsonValue) -> Result<(), StoreError> {
+        let line = Self::render_record(seq, ops);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.wal_path(name))
+            .map_err(|e| io_err("open WAL", e))?;
+        if self.take_fault(FaultPoint::MidWalAppend) {
+            // Write only half the record — a torn line, the classic
+            // crash-mid-append artifact — then "die".
+            let torn = &line.as_bytes()[..line.len() / 2];
+            let _ = file.write_all(torn);
+            let _ = file.sync_all();
+            return Err(StoreError::Fault(FaultPoint::MidWalAppend));
+        }
+        file.write_all(line.as_bytes())
+            .and_then(|_| file.write_all(b"\n"))
+            .map_err(|e| io_err("append WAL record", e))?;
+        if self.wal_sync {
+            file.sync_all().map_err(|e| io_err("fsync WAL", e))?;
+        }
+        Ok(())
+    }
+
+    fn render_record(seq: u64, ops: &JsonValue) -> String {
+        let rendered_ops = json::render(ops);
+        let crc = crc32(format!("{seq}:{rendered_ops}").as_bytes());
+        json::render(&JsonValue::Obj(vec![
+            ("seq".to_string(), JsonValue::Str(seq.to_string())),
+            ("crc".to_string(), JsonValue::Str(crc.to_string())),
+            ("ops".to_string(), ops.clone()),
+        ]))
+    }
+
+    fn parse_record(line: &str) -> Result<(u64, JsonValue), String> {
+        let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let seq: u64 = v
+            .get("seq")
+            .and_then(JsonValue::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or("missing or non-numeric `seq`")?;
+        let crc: u32 = v
+            .get("crc")
+            .and_then(JsonValue::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or("missing or non-numeric `crc`")?;
+        let ops = v.get("ops").ok_or("missing `ops`")?.clone();
+        let expected = crc32(format!("{seq}:{}", json::render(&ops)).as_bytes());
+        if crc != expected {
+            return Err(format!("CRC mismatch on record {seq}"));
+        }
+        Ok((seq, ops))
+    }
+
+    /// Loads a session's durable state: the snapshot blob plus the WAL
+    /// records that post-date it.
+    ///
+    /// Returns `Ok(None)` when the session has no durable files at all. A
+    /// torn or corrupt *final* WAL line is dropped silently (it is the
+    /// expected artifact of a crash mid-append and was never acknowledged);
+    /// corruption anywhere else — including an orphan WAL without a
+    /// snapshot — is an error.
+    pub(crate) fn load(&self, name: &str) -> Result<Option<LoadedSession>, String> {
+        let snap_path = self.snap_path(name);
+        let wal_path = self.wal_path(name);
+        if !snap_path.exists() {
+            if wal_path.exists() {
+                return Err(format!(
+                    "session `{name}` has a WAL but no snapshot; its baseline is gone"
+                ));
+            }
+            return Ok(None);
+        }
+
+        let envelope = fs::read(&snap_path).map_err(|e| format!("cannot read snapshot: {e}"))?;
+        if envelope.len() < 28 || &envelope[..8] != ENVELOPE_MAGIC {
+            return Err(format!(
+                "snapshot of session `{name}` is not a session envelope"
+            ));
+        }
+        let applied_records = u64::from_le_bytes(envelope[8..16].try_into().expect("8"));
+        let blob_len = u64::from_le_bytes(envelope[16..24].try_into().expect("8")) as usize;
+        let crc = u32::from_le_bytes(envelope[24..28].try_into().expect("4"));
+        let blob = envelope
+            .get(28..28 + blob_len)
+            .ok_or_else(|| format!("snapshot of session `{name}` is truncated"))?;
+        if envelope.len() != 28 + blob_len {
+            return Err(format!("snapshot of session `{name}` has trailing bytes"));
+        }
+        if crc32(blob) != crc {
+            return Err(format!("snapshot of session `{name}` fails its CRC"));
+        }
+
+        let mut tail = Vec::new();
+        if wal_path.exists() {
+            let file = File::open(&wal_path).map_err(|e| format!("cannot open WAL: {e}"))?;
+            let mut lines = BufReader::new(file).lines();
+            let mut pending: Option<String> = None;
+            loop {
+                let line = match lines.next() {
+                    Some(Ok(line)) => line,
+                    Some(Err(e)) => return Err(format!("cannot read WAL: {e}")),
+                    None => break,
+                };
+                // Defer judgment on each line until we know whether another
+                // follows: only the final line may be torn.
+                if let Some(prev) = pending.take() {
+                    let (seq, ops) = Self::parse_record(&prev)
+                        .map_err(|e| format!("corrupt WAL record: {e}"))?;
+                    if seq > applied_records {
+                        tail.push((seq, ops));
+                    }
+                }
+                pending = Some(line);
+            }
+            // A parse failure here is the torn tail of a crash mid-append:
+            // never acknowledged, safe to drop.
+            if let Some(last) = pending {
+                if let Ok((seq, ops)) = Self::parse_record(&last) {
+                    if seq > applied_records {
+                        tail.push((seq, ops));
+                    }
+                }
+            }
+        }
+        for w in tail.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!(
+                    "WAL of session `{name}` is out of order ({} then {})",
+                    w[0].0, w[1].0
+                ));
+            }
+        }
+        Ok(Some(LoadedSession {
+            blob: blob.to_vec(),
+            applied_records,
+            tail,
+        }))
+    }
+
+    /// Deletes a session's durable files (the `close` path).
+    pub fn remove(&self, name: &str) -> Result<(), String> {
+        for path in [self.snap_path(name), self.wal_path(name)] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("cannot remove {}: {e}", path.display())),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rt-durability-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ops(n: i64) -> JsonValue {
+        json::parse(&format!(r#"[{{"op": "delete", "rows": [{n}]}}]"#)).unwrap()
+    }
+
+    #[test]
+    fn rotate_then_load_round_trips() {
+        let dir = temp_dir("rotate");
+        let store = SessionStore::open(&dir, false).unwrap();
+        store.rotate("s1", b"blob-bytes", 3).unwrap();
+        store.append_wal("s1", 4, &ops(0)).unwrap();
+        store.append_wal("s1", 5, &ops(1)).unwrap();
+        let loaded = store.load("s1").unwrap().unwrap();
+        assert_eq!(loaded.blob, b"blob-bytes");
+        assert_eq!(loaded.applied_records, 3);
+        assert_eq!(
+            loaded.tail.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // Records the snapshot already contains are skipped on load.
+        store.append_wal("s1", 2, &ops(9)).ok();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_names_are_hex_escaped() {
+        let dir = temp_dir("names");
+        let store = SessionStore::open(&dir, false).unwrap();
+        let hostile = "../../etc/passwd";
+        store.rotate(hostile, b"x", 0).unwrap();
+        assert!(store.has_session(hostile));
+        assert_eq!(store.list_sessions(), vec![hostile.to_string()]);
+        // The file lives INSIDE the data dir, under its hex stem.
+        let stem = SessionStore::file_stem(hostile);
+        assert!(dir.join(format!("{stem}.snap")).exists());
+        store.remove(hostile).unwrap();
+        assert!(!store.has_session(hostile));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_fails() {
+        let dir = temp_dir("torn");
+        let store = SessionStore::open(&dir, false).unwrap();
+        store.rotate("s", b"blob", 0).unwrap();
+        store.append_wal("s", 1, &ops(0)).unwrap();
+        store.append_wal("s", 2, &ops(1)).unwrap();
+        // Tear the final line in half.
+        let wal = store.wal_path("s");
+        let text = fs::read_to_string(&wal).unwrap();
+        let keep = text.len() - 10;
+        fs::write(&wal, &text[..keep]).unwrap();
+        let loaded = store.load("s").unwrap().unwrap();
+        assert_eq!(
+            loaded.tail.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1]
+        );
+        // Corrupt the FIRST record instead: that is not a crash artifact.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[0] = lines[0].replace("delete", "delet�");
+        fs::write(&wal, lines.join("\n")).unwrap();
+        assert!(store.load("s").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_wal_without_snapshot_is_an_error() {
+        let dir = temp_dir("orphan");
+        let store = SessionStore::open(&dir, false).unwrap();
+        store.append_wal("s", 1, &ops(0)).unwrap();
+        assert!(store.load("s").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_faults_fire_once_and_leave_crash_artifacts() {
+        let dir = temp_dir("fault");
+        let store = SessionStore::open(&dir, false).unwrap();
+        store.rotate("s", b"old", 0).unwrap();
+
+        store.arm_fault(FaultPoint::BeforeSnapshotRename);
+        let err = store.rotate("s", b"new", 1).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Fault(FaultPoint::BeforeSnapshotRename)
+        ));
+        // The live snapshot still holds the OLD state.
+        assert_eq!(store.load("s").unwrap().unwrap().blob, b"old");
+        // The fault was one-shot: the retry succeeds.
+        store.rotate("s", b"new", 1).unwrap();
+        assert_eq!(store.load("s").unwrap().unwrap().blob, b"new");
+
+        store.arm_fault(FaultPoint::MidWalAppend);
+        let err = store.append_wal("s", 2, &ops(0)).unwrap_err();
+        assert!(matches!(err, StoreError::Fault(FaultPoint::MidWalAppend)));
+        // The torn record is dropped on load.
+        assert!(store.load("s").unwrap().unwrap().tail.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_envelopes_fail_typed() {
+        let dir = temp_dir("envelope");
+        let store = SessionStore::open(&dir, false).unwrap();
+        store.rotate("s", b"payload", 0).unwrap();
+        let snap = store.snap_path("s");
+        let bytes = fs::read(&snap).unwrap();
+        // Truncation.
+        fs::write(&snap, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(store.load("s").is_err());
+        // Bit flip in the blob.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        fs::write(&snap, &flipped).unwrap();
+        assert!(store.load("s").is_err());
+        // Wrong magic.
+        let mut wrong = bytes;
+        wrong[0] = b'X';
+        fs::write(&snap, &wrong).unwrap();
+        assert!(store.load("s").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

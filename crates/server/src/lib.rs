@@ -45,9 +45,11 @@
 mod config;
 mod counters;
 mod dispatch;
+mod durability;
 mod net;
 mod registry;
 mod state;
 
 pub use config::ServerConfig;
+pub use durability::{FaultPoint, SessionStore, StoreError};
 pub use net::{Server, ServerHandle};

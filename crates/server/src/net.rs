@@ -60,6 +60,19 @@ impl ServerHandle {
         self.state.is_shutting_down()
     }
 
+    /// Arms a one-shot durability fault (crash injection for recovery
+    /// tests). Returns `false` when the server has no data dir — there is
+    /// no durability path for the fault to fire in.
+    pub fn arm_fault(&self, point: crate::durability::FaultPoint) -> bool {
+        match &self.state.store {
+            Some(store) => {
+                store.arm_fault(point);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Snapshot of the server counters (same content as the
     /// `server_stats` response).
     pub fn counters(&self) -> Vec<(String, u64)> {
@@ -84,7 +97,8 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let state = Arc::new(ServerState::new(config));
+        let state = Arc::new(ServerState::new(config)?);
+        crate::dispatch::recover_all(&state);
         state.set_wake(WakeAddr::Tcp(listener.local_addr()?));
         Ok(Server {
             state,
@@ -104,7 +118,8 @@ impl Server {
             std::fs::remove_file(&path)?;
         }
         let listener = std::os::unix::net::UnixListener::bind(&path)?;
-        let state = Arc::new(ServerState::new(config));
+        let state = Arc::new(ServerState::new(config)?);
+        crate::dispatch::recover_all(&state);
         state.set_wake(WakeAddr::Unix(path.clone()));
         Ok(Server {
             state,

@@ -2,6 +2,7 @@
 
 use crate::config::ServerConfig;
 use crate::counters::Counters;
+use crate::durability::SessionStore;
 use rt_engine::RepairEngine;
 use rt_proto::{EngineOpts, ErrorFrame};
 use std::collections::BTreeMap;
@@ -14,6 +15,26 @@ pub(crate) struct SessionState {
     pub opts: EngineOpts,
     /// The engine, once `load_csv` has built it.
     pub engine: Option<RepairEngine>,
+    /// Why this session is unusable (its durable files failed recovery, or
+    /// a WAL append failed under it). While set, every engine-touching
+    /// request answers `needs_reload`; only `load_csv` (a fresh baseline)
+    /// and `close` clear the slot.
+    pub degraded: Option<String>,
+    /// Sequence number of the last durably acknowledged WAL record. Resets
+    /// are implicit: a snapshot rotation records this number inside the
+    /// envelope, so the counter itself only ever moves forward.
+    pub wal_seq: u64,
+}
+
+impl SessionState {
+    pub fn new(opts: EngineOpts) -> SessionState {
+        SessionState {
+            opts,
+            engine: None,
+            degraded: None,
+            wal_seq: 0,
+        }
+    }
 }
 
 /// One named session. The slot is shared (`Arc`) so dispatch can release
@@ -29,7 +50,7 @@ pub(crate) struct SessionSlot {
 impl SessionSlot {
     fn new(opts: EngineOpts, op: u64) -> Arc<SessionSlot> {
         Arc::new(SessionSlot {
-            state: Mutex::new(SessionState { opts, engine: None }),
+            state: Mutex::new(SessionState::new(opts)),
             last_used: AtomicU64::new(op),
         })
     }
@@ -78,8 +99,45 @@ impl Registry {
         }
     }
 
+    /// Snapshots a would-be eviction victim to the durable store, so the
+    /// eviction loses nothing (the session transparently reopens from disk
+    /// on its next request). Returns `false` — *defer this eviction* — when
+    /// the session cannot be made durable right now: its lock is taken
+    /// (mid-request) or the snapshot/rotation failed. A deferred victim
+    /// simply stays resident until a later create retries it.
+    fn make_durable_for_eviction(
+        slot: &SessionSlot,
+        name: &str,
+        store: Option<&SessionStore>,
+        counters: &Counters,
+    ) -> bool {
+        let Ok(guard) = slot.state.try_lock() else {
+            return false; // mid-request: busy sessions are never evicted
+        };
+        let Some(store) = store else {
+            return true; // purely in-memory server: eviction drops state by design
+        };
+        match (&guard.engine, &guard.degraded) {
+            // Degraded or never-loaded sessions hold no engine state worth
+            // preserving beyond what is already on disk.
+            (None, _) | (_, Some(_)) => true,
+            (Some(engine), None) => match engine.snapshot() {
+                Ok(blob) => match store.rotate(name, &blob, guard.wal_seq) {
+                    Ok(()) => {
+                        Counters::bump(&counters.snapshots_written);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                Err(_) => false,
+            },
+        }
+    }
+
     /// Creates a session, reaping idle sessions first and evicting the
-    /// least-recently-used idle session if the table is full.
+    /// least-recently-used idle session if the table is full. With a
+    /// durable store, victims are snapshotted before eviction; a victim
+    /// that cannot be snapshotted right now is deferred, not dropped.
     pub fn create(
         &self,
         name: &str,
@@ -87,6 +145,7 @@ impl Registry {
         op: u64,
         config: &ServerConfig,
         counters: &Counters,
+        store: Option<&SessionStore>,
     ) -> Result<(), ErrorFrame> {
         let mut slots = self.slots();
         if slots.contains_key(name) {
@@ -98,9 +157,9 @@ impl Registry {
         if config.idle_ops > 0 {
             let stale: Vec<String> = slots
                 .iter()
-                .filter(|(_, slot)| {
+                .filter(|(n, slot)| {
                     op.saturating_sub(slot.last_used.load(Ordering::Relaxed)) > config.idle_ops
-                        && slot.state.try_lock().is_ok()
+                        && Self::make_durable_for_eviction(slot, n, store, counters)
                 })
                 .map(|(n, _)| n.clone())
                 .collect();
@@ -109,23 +168,34 @@ impl Registry {
                 Counters::bump(&counters.sessions_evicted);
             }
         }
+        let mut deferred: Vec<String> = Vec::new();
         while slots.len() >= config.max_sessions.max(1) {
-            // Evict the least-recently-used session that is not mid-request
-            // (its lock can be taken). Ties break by name: BTreeMap order.
+            // Evict the least-recently-used session whose state can be made
+            // safe to drop. Ties break by name: BTreeMap order.
             let victim = slots
                 .iter()
-                .filter(|(_, slot)| slot.state.try_lock().is_ok())
+                .filter(|(n, _)| !deferred.contains(n))
                 .min_by_key(|(n, slot)| (slot.last_used.load(Ordering::Relaxed), (*n).clone()))
-                .map(|(n, _)| n.clone());
+                .map(|(n, slot)| (n.clone(), Arc::clone(slot)));
             match victim {
-                Some(victim_name) => {
-                    slots.remove(&victim_name);
-                    Counters::bump(&counters.sessions_evicted);
+                Some((victim_name, slot)) => {
+                    if Self::make_durable_for_eviction(&slot, &victim_name, store, counters) {
+                        slots.remove(&victim_name);
+                        Counters::bump(&counters.sessions_evicted);
+                    } else {
+                        deferred.push(victim_name);
+                        if deferred.len() == slots.len() {
+                            return Err(ErrorFrame::protocol(
+                                "memory_limit",
+                                "session table is full and every session is busy or unsnapshotable",
+                            ));
+                        }
+                    }
                 }
                 None => {
                     return Err(ErrorFrame::protocol(
                         "memory_limit",
-                        "session table is full and every session is busy",
+                        "session table is full and every session is busy or unsnapshotable",
                     ));
                 }
             }
@@ -133,6 +203,18 @@ impl Registry {
         slots.insert(name.to_string(), SessionSlot::new(opts, op));
         Counters::bump(&counters.sessions_created);
         Ok(())
+    }
+
+    /// Installs a session slot rebuilt from durable files (startup
+    /// recovery, lazy reopen, explicit `restore`), replacing any resident
+    /// slot of the same name.
+    pub fn insert_recovered(&self, name: &str, state: SessionState, op: u64) -> Arc<SessionSlot> {
+        let slot = Arc::new(SessionSlot {
+            state: Mutex::new(state),
+            last_used: AtomicU64::new(op),
+        });
+        self.slots().insert(name.to_string(), Arc::clone(&slot));
+        slot
     }
 
     /// Removes a session by request.
@@ -176,7 +258,7 @@ mod tests {
         let cfg = config(4, 0);
         let op = registry.next_op();
         registry
-            .create("s1", EngineOpts::new(0), op, &cfg, &counters)
+            .create("s1", EngineOpts::new(0), op, &cfg, &counters, None)
             .unwrap();
         assert_eq!(registry.live(), 1);
         assert!(registry.get("s1", registry.next_op()).is_ok());
@@ -187,6 +269,7 @@ mod tests {
                 registry.next_op(),
                 &cfg,
                 &counters,
+                None,
             )
             .unwrap_err();
         assert_eq!(dup.code, "session_exists");
@@ -203,14 +286,14 @@ mod tests {
         for name in ["a", "b"] {
             let op = registry.next_op();
             registry
-                .create(name, EngineOpts::new(0), op, &cfg, &counters)
+                .create(name, EngineOpts::new(0), op, &cfg, &counters, None)
                 .unwrap();
         }
         // Touch `a` so `b` becomes the LRU victim.
         registry.get("a", registry.next_op()).unwrap();
         let op = registry.next_op();
         registry
-            .create("c", EngineOpts::new(0), op, &cfg, &counters)
+            .create("c", EngineOpts::new(0), op, &cfg, &counters, None)
             .unwrap();
         assert_eq!(registry.live(), 2);
         assert!(registry.get("a", registry.next_op()).is_ok());
@@ -229,13 +312,13 @@ mod tests {
         let cfg = config(1, 0);
         let op = registry.next_op();
         registry
-            .create("busy", EngineOpts::new(0), op, &cfg, &counters)
+            .create("busy", EngineOpts::new(0), op, &cfg, &counters, None)
             .unwrap();
         let slot = registry.get("busy", registry.next_op()).unwrap();
         let _guard = slot.lock();
         let op = registry.next_op();
         let err = registry
-            .create("next", EngineOpts::new(0), op, &cfg, &counters)
+            .create("next", EngineOpts::new(0), op, &cfg, &counters, None)
             .unwrap_err();
         assert_eq!(err.code, "memory_limit");
     }
@@ -247,14 +330,14 @@ mod tests {
         let cfg = config(8, 3);
         let op = registry.next_op();
         registry
-            .create("old", EngineOpts::new(0), op, &cfg, &counters)
+            .create("old", EngineOpts::new(0), op, &cfg, &counters, None)
             .unwrap();
         for _ in 0..5 {
             registry.next_op();
         }
         let op = registry.next_op();
         registry
-            .create("new", EngineOpts::new(0), op, &cfg, &counters)
+            .create("new", EngineOpts::new(0), op, &cfg, &counters, None)
             .unwrap();
         assert_eq!(registry.live(), 1);
         assert_eq!(

@@ -2,6 +2,7 @@
 
 use crate::config::ServerConfig;
 use crate::counters::Counters;
+use crate::durability::SessionStore;
 use crate::registry::Registry;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,21 +50,30 @@ pub(crate) struct ServerState {
     pub registry: Registry,
     /// Work counters.
     pub counters: Counters,
+    /// The durable session store, when the server runs with a data dir.
+    pub store: Option<SessionStore>,
     shutting_down: AtomicBool,
     wake: Mutex<Option<WakeAddr>>,
     connections: Mutex<Vec<Option<ConnHandle>>>,
 }
 
 impl ServerState {
-    pub fn new(config: ServerConfig) -> ServerState {
-        ServerState {
+    pub fn new(config: ServerConfig) -> std::io::Result<ServerState> {
+        let store = match &config.data_dir {
+            Some(dir) => {
+                Some(SessionStore::open(dir, config.wal_sync).map_err(std::io::Error::other)?)
+            }
+            None => None,
+        };
+        Ok(ServerState {
             config,
             registry: Registry::default(),
             counters: Counters::default(),
+            store,
             shutting_down: AtomicBool::new(false),
             wake: Mutex::new(None),
             connections: Mutex::new(Vec::new()),
-        }
+        })
     }
 
     pub fn set_wake(&self, addr: WakeAddr) {

@@ -104,6 +104,8 @@ usage: rtclean <input.csv> --fd \"X1,X2->A\" [--fd ...] [options]
        rtclean apply <input.csv> --fd \"X1,X2->A\" [--fd ...] --log <mutations.json> [options]
        rtclean scenario list
        rtclean scenario <name> [--seed N] [--rows N] [options]
+       rtclean snapshot <input.csv> --fd <spec> [--fd ...] --output <file.snap> [options]
+       rtclean restore <file.snap> [--tau N | --tau-r F | --spectrum] [--output <file.csv>]
        rtclean serve [--listen <host:port>] [--unix <path>] [serve options]
        rtclean connect [<host:port> | unix:<path>]
 
@@ -122,11 +124,19 @@ the mutated inputs and checks the outputs are bit-identical.
 catalog (seeded generation or a bundled fixture + seeded error injection)
 and repairs it; `rtclean scenario list` prints the catalog.
 
+`rtclean snapshot` builds an engine and writes its full prepared state
+(dictionaries, code columns, conflict graph, heuristic warm-start) to a
+versioned, checksummed binary snapshot; `rtclean restore` rebuilds the
+engine from such a file — without ever rebuilding the conflict graph —
+and answers repair queries from it.
+
 `rtclean serve` hosts named repair sessions over TCP (and optionally a
 Unix socket) speaking the line-delimited JSON protocol of rt-proto;
 `rtclean connect` opens an interactive REPL against a running server
 (type `help` at the prompt). Results over the wire are bit-identical to
-in-process runs.
+in-process runs. With --data-dir, sessions are durable: every mutation is
+journaled to a per-session WAL, snapshots rotate atomically, and a
+restarted server recovers every session by restore + replay.
 
 serve options:
   --listen <host:port> TCP listen address (default: 127.0.0.1:7171)
@@ -135,6 +145,10 @@ serve options:
   --max-cells <N>      per-session instance cell cap (default: 4000000)
   --idle-ops <N>       evict sessions idle for N logical ops; 0 = never
   --max-connections <N> concurrently served connections (default: 8)
+  --data-dir <dir>     durable session store: snapshot + WAL per session,
+                       recovered on restart (default: in-memory only)
+  --wal-sync           fsync the WAL on every mutation (stronger durability,
+                       slower acks)
 
 scenario options:
   --seed <N>           scenario seed (generation + injection; default: 17)
@@ -660,6 +674,146 @@ fn run_scenario(options: &ScenarioOptions) -> Result<(), EngineError> {
     )
 }
 
+/// Options of the `snapshot` subcommand: the main form's load surface
+/// plus a mandatory snapshot destination.
+#[derive(Debug, Clone, PartialEq)]
+struct SnapshotOptions {
+    input: String,
+    fd_specs: Vec<String>,
+    output: String,
+    tsv: bool,
+    engine: EngineOpts,
+}
+
+fn parse_snapshot_args(args: &[String]) -> Result<SnapshotOptions, String> {
+    let mut input: Option<String> = None;
+    let mut fd_specs = Vec::new();
+    let mut output: Option<String> = None;
+    let mut tsv = false;
+    let mut engine = EngineOpts::new(0);
+
+    let mut i = 0;
+    while i < args.len() {
+        if engine.consume_flag(args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--fd" => fd_specs.push(take_value(args, &mut i)?),
+            "--output" => output = Some(take_value(args, &mut i)?),
+            "--tsv" => tsv = true,
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => {
+                if input.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                input = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    if fd_specs.is_empty() {
+        return Err("at least one --fd is required".to_string());
+    }
+    Ok(SnapshotOptions {
+        input: input.ok_or_else(|| USAGE.to_string())?,
+        fd_specs,
+        output: output.ok_or_else(|| "snapshot requires --output <file.snap>".to_string())?,
+        tsv,
+        engine,
+    })
+}
+
+fn run_snapshot(options: &SnapshotOptions) -> Result<(), EngineError> {
+    let instance = load_input(&options.input, options.tsv)?.instance;
+    let schema = instance.schema().clone();
+    let specs: Vec<&str> = options.fd_specs.iter().map(String::as_str).collect();
+    let fds = FdSet::parse(&specs, &schema).map_err(EngineError::Fd)?;
+    let engine = options
+        .engine
+        .configure(RepairEngine::builder(instance, fds))
+        .build()?;
+    let blob = engine.snapshot()?;
+    std::fs::write(&options.output, &blob).map_err(|e| EngineError::io(&options.output, e))?;
+    println!(
+        "snapshot: {} bytes ({} tuples, {} FDs, {} conflict edges) written to {}",
+        blob.len(),
+        engine.problem().instance().len(),
+        engine.problem().fd_count(),
+        engine.problem().conflict_graph().edge_count(),
+        options.output,
+    );
+    println!("restore it with: rtclean restore {}", options.output);
+    Ok(())
+}
+
+/// Options of the `restore` subcommand: a snapshot file plus the shared
+/// repair-selection surface.
+#[derive(Debug, Clone, PartialEq)]
+struct RestoreOptions {
+    input: String,
+    mode: Mode,
+    output: Option<String>,
+}
+
+fn parse_restore_args(args: &[String]) -> Result<RestoreOptions, String> {
+    let mut input: Option<String> = None;
+    let mut mode: Option<Mode> = None;
+    let mut output = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        if consume_mode_option(args, &mut i, &mut mode, &mut output)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => {
+                if input.is_some() {
+                    return Err(format!("unexpected positional argument `{other}`"));
+                }
+                input = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    Ok(RestoreOptions {
+        input: input.ok_or_else(|| USAGE.to_string())?,
+        mode: mode.unwrap_or(Mode::Spectrum),
+        output,
+    })
+}
+
+fn run_restore(options: &RestoreOptions) -> Result<(), EngineError> {
+    let bytes = std::fs::read(&options.input).map_err(|e| EngineError::io(&options.input, e))?;
+    let engine = RepairEngine::restore(&bytes)?;
+    let instance = engine.problem().instance().clone();
+    let schema = instance.schema().clone();
+    let stats = engine.stats();
+    println!(
+        "restored {} tuples × {} attributes, {} FDs, {} conflict edges from {}",
+        instance.len(),
+        schema.arity(),
+        engine.problem().fd_count(),
+        engine.problem().conflict_graph().edge_count(),
+        options.input,
+    );
+    println!(
+        "prepared state came back warm: conflict graph builds since restore = {}\n",
+        stats.conflict_graph_builds
+    );
+    report_results(
+        &engine,
+        &instance,
+        &schema,
+        options.mode,
+        options.output.as_deref(),
+    )
+}
+
 /// Options of the `serve` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 struct ServeOptions {
@@ -704,6 +858,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .parse()
                     .map_err(|_| format!("invalid --max-connections value `{v}`"))?;
             }
+            "--data-dir" => {
+                options.config.data_dir = Some(std::path::PathBuf::from(take_value(args, &mut i)?));
+            }
+            "--wal-sync" => options.config.wal_sync = true,
             other => return Err(format!("unknown serve option `{other}`")),
         }
         i += 1;
@@ -716,7 +874,7 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
         Some(path) => {
             #[cfg(unix)]
             {
-                Server::bind_unix_with(path, options.config)
+                Server::bind_unix_with(path, options.config.clone())
                     .map_err(|e| format!("cannot bind unix socket {path}: {e}"))?
             }
             #[cfg(not(unix))]
@@ -724,7 +882,7 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
                 return Err("unix sockets are not available on this platform".to_string());
             }
         }
-        None => Server::bind_tcp_with(&options.listen, options.config)
+        None => Server::bind_tcp_with(&options.listen, options.config.clone())
             .map_err(|e| format!("cannot bind {}: {e}", options.listen))?,
     };
     match server.local_addr() {
@@ -733,6 +891,17 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
             "rtclean serve: listening on unix socket {}",
             options.unix.as_deref().unwrap_or("?")
         ),
+    }
+    if let Some(dir) = &options.config.data_dir {
+        println!(
+            "durable sessions in {} ({}); restarts recover them by restore + WAL replay",
+            dir.display(),
+            if options.config.wal_sync {
+                "WAL fsynced per mutation"
+            } else {
+                "WAL buffered"
+            }
+        );
     }
     println!("send a `shutdown` request (or `shutdown` in the REPL) to stop");
     server.run().map_err(|e| format!("server failed: {e}"))
@@ -752,6 +921,10 @@ commands:
   spectrum               the full spectrum
   stats                  the session's engine statistics
   server-stats           server-wide counters
+  snapshot               rotate the session's durable snapshot now
+                         (server must run with --data-dir)
+  restore <name>         reattach to a session from the server's durable
+                         store (after a restart or eviction)
   close                  close the current session
   ping                   liveness probe
   shutdown               stop the server
@@ -977,6 +1150,28 @@ fn repl_eval(client: &Client, session: &mut Option<Session>, line: &str) -> Resu
                 .collect::<Vec<_>>()
                 .join("\n"))
         }
+        "snapshot" => {
+            need_session(session)?;
+            let active = session.as_mut().expect("checked above");
+            let bytes = active.snapshot().map_err(|e| e.to_string())?;
+            Ok(format!("snapshot rotated ({bytes} bytes)"))
+        }
+        "restore" => {
+            let name = tokens
+                .get(1)
+                .filter(|t| !t.starts_with("--"))
+                .ok_or("usage: restore <name>")?
+                .clone();
+            let (restored, summary, replayed) =
+                client.restore_session(&name).map_err(|e| e.to_string())?;
+            *session = Some(restored);
+            Ok(format!(
+                "session `{name}` restored: {} rows × {} attributes, {} WAL records replayed",
+                summary.rows,
+                summary.attributes.len(),
+                replayed,
+            ))
+        }
         "close" => {
             need_session(session)?;
             let active = session.take().expect("checked above");
@@ -1065,6 +1260,36 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("scenario") {
         return match parse_scenario_args(&args[1..]) {
             Ok(options) => match run_scenario(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("snapshot") {
+        return match parse_snapshot_args(&args[1..]) {
+            Ok(options) => match run_snapshot(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("restore") {
+        return match parse_restore_args(&args[1..]) {
+            Ok(options) => match run_restore(&options) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

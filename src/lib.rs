@@ -143,9 +143,9 @@ pub mod prelude {
     };
     pub use rt_scenarios::{Scenario, ScenarioConfig};
 
-    pub use rt_client::{Client, ClientError, Session};
+    pub use rt_client::{Client, ClientError, RetryPolicy, Session};
     pub use rt_proto::{EngineOpts, ErrorFrame, FrameError, Request, Response, TauSpec};
-    pub use rt_server::{Server, ServerConfig, ServerHandle};
+    pub use rt_server::{FaultPoint, Server, ServerConfig, ServerHandle};
 }
 
 #[cfg(test)]
