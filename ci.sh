@@ -50,6 +50,14 @@ cargo test -q --test protocol_roundtrip
 echo "==> cargo test --test recovery (crash recovery ≡ uninterrupted, chaos faults typed)"
 cargo test -q --test recovery
 
+# The scale-up contract: the sharded conflict-graph build must be
+# bit-identical to the monolithic engine — spectra, repairs and search
+# stats — including under shard-bridging mutation batches. Runs in every
+# mode at the 100k-row warehouse variant (release, so the big smoke stays
+# cheap; the debug default inside `cargo test -q` above covers 20k rows).
+echo "==> cargo test --release --test shard_equivalence (sharded ≡ monolithic, 100k warehouse)"
+RT_WAREHOUSE_ROWS=100000 cargo test -q --release --test shard_equivalence
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo fmt --check"
     cargo fmt --check
@@ -89,7 +97,10 @@ if [ "$bench" -eq 1 ]; then
     # the wire spectrum hard-asserted bit-identical to an in-process twin
     # (this container has one core and no network, so wall-clock numbers
     # would be noise — work counters are exact; the server's idle clock is
-    # a logical request counter, so even the serve counters are exact).
+    # a logical request counter, so even the serve counters are exact),
+    # and the warehouse scale tiers (10k/100k/1M rows streamed through the
+    # chunked loader into the sharded engine build, per-row counters
+    # hard-asserted flat and the 10k tier sharded ≡ monolithic).
     # --selftest additionally proves the gate trips when any counter is
     # artificially inflated. Re-baseline intentional changes with:
     # cargo run --release -p rt-bench --bin bench_gate -- --out ci/bench_baseline.json

@@ -348,6 +348,147 @@ fn measure_catalog_scenario(metrics: &mut Metrics, name: &str) {
     metrics.push(m("value_compares", w.value_compares));
 }
 
+/// Rows per encode chunk for the warehouse ingestion tiers. The chunked
+/// loader's contract makes this the resident-text bound: at any moment at
+/// most `WAREHOUSE_CHUNK_ROWS × arity` undecoded cells are held, whatever
+/// the file size.
+const WAREHOUSE_CHUNK_ROWS: usize = 8192;
+
+/// The warehouse row-count tiers. Per-row work must stay flat across two
+/// orders of magnitude — that is the scale-up claim, stated as counters.
+const WAREHOUSE_TIERS: [(usize, &str); 3] = [(10_000, "10k"), (100_000, "100k"), (1_000_000, "1m")];
+
+/// Scenario: the memory-bounded scale-up path end to end — stream a seeded
+/// warehouse CSV from disk in bounded chunks, build the engine through the
+/// sharded conflict-graph path, and sweep the gated prefix — at 10k, 100k
+/// and 1M rows. The gate is *per-row* work: bytes hashed per row and the
+/// peak resident-cell estimate must not grow with the tier (hard asserts,
+/// on top of the baseline). At the smallest tier the sharded engine is also
+/// hard-checked bit-identical to a monolithic build.
+fn measure_warehouse(metrics: &mut Metrics) {
+    use rt_core::ShardPlan;
+    use rt_engine::ShardRows;
+    use rt_scenarios::{gen, WAREHOUSE_ERRORS};
+
+    // (tier label, milli-units per row) series for the flatness asserts.
+    let mut per_row_bytes: Vec<(&str, u64)> = Vec::new();
+    let mut peaks: Vec<(&str, u64)> = Vec::new();
+    for (rows, label) in WAREHOUSE_TIERS {
+        let path = std::env::temp_dir().join(format!(
+            "rt-bench-warehouse-{rows}-{}.csv",
+            std::process::id()
+        ));
+        {
+            let file = std::fs::File::create(&path).expect("temp CSV creates");
+            let mut out = std::io::BufWriter::new(file);
+            gen::write_warehouse_csv(&mut out, rows, 17, WAREHOUSE_ERRORS)
+                .expect("warehouse CSV streams to disk");
+        }
+
+        rt_relation::work::reset();
+        let report = rt_io::load_path_chunked(
+            &path,
+            WAREHOUSE_CHUNK_ROWS,
+            &rt_io::CsvOptions::csv().relation("warehouse"),
+        )
+        .expect("warehouse CSV loads chunked");
+        std::fs::remove_file(&path).ok();
+        let load = rt_relation::work::snapshot();
+        assert_eq!(
+            load.key_allocs, 0,
+            "warehouse.{label}: the chunked load path must not build equality keys"
+        );
+        // The gauge counts the permanent encoded columns plus the raw text
+        // in flight, so the memory bound is "the encoded relation + at most
+        // two chunks' worth of cells" (one buffered raw, one mid-flush).
+        let peak = rt_relation::work::peak_resident_cells();
+        let arity = report.instance.schema().arity();
+        assert!(
+            peak <= ((rows + 2 * WAREHOUSE_CHUNK_ROWS) * arity) as u64,
+            "warehouse.{label}: resident cells exceeded the chunked bound ({peak} cells)"
+        );
+
+        let fds = gen::warehouse_fds(report.instance.schema());
+        let engine = RepairEngine::builder(report.instance.clone(), fds.clone())
+            .weight(WeightKind::DistinctCount)
+            .parallelism(Parallelism::Serial)
+            .max_expansions(400_000)
+            .seed(17)
+            .shard_rows(ShardRows::Threshold(0))
+            .build()
+            .expect("warehouse engine builds sharded");
+        let stats = engine.stats();
+        let plan_shards =
+            ShardPlan::compute(engine.problem().instance(), engine.problem().sigma()).shard_count();
+        // The acceptance invariant: one build per shard, never a monolithic
+        // rebuild.
+        assert_eq!(
+            stats.conflict_graph_builds, plan_shards,
+            "warehouse.{label}: sharded build count must equal the shard count"
+        );
+        assert_eq!(stats.shards, plan_shards, "warehouse.{label}");
+        let edge_count = engine.problem().conflict_graph().edge_count();
+        let prefix = sweep_prefix(&engine, label);
+        let w = rt_relation::work::snapshot();
+
+        // At the cheapest tier, cross-check the whole sharded pipeline
+        // against a monolithic build of the same loaded instance.
+        if rows == WAREHOUSE_TIERS[0].0 {
+            let mono = RepairEngine::builder(report.instance.clone(), fds.clone())
+                .weight(WeightKind::DistinctCount)
+                .parallelism(Parallelism::Serial)
+                .max_expansions(400_000)
+                .seed(17)
+                .shard_rows(ShardRows::Off)
+                .build()
+                .expect("warehouse engine builds monolithic");
+            assert_eq!(
+                engine.problem().conflict_graph(),
+                mono.problem().conflict_graph(),
+                "warehouse.{label}: sharded conflict graph diverged from monolithic"
+            );
+            assert!(
+                prefix.bit_identical(&sweep_prefix(&mono, label)),
+                "warehouse.{label}: sharded sweep diverged from monolithic"
+            );
+        }
+
+        let bytes_per_row_x1000 = w.key_bytes_hashed * 1000 / rows as u64;
+        let peak_per_row_x1000 = peak * 1000 / rows as u64;
+        per_row_bytes.push((label, bytes_per_row_x1000));
+        peaks.push((label, peak_per_row_x1000));
+
+        let (points, cells) = spectrum_signature(&prefix);
+        let m = |k: &str, v: u64| (format!("warehouse.{label}.{k}"), v);
+        metrics.push(m("rows", rows as u64));
+        metrics.push(m("shards", stats.shards as u64));
+        metrics.push(m("conflict_edges", edge_count as u64));
+        metrics.push(m("states_expanded", stats.states_expanded as u64));
+        metrics.push(m("points", points as u64));
+        metrics.push(m("cells_changed", cells as u64));
+        metrics.push(m("key_bytes_per_row_x1000", bytes_per_row_x1000));
+        metrics.push(m(
+            "key_allocs_per_row_x1000",
+            w.key_allocs * 1000 / rows as u64,
+        ));
+        metrics.push(m("peak_resident_cells_per_row_x1000", peak_per_row_x1000));
+    }
+
+    // Flatness across two orders of magnitude: per-row hashing and per-row
+    // resident peak within 1.5× of the smallest tier. (The baseline gates
+    // drift run-over-run; these asserts gate the *shape*.)
+    for series in [&per_row_bytes, &peaks] {
+        let (base_label, base) = series[0];
+        for &(label, v) in &series[1..] {
+            assert!(
+                v <= base + base / 2,
+                "warehouse per-row work grew with scale: {base_label}={base} vs {label}={v} \
+                 (milli-units/row)"
+            );
+        }
+    }
+}
+
 /// Scenario: the service layer end to end — several named sessions
 /// interleaved over one loopback TCP connection, with `max_sessions` low
 /// enough to force an LRU eviction mid-run. The driving client is a single
@@ -615,6 +756,7 @@ fn measure() -> Metrics {
     for name in rt_scenarios::SCENARIO_NAMES {
         measure_catalog_scenario(&mut metrics, name);
     }
+    measure_warehouse(&mut metrics);
     measure_serve(&mut metrics);
     measure_recover_restart(&mut metrics);
     metrics

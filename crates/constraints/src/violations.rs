@@ -288,6 +288,132 @@ impl ConflictGraph {
         }
     }
 
+    /// Builds the conflict graph restricted to `rows` — the per-shard half
+    /// of sharded construction. Edges keep **global** row ids, and
+    /// `row_count` is the full instance length, so shard graphs merge back
+    /// into a whole-instance graph without renumbering.
+    ///
+    /// The construction mirrors [`ConflictGraph::build_with`] phase by
+    /// phase, with blocking iterating `rows` instead of `0..len`. When
+    /// `rows` is closed under LHS blocking (no row outside the shard shares
+    /// an LHS class with a row inside — exactly what the shard partitioner
+    /// guarantees), the emitted edges are bit-identical to the monolithic
+    /// edges among those rows: the classes, sub-classes and their first-row
+    /// orderings are the same because `rows` is sorted ascending.
+    pub fn build_for_rows(
+        instance: &Instance,
+        fds: &FdSet,
+        rows: &[usize],
+        par: Parallelism,
+    ) -> Self {
+        use rt_relation::{Code, CodeKey};
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+
+        let mut blocks: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
+        for (fd_idx, fd) in fds.iter() {
+            let lhs_cols: Vec<&[Code]> = fd.lhs.iter().map(|a| instance.codes(a)).collect();
+            let rhs_col = instance.codes(fd.rhs);
+            let mut by_lhs: HashMap<CodeKey, Vec<usize>> = HashMap::new();
+            for &row in rows {
+                by_lhs
+                    .entry(CodeKey::from_cols(&lhs_cols, row))
+                    .or_default()
+                    .push(row);
+            }
+            let mut classes: Vec<Vec<usize>> =
+                by_lhs.into_values().filter(|c| c.len() >= 2).collect();
+            classes.sort_by_key(|c| c[0]);
+            for class in classes {
+                let mut by_rhs: HashMap<Code, Vec<usize>> = HashMap::new();
+                for &row in &class {
+                    rt_relation::work::count_key_hash(4);
+                    by_rhs.entry(rhs_col[row]).or_default().push(row);
+                }
+                if by_rhs.len() < 2 {
+                    continue;
+                }
+                let mut sub_classes: Vec<Vec<usize>> = by_rhs.into_values().collect();
+                sub_classes.sort_by_key(|c| c[0]);
+                blocks.push((fd_idx, sub_classes));
+            }
+        }
+
+        let per_block: Vec<Vec<(usize, usize)>> = par_map_indexed(par, blocks.len(), |b| {
+            let (_, sub_classes) = &blocks[b];
+            let mut pairs = Vec::new();
+            for i in 0..sub_classes.len() {
+                for j in (i + 1)..sub_classes.len() {
+                    for &u in &sub_classes[i] {
+                        for &v in &sub_classes[j] {
+                            pairs.push((u.min(v), u.max(v)));
+                        }
+                    }
+                }
+            }
+            pairs
+        });
+
+        let mut edge_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for ((fd_idx, _), pairs) in blocks.iter().zip(per_block) {
+            for pair in pairs {
+                edge_map.entry(pair).or_default().push(*fd_idx);
+            }
+        }
+
+        let mut keyed: Vec<((usize, usize), Vec<usize>)> = edge_map.into_iter().collect();
+        keyed.sort_unstable_by_key(|(rows, _)| *rows);
+        let edges: Vec<ConflictEdge> = par_map_indexed(par, keyed.len(), |i| {
+            let ((u, v), violated) = &keyed[i];
+            let mut violated = violated.clone();
+            violated.sort_unstable();
+            violated.dedup();
+            let diff = AttrSet::from_attrs(instance.differing_attrs_coded(*u, *v));
+            ConflictEdge {
+                rows: (*u, *v),
+                violated_fds: violated,
+                difference_set: diff,
+            }
+        });
+        ConflictGraph {
+            row_count: instance.len(),
+            edges,
+        }
+    }
+
+    /// Merges per-shard graphs (built by [`ConflictGraph::build_for_rows`]
+    /// over disjoint row sets) into one whole-instance graph.
+    ///
+    /// Each part's edge list is already sorted; the merge concatenates them
+    /// and re-sorts by row pair, which is exactly the ordering the
+    /// monolithic build emits — so for a blocking-closed shard partition the
+    /// merged graph is bit-identical to [`ConflictGraph::build_with`] on the
+    /// full instance. Duplicate row pairs across parts are rejected: shards
+    /// own disjoint rows, so a shared edge means the partition was invalid.
+    pub fn merge_shards(row_count: usize, parts: Vec<ConflictGraph>) -> Result<Self, String> {
+        let mut edges: Vec<ConflictEdge> =
+            Vec::with_capacity(parts.iter().map(|p| p.edges.len()).sum());
+        for part in parts {
+            if part.row_count != row_count {
+                return Err(format!(
+                    "shard graph covers {} rows, expected {row_count}",
+                    part.row_count
+                ));
+            }
+            edges.extend(part.edges);
+        }
+        edges.sort_unstable_by_key(|e| e.rows);
+        for w in edges.windows(2) {
+            if w[0].rows == w[1].rows {
+                return Err(format!(
+                    "conflict edge {:?} appears in two shards — the shard \
+                     partition is not edge-closed",
+                    w[0].rows
+                ));
+            }
+        }
+        Self::from_parts(row_count, edges)
+    }
+
     /// Reassembles a conflict graph from previously exported parts — the
     /// snapshot/restore path. The edge list must be sorted by row pair with
     /// every row inside `0..row_count`; out-of-range or out-of-order input
@@ -789,6 +915,53 @@ mod tests {
         let summary = cg.remove_fd_labels(0);
         assert_eq!(cg, ConflictGraph::build(&inst, &fds));
         assert!(summary.edges_removed > 0 || summary.edges_relabeled > 0);
+    }
+
+    #[test]
+    fn shard_builds_merge_into_the_monolithic_graph() {
+        // Two blocking-closed shards: rows {0,1,2,3} (Figure 2's chain) and
+        // rows {4,5} (a detached conflict on fresh values).
+        let schema = Schema::new("R", vec!["A", "B", "C", "D"]).unwrap();
+        let inst = Instance::from_int_rows(
+            schema.clone(),
+            &[
+                vec![1, 1, 1, 1],
+                vec![1, 2, 1, 3],
+                vec![2, 2, 1, 1],
+                vec![2, 3, 4, 3],
+                vec![9, 1, 8, 1],
+                vec![9, 2, 8, 1],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(&["A->B", "C->D"], &schema).unwrap();
+        let monolithic = ConflictGraph::build(&inst, &fds);
+        let part_a = ConflictGraph::build_for_rows(&inst, &fds, &[0, 1, 2, 3], Parallelism::Serial);
+        let part_b = ConflictGraph::build_for_rows(&inst, &fds, &[4, 5], Parallelism::Serial);
+        // Global row ids in every part.
+        assert!(part_b.edges().iter().all(|e| e.rows.0 >= 4));
+        let merged = ConflictGraph::merge_shards(inst.len(), vec![part_a, part_b]).unwrap();
+        assert_eq!(merged, monolithic);
+        // Parallel shard builds are bit-identical too.
+        let par_a =
+            ConflictGraph::build_for_rows(&inst, &fds, &[0, 1, 2, 3], Parallelism::Fixed(4));
+        let par_b = ConflictGraph::build_for_rows(&inst, &fds, &[4, 5], Parallelism::Fixed(4));
+        assert_eq!(
+            ConflictGraph::merge_shards(inst.len(), vec![par_a, par_b]).unwrap(),
+            monolithic
+        );
+    }
+
+    #[test]
+    fn merge_shards_rejects_bad_parts() {
+        let (inst, fds) = figure2();
+        let whole = ConflictGraph::build(&inst, &fds);
+        // Duplicate edges (same part twice) are an invalid partition.
+        assert!(
+            ConflictGraph::merge_shards(inst.len(), vec![whole.clone(), whole.clone()]).is_err()
+        );
+        // Row-count mismatch is rejected.
+        assert!(ConflictGraph::merge_shards(inst.len() + 1, vec![whole]).is_err());
     }
 
     #[test]

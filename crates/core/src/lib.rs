@@ -73,6 +73,7 @@ pub mod mutation;
 pub mod problem;
 pub mod repair;
 pub mod search;
+pub mod shard;
 pub mod state;
 
 pub use data_repair::{repair_data, repair_data_par, DataRepairOutcome};
@@ -90,4 +91,5 @@ pub use rt_par::Parallelism;
 pub use search::{
     run_search, FdRepair, FdRepairOutcome, SearchAlgorithm, SearchConfig, SearchStats, Stopwatch,
 };
+pub use shard::ShardPlan;
 pub use state::RepairState;

@@ -108,18 +108,100 @@ impl RepairProblem {
         weight: Arc<dyn Weight>,
         par: Parallelism,
     ) -> Self {
-        let conflict = ConflictGraph::build_with(instance, sigma, par);
+        Self::with_weight_fn_owned(instance.clone(), sigma, weight, par)
+    }
+
+    /// The owned-instance form of [`RepairProblem::with_weight_par`]: the
+    /// instance is **moved** into the problem instead of deep-copied.
+    ///
+    /// This is the scale-safe construction path — at a million rows the
+    /// borrow-and-clone constructors briefly hold two full tuple sets, the
+    /// caller's and the problem's; builders that own their instance (the
+    /// engine builder, the sharded path) should hand it over instead.
+    pub fn with_weight_owned(
+        instance: Instance,
+        sigma: &FdSet,
+        weight: WeightKind,
+        par: Parallelism,
+    ) -> Self {
+        let weight_fn = Self::build_weight(&instance, weight);
+        let mut problem = Self::with_weight_fn_owned(instance, sigma, weight_fn, par);
+        problem.weight_kind = Some(weight);
+        problem
+    }
+
+    fn with_weight_fn_owned(
+        instance: Instance,
+        sigma: &FdSet,
+        weight: Arc<dyn Weight>,
+        par: Parallelism,
+    ) -> Self {
+        let conflict = ConflictGraph::build_with(&instance, sigma, par);
         let diff_groups = Self::group_by_difference_set(&conflict);
+        let alpha = Self::compute_alpha(instance.schema().arity(), sigma.len());
         RepairProblem {
-            instance: instance.clone(),
+            instance,
             sigma: sigma.clone(),
             conflict,
             diff_groups,
             weight,
-            alpha: Self::compute_alpha(instance.schema().arity(), sigma.len()),
+            alpha,
             weight_kind: None,
             incremental: None,
         }
+    }
+
+    /// Sharded construction: builds the conflict graph **per shard** of
+    /// `plan` ([`ConflictGraph::build_for_rows`], fanned out over shards via
+    /// `rt-par`) and merges the shard graphs deterministically
+    /// ([`ConflictGraph::merge_shards`], shards ordered by smallest row)
+    /// into a problem bit-identical to the monolithic build — same edges,
+    /// same difference-set groups, same weighting — without ever running a
+    /// whole-instance blocking pass. The instance is moved, not cloned.
+    ///
+    /// The caller (the engine builder) records one conflict-graph build per
+    /// shard; the workspace's shard-equivalence suite asserts that count and
+    /// the bit-identity of everything downstream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `plan` does not partition `instance`'s rows into
+    /// blocking-closed shards (wrong row count, or a conflict edge crossing
+    /// shards).
+    pub fn from_sharded(
+        instance: Instance,
+        sigma: &FdSet,
+        plan: &crate::shard::ShardPlan,
+        weight: WeightKind,
+        par: Parallelism,
+    ) -> Result<Self, String> {
+        if plan.row_count() != instance.len() {
+            return Err(format!(
+                "shard plan covers {} rows but the instance has {}",
+                plan.row_count(),
+                instance.len()
+            ));
+        }
+        // One graph build per shard. Coarse fan-out: shards are whole units
+        // of work, and the inner build stays serial so worker threads never
+        // nest.
+        let shard_graphs = rt_par::par_map_coarse(par, plan.shard_count(), |s| {
+            ConflictGraph::build_for_rows(&instance, sigma, &plan.shards()[s], Parallelism::Serial)
+        });
+        let conflict = ConflictGraph::merge_shards(instance.len(), shard_graphs)?;
+        let diff_groups = Self::group_by_difference_set(&conflict);
+        let alpha = Self::compute_alpha(instance.schema().arity(), sigma.len());
+        let weight_fn = Self::build_weight(&instance, weight);
+        Ok(RepairProblem {
+            instance,
+            sigma: sigma.clone(),
+            conflict,
+            diff_groups,
+            weight: weight_fn,
+            alpha,
+            weight_kind: Some(weight),
+            incremental: None,
+        })
     }
 
     pub(crate) fn compute_alpha(arity: usize, fd_count: usize) -> usize {

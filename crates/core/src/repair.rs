@@ -104,7 +104,11 @@ pub fn materialize_fd_repair(
         par,
         &violating,
     );
-    debug_assert!(fd_repair.fd_set.holds_on(&data.repaired));
+    // Partition-based check, not `holds_on`: the quadratic fallback would
+    // dominate every debug-mode repair at warehouse scale.
+    debug_assert!(
+        rt_constraints::ConflictGraph::build(&data.repaired, &fd_repair.fd_set).is_empty()
+    );
     Repair {
         tau,
         state: fd_repair.state.clone(),

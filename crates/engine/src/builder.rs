@@ -5,8 +5,65 @@ use crate::error::EngineError;
 use crate::stats::EngineStats;
 use rt_constraints::FdSet;
 use rt_core::heuristic::HeuristicConfig;
-use rt_core::{Parallelism, RepairProblem, SearchAlgorithm, SearchConfig, Stopwatch, WeightKind};
+use rt_core::{
+    Parallelism, RepairProblem, SearchAlgorithm, SearchConfig, ShardPlan, Stopwatch, WeightKind,
+};
 use rt_relation::Instance;
+
+/// When (and whether) the builder shards the conflict-graph construction.
+///
+/// Sharding partitions the rows into blocking-closed shards
+/// ([`rt_core::ShardPlan`]), builds one conflict graph per shard and merges
+/// them — bit-identical to the monolithic build, but without a
+/// whole-instance blocking pass and with the instance moved (never cloned)
+/// into the problem. On small instances the extra partitioning pass is not
+/// worth it, hence the row threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardRows {
+    /// Shard when the instance has at least
+    /// [`ShardRows::AUTO_THRESHOLD`] rows (the default).
+    #[default]
+    Auto,
+    /// Never shard: always run the monolithic build.
+    Off,
+    /// Shard when the instance has at least this many rows
+    /// (`Threshold(0)` shards always).
+    Threshold(usize),
+}
+
+impl ShardRows {
+    /// Row count at which [`ShardRows::Auto`] starts sharding.
+    pub const AUTO_THRESHOLD: usize = 100_000;
+
+    /// Should an instance with `rows` rows be built sharded?
+    pub fn applies_to(self, rows: usize) -> bool {
+        match self {
+            ShardRows::Auto => rows >= Self::AUTO_THRESHOLD,
+            ShardRows::Off => false,
+            ShardRows::Threshold(t) => rows >= t,
+        }
+    }
+
+    /// Parses the CLI spelling: `auto`, `off`, or a row threshold.
+    pub fn parse(s: &str) -> Result<ShardRows, String> {
+        match s {
+            "auto" => Ok(ShardRows::Auto),
+            "off" => Ok(ShardRows::Off),
+            n => n.parse::<usize>().map(ShardRows::Threshold).map_err(|_| {
+                format!("invalid shard threshold `{n}` (use auto, off, or a row count)")
+            }),
+        }
+    }
+
+    /// The stable spelling (inverse of [`ShardRows::parse`]).
+    pub fn spec(self) -> String {
+        match self {
+            ShardRows::Auto => "auto".to_string(),
+            ShardRows::Off => "off".to_string(),
+            ShardRows::Threshold(t) => t.to_string(),
+        }
+    }
+}
 
 /// Builder returned by [`RepairEngine::builder`].
 ///
@@ -44,6 +101,7 @@ pub struct RepairEngineBuilder {
     dominance_pruning: bool,
     timing: bool,
     seed: u64,
+    shard_rows: ShardRows,
 }
 
 impl RepairEngineBuilder {
@@ -61,6 +119,7 @@ impl RepairEngineBuilder {
             dominance_pruning: defaults.dominance_pruning,
             timing: defaults.timing,
             seed: 0,
+            shard_rows: ShardRows::Auto,
         }
     }
 
@@ -136,6 +195,16 @@ impl RepairEngineBuilder {
         self
     }
 
+    /// When to shard the conflict-graph build (default:
+    /// [`ShardRows::Auto`]). Sharded and monolithic builds are bit-identical;
+    /// sharding only changes how the graph is constructed (per blocking-closed
+    /// row shard, then merged) and the `conflict_graph_builds` / `shards`
+    /// accounting in [`EngineStats`].
+    pub fn shard_rows(mut self, shard_rows: ShardRows) -> Self {
+        self.shard_rows = shard_rows;
+        self
+    }
+
     /// Validates the configuration and prepares the engine: the conflict
     /// graph of `(I, Σ)` and its difference-set index are built here,
     /// exactly once for the lifetime of the engine.
@@ -174,14 +243,30 @@ impl RepairEngineBuilder {
         }
 
         let start = Stopwatch::start_if(self.timing);
-        let problem = RepairProblem::with_weight_par(
-            &self.instance,
-            &self.fds,
-            self.weight,
-            self.parallelism,
-        );
+        let sharded = self.shard_rows.applies_to(self.instance.len());
+        let (problem, graph_builds, shards) = if sharded {
+            let plan = ShardPlan::compute(&self.instance, &self.fds);
+            let problem = RepairProblem::from_sharded(
+                self.instance,
+                &self.fds,
+                &plan,
+                self.weight,
+                self.parallelism,
+            )
+            .map_err(EngineError::InvalidConfig)?;
+            (problem, plan.shard_count(), plan.shard_count())
+        } else {
+            let problem = RepairProblem::with_weight_owned(
+                self.instance,
+                &self.fds,
+                self.weight,
+                self.parallelism,
+            );
+            (problem, 1, 0)
+        };
         let stats = EngineStats {
-            conflict_graph_builds: 1,
+            conflict_graph_builds: graph_builds,
+            shards,
             build_elapsed: start.elapsed(),
             dict_entries: problem.instance().dict_entries(),
             ..Default::default()

@@ -203,6 +203,17 @@ impl RepairEngine {
             // instance (append-only; untouched rows were not re-encoded) —
             // refresh the footprint figure.
             stats.dict_entries = self.problem.instance().dict_entries();
+            // A sharded engine keeps its plan honest across mutations: the
+            // partition is recomputed from the mutated code columns (cheap,
+            // one blocking pass per FD) so mutations that bridge two shards
+            // merge them and deletions can re-split. The patched conflict
+            // graph is reused as-is — `conflict_graph_builds` stays put.
+            if stats.shards > 0 {
+                let plan =
+                    rt_core::ShardPlan::compute(self.problem.instance(), self.problem.sigma());
+                stats.shards = plan.shard_count();
+                stats.shard_replans += 1;
+            }
         }
         let mut cache = lock(&self.sweep_cache);
         let sweep_cache_retained = if effect.search_state_invalidated {

@@ -96,7 +96,7 @@ pub mod snapshot;
 mod stats;
 mod stream;
 
-pub use builder::RepairEngineBuilder;
+pub use builder::{RepairEngineBuilder, ShardRows};
 pub use engine::RepairEngine;
 pub use error::EngineError;
 pub use mutation::{MutationBatch, MutationOutcome};
@@ -112,5 +112,5 @@ pub use rt_constraints::{Fd, FdSet};
 pub use rt_core::heuristic::{HeuristicCache, HeuristicConfig};
 pub use rt_core::{
     FdRepair, MutationEffect, MutationOp, Parallelism, Repair, RepairProblem, SearchAlgorithm,
-    SearchStats, WeightKind,
+    SearchStats, ShardPlan, WeightKind,
 };

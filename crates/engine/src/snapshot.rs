@@ -42,7 +42,7 @@ use std::time::Duration;
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"RTSNAP01";
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 // Section tags. CONFIG..STATS are required; SWEEP and WARM are present only
 // when the engine holds the corresponding cache.
@@ -544,6 +544,8 @@ pub(crate) fn encode(
     put_usize(&mut stats_sec, stats.graph_rebuild_avoided);
     put_usize(&mut stats_sec, stats.sweep_cache_hits);
     put_usize(&mut stats_sec, stats.dict_entries);
+    put_usize(&mut stats_sec, stats.shards);
+    put_usize(&mut stats_sec, stats.shard_replans);
 
     let mut out = Vec::new();
     out.extend_from_slice(SNAPSHOT_MAGIC);
@@ -859,6 +861,8 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<DecodedEngine, EngineError> {
         graph_rebuild_avoided: r.usize_()?,
         sweep_cache_hits: r.usize_()?,
         dict_entries: r.usize_()?,
+        shards: r.usize_()?,
+        shard_replans: r.usize_()?,
     };
     // The restored engine never built a conflict graph — the headline
     // invariant of restore (ROADMAP item 3): warm state, zero builds.

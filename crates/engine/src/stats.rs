@@ -71,6 +71,16 @@ pub struct EngineStats {
     /// refreshed after every applied mutation batch; dictionaries are
     /// append-only, so within a session this only grows.
     pub dict_entries: usize,
+    /// Shards of the current [`rt_core::ShardPlan`] when the engine was
+    /// built sharded ([`crate::ShardRows`]); `0` for a monolithic build.
+    /// For a sharded build, `conflict_graph_builds` equals the *initial*
+    /// shard count — one per-shard build, never a monolithic one.
+    pub shards: usize,
+    /// Deterministic shard-plan recomputations triggered by mutation
+    /// batches on a sharded engine — the merge/re-split path. The plan is
+    /// derived from code columns only; the patched conflict graph is
+    /// reused, so `conflict_graph_builds` does not move.
+    pub shard_replans: usize,
 }
 
 impl EngineStats {

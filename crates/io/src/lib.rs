@@ -48,7 +48,7 @@ pub mod record;
 pub use error::IoError;
 
 use record::RecordReader;
-use rt_relation::{ColumnType, Instance, Schema};
+use rt_relation::{ChunkBuffer, ColumnType, Instance, Schema};
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 
@@ -353,6 +353,64 @@ fn encode_pass<R: Read>(
     encode_records(&mut records, carry, names.to_vec(), columns, options)
 }
 
+/// Chunked encode loop: batches raw records into a [`ChunkBuffer`] of
+/// `chunk_rows` rows and flushes each full chunk through the encoded
+/// loader. Behaviourally identical to [`encode_records`] — same instance,
+/// same dictionaries, same codes, same first-error semantics — but the
+/// undecoded text held at any moment is bounded by one chunk, and the
+/// buffered cells are charged to the `resident_cells` gauge
+/// ([`rt_relation::work::peak_resident_cells`]) so the bound is testable.
+fn encode_records_chunked<R: BufRead>(
+    records: &mut RecordReader<R>,
+    carry: Option<CarriedRecord>,
+    names: Vec<String>,
+    columns: &[ColumnType],
+    options: &CsvOptions,
+    chunk_rows: usize,
+) -> Result<LoadReport, IoError> {
+    let schema = Schema::new(&options.relation_name, names)?;
+    let mut instance = Instance::new(schema);
+    let mut null_cells = 0usize;
+    {
+        let mut loader = instance.encoded_loader(columns.to_vec())?;
+        let mut buffer = ChunkBuffer::new(chunk_rows);
+        if let Some(first) = &carry {
+            let fields: Vec<Option<&str>> = first
+                .iter()
+                .map(|(t, q)| options.normalize(t, *q))
+                .collect();
+            check_arity(fields.len(), columns.len(), 1)?;
+            null_cells += fields.iter().filter(|f| f.is_none()).count();
+            buffer.push(&fields, 1);
+            if buffer.is_full() {
+                buffer
+                    .flush(&mut loader)
+                    .map_err(|(line, e)| IoError::parse(line, e.to_string()))?;
+            }
+        }
+        while let Some(rec) = records.next_record()? {
+            let fields: Vec<Option<&str>> =
+                rec.fields().map(|(t, q)| options.normalize(t, q)).collect();
+            check_arity(fields.len(), columns.len(), rec.line)?;
+            null_cells += fields.iter().filter(|f| f.is_none()).count();
+            buffer.push(&fields, rec.line);
+            if buffer.is_full() {
+                buffer
+                    .flush(&mut loader)
+                    .map_err(|(line, e)| IoError::parse(line, e.to_string()))?;
+            }
+        }
+        buffer
+            .flush(&mut loader)
+            .map_err(|(line, e)| IoError::parse(line, e.to_string()))?;
+    }
+    Ok(LoadReport {
+        instance,
+        columns: columns.to_vec(),
+        null_cells,
+    })
+}
+
 /// Loads a file with inferred column types: one streaming pass to infer,
 /// one to encode. Memory stays bounded by the widest record — the file is
 /// read twice instead of being buffered.
@@ -364,6 +422,62 @@ pub fn load_path(path: impl AsRef<Path>, options: &CsvOptions) -> Result<LoadRep
         &inferred.names,
         &inferred.columns,
         options,
+    )
+}
+
+/// [`load_path`] with the encode pass running in `chunk_rows`-row batches
+/// through a [`ChunkBuffer`]. The result is identical to [`load_path`] for
+/// every chunk size; the difference is the accounting contract — at any
+/// moment at most one chunk of undecoded field text is resident, on top of
+/// the (dictionary-coded) columns already flushed. This is the scale-up
+/// ingestion path the `warehouse` scenario and the sharded engine build on.
+pub fn load_path_chunked(
+    path: impl AsRef<Path>,
+    chunk_rows: usize,
+    options: &CsvOptions,
+) -> Result<LoadReport, IoError> {
+    let path = path.as_ref();
+    let inferred = infer_schema(std::fs::File::open(path)?, options)?;
+    let mut records = RecordReader::new(
+        BufReader::new(std::fs::File::open(path)?),
+        options.delimiter,
+    )?;
+    let carry = match read_names(&mut records, options)? {
+        Some((_, carry)) => carry,
+        None => None,
+    };
+    encode_records_chunked(
+        &mut records,
+        carry,
+        inferred.names,
+        &inferred.columns,
+        options,
+        chunk_rows,
+    )
+}
+
+/// [`read_instance`]'s chunked sibling: buffers the text once, infers, then
+/// encodes in `chunk_rows`-row batches (see [`load_path_chunked`]).
+pub fn read_instance_chunked<R: Read>(
+    mut reader: R,
+    chunk_rows: usize,
+    options: &CsvOptions,
+) -> Result<LoadReport, IoError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let inferred = infer_schema(text.as_bytes(), options)?;
+    let mut records = RecordReader::new(BufReader::new(text.as_bytes()), options.delimiter)?;
+    let carry = match read_names(&mut records, options)? {
+        Some((_, carry)) => carry,
+        None => None,
+    };
+    encode_records_chunked(
+        &mut records,
+        carry,
+        inferred.names,
+        &inferred.columns,
+        options,
+        chunk_rows,
     )
 }
 

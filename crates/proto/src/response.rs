@@ -384,6 +384,8 @@ pub fn encode_engine_stats(stats: &EngineStats) -> JsonValue {
         ("graph_rebuild_avoided", num(stats.graph_rebuild_avoided)),
         ("sweep_cache_hits", num(stats.sweep_cache_hits)),
         ("dict_entries", num(stats.dict_entries)),
+        ("shards", num(stats.shards)),
+        ("shard_replans", num(stats.shard_replans)),
     ])
 }
 
@@ -410,6 +412,15 @@ pub fn decode_engine_stats(v: &JsonValue) -> Result<EngineStats, String> {
         graph_rebuild_avoided: usize_field(v, "graph_rebuild_avoided")?,
         sweep_cache_hits: usize_field(v, "sweep_cache_hits")?,
         dict_entries: usize_field(v, "dict_entries")?,
+        // Tolerant of stats written before sharding existed.
+        shards: match v.get("shards") {
+            None => 0,
+            Some(_) => usize_field(v, "shards")?,
+        },
+        shard_replans: match v.get("shard_replans") {
+            None => 0,
+            Some(_) => usize_field(v, "shard_replans")?,
+        },
     })
 }
 

@@ -64,7 +64,7 @@ pub mod work;
 pub use dict::{AttrDict, Code, CodeKey, CODE_KEY_INLINE, OVERLAY_CODE_BASE, VAR_CODE_BASE};
 pub use error::RelationError;
 pub use instance::{CellRef, Instance, InstanceDiff};
-pub use load::{ColumnType, EncodedLoader};
+pub use load::{ChunkBuffer, ColumnType, EncodedLoader};
 pub use schema::{AttrId, Schema};
 pub use tuple::Tuple;
 pub use value::{FloatBits, Value, VarId};

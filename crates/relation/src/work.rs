@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 static KEY_BYTES_HASHED: AtomicU64 = AtomicU64::new(0);
 static KEY_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static VALUE_COMPARES: AtomicU64 = AtomicU64::new(0);
+static RESIDENT_CELLS: AtomicU64 = AtomicU64::new(0);
+static PEAK_RESIDENT_CELLS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the three work counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,6 +74,33 @@ pub fn count_value_compares(n: usize) {
     VALUE_COMPARES.fetch_add(n as u64, Relaxed);
 }
 
+/// Raises the resident-cell gauge by `n` cells and folds the new level into
+/// the peak.
+///
+/// The gauge is a deterministic *memory estimate*, not an allocator probe:
+/// streaming loaders charge one cell per undecoded field they buffer and one
+/// cell per dictionary code they append, and release the buffered fields
+/// again when a chunk is flushed. The resulting peak — code columns plus at
+/// most one chunk of raw fields — is what the memory-bounded-ingest gate in
+/// `bench_gate` divides by the row count.
+#[inline]
+pub fn add_resident_cells(n: usize) {
+    let now = RESIDENT_CELLS.fetch_add(n as u64, Relaxed) + n as u64;
+    PEAK_RESIDENT_CELLS.fetch_max(now, Relaxed);
+}
+
+/// Lowers the resident-cell gauge by `n` cells (saturating; the peak keeps
+/// the high-water mark).
+#[inline]
+pub fn sub_resident_cells(n: usize) {
+    let _ = RESIDENT_CELLS.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n as u64)));
+}
+
+/// The high-water mark of the resident-cell gauge since the last [`reset`].
+pub fn peak_resident_cells() -> u64 {
+    PEAK_RESIDENT_CELLS.load(Relaxed)
+}
+
 /// Reads the current counter totals.
 pub fn snapshot() -> WorkSnapshot {
     WorkSnapshot {
@@ -87,6 +116,8 @@ pub fn reset() {
     KEY_BYTES_HASHED.store(0, Relaxed);
     KEY_ALLOCS.store(0, Relaxed);
     VALUE_COMPARES.store(0, Relaxed);
+    RESIDENT_CELLS.store(0, Relaxed);
+    PEAK_RESIDENT_CELLS.store(0, Relaxed);
 }
 
 #[cfg(test)]
@@ -108,5 +139,19 @@ mod tests {
         assert!(delta.value_compares >= 3);
         // `since` saturates instead of underflowing.
         assert_eq!(before.since(&snapshot()), WorkSnapshot::default());
+    }
+
+    #[test]
+    fn resident_gauge_tracks_peak_and_saturates() {
+        let before = peak_resident_cells();
+        add_resident_cells(100);
+        assert!(peak_resident_cells() >= before.max(100));
+        sub_resident_cells(60);
+        let peak_after_sub = peak_resident_cells();
+        add_resident_cells(10);
+        // Lowering then raising below the high-water mark keeps the peak.
+        assert!(peak_resident_cells() >= peak_after_sub);
+        // Release exactly what this test still holds.
+        sub_resident_cells(50);
     }
 }

@@ -135,6 +135,166 @@ pub fn orders(rows: usize, seed: u64) -> (Instance, FdSet) {
     (instance, fds)
 }
 
+/// Rows per warehouse *region*. Regions are the scale-out unit: every
+/// store and product key is region-scoped (`R{r}-S{s}` / `R{r}-P{p}`), so
+/// FD blocking classes never cross regions and the conflict graph of a
+/// warehouse instance decomposes into ~one connected component per region.
+/// Growing `rows` grows the number of regions, never the size of a
+/// blocking class — per-row load and graph-build work stays flat from 10k
+/// to 1M rows, and a sharded engine gets `rows / WAREHOUSE_ROWS_PER_REGION`
+/// independent shards to build.
+pub const WAREHOUSE_ROWS_PER_REGION: usize = 4096;
+
+const WAREHOUSE_STORES_PER_REGION: usize = 32;
+const WAREHOUSE_PRODUCTS_PER_REGION: usize = 64;
+
+/// One generated warehouse row; `corrupt` is `Some(k)` for the `k`-th
+/// injected error (a wrong, out-of-domain store city).
+struct WarehouseRow {
+    store_id: String,
+    store_city: String,
+    product_id: String,
+    product_name: String,
+    unit_price: i64,
+    qty: i64,
+}
+
+fn warehouse_row(row: usize, seed: u64, corrupt: Option<usize>) -> WarehouseRow {
+    let r = (row / WAREHOUSE_ROWS_PER_REGION) as i64;
+    let s = mix(&[row as i64], seed ^ 0x570E, WAREHOUSE_STORES_PER_REGION) as i64;
+    let p = mix(
+        &[row as i64, 3],
+        seed ^ 0x9200,
+        WAREHOUSE_PRODUCTS_PER_REGION,
+    ) as i64;
+    let store_city = match corrupt {
+        // The injected error: a city no store has, so the row conflicts
+        // with every same-store row under `store_id -> store_city`.
+        Some(k) => format!("wrong-{k}"),
+        None => format!("city-{r}-{}", mix(&[r, s], seed ^ 0xC170, 12)),
+    };
+    WarehouseRow {
+        store_id: format!("R{r}-S{s:02}"),
+        store_city,
+        product_id: format!("R{r}-P{p:02}"),
+        product_name: format!("item-{r}-{p}"),
+        unit_price: 100 + mix(&[r, p], seed ^ 0x9B1C, 900) as i64,
+        qty: 1 + mix(&[row as i64, 77], seed ^ 0x47AA, 50) as i64,
+    }
+}
+
+/// The deterministic error placement: `errors` distinct rows (linear
+/// probing on collision), mapped to their error index.
+fn warehouse_error_rows(
+    rows: usize,
+    seed: u64,
+    errors: usize,
+) -> std::collections::BTreeMap<usize, usize> {
+    let mut placed = std::collections::BTreeMap::new();
+    if rows == 0 {
+        return placed;
+    }
+    for k in 0..errors.min(rows) {
+        let mut row = mix(&[k as i64], seed ^ 0xE44A, rows);
+        while placed.contains_key(&row) {
+            row = (row + 1) % rows;
+        }
+        placed.insert(row, k);
+    }
+    placed
+}
+
+fn warehouse_schema() -> Schema {
+    Schema::new(
+        "warehouse",
+        vec![
+            "store_id",
+            "store_city",
+            "product_id",
+            "product_name",
+            "unit_price",
+            "qty",
+        ],
+    )
+    .expect("valid schema")
+}
+
+/// The warehouse FD set: `store_id → store_city`,
+/// `product_id → {product_name, unit_price}`.
+pub fn warehouse_fds(schema: &Schema) -> FdSet {
+    FdSet::parse(
+        &[
+            "store_id->store_city",
+            "product_id->product_name",
+            "product_id->unit_price",
+        ],
+        schema,
+    )
+    .expect("valid FDs")
+}
+
+/// The clean warehouse instance: `rows` shipment records with
+/// region-scoped store/product keys (see [`WAREHOUSE_ROWS_PER_REGION`]).
+pub fn warehouse(rows: usize, seed: u64) -> (Instance, FdSet) {
+    warehouse_with_errors(rows, seed, 0)
+}
+
+/// [`warehouse`] with `errors` corrupted store cities at deterministic,
+/// seed-dependent rows. The error count is *absolute*, not a rate: the
+/// dirty conflict structure — and with it the repair-search work — is the
+/// same at 10k rows and at 1M rows; only the linear load/build work grows.
+pub fn warehouse_with_errors(rows: usize, seed: u64, errors: usize) -> (Instance, FdSet) {
+    let schema = warehouse_schema();
+    let error_rows = warehouse_error_rows(rows, seed, errors);
+    let mut instance = Instance::new(schema.clone());
+    for row in 0..rows {
+        let w = warehouse_row(row, seed, error_rows.get(&row).copied());
+        instance
+            .push(Tuple::new(vec![
+                Value::str(w.store_id),
+                Value::str(w.store_city),
+                Value::str(w.product_id),
+                Value::str(w.product_name),
+                Value::int(w.unit_price),
+                Value::int(w.qty),
+            ]))
+            .expect("arity matches");
+    }
+    let fds = warehouse_fds(&schema);
+    // Partition-based check — the quadratic `holds_on` fallback would make
+    // debug-mode warehouse generation O(rows²).
+    debug_assert!(errors > 0 || rt_constraints::ConflictGraph::build(&instance, &fds).is_empty());
+    (instance, fds)
+}
+
+/// Streams the dirty warehouse relation as CSV — header plus
+/// `warehouse_with_errors(rows, seed, errors)` row for row — without ever
+/// materializing the instance (or the text) in memory. This is the 1M-row
+/// ingestion fixture: loading the output through the chunked typed reader
+/// (`rt_io::load_path_chunked`) reproduces the generated instance exactly,
+/// codes, dictionaries and all.
+pub fn write_warehouse_csv<W: std::io::Write>(
+    out: &mut W,
+    rows: usize,
+    seed: u64,
+    errors: usize,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "store_id,store_city,product_id,product_name,unit_price,qty"
+    )?;
+    let error_rows = warehouse_error_rows(rows, seed, errors);
+    for row in 0..rows {
+        let w = warehouse_row(row, seed, error_rows.get(&row).copied());
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            w.store_id, w.store_city, w.product_id, w.product_name, w.unit_price, w.qty
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +311,48 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(inst, sensor_readings(200, 42).0);
         assert_ne!(inst, sensor_readings(200, 43).0);
+    }
+
+    #[test]
+    fn warehouse_fds_hold_clean_and_break_dirty() {
+        let (clean, fds) = warehouse(3000, 11);
+        assert_eq!(clean.len(), 3000);
+        assert!(fds.holds_on(&clean));
+        let (dirty, dirty_fds) = warehouse_with_errors(3000, 11, 24);
+        assert!(!dirty_fds.holds_on(&dirty));
+        // Exactly the 24 error rows differ, all in the store_city column.
+        let mut changed = 0;
+        for row in 0..3000 {
+            for a in 0..clean.schema().arity() {
+                let attr = AttrId(a as u16);
+                if clean.tuple(row).unwrap().get(attr) != dirty.tuple(row).unwrap().get(attr) {
+                    assert_eq!(a, 1, "only store_city is corrupted");
+                    changed += 1;
+                }
+            }
+        }
+        assert_eq!(changed, 24);
+        // Deterministic per seed, distinct across seeds.
+        assert_eq!(dirty, warehouse_with_errors(3000, 11, 24).0);
+        assert_ne!(dirty, warehouse_with_errors(3000, 12, 24).0);
+    }
+
+    #[test]
+    fn warehouse_csv_round_trips_through_the_chunked_loader() {
+        let rows = 2500;
+        let mut csv = Vec::new();
+        write_warehouse_csv(&mut csv, rows, 5, 16).unwrap();
+        let report = rt_io::read_instance_chunked(
+            csv.as_slice(),
+            512,
+            &rt_io::CsvOptions::csv().relation("warehouse"),
+        )
+        .unwrap();
+        let (generated, _) = warehouse_with_errors(rows, 5, 16);
+        // Same rows in the same order through the same encoding path:
+        // the instances agree cell for cell, codes, dictionaries and all.
+        assert_eq!(report.instance, generated);
+        assert_eq!(report.null_cells, 0);
     }
 
     #[test]

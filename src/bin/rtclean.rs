@@ -30,7 +30,8 @@
 //! ```
 //!
 //! Every subcommand shares the `rt-proto` option surface: the engine flags
-//! (`--weight`, `--seed`, `--max-expansions`, `--threads`) parse through
+//! (`--weight`, `--seed`, `--max-expansions`, `--threads`, `--shard-rows`)
+//! parse through
 //! [`EngineOpts::consume_flag`] whether they come from the command line,
 //! the `connect` REPL, or a `create_session` wire request.
 
@@ -174,6 +175,11 @@ options:
   --threads <T>        worker threads: auto | serial | <count>  (default: auto)
                        results are identical for every setting; more threads
                        only make the repair faster
+  --shard-rows <S>     shard the conflict-graph build: auto | off | <row
+                       threshold> (default: auto = shard at 100000 rows).
+                       Shards are blocking-closed row groups built
+                       independently and merged; results are bit-identical
+                       to the monolithic build at every setting
   --help               print this help
 ";
 
@@ -910,6 +916,7 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
 const REPL_HELP: &str = "\
 commands:
   open <name> [--weight K] [--seed N] [--max-expansions N] [--threads T]
+              [--shard-rows S]
                          create a session and make it current
   load <file.csv> --fd <spec> [--fd ...] [--tsv]
                          load CSV/TSV + FDs, building the session's engine
@@ -1420,6 +1427,7 @@ mod tests {
                 seed: 0,
                 max_expansions: 1000,
                 threads: Parallelism::Serial,
+                shard_rows: ShardRows::Auto,
             },
         };
         let err = run(&options).unwrap_err();
@@ -1445,6 +1453,7 @@ mod tests {
                 seed: 0,
                 max_expansions: 1000,
                 threads: Parallelism::Serial,
+                shard_rows: ShardRows::Auto,
             },
         };
         let err = run(&options).unwrap_err();
@@ -1475,6 +1484,7 @@ mod tests {
                 seed: 0,
                 max_expansions: 1000,
                 threads: Parallelism::Serial,
+                shard_rows: ShardRows::Auto,
             },
         };
         let err = run(&options).unwrap_err();
@@ -1538,6 +1548,7 @@ mod tests {
                     seed: 3,
                     max_expansions: 100_000,
                     threads: Parallelism::Serial,
+                    shard_rows: ShardRows::Auto,
                 },
             };
             run_apply(&options).unwrap();
@@ -1566,6 +1577,7 @@ mod tests {
                 seed: 0,
                 max_expansions: 10_000,
                 threads: Parallelism::Serial,
+                shard_rows: ShardRows::Auto,
             },
         };
         let err = run_apply(&options).unwrap_err();
@@ -1617,6 +1629,7 @@ mod tests {
                 seed: 17,
                 max_expansions: 1000,
                 threads: Parallelism::Serial,
+                shard_rows: ShardRows::Auto,
             },
         };
         run_scenario(&list).unwrap();
@@ -1644,6 +1657,7 @@ mod tests {
                 seed: 3,
                 max_expansions: 200_000,
                 threads: Parallelism::Serial,
+                shard_rows: ShardRows::Auto,
             },
         };
         run_scenario(&options).unwrap();
@@ -1668,6 +1682,7 @@ mod tests {
                 seed: 1,
                 max_expansions: 10_000,
                 threads: Parallelism::Fixed(2),
+                shard_rows: ShardRows::Auto,
             },
         };
         run(&options).unwrap();

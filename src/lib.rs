@@ -120,7 +120,7 @@ pub use rt_server as server;
 pub mod prelude {
     pub use rt_engine::{
         EngineError, EngineStats, MutationBatch, MutationEffect, MutationOp, MutationOutcome,
-        RepairEngine, RepairEngineBuilder, RepairPoint, RepairStream, Spectrum,
+        RepairEngine, RepairEngineBuilder, RepairPoint, RepairStream, ShardRows, Spectrum,
     };
 
     pub use rt_baseline::{unified_cost_repair, UnifiedCostConfig, UnifiedRepair};
@@ -130,7 +130,7 @@ pub mod prelude {
     pub use rt_core::{
         goal_cost_estimate, repair_data, sampling_search, HeuristicCache, HeuristicConfig,
         Parallelism, RangeSearch, Repair, RepairProblem, RepairState, SearchAlgorithm,
-        SearchConfig, SearchStats, WeightKind,
+        SearchConfig, SearchStats, ShardPlan, WeightKind,
     };
     pub use rt_datagen::{
         evaluate_repair, generate_census_like, perturb, CensusLikeConfig, PerturbConfig,

@@ -3,7 +3,10 @@
 //! CRLF endings, ragged rows, null-token policy, and type-inference
 //! conflicts falling back to `Str`.
 
-use relative_trust::io::{infer_schema, load_path, read_instance, CsvOptions, IoError};
+use relative_trust::io::{
+    infer_schema, load_path, load_path_chunked, read_instance, read_instance_chunked, CsvOptions,
+    IoError,
+};
 use relative_trust::prelude::*;
 
 #[test]
@@ -138,6 +141,76 @@ fn tsv_dialect_and_instance_from_csv_round_trip() {
     let streamed = load_path(&path, &CsvOptions::tsv()).unwrap();
     assert_eq!(buffered.instance, streamed.instance);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chunked_streaming_is_identical_for_every_chunk_size() {
+    // The memory-bounded ingestion contract: the chunk size is an
+    // accounting knob, never a semantic one. Chunk-of-1, chunk-of-10k
+    // (bigger than the fixture, so a single flush) and the unchunked
+    // reader must produce the same instance — codes, dictionaries,
+    // column types and null count included.
+    let csv = relative_trust::scenarios::HOSPITAL_CSV;
+    let options = CsvOptions::csv().relation("hospital");
+    let whole = read_instance(csv.as_bytes(), &options).unwrap();
+    for chunk_rows in [1usize, 7, 10_000] {
+        let chunked = read_instance_chunked(csv.as_bytes(), chunk_rows, &options).unwrap();
+        assert_eq!(
+            whole.instance, chunked.instance,
+            "chunk_rows={chunk_rows}: instances differ"
+        );
+        assert_eq!(whole.columns, chunked.columns, "chunk_rows={chunk_rows}");
+        assert_eq!(
+            whole.null_cells, chunked.null_cells,
+            "chunk_rows={chunk_rows}"
+        );
+    }
+
+    // Same contract for the file-backed streaming pass.
+    let dir = std::env::temp_dir().join("rt_csv_io_chunked_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hospital.csv");
+    std::fs::write(&path, csv).unwrap();
+    let streamed = load_path(&path, &options).unwrap();
+    for chunk_rows in [1usize, 10_000] {
+        let chunked = load_path_chunked(&path, chunk_rows, &options).unwrap();
+        assert_eq!(
+            streamed.instance, chunked.instance,
+            "chunk_rows={chunk_rows}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ragged_chunk_boundaries_keep_quoted_fields_intact() {
+    // Regression guard: a quoted field holding delimiters, escaped quotes
+    // and embedded newlines must survive chunk boundaries landing on (and
+    // inside the textual span of) its record. chunk_rows=1 puts a flush
+    // between every pair of records, chunk_rows=2 puts one mid-list.
+    let csv = "name,note\n\
+               \"Doe, Jane\",\"says \"\"hi\"\"\"\n\
+               plain,\"two\nlines\"\n\
+               \"last, one\",\"tail\nend\"\n";
+    let whole = read_instance(csv.as_bytes(), &CsvOptions::csv()).unwrap();
+    for chunk_rows in [1usize, 2, 3] {
+        let chunked =
+            read_instance_chunked(csv.as_bytes(), chunk_rows, &CsvOptions::csv()).unwrap();
+        assert_eq!(
+            whole.instance, chunked.instance,
+            "chunk_rows={chunk_rows}: quoted fields corrupted at a chunk boundary"
+        );
+    }
+    let inst = &whole.instance;
+    assert_eq!(
+        *inst.cell(CellRef::new(2, AttrId(1))).unwrap(),
+        Value::str("tail\nend")
+    );
+
+    // Errors keep their line numbers even when they land mid-chunk.
+    let err =
+        read_instance_chunked("a,b,c\n1,2,3\n4,5\n".as_bytes(), 1, &CsvOptions::csv()).unwrap_err();
+    assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err:?}");
 }
 
 #[test]
